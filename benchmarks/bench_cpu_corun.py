@@ -1,0 +1,30 @@
+"""Benchmark: CPU co-run way-partition tradeoff (future-work study)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cpu_corun import format_corun, run_cpu_corun_study
+
+
+@pytest.mark.benchmark(group="corun")
+def test_cpu_corun_tradeoff(benchmark):
+    rows = benchmark.pedantic(
+        run_cpu_corun_study,
+        kwargs={
+            "npu_way_options": (8, 12, 14),
+            "accesses_per_program": 10_000,
+            "scale": 0.15,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_corun(rows))
+
+    # More NPU ways must not slow the DNNs down.
+    latencies = [r.dnn_latency_ms for r in rows]
+    assert latencies[0] >= latencies[-1] - 0.5
+    # Every row reports all CPU programs.
+    for row in rows:
+        assert len(row.cpu_hit_rates) == 3

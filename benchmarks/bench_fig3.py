@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 3 (reuse counts and distances)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig3_reuse import format_fig3, run_fig3
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_reuse(benchmark):
+    rows = benchmark(run_fig3)
+    print()
+    print(format_fig3(rows))
+
+    avg = rows[-1]
+    # Paper: 68.0 % of data with reuse count 1.
+    assert 0.4 <= avg.count_fractions["1"] <= 0.9
+    # Paper: 61.8 % of intermediate data above 1 MB reuse distance.
+    assert 1.0 - avg.distance_fractions["(0MB,1MB]"] >= 0.35
+    # Paper: 47.9 % above 2 MB.
+    above_2mb = (
+        avg.distance_fractions["(2MB,4MB]"]
+        + avg.distance_fractions["(4MB,inf)"]
+    )
+    assert above_2mb >= 0.25

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 8 (latency/memory-access scaling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig8_scaling import format_fig8, run_fig8
+
+_DNN_COUNTS = (1, 8, 16)
+_CACHE_SIZES = (4, 16, 64)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_scaling(benchmark):
+    rows = benchmark.pedantic(
+        run_fig8,
+        kwargs={
+            "dnn_counts": _DNN_COUNTS,
+            "cache_sizes_mb": _CACHE_SIZES,
+            "scale": 0.15,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_fig8(rows))
+
+    multi = [r for r in rows if r.num_dnns > 1]
+    # Paper: 34.3-42.3 % latency and 16.0-37.7 % memory reductions in
+    # multi-tenant cells; we assert the direction and rough magnitude.
+    assert all(r.dram_reduction > 0.0 for r in multi)
+    assert sum(r.latency_reduction for r in multi) / len(multi) > 0.1

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 9 (QoS: SLA / STP / fairness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig9_qos import (
+    format_fig9,
+    improvement_summary,
+    run_fig9,
+)
+from repro.models.zoo import BENCHMARK_MODELS
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_qos(benchmark):
+    rows = benchmark.pedantic(
+        run_fig9,
+        kwargs={"scale": 0.25, "model_keys": BENCHMARK_MODELS * 2},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_fig9(rows))
+
+    summary = improvement_summary(rows)
+    # Paper: CaMDN improves SLA 5.9x, STP 2.5x, fairness 3.0x on average.
+    # Direction must hold: CaMDN at least matches the best baseline.
+    assert summary["sla"] >= 0.95
+    assert summary["stp"] >= 0.95
+    assert summary["fairness"] >= 0.8

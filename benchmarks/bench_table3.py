@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table III (area breakdown)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table3_area import (
+    PAPER_TABLE3,
+    format_table3,
+    run_table3,
+)
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_area(benchmark):
+    table = benchmark(run_table3)
+    print()
+    print(format_table3(table))
+
+    flat = {name: (area, pct)
+            for rows in table.values() for name, area, pct in rows}
+    for component, (paper_area, paper_pct) in PAPER_TABLE3.items():
+        area, pct = flat[component]
+        assert area == pytest.approx(paper_area, rel=0.15), component
+        assert pct == pytest.approx(paper_pct, abs=0.5), component

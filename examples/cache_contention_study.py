@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's motivation (Section II-C / Figure 2) interactively.
+
+Sweeps the number of co-located DNNs on an unmanaged transparent shared
+cache and shows how hit rate collapses, memory access grows and latency
+balloons — the inefficiency CaMDN attacks.
+
+Usage::
+
+    python examples/cache_contention_study.py [--cache-mb 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import MiB, SoCConfig, simulate
+from repro.sim.workload import random_model_mix
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cache-mb", type=int, default=16,
+                        help="shared cache capacity in MiB (default 16)")
+    parser.add_argument("--max-dnns", type=int, default=16,
+                        help="largest tenant count to sweep (default 16)")
+    args = parser.parse_args()
+
+    soc = SoCConfig().with_cache_bytes(args.cache_mb * MiB)
+    print(
+        f"Transparent {args.cache_mb} MiB shared cache, "
+        f"{soc.num_npu_cores} NPUs, unmanaged baseline\n"
+    )
+    header = (
+        f"{'DNNs':>5}{'hit rate':>10}{'MB/model':>10}{'avg ms':>9}"
+        f"{'vs solo':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    solo_latency = None
+    counts = [n for n in (1, 2, 4, 8, 16, 32) if n <= args.max_dnns]
+    for num_dnns in counts:
+        result = simulate(
+            "baseline",
+            random_model_mix(num_dnns),
+            duration_s=0.1,
+            warmup_s=0.02,
+            soc=soc,
+        )
+        summary = result.summary()
+        if solo_latency is None:
+            solo_latency = summary["avg_latency_ms"]
+        print(
+            f"{num_dnns:>5}"
+            f"{summary['hit_rate']:>10.3f}"
+            f"{summary['avg_dram_mb']:>10.1f}"
+            f"{summary['avg_latency_ms']:>9.2f}"
+            f"{summary['avg_latency_ms'] / solo_latency:>8.2f}x"
+        )
+
+    print(
+        "\nThe paper observes (at 32 DNNs): hit rate down 18.9-59.7%, "
+        "memory access up 32.7-64.1%, latency up 3.46-5.65x."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""CaMDN reproduction: cache-efficient multi-tenant DNNs on integrated NPUs.
+
+A production-quality Python reproduction of *CaMDN: Enhancing Cache
+Efficiency for Multi-tenant DNNs on Integrated NPUs* (Cai et al., DAC
+2025).  The package contains:
+
+* :mod:`repro.core` — CaMDN itself: the NPU-controlled cache architecture
+  (way masks, page allocator, CPTs, NECs, model-exclusive regions), the
+  cache-aware layer mapper and the Algorithm 1 dynamic cache allocator.
+* :mod:`repro.models` — the eight benchmark DNNs of Table I as
+  shape-accurate layer graphs plus a reuse profiler.
+* :mod:`repro.npu`, :mod:`repro.cache`, :mod:`repro.memory` — the SoC
+  substrates: systolic timing, sliced shared cache, DRAM models.
+* :mod:`repro.sim` — the fluid multi-tenant discrete-event engine.
+* :mod:`repro.schedulers` — MoCA / AuRORA baselines and both CaMDN
+  variants.
+* :mod:`repro.experiments` — one harness per paper table and figure.
+
+Quickstart::
+
+    from repro import simulate
+
+    result = simulate("camdn-full", ["RS.", "MB.", "BE."], duration_s=0.2)
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .config import (
+    CACHE_LINE_BYTES,
+    CACHE_PAGE_BYTES,
+    KiB,
+    MiB,
+    CacheConfig,
+    DRAMConfig,
+    NPUConfig,
+    SoCConfig,
+    default_soc,
+)
+from .errors import ReproError
+from .models import build_model, load_benchmark_suite
+from .schedulers import make_scheduler
+from .sim import (
+    ClosedLoopWorkload,
+    MultiTenantEngine,
+    SimulationResult,
+    WorkloadSpec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "CACHE_LINE_BYTES",
+    "CACHE_PAGE_BYTES",
+    "NPUConfig",
+    "CacheConfig",
+    "DRAMConfig",
+    "SoCConfig",
+    "default_soc",
+    "ReproError",
+    "build_model",
+    "load_benchmark_suite",
+    "make_scheduler",
+    "WorkloadSpec",
+    "ClosedLoopWorkload",
+    "MultiTenantEngine",
+    "SimulationResult",
+    "simulate",
+]
+
+
+def simulate(
+    policy: str,
+    model_keys: Sequence[str],
+    duration_s: Optional[float] = None,
+    warmup_s: float = 0.0,
+    inferences_per_stream: int = 3,
+    qos_scale: float = float("inf"),
+    soc: Optional[SoCConfig] = None,
+    **policy_kwargs,
+) -> SimulationResult:
+    """Run one multi-tenant simulation end to end.
+
+    Args:
+        policy: scheduler name (``"baseline"``, ``"moca"``, ``"aurora"``,
+            ``"camdn-hw"``, ``"camdn-full"``).
+        model_keys: one Table I abbreviation per co-located stream.
+        duration_s: steady-state window (``None`` selects count mode with
+            ``inferences_per_stream`` measured inferences per stream).
+        warmup_s: measurement start inside the steady-state window.
+        inferences_per_stream: count-mode measured inferences.
+        qos_scale: latency-target multiplier (0.8 / 1.0 / 1.2 for the
+            paper's QoS-H/M/L levels; ``inf`` disables deadlines).
+        soc: hardware configuration (defaults to paper Table II).
+        **policy_kwargs: forwarded to the scheduler constructor.
+
+    Returns:
+        The :class:`~repro.sim.engine.SimulationResult` with metrics.
+    """
+    spec = WorkloadSpec(
+        model_keys=list(model_keys),
+        inferences_per_stream=inferences_per_stream,
+        warmup_inferences=1 if duration_s is None else 0,
+        qos_scale=qos_scale,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+    )
+    workload = ClosedLoopWorkload(spec)
+    scheduler = make_scheduler(policy, **policy_kwargs)
+    engine = MultiTenantEngine(soc or SoCConfig(), scheduler, workload)
+    return engine.run()

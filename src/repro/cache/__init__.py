@@ -1,0 +1,19 @@
+"""Shared-cache substrate: functional sliced cache and analytic models."""
+
+from .stats import CacheStats
+from .replacement import LRUState
+from .sliced_cache import SlicedSharedCache
+from .transparent import (
+    AccessSegment,
+    TransparentCacheModel,
+    layer_access_segments,
+)
+
+__all__ = [
+    "CacheStats",
+    "LRUState",
+    "SlicedSharedCache",
+    "AccessSegment",
+    "TransparentCacheModel",
+    "layer_access_segments",
+]

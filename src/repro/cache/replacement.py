@@ -1,0 +1,52 @@
+"""Way-masked LRU replacement state for one cache set.
+
+The general-purpose subspace of a CaMDN cache slice runs ordinary LRU, but
+only over the ways the :class:`~repro.core.way_mask.WayMask` leaves to CPU
+traffic; NPU-subspace ways never participate (the NEC manages them
+explicitly).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..errors import ConfigError
+
+
+class LRUState:
+    """LRU ordering over an allowed subset of ways in one set."""
+
+    def __init__(self, allowed_ways: Iterable[int]) -> None:
+        self._order: List[int] = list(allowed_ways)
+        if len(set(self._order)) != len(self._order):
+            raise ConfigError("duplicate ways in LRU state")
+
+    @property
+    def allowed_ways(self) -> List[int]:
+        """Ways this policy may use (MRU last)."""
+        return list(self._order)
+
+    def touch(self, way: int) -> None:
+        """Mark ``way`` most-recently-used.
+
+        Raises:
+            ConfigError: the way is not managed by this policy.
+        """
+        if way not in self._order:
+            raise ConfigError(f"way {way} not managed by this LRU state")
+        self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self) -> Optional[int]:
+        """Least-recently-used way, or ``None`` if the policy owns no
+        ways (e.g. all ways assigned to the NPU subspace)."""
+        if not self._order:
+            return None
+        return self._order[0]
+
+    def restrict(self, allowed_ways: Iterable[int]) -> None:
+        """Re-partition: keep relative recency of ways that remain."""
+        allowed = set(allowed_ways)
+        kept = [w for w in self._order if w in allowed]
+        new = [w for w in sorted(allowed) if w not in kept]
+        self._order = new + kept

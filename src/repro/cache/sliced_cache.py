@@ -1,0 +1,167 @@
+"""Functional sliced set-associative shared cache (Figure 4).
+
+The cache is split into ``num_slices`` address-interleaved slices, each a
+set-associative array of ``num_ways`` ways.  A :class:`~repro.core.way_mask.
+WayMask` divides every slice between:
+
+* a *general-purpose subspace* — tag-matched, LRU-replaced, serving normal
+  (CPU) physical-address requests through :meth:`cpu_access`;
+* an *NPU subspace* — tag-free data storage controlled line-by-line by the
+  slice's NEC (installed via :meth:`install_necs`).
+
+This functional model backs the integration tests that demonstrate
+isolation: CPU traffic can never evict NPU-subspace lines and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config import CacheConfig
+from ..core.nec import NEC, NECFabric
+from ..core.way_mask import WayMask
+from ..errors import CacheAddressError
+from .replacement import LRUState
+from .stats import CacheStats
+
+
+class _Slice:
+    """One cache slice: tag/data arrays plus per-set LRU over CPU ways."""
+
+    def __init__(self, index: int, cache: CacheConfig,
+                 way_mask: WayMask) -> None:
+        sets, ways = cache.sets_per_slice, cache.num_ways
+        self.index = index
+        self.cache = cache
+        self.way_mask = way_mask
+        self.tags: List[List[Optional[int]]] = [
+            [None] * ways for _ in range(sets)
+        ]
+        self.data: List[List[Optional[int]]] = [
+            [None] * ways for _ in range(sets)
+        ]
+        self.dirty: List[List[bool]] = [
+            [False] * ways for _ in range(sets)
+        ]
+        self.lru: List[LRUState] = [
+            LRUState(way_mask.cpu_way_indices()) for _ in range(sets)
+        ]
+
+
+class SlicedSharedCache:
+    """The shared cache of the NPU-integrated SoC."""
+
+    def __init__(self, cache: CacheConfig, memory) -> None:
+        self.config = cache
+        self.memory = memory
+        self.way_mask = WayMask(cache.num_ways, cache.npu_ways)
+        self.slices = [
+            _Slice(i, cache, self.way_mask) for i in range(cache.num_slices)
+        ]
+        self.cpu_stats = CacheStats()
+        self.nec_fabric: Optional[NECFabric] = None
+
+    # ------------------------------------------------------------------
+    # NPU side
+    # ------------------------------------------------------------------
+
+    def install_necs(self) -> NECFabric:
+        """Instantiate one NEC per slice, wired to the slice data arrays."""
+        necs = [
+            NEC(s.index, self.config, s.data, self.memory)
+            for s in self.slices
+        ]
+        self.nec_fabric = NECFabric(necs)
+        return self.nec_fabric
+
+    # ------------------------------------------------------------------
+    # CPU (general-purpose) side
+    # ------------------------------------------------------------------
+
+    def _decompose(self, paddr: int) -> Tuple[int, int, int]:
+        """Split a physical memory address into (slice, set, tag)."""
+        if paddr < 0:
+            raise CacheAddressError(f"negative address {paddr:#x}")
+        line = paddr // self.config.line_bytes
+        slice_index = line % self.config.num_slices
+        per_slice = line // self.config.num_slices
+        set_index = per_slice % self.config.sets_per_slice
+        tag = per_slice // self.config.sets_per_slice
+        return slice_index, set_index, tag
+
+    def cpu_access(self, paddr: int, write: bool = False) -> bool:
+        """Perform a transparent (tag-matched, LRU) access.
+
+        Only ways outside the NPU subspace participate.  Returns ``True`` on
+        hit.  A miss fills the LRU victim from memory (writing back dirty
+        victims); if the way mask leaves no CPU ways, the access bypasses
+        the cache entirely and counts as a miss.
+        """
+        slice_index, set_index, tag = self._decompose(paddr)
+        slc = self.slices[slice_index]
+        lru = slc.lru[set_index]
+        for way in lru.allowed_ways:
+            if slc.tags[set_index][way] == tag:
+                lru.touch(way)
+                if write:
+                    slc.dirty[set_index][way] = True
+                self.cpu_stats.record_hit()
+                return True
+        self.cpu_stats.record_miss()
+        victim = lru.victim()
+        if victim is None:
+            return False  # no CPU ways: uncached access
+        if slc.tags[set_index][victim] is not None:
+            self.cpu_stats.record_eviction(
+                dirty=slc.dirty[set_index][victim]
+            )
+            if slc.dirty[set_index][victim]:
+                self.memory.write_line(
+                    self._compose(slice_index, set_index,
+                                  slc.tags[set_index][victim]),
+                    slc.data[set_index][victim] or 0,
+                )
+        slc.tags[set_index][victim] = tag
+        slc.data[set_index][victim] = self.memory.read_line(
+            paddr // self.config.line_bytes
+        )
+        slc.dirty[set_index][victim] = write
+        lru.touch(victim)
+        return False
+
+    def _compose(self, slice_index: int, set_index: int, tag: int) -> int:
+        """Rebuild the memory line address from (slice, set, tag)."""
+        per_slice = tag * self.config.sets_per_slice + set_index
+        return per_slice * self.config.num_slices + slice_index
+
+    # ------------------------------------------------------------------
+
+    def cpu_resident_lines(self) -> int:
+        """Valid lines currently held in CPU-subspace ways."""
+        count = 0
+        cpu_ways = self.way_mask.cpu_way_indices()
+        for slc in self.slices:
+            for set_tags in slc.tags:
+                count += sum(
+                    1 for w in cpu_ways if set_tags[w] is not None
+                )
+        return count
+
+    def npu_line(self, slice_index: int, set_index: int,
+                 way_index: int) -> Optional[int]:
+        """Direct read of an NPU-subspace data-array entry (test hook)."""
+        if not self.way_mask.is_npu_way(way_index):
+            raise CacheAddressError(
+                f"way {way_index} is not in the NPU subspace"
+            )
+        return self.slices[slice_index].data[set_index][way_index]
+
+    def snapshot_npu_subspace(self) -> Dict[Tuple[int, int, int], int]:
+        """All valid NPU-subspace lines keyed by (slice, set, way)."""
+        snapshot: Dict[Tuple[int, int, int], int] = {}
+        for slc in self.slices:
+            for set_index, row in enumerate(slc.data):
+                for way in self.way_mask.npu_way_indices():
+                    if row[way] is not None:
+                        snapshot[(slc.index, set_index, way)] = row[way]
+        return snapshot

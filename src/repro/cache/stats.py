@@ -1,0 +1,46 @@
+"""Hit/miss/traffic counters for cache models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache (or one tenant's view of it)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction; 0.0 when no accesses have happened."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def record_hit(self, count: int = 1) -> None:
+        self.hits += count
+
+    def record_miss(self, count: int = 1) -> None:
+        self.misses += count
+
+    def record_eviction(self, count: int = 1, dirty: bool = False) -> None:
+        self.evictions += count
+        if dirty:
+            self.writebacks += count
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.writebacks += other.writebacks
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = self.writebacks = 0

@@ -1,0 +1,203 @@
+"""Analytic transparent shared-cache model (baselines, Figure 2).
+
+Without CaMDN, the shared cache is hardware-managed and transparent: every
+tenant's traffic competes for the same LRU stack.  This model predicts, per
+layer, the cache hit rate and resulting DRAM traffic from the layer's
+*access segments* — groups of bytes sharing a reuse distance — under a given
+contention level.
+
+Model: a block with intrinsic (solo-run) reuse distance ``d`` is still
+resident when re-referenced iff fewer than ``C`` bytes of competing traffic
+entered the LRU stack in between.  Co-tenants inflate the effective distance
+by the ratio of total active traffic to the task's own traffic:
+
+    d_eff = d * (own_rate + other_rate) / own_rate
+
+and the hit probability is ``exp(-d_eff / C)`` — an exponential stack-
+distance survival curve that is exact for random replacement and a good
+closed-form proxy for LRU.  This produces the paper's Figure 2 shape: hit
+rate collapses and memory traffic grows as tenants are added, and larger
+caches delay the collapse.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import SimulationError
+from ..models.graph import ModelGraph
+from ..models.layers import LayerSpec
+
+
+@dataclass(frozen=True)
+class AccessSegment:
+    """Bytes of a layer's traffic sharing one reuse pattern.
+
+    Attributes:
+        bytes_: segment volume in bytes.
+        reuse_distance: intrinsic (solo) reuse distance in bytes;
+            ``inf`` marks streaming data with no future reuse.
+        writes: True when the segment is written (misses still cost DRAM
+            write traffic once evicted).
+    """
+
+    bytes_: float
+    reuse_distance: float
+    writes: bool = False
+
+
+def layer_access_segments(
+    graph: ModelGraph, layer_index: int, dtype_bytes: int = 1
+) -> List[AccessSegment]:
+    """Decompose one layer's cache traffic into reuse segments.
+
+    Segments:
+
+    * **weights** — within one inference weights are streamed once (the
+      "non-reusable data occupying cache space" of Section II-C), but the
+      experiments re-dispatch each model continuously, so weights are
+      re-referenced one full inference later: their reuse distance is the
+      model's whole per-inference traffic.
+    * **input** — produced by the previous layer; reuse distance is the
+      producer-to-consumer gap (half the producer's working set for the
+      direct edge).  Skip-edge operands get their own segments with the
+      intervening layers' traffic as distance.
+    * **output** — written now, re-read by its consumers; accounted at the
+      consumer's input segment, so here it contributes write traffic.
+    """
+    if not 0 <= layer_index < len(graph.layers):
+        raise SimulationError(f"layer index {layer_index} out of range")
+    layer = graph.layers[layer_index]
+    segments: List[AccessSegment] = []
+
+    if layer.weight_elems:
+        # Weights are re-referenced one inference later; the unique data
+        # flowing through the LRU stack in between is at least the model's
+        # compulsory traffic.
+        inference_traffic = graph.compulsory_traffic_elems() * dtype_bytes
+        segments.append(
+            AccessSegment(
+                bytes_=layer.weight_elems * dtype_bytes,
+                reuse_distance=float(inference_traffic),
+            )
+        )
+
+    if layer.input_elems:
+        skip_bytes = 0.0
+        for edge in graph.skip_edges:
+            if edge.consumer != layer_index:
+                continue
+            producer = graph.layers[edge.producer]
+            bytes_ = producer.output_elems * dtype_bytes
+            distance = sum(
+                graph.layers[i].total_elems * dtype_bytes
+                for i in range(edge.producer + 1, edge.consumer)
+            )
+            segments.append(
+                AccessSegment(bytes_=bytes_, reuse_distance=float(distance))
+            )
+            skip_bytes += bytes_
+        direct_bytes = max(
+            layer.input_elems * dtype_bytes - skip_bytes, 0.0
+        )
+        if direct_bytes:
+            distance = _producer_distance(graph, layer_index, dtype_bytes)
+            segments.append(
+                AccessSegment(bytes_=direct_bytes, reuse_distance=distance)
+            )
+
+    if layer.output_elems:
+        segments.append(
+            AccessSegment(
+                bytes_=layer.output_elems * dtype_bytes,
+                reuse_distance=math.inf,
+                writes=True,
+            )
+        )
+    return segments
+
+
+def _producer_distance(
+    graph: ModelGraph, consumer: int, dtype_bytes: int
+) -> float:
+    """Reuse distance of the tensor feeding layer ``consumer``."""
+    if consumer == 0:
+        return math.inf  # model input comes from DRAM regardless
+    producer = consumer - 1
+    own = graph.layers[producer].total_elems * dtype_bytes / 2
+    intervening = sum(
+        graph.layers[i].total_elems * dtype_bytes
+        for i in range(producer + 1, consumer)
+    )
+    return max(own, intervening)
+
+
+class TransparentCacheModel:
+    """Hit-rate and DRAM-traffic predictor for a transparent shared cache."""
+
+    def __init__(self, capacity_bytes: float) -> None:
+        if capacity_bytes <= 0:
+            raise SimulationError("cache capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+
+    def hit_probability(self, reuse_distance: float,
+                        contention_factor: float = 1.0) -> float:
+        """Probability that data at ``reuse_distance`` survives in cache.
+
+        Args:
+            reuse_distance: intrinsic reuse distance in bytes (may be inf).
+            contention_factor: total active traffic rate divided by this
+                task's rate (>= 1); 1.0 means the task runs alone.
+        """
+        if contention_factor < 1.0:
+            raise SimulationError("contention factor must be >= 1")
+        if math.isinf(reuse_distance):
+            return 0.0
+        d_eff = reuse_distance * contention_factor
+        return math.exp(-d_eff / self.capacity_bytes)
+
+    def layer_traffic(
+        self,
+        segments: Sequence[AccessSegment],
+        contention_factor: float = 1.0,
+    ) -> tuple:
+        """Predict (dram_bytes, hits, accesses) for one layer's segments.
+
+        Reads that hit stay on-chip; reads that miss cost DRAM reads.
+        Writes always cost DRAM traffic eventually (dirty eviction under
+        contention) but are not cache *lookups* counted toward hit rate.
+        """
+        dram_bytes = 0.0
+        hit_bytes = 0.0
+        access_bytes = 0.0
+        for seg in segments:
+            if seg.writes:
+                dram_bytes += seg.bytes_
+                continue
+            access_bytes += seg.bytes_
+            p = self.hit_probability(seg.reuse_distance, contention_factor)
+            hit_bytes += seg.bytes_ * p
+            dram_bytes += seg.bytes_ * (1.0 - p)
+        return dram_bytes, hit_bytes, access_bytes
+
+    def model_traffic(
+        self,
+        graph: ModelGraph,
+        dtype_bytes: int = 1,
+        contention_factor: float = 1.0,
+    ) -> tuple:
+        """Predict whole-model (dram_bytes, hit_rate) at a contention level.
+        """
+        dram = 0.0
+        hits = 0.0
+        accesses = 0.0
+        for i in range(len(graph.layers)):
+            segs = layer_access_segments(graph, i, dtype_bytes)
+            d, h, a = self.layer_traffic(segs, contention_factor)
+            dram += d
+            hits += h
+            accesses += a
+        hit_rate = hits / accesses if accesses else 0.0
+        return dram, hit_rate

@@ -1,0 +1,260 @@
+"""Dynamic cache allocation (Section III-D, Algorithm 1).
+
+The algorithm runs at the beginning of every layer of every task.  It keeps
+three global arrays, updated at the end of each layer:
+
+* ``Tnext[t]`` — profiling-based predicted time of task ``t``'s next
+  reallocation (its next layer boundary);
+* ``Pnext[t]`` — pages ``t`` is predicted to need at that reallocation;
+* ``Palloc[t]`` — pages currently allocated to ``t``.
+
+``predAvailPages(Tahead, tcur)`` (lines 1-6) sums the currently idle pages
+with every page co-tenants are predicted to free before ``Tahead``.  The
+selection logic (lines 7-22) prefers an already-enabled LBM block, then
+tries to enable LBM at block heads when the predicted availability covers
+the block footprint, and otherwise picks the largest LWM candidate fitting
+the prediction.  Timeout thresholds are 20 % of the profiled layer (or
+block) latency; every timeout downgrades the request to the next-smaller
+candidate (Figure 6 right).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import SimulationError
+from .mct import MappingCandidate, MappingCandidateTable, ModelMappingFile
+
+#: Fraction of the profiled latency used as the wait-ahead horizon and
+#: timeout threshold (``Test * 0.2`` in Algorithm 1 lines 11 and 16).
+LOOKAHEAD_FRACTION = 0.2
+
+
+@dataclass
+class TaskState:
+    """Per-task allocation bookkeeping (Algorithm 1's global arrays)."""
+
+    task_id: str
+    mapping_file: ModelMappingFile
+    palloc: int = 0
+    tnext: float = math.inf
+    pnext: int = 0
+    lbm_block: Optional[Tuple[int, int]] = None
+
+    def has_enabled_lbm(self, layer_index: int) -> bool:
+        """``hasEnabledLBM`` (line 7): LBM is active for this layer's
+        block."""
+        return (
+            self.lbm_block is not None
+            and self.lbm_block[0] <= layer_index < self.lbm_block[1]
+        )
+
+
+@dataclass(frozen=True)
+class AllocationDecision:
+    """Output of Algorithm 1 for one layer.
+
+    Attributes:
+        candidate: selected mapping (``Mcur``).
+        pages_needed: cache pages required (``Pcur``).
+        timeout_s: waiting threshold (``Tahead`` as a *deadline instant* is
+            kept by the caller; this is the wait budget from "now").
+            ``inf`` when LBM is already enabled (line 9).
+        enables_lbm: this decision turns LBM on for the layer's block.
+    """
+
+    candidate: MappingCandidate
+    pages_needed: int
+    timeout_s: float
+    enables_lbm: bool = False
+
+
+class DynamicCacheAllocator:
+    """Algorithm 1 over a set of co-located tasks."""
+
+    def __init__(self, page_bytes: int, total_pages: int) -> None:
+        if page_bytes <= 0 or total_pages <= 0:
+            raise SimulationError("page geometry must be positive")
+        self.page_bytes = page_bytes
+        self.total_pages = total_pages
+        self._tasks: Dict[str, TaskState] = {}
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+    # ------------------------------------------------------------------
+
+    def register_task(self, task_id: str,
+                      mapping_file: ModelMappingFile) -> TaskState:
+        if task_id in self._tasks:
+            raise SimulationError(f"{task_id} already registered")
+        state = TaskState(task_id=task_id, mapping_file=mapping_file)
+        self._tasks[task_id] = state
+        return state
+
+    def unregister_task(self, task_id: str) -> None:
+        if task_id not in self._tasks:
+            raise SimulationError(f"{task_id} is not registered")
+        del self._tasks[task_id]
+
+    def task(self, task_id: str) -> TaskState:
+        state = self._tasks.get(task_id)
+        if state is None:
+            raise SimulationError(f"{task_id} is not registered")
+        return state
+
+    @property
+    def tasks(self) -> Dict[str, TaskState]:
+        return dict(self._tasks)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+
+    def idle_pages(self) -> int:
+        """Pages not allocated to any registered task."""
+        return self.total_pages - sum(
+            t.palloc for t in self._tasks.values()
+        )
+
+    def pred_avail_pages(self, t_ahead: float, tcur: str) -> int:
+        """``predAvailPages`` (lines 1-6)."""
+        p_ahead = self.idle_pages()
+        for task_id, state in self._tasks.items():
+            if task_id == tcur:
+                continue
+            if state.tnext < t_ahead:
+                p_ahead += state.palloc - state.pnext
+        return p_ahead
+
+    def select(self, tcur: str, layer_index: int,
+               now: float) -> AllocationDecision:
+        """Lines 7-22: pick the mapping candidate for ``tcur``'s layer."""
+        state = self.task(tcur)
+        mct = state.mapping_file.mct_for(layer_index)
+
+        # Lines 7-9: LBM already enabled for this block.
+        if state.has_enabled_lbm(layer_index) and mct.lbm is not None:
+            return AllocationDecision(
+                candidate=mct.lbm,
+                pages_needed=mct.lbm.pages_needed(self.page_bytes),
+                timeout_s=math.inf,
+            )
+
+        # Lines 10-15: try to enable LBM at a block head.
+        if state.mapping_file.is_block_head(layer_index) and \
+                mct.lbm is not None:
+            block_est = state.mapping_file.block_est_latency_s(layer_index)
+            t_ahead = now + block_est * LOOKAHEAD_FRACTION
+            p_ahead = self.pred_avail_pages(t_ahead, tcur) + state.palloc
+            lbm_pages = mct.lbm.pages_needed(self.page_bytes)
+            if lbm_pages < p_ahead:
+                return AllocationDecision(
+                    candidate=mct.lbm,
+                    pages_needed=lbm_pages,
+                    timeout_s=block_est * LOOKAHEAD_FRACTION,
+                    enables_lbm=True,
+                )
+
+        # Lines 16-22: largest LWM candidate within the prediction.
+        t_ahead = now + mct.est_latency_s * LOOKAHEAD_FRACTION
+        p_ahead = self.pred_avail_pages(t_ahead, tcur) + state.palloc
+        best = mct.lwm[0]
+        for candidate in mct.lwm:
+            pages = candidate.pages_needed(self.page_bytes)
+            if best.pages_needed(self.page_bytes) < pages <= p_ahead:
+                best = candidate
+        return AllocationDecision(
+            candidate=best,
+            pages_needed=best.pages_needed(self.page_bytes),
+            timeout_s=mct.est_latency_s * LOOKAHEAD_FRACTION,
+        )
+
+    def downgrade(self, tcur: str, layer_index: int,
+                  decision: AllocationDecision
+                  ) -> Optional[AllocationDecision]:
+        """Timeout path: next-smaller candidate, or ``None`` when already
+        at the zero-page fallback (which always succeeds)."""
+        state = self.task(tcur)
+        mct = state.mapping_file.mct_for(layer_index)
+        if decision.candidate.kind == "LBM":
+            # Dropping out of LBM: fall back to the best-fitting LWM.
+            lwm_decision = AllocationDecision(
+                candidate=mct.lwm[-1],
+                pages_needed=mct.lwm[-1].pages_needed(self.page_bytes),
+                timeout_s=decision.timeout_s,
+            )
+            return lwm_decision
+        smaller = mct.smaller_than(decision.candidate, self.page_bytes)
+        if smaller is None:
+            return None
+        return AllocationDecision(
+            candidate=smaller,
+            pages_needed=smaller.pages_needed(self.page_bytes),
+            timeout_s=decision.timeout_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Bookkeeping at layer boundaries
+    # ------------------------------------------------------------------
+
+    def commit(self, tcur: str, decision: AllocationDecision,
+               layer_index: int) -> None:
+        """Record a successful page grant for ``tcur``."""
+        state = self.task(tcur)
+        state.palloc = decision.pages_needed
+        if decision.enables_lbm:
+            state.lbm_block = state.mapping_file.block_of(layer_index)
+
+    def end_layer(self, tcur: str, layer_index: int, now: float) -> None:
+        """Update ``Tnext``/``Pnext`` at the end of a layer (the paper's
+        "updated at the end of each layer").
+
+        ``Tnext`` is the predicted end of the *next* layer (the task's next
+        reallocation opportunity after the imminent one); ``Pnext`` is the
+        pages it is predicted to hold then — the LBM footprint while inside
+        an enabled block, otherwise the largest LWM candidate not exceeding
+        the current allocation (tasks tend to stay at their usage level).
+        """
+        state = self.task(tcur)
+        mf = state.mapping_file
+        next_index = layer_index + 1
+        if next_index >= len(mf.mcts):
+            # Last layer: everything frees at completion.
+            state.tnext = now + mf.mcts[layer_index].est_latency_s
+            state.pnext = 0
+            if state.lbm_block and layer_index >= state.lbm_block[1] - 1:
+                state.lbm_block = None
+            return
+        next_mct = mf.mct_for(next_index)
+        state.tnext = now + next_mct.est_latency_s
+        if state.has_enabled_lbm(next_index) and next_mct.lbm is not None:
+            state.pnext = next_mct.lbm.pages_needed(self.page_bytes)
+        else:
+            fitting = [
+                c.pages_needed(self.page_bytes)
+                for c in next_mct.lwm
+                if c.pages_needed(self.page_bytes) <= state.palloc
+            ]
+            state.pnext = max(fitting) if fitting else 0
+        if state.lbm_block and layer_index >= state.lbm_block[1] - 1:
+            state.lbm_block = None
+
+    def finish_task(self, tcur: str, now: float) -> None:
+        """Mark a completed inference: all pages become reclaimable."""
+        state = self.task(tcur)
+        state.palloc = 0
+        state.pnext = 0
+        state.tnext = math.inf
+        state.lbm_block = None
+
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Total allocated pages never exceed the NPU subspace."""
+        total = sum(t.palloc for t in self._tasks.values())
+        if total > self.total_pages:
+            raise SimulationError(
+                f"allocated {total} pages > {self.total_pages} available"
+            )

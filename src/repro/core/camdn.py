@@ -1,0 +1,195 @@
+"""The CaMDN system facade (Figure 6, both halves).
+
+:class:`CaMDNSystem` wires the architecture (regions over the NPU subspace)
+to the scheduling (offline mapper + Algorithm 1) and exposes the layer-
+granular protocol the multi-tenant simulator drives:
+
+1. ``admit_task``   — register a task; run/reuse the offline mapping.
+2. ``begin_layer``  — Algorithm 1 selects a candidate; the system tries to
+   grant its pages (resizing the task's exclusive region and its CPT).
+3. ``retry_layer``  — after a timeout, downgrade to a smaller candidate.
+4. ``finish_layer`` — update the predictor arrays.
+5. ``retire_task``  — destroy the region, freeing every page.
+
+Two modes:
+
+* ``"full"``    — CaMDN(Full): cache-aware mapping + dynamic allocation.
+* ``"hw_only"`` — CaMDN(HW-only): the architecture alone; cache capacity is
+  split equally among active NPUs with no runtime adjustment (the paper's
+  ablation baseline in Figure 7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..config import SoCConfig
+from ..errors import PageAllocationError, SimulationError
+from ..models.graph import ModelGraph
+from .allocator import AllocationDecision, DynamicCacheAllocator
+from .mapper.layer_mapper import LayerMapper
+from .mct import ModelMappingFile
+from .region import RegionManager
+
+
+@dataclass
+class LayerGrant:
+    """Outcome of a begin/retry step for one layer.
+
+    Attributes:
+        decision: the (possibly downgraded) allocation decision.
+        granted: pages were granted and the CPT updated; the layer may run.
+        wait_timeout_s: when not granted, how long Algorithm 1 allows
+            waiting before the next downgrade.
+    """
+
+    decision: AllocationDecision
+    granted: bool
+    wait_timeout_s: float = 0.0
+
+
+class CaMDNSystem:
+    """Architecture-scheduling co-design controller."""
+
+    def __init__(self, soc: SoCConfig, mode: str = "full",
+                 mapper: Optional[LayerMapper] = None) -> None:
+        if mode not in ("full", "hw_only"):
+            raise SimulationError(f"unknown CaMDN mode {mode!r}")
+        self.soc = soc
+        self.mode = mode
+        self.mapper = mapper or LayerMapper(soc)
+        self.regions = RegionManager(soc.cache)
+        self.allocator = DynamicCacheAllocator(
+            page_bytes=soc.cache.page_bytes,
+            total_pages=soc.cache.num_pages,
+        )
+        self._graphs: Dict[str, ModelGraph] = {}
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+    # ------------------------------------------------------------------
+
+    def admit_task(self, task_id: str,
+                   graph: ModelGraph) -> ModelMappingFile:
+        """Register a task and ensure its offline mapping exists."""
+        mapping_file = self.mapper.map_model(graph)
+        self.allocator.register_task(task_id, mapping_file)
+        self.regions.create_region(task_id, 0)
+        self._graphs[task_id] = graph
+        return mapping_file
+
+    def retire_task(self, task_id: str, now: float) -> None:
+        """Free the task's region and predictor state."""
+        self.allocator.finish_task(task_id, now)
+        self.allocator.unregister_task(task_id)
+        self.regions.destroy_region(task_id)
+        del self._graphs[task_id]
+
+    @property
+    def active_tasks(self) -> int:
+        return len(self._graphs)
+
+    # ------------------------------------------------------------------
+    # Layer protocol
+    # ------------------------------------------------------------------
+
+    def begin_layer(self, task_id: str, layer_index: int,
+                    now: float) -> LayerGrant:
+        """Select a candidate and try to grant its pages."""
+        if self.mode == "hw_only":
+            decision = self._hw_only_decision(task_id, layer_index, now)
+        else:
+            decision = self.allocator.select(task_id, layer_index, now)
+        return self._try_grant(task_id, layer_index, decision)
+
+    def retry_layer(self, task_id: str, layer_index: int,
+                    grant: LayerGrant) -> LayerGrant:
+        """Timeout path: downgrade and retry (Figure 6 right loop).
+
+        The zero-page fallback always succeeds, so repeated retries
+        terminate.
+        """
+        decision = self.allocator.downgrade(
+            task_id, layer_index, grant.decision
+        )
+        if decision is None:
+            raise SimulationError(
+                f"{task_id}: zero-page candidate failed to be granted"
+            )
+        return self._try_grant(task_id, layer_index, decision)
+
+    def finish_layer(self, task_id: str, layer_index: int,
+                     now: float) -> None:
+        """Layer boundary: update the prediction arrays."""
+        self.allocator.end_layer(task_id, layer_index, now)
+
+    # ------------------------------------------------------------------
+
+    def _try_grant(self, task_id: str, layer_index: int,
+                   decision: AllocationDecision) -> LayerGrant:
+        region = self.regions.region_of(task_id)
+        current = region.num_pages if region else 0
+        needed_delta = decision.pages_needed - current
+        if needed_delta > self.regions.free_pages:
+            return LayerGrant(
+                decision=decision,
+                granted=False,
+                wait_timeout_s=decision.timeout_s,
+            )
+        try:
+            self.regions.resize_region(task_id, decision.pages_needed)
+        except PageAllocationError:
+            return LayerGrant(
+                decision=decision,
+                granted=False,
+                wait_timeout_s=decision.timeout_s,
+            )
+        self.allocator.commit(task_id, decision, layer_index)
+        return LayerGrant(decision=decision, granted=True)
+
+    def _hw_only_decision(self, task_id: str, layer_index: int,
+                          now: float) -> AllocationDecision:
+        """CaMDN(HW-only): equal static split, no prediction.
+
+        Each active task gets ``total_pages / active_tasks`` pages; the
+        largest candidate fitting that static share is used, preferring LBM
+        when it fits.
+        """
+        state = self.allocator.task(task_id)
+        mct = state.mapping_file.mct_for(layer_index)
+        share = self.allocator.total_pages // max(self.active_tasks, 1)
+        page_bytes = self.soc.cache.page_bytes
+        if mct.lbm is not None and \
+                mct.lbm.pages_needed(page_bytes) <= share:
+            return AllocationDecision(
+                candidate=mct.lbm,
+                pages_needed=mct.lbm.pages_needed(page_bytes),
+                timeout_s=0.0,
+                enables_lbm=not state.has_enabled_lbm(layer_index),
+            )
+        best = mct.lwm[0]
+        for candidate in mct.lwm:
+            if candidate.pages_needed(page_bytes) <= share:
+                best = candidate
+        return AllocationDecision(
+            candidate=best,
+            pages_needed=best.pages_needed(page_bytes),
+            timeout_s=0.0,
+        )
+
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Cross-check the allocator's page accounting with the regions."""
+        self.allocator.check_invariants()
+        self.regions.check_invariants()
+        for task_id, state in self.allocator.tasks.items():
+            region = self.regions.region_of(task_id)
+            pages = region.num_pages if region else 0
+            if pages != state.palloc:
+                raise SimulationError(
+                    f"{task_id}: region holds {pages} pages but allocator "
+                    f"records {state.palloc}"
+                )

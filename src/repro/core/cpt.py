@@ -1,0 +1,186 @@
+"""Hardware cache page table (Section III-B3, Figure 5(b)).
+
+Each NPU carries a CPT that translates the running model's *virtual cache
+address* (``vcaddr``) into a *physical cache address* (``pcaddr``).  The
+virtual cache page number (``vcpn``, upper bits of the vcaddr) indexes the
+CPT to obtain a physical cache page number (``pcpn``); the page offset is
+carried through.
+
+The pcaddr is divided into four bit-fields, low to high::
+
+    | way index | set index | slice index | byte offset |
+      (high)                                 (low)
+
+so that consecutive lines of a page interleave across all slices for higher
+cache bandwidth utilization — the property verified by
+``tests/core/test_cpt.py``.
+
+For the paper's 16 MiB cache with 32 KiB pages the CPT holds at most 512
+entries of 3 bytes (pcpn + valid bit): a 1.5 KiB SRAM, 0.9 % of NPU area
+(Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import CacheConfig
+from ..errors import CacheAddressError, CPTError
+
+
+@dataclass(frozen=True)
+class PhysicalCacheAddress:
+    """A decoded physical cache address.
+
+    Attributes:
+        pcpn: physical cache page number.
+        slice_index: target cache slice.
+        set_index: set within the slice.
+        way_index: way within the set (within the NPU subspace ways).
+        byte_offset: offset within the cache line.
+    """
+
+    pcpn: int
+    slice_index: int
+    set_index: int
+    way_index: int
+    byte_offset: int
+
+    def as_tuple(self) -> tuple:
+        return (self.slice_index, self.set_index, self.way_index,
+                self.byte_offset)
+
+
+class CachePageTable:
+    """Per-NPU vcaddr -> pcaddr translation table."""
+
+    #: Bytes of SRAM per CPT entry (pcpn + valid bit), per the paper.
+    ENTRY_BYTES = 3
+
+    def __init__(self, cache: CacheConfig) -> None:
+        self.cache = cache
+        self.max_entries = cache.num_pages
+        self._table: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Table management
+    # ------------------------------------------------------------------
+
+    @property
+    def num_mapped(self) -> int:
+        """Number of valid entries."""
+        return len(self._table)
+
+    @property
+    def sram_bytes(self) -> int:
+        """SRAM footprint of the table (paper: 1.5 KiB for 512 entries)."""
+        return self.max_entries * self.ENTRY_BYTES
+
+    def map(self, vcpn: int, pcpn: int) -> None:
+        """Install translation ``vcpn -> pcpn``.
+
+        Raises:
+            CPTError: vcpn/pcpn out of range or vcpn already valid.
+        """
+        self._check_vcpn(vcpn)
+        if not 0 <= pcpn < self.cache.num_pages:
+            raise CPTError(f"pcpn {pcpn} out of range")
+        if vcpn in self._table:
+            raise CPTError(f"vcpn {vcpn} already mapped")
+        self._table[vcpn] = pcpn
+
+    def unmap(self, vcpn: int) -> int:
+        """Invalidate entry ``vcpn``; returns the released pcpn."""
+        self._check_vcpn(vcpn)
+        if vcpn not in self._table:
+            raise CPTError(f"vcpn {vcpn} is not mapped")
+        return self._table.pop(vcpn)
+
+    def remap_all(self, pcpns: List[int]) -> None:
+        """Replace the whole table: vcpn ``i`` maps to ``pcpns[i]``.
+
+        This is the bulk "modify CPT" step of the online allocation flow
+        (Figure 6): after a page request succeeds, the granted physical
+        pages back the model's contiguous virtual space.
+        """
+        if len(pcpns) > self.max_entries:
+            raise CPTError(
+                f"{len(pcpns)} entries exceed CPT capacity "
+                f"{self.max_entries}"
+            )
+        self._table = {vcpn: pcpn for vcpn, pcpn in enumerate(pcpns)}
+
+    def lookup(self, vcpn: int) -> Optional[int]:
+        """Return the pcpn for ``vcpn`` or ``None`` if invalid."""
+        self._check_vcpn(vcpn)
+        return self._table.get(vcpn)
+
+    def mapped_vcpns(self) -> List[int]:
+        """Sorted valid vcpns."""
+        return sorted(self._table)
+
+    # ------------------------------------------------------------------
+    # Address translation
+    # ------------------------------------------------------------------
+
+    def translate(self, vcaddr: int) -> PhysicalCacheAddress:
+        """Translate a virtual cache address into a decoded pcaddr.
+
+        Raises:
+            CacheAddressError: vcaddr out of the mapped virtual space or the
+                page is invalid (the hardware would raise a fault).
+        """
+        if vcaddr < 0:
+            raise CacheAddressError(f"negative vcaddr {vcaddr:#x}")
+        page_bytes = self.cache.page_bytes
+        vcpn, page_offset = divmod(vcaddr, page_bytes)
+        if vcpn >= self.max_entries:
+            raise CacheAddressError(
+                f"vcaddr {vcaddr:#x} beyond virtual space"
+            )
+        pcpn = self._table.get(vcpn)
+        if pcpn is None:
+            raise CacheAddressError(f"vcpn {vcpn} has no valid mapping")
+        return self.decode_paddr(pcpn, page_offset)
+
+    def decode_paddr(self, pcpn: int,
+                     page_offset: int) -> PhysicalCacheAddress:
+        """Decode (pcpn, offset) into slice/set/way/byte fields.
+
+        Line-interleaving: the global line number within the NPU subspace is
+        ``pcpn * lines_per_page + line_in_page``; its low bits select the
+        slice, the next bits the set, the high bits the way — matching
+        Figure 5(b) (byte offset lowest, then slice, set, way).
+        """
+        cache = self.cache
+        if not 0 <= page_offset < cache.page_bytes:
+            raise CacheAddressError(f"page offset {page_offset} out of range")
+        line_bytes = cache.line_bytes
+        lines_per_page = cache.page_bytes // line_bytes
+        line_global = pcpn * lines_per_page + page_offset // line_bytes
+        byte_offset = page_offset % line_bytes
+
+        slice_index = line_global % cache.num_slices
+        per_slice = line_global // cache.num_slices
+        set_index = per_slice % cache.sets_per_slice
+        way_local = per_slice // cache.sets_per_slice
+        if way_local >= cache.npu_ways:
+            raise CacheAddressError(
+                f"pcpn {pcpn} decodes beyond the NPU subspace ways"
+            )
+        # NPU ways occupy the high way indices (see WayMask).
+        way_index = cache.num_ways - cache.npu_ways + way_local
+        return PhysicalCacheAddress(
+            pcpn=pcpn,
+            slice_index=slice_index,
+            set_index=set_index,
+            way_index=way_index,
+            byte_offset=byte_offset,
+        )
+
+    def _check_vcpn(self, vcpn: int) -> None:
+        if not 0 <= vcpn < self.max_entries:
+            raise CPTError(
+                f"vcpn {vcpn} out of range [0, {self.max_entries})"
+            )

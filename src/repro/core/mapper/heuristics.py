@@ -1,0 +1,124 @@
+"""Problem-space shrinking heuristics (Section III-C1).
+
+The paper's layer mapper "first shrinks the problem space according to a set
+of heuristic rules [that] improve the utilization of cache line, NPU-private
+storage and compute resource, and reduce the choices of loop permutation".
+This module encodes those rules:
+
+1. **PE alignment** — tile sizes along ``n`` and ``k`` are multiples of the
+   PE-array columns/rows (full cache lines and full array utilization);
+   ``m`` tiles are multiples of the array height for full pipelining.
+2. **Scratchpad fit** — tile working sets (double-buffered) must fit the
+   256 KiB private scratchpad; oversized tiles are discarded before the
+   solver runs.
+3. **Permutation pruning** — only the innermost tile loop changes
+   first-order DRAM traffic, so the 6 loop permutations collapse to 3
+   innermost choices.
+4. **Pin dominance** — pinning a tensor only pays when the tiling refetches
+   it, so subspaces that pin a never-refetched tensor are dropped.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, List, Tuple
+
+from ...config import NPUConfig
+from .dram_model import PINNABLE, TilingChoice, refetch_factors, \
+    scratchpad_bytes
+from .loopnest import GEMMShape, tile_candidates
+
+
+@dataclass(frozen=True)
+class Subspace:
+    """One disjoint solver subspace: a pinning subset and innermost loop."""
+
+    pinned: FrozenSet[str]
+    innermost: str
+
+
+@dataclass
+class HeuristicRules:
+    """Configured pruning rules bound to an NPU configuration."""
+
+    npu: NPUConfig
+    dtype_bytes: int = 1
+    max_tiles_per_dim: int = 8
+    _stats: dict = field(default_factory=dict)
+
+    def tile_space(self, shape: GEMMShape) -> Iterator[Tuple[int, int, int]]:
+        """Yield PE-aligned, scratchpad-feasible (tm, tn, tk) triples."""
+        tms = tile_candidates(shape.m, self.npu.pe_rows,
+                              self.max_tiles_per_dim)
+        tns = tile_candidates(shape.n, self.npu.pe_cols,
+                              self.max_tiles_per_dim)
+        tks = tile_candidates(shape.k, self.npu.pe_rows,
+                              self.max_tiles_per_dim)
+        total = kept = 0
+        for tm, tn, tk in itertools.product(tms, tns, tks):
+            total += 1
+            choice = TilingChoice(tm=tm, tn=tn, tk=tk, innermost="m")
+            if scratchpad_bytes(choice, self.dtype_bytes) > \
+                    self.npu.scratchpad_bytes:
+                continue
+            kept += 1
+            yield (tm, tn, tk)
+        self._stats["tile_space_total"] = total
+        self._stats["tile_space_kept"] = kept
+
+    def subspaces(self, shape: GEMMShape,
+                  usage_limit_bytes: int) -> List[Subspace]:
+        """Disjoint (pinning, innermost) subspaces worth solving.
+
+        Rules applied:
+
+        * a pinned subset must fit ``usage_limit_bytes`` outright;
+        * with a zero limit, only the empty pin set survives;
+        * pinning a tensor that no feasible tiling refetches is dominated
+          and dropped (checked against the most refetch-prone tiling).
+        """
+        sizes = {
+            "weight": shape.weight_elems * self.dtype_bytes,
+            "input": shape.input_elems * self.dtype_bytes,
+            "output": shape.output_elems * self.dtype_bytes,
+        }
+        subspaces: List[Subspace] = []
+        for r in range(len(PINNABLE) + 1):
+            for combo in itertools.combinations(PINNABLE, r):
+                pinned = frozenset(combo)
+                if sum(sizes[t] for t in pinned) > usage_limit_bytes:
+                    continue
+                for innermost in ("m", "n", "k"):
+                    if self._pin_dominated(pinned, innermost):
+                        continue
+                    subspaces.append(Subspace(pinned, innermost))
+        return subspaces
+
+    @staticmethod
+    def _pin_dominated(pinned: FrozenSet[str], innermost: str) -> bool:
+        """A pinned tensor that this innermost choice never refetches can
+        be dropped: the pin buys nothing and only costs pages."""
+        never_refetched = {"m": "weight", "n": "input", "k": "output"}
+        return never_refetched[innermost] in pinned
+
+    @property
+    def stats(self) -> dict:
+        """Pruning statistics from the last :meth:`tile_space` call."""
+        return dict(self._stats)
+
+
+def most_refetched_tensor(shape: GEMMShape,
+                          choice: TilingChoice) -> str:
+    """The tensor with the largest refetch traffic under ``choice`` —
+    the best pinning target per byte (used by greedy fallbacks)."""
+    factors = refetch_factors(shape, choice)
+    sizes = {
+        "weight": shape.weight_elems,
+        "input": shape.input_elems,
+        "output": shape.output_elems,
+    }
+    return max(
+        PINNABLE,
+        key=lambda t: (factors[t] - 1) * sizes[t],
+    )

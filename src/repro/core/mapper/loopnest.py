@@ -1,0 +1,110 @@
+"""Loop-nest utilities for the layer mapper.
+
+After GEMM lowering every layer is a triple-nested loop over ``(m, n, k)``.
+The mapper tiles each dimension; this module provides the tiling vocabulary:
+tile-size candidate enumeration and trip-count arithmetic (ceil division —
+partial tiles are allowed and padded in time, as on real NPUs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ...errors import MappingError
+from ...models.layers import LayerSpec
+
+
+@dataclass(frozen=True)
+class GEMMShape:
+    """GEMM dimensions of one layer, with per-group accounting.
+
+    ``groups`` independent GEMMs of identical shape (attention heads) run
+    back-to-back; tiling decisions are per-GEMM.
+
+    The ``*_elems`` fields hold the layer's *actual* tensor footprints,
+    which can be smaller than the dense GEMM operand sizes: im2col lowering
+    of a convolution expands the input by the kernel overlap, but the
+    unique data moved from memory (and pinned in cache) is only the
+    original activation tensor.  A value of 0 means "derive from the dense
+    GEMM dims".
+    """
+
+    m: int
+    n: int
+    k: int
+    groups: int = 1
+    input_elems: int = 0
+    weight_elems: int = 0
+    output_elems: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k, self.groups) <= 0:
+            raise MappingError("GEMM dims must be positive")
+        if self.input_elems == 0:
+            object.__setattr__(
+                self, "input_elems", self.groups * self.m * self.k
+            )
+        if self.weight_elems == 0:
+            object.__setattr__(
+                self, "weight_elems", self.groups * self.k * self.n
+            )
+        if self.output_elems == 0:
+            object.__setattr__(
+                self, "output_elems", self.groups * self.m * self.n
+            )
+
+    @classmethod
+    def of(cls, layer: LayerSpec) -> "GEMMShape":
+        """Shape of ``layer`` carrying its true tensor footprints.
+
+        Weightless matmuls (attention) still stream a stationary ``[k, n]``
+        operand; it is an activation, but for refetch analysis it plays the
+        weight role, so its bytes move from the layer's input footprint to
+        the shape's weight stream.
+        """
+        if layer.weight_elems > 0:
+            weight = layer.weight_elems
+            input_ = max(layer.input_elems, 1)
+        else:
+            weight = layer.groups * layer.k * layer.n
+            input_ = max(layer.input_elems - weight,
+                         layer.groups * layer.m * layer.k)
+        return cls(
+            m=layer.m,
+            n=layer.n,
+            k=layer.k,
+            groups=layer.groups,
+            input_elems=input_,
+            weight_elems=weight,
+            output_elems=max(layer.output_elems, 1),
+        )
+
+
+def trip_count(dim: int, tile: int) -> int:
+    """Number of tile iterations covering ``dim`` with tiles of ``tile``."""
+    if dim <= 0 or tile <= 0:
+        raise MappingError("dim and tile must be positive")
+    return math.ceil(dim / tile)
+
+
+def tile_candidates(dim: int, alignment: int,
+                    max_candidates: int = 8) -> List[int]:
+    """Candidate tile sizes for a dimension of extent ``dim``.
+
+    Heuristic rule (Section III-C1): tiles are multiples of the PE-array
+    dimension ``alignment`` so cache lines and array rows/columns stay fully
+    utilized; geometric spacing keeps the candidate count small.  The full
+    dimension is always a candidate (no tiling).
+    """
+    if dim <= 0 or alignment <= 0:
+        raise MappingError("dim and alignment must be positive")
+    if dim <= alignment:
+        return [dim]
+    candidates = {dim}
+    tile = alignment
+    while tile < dim and len(candidates) < max_candidates:
+        candidates.add(tile)
+        tile *= 2
+    return sorted(candidates)

@@ -1,0 +1,120 @@
+"""Subspace solver: minimal-DRAM-access tiling per subspace.
+
+The paper constructs "a set of disjoint problem subspaces, each of which is
+an integer programming problem that takes minimal DRAM access as the
+optimization objective", solves each, and keeps the best result.  After the
+heuristic pruning the per-subspace problem is small enough for exact
+enumeration, which plays the role of the paper's off-the-shelf solver while
+staying dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...config import NPUConfig
+from ...errors import MappingError
+from .dram_model import (
+    TilingChoice,
+    dram_traffic_bytes,
+    pinned_cache_bytes,
+    scratchpad_bytes,
+)
+from .heuristics import HeuristicRules, Subspace
+from .loopnest import GEMMShape
+
+
+@dataclass(frozen=True)
+class SolvedMapping:
+    """A solver result: the winning tiling and its costs."""
+
+    choice: TilingChoice
+    dram_bytes: float
+    cache_bytes: int
+    scratchpad_bytes: int
+
+
+class SubspaceSolver:
+    """Exact solver over heuristic-pruned tiling subspaces."""
+
+    def __init__(self, npu: NPUConfig, dtype_bytes: int = 1) -> None:
+        self.npu = npu
+        self.dtype_bytes = dtype_bytes
+        self.rules = HeuristicRules(npu=npu, dtype_bytes=dtype_bytes)
+
+    def solve_subspace(
+        self,
+        shape: GEMMShape,
+        subspace: Subspace,
+        usage_limit_bytes: int,
+        lbm_input: bool = False,
+        lbm_output: bool = False,
+    ) -> Optional[SolvedMapping]:
+        """Best tiling within one (pinning, innermost) subspace.
+
+        Returns ``None`` when no tiling satisfies the scratchpad and
+        cache-usage constraints.
+        """
+        best: Optional[SolvedMapping] = None
+        for tm, tn, tk in self.rules.tile_space(shape):
+            choice = TilingChoice(
+                tm=tm, tn=tn, tk=tk,
+                innermost=subspace.innermost,
+                pinned=subspace.pinned,
+                lbm_input=lbm_input,
+                lbm_output=lbm_output,
+            )
+            cache_bytes = pinned_cache_bytes(shape, choice,
+                                             self.dtype_bytes)
+            if cache_bytes > usage_limit_bytes:
+                continue
+            dram = dram_traffic_bytes(shape, choice, self.dtype_bytes)
+            spad = scratchpad_bytes(choice, self.dtype_bytes)
+            candidate = SolvedMapping(
+                choice=choice,
+                dram_bytes=dram,
+                cache_bytes=cache_bytes,
+                scratchpad_bytes=spad,
+            )
+            if best is None or self._better(candidate, best):
+                best = candidate
+        return best
+
+    def solve(
+        self,
+        shape: GEMMShape,
+        usage_limit_bytes: int,
+        lbm_input: bool = False,
+        lbm_output: bool = False,
+    ) -> SolvedMapping:
+        """Best tiling across all subspaces at one cache-usage level.
+
+        Raises:
+            MappingError: no feasible mapping exists (cannot happen for
+                positive scratchpad capacity, since minimal PE-sized tiles
+                always fit; guarded for safety).
+        """
+        best: Optional[SolvedMapping] = None
+        for subspace in self.rules.subspaces(shape, usage_limit_bytes):
+            solved = self.solve_subspace(
+                shape, subspace, usage_limit_bytes,
+                lbm_input=lbm_input, lbm_output=lbm_output,
+            )
+            if solved is None:
+                continue
+            if best is None or self._better(solved, best):
+                best = solved
+        if best is None:
+            raise MappingError(
+                f"no feasible mapping for GEMM {shape} at "
+                f"{usage_limit_bytes} B cache"
+            )
+        return best
+
+    @staticmethod
+    def _better(a: SolvedMapping, b: SolvedMapping) -> bool:
+        """Primary objective: DRAM traffic; ties prefer fewer cache bytes,
+        then smaller scratchpad footprints (leaves room for fusion)."""
+        return (a.dram_bytes, a.cache_bytes, a.scratchpad_bytes) < \
+            (b.dram_bytes, b.cache_bytes, b.scratchpad_bytes)

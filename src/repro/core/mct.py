@@ -1,0 +1,226 @@
+"""Mapping candidate tables (Section III-C3, Figure 6 middle).
+
+The offline mapping phase emits, per layer, a *mapping candidate table*
+(MCT) holding one layer-wise mapping (LWM) candidate per cache-usage level
+plus one layer-block mapping (LBM) candidate.  Candidates are stored in a
+compact format — a loop table (permutation + factors) and a cache map table
+(how tensors land in vcaddr space) — instead of unrolled NPU instructions,
+so storing many candidates per layer stays cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import MappingError
+
+
+@dataclass(frozen=True)
+class LoopLevel:
+    """One entry of a candidate's loop table.
+
+    Attributes:
+        dim: loop dimension name (``"m"``, ``"n"`` or ``"k"`` after GEMM
+            lowering).
+        factor: tile trip count at this level (outer loops) or tile size
+            (innermost level), mirroring Figure 6's factor rows.
+        level: memory level the loop iterates over (``"dram"``, ``"cache"``
+            or ``"npu"``).
+    """
+
+    dim: str
+    factor: int
+    level: str
+
+    def __post_init__(self) -> None:
+        if self.dim not in ("m", "n", "k"):
+            raise MappingError(f"unknown loop dim {self.dim!r}")
+        if self.factor <= 0:
+            raise MappingError(f"loop factor must be positive ({self.dim})")
+        if self.level not in ("dram", "cache", "npu"):
+            raise MappingError(f"unknown memory level {self.level!r}")
+
+
+@dataclass(frozen=True)
+class CacheMapEntry:
+    """One row of a candidate's cache map table (Figure 6).
+
+    Attributes:
+        tensor: ``"weight"``, ``"input"``, ``"output"`` or ``"bias"``.
+        vcaddr: base virtual cache address of the tensor (byte offset in
+            the model's exclusive region); meaningless when bypassed.
+        size: bytes the tensor occupies in cache (0 when bypassed).
+        reuse: the tensor is retained in cache for reuse.
+        bypass: the tensor streams through bypass semantics and never
+            occupies cache space.
+    """
+
+    tensor: str
+    vcaddr: int
+    size: int
+    reuse: bool
+    bypass: bool
+
+    def __post_init__(self) -> None:
+        if self.size < 0 or self.vcaddr < 0:
+            raise MappingError(f"{self.tensor}: negative size/vcaddr")
+        if self.bypass and self.size:
+            raise MappingError(f"{self.tensor}: bypassed but sized")
+        if self.reuse and self.bypass:
+            raise MappingError(f"{self.tensor}: reuse and bypass conflict")
+
+
+@dataclass(frozen=True)
+class MappingCandidate:
+    """One mapping of one layer, at one cache-usage level.
+
+    Attributes:
+        kind: ``"LWM"`` or ``"LBM"``.
+        usage_limit_bytes: the cache-usage level this candidate targets.
+        cache_bytes: bytes of cache the candidate actually uses.
+        dram_bytes: predicted DRAM traffic for executing the layer with
+            this mapping (the solver's objective).
+        compute_cycles: NPU cycles for the layer.
+        loop_table: loop permutation and factors.
+        cache_map: per-tensor cache placement rows.
+    """
+
+    kind: str
+    usage_limit_bytes: int
+    cache_bytes: int
+    dram_bytes: float
+    compute_cycles: int
+    loop_table: Tuple[LoopLevel, ...] = ()
+    cache_map: Tuple[CacheMapEntry, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("LWM", "LBM"):
+            raise MappingError(f"unknown candidate kind {self.kind!r}")
+        if self.cache_bytes > self.usage_limit_bytes:
+            raise MappingError(
+                f"candidate uses {self.cache_bytes} B over its "
+                f"{self.usage_limit_bytes} B level"
+            )
+        if self.dram_bytes < 0 or self.compute_cycles < 0:
+            raise MappingError("negative cost in mapping candidate")
+        mapped = sum(e.size for e in self.cache_map if not e.bypass)
+        if mapped > max(self.cache_bytes, 0):
+            raise MappingError(
+                f"cache map places {mapped} B but candidate claims "
+                f"{self.cache_bytes} B"
+            )
+
+    def pages_needed(self, page_bytes: int) -> int:
+        """Cache pages (``Pneed``) this candidate requires."""
+        return math.ceil(self.cache_bytes / page_bytes)
+
+
+@dataclass
+class MappingCandidateTable:
+    """All candidates of one layer.
+
+    Attributes:
+        layer_index: position in the model graph.
+        layer_name: layer name (for reporting).
+        lwm: LWM candidates sorted by ascending cache usage; the first
+            entry is the zero-cache fallback every layer must have.
+        lbm: the LBM candidate, or ``None`` for layers where LBM is
+            impossible (e.g. the intermediate footprint exceeds the cache).
+        est_latency_s: profiling-based layer latency estimate
+            (``layer.Test`` in Algorithm 1), filled by the profiler.
+    """
+
+    layer_index: int
+    layer_name: str
+    lwm: List[MappingCandidate] = field(default_factory=list)
+    lbm: Optional[MappingCandidate] = None
+    est_latency_s: float = 0.0
+
+    def validate(self, page_bytes: int) -> None:
+        """Check MCT invariants used by Algorithm 1's candidate walk."""
+        if not self.lwm:
+            raise MappingError(
+                f"layer {self.layer_name}: MCT has no LWM candidates"
+            )
+        pages = [c.pages_needed(page_bytes) for c in self.lwm]
+        if pages != sorted(pages):
+            raise MappingError(
+                f"layer {self.layer_name}: LWM candidates not sorted by "
+                f"page need"
+            )
+        if self.lwm[0].cache_bytes != 0:
+            raise MappingError(
+                f"layer {self.layer_name}: missing zero-cache fallback"
+            )
+
+    def smaller_than(self, candidate: MappingCandidate,
+                     page_bytes: int) -> Optional[MappingCandidate]:
+        """Next-smaller candidate used on timeout (Figure 6 right: every
+        timeout downgrades to the candidate needing fewer pages)."""
+        target = candidate.pages_needed(page_bytes)
+        smaller = [
+            c for c in self.lwm if c.pages_needed(page_bytes) < target
+        ]
+        if not smaller:
+            return None
+        return smaller[-1]
+
+
+@dataclass
+class ModelMappingFile:
+    """Offline mapping output for one model (Figure 6 left).
+
+    Attributes:
+        model_name: model this file belongs to.
+        usage_levels: the cache-usage levels (bytes) the mapper targeted.
+        mcts: one MCT per layer, in execution order.
+        blocks: LBM layer blocks as (start, end) index pairs.
+    """
+
+    model_name: str
+    usage_levels: Tuple[int, ...]
+    mcts: List[MappingCandidateTable]
+    blocks: List[Tuple[int, int]] = field(default_factory=list)
+
+    def mct_for(self, layer_index: int) -> MappingCandidateTable:
+        if not 0 <= layer_index < len(self.mcts):
+            raise MappingError(
+                f"{self.model_name}: no MCT for layer {layer_index}"
+            )
+        return self.mcts[layer_index]
+
+    def block_of(self, layer_index: int) -> Optional[Tuple[int, int]]:
+        """The (start, end) block containing ``layer_index``."""
+        for start, end in self.blocks:
+            if start <= layer_index < end:
+                return (start, end)
+        return None
+
+    def is_block_head(self, layer_index: int) -> bool:
+        """Is this layer the head of its LBM block (Algorithm 1 line 10)?"""
+        block = self.block_of(layer_index)
+        return block is not None and block[0] == layer_index
+
+    def block_est_latency_s(self, layer_index: int) -> float:
+        """Profiled latency of the whole block containing ``layer_index``
+        (``layerBlock.Test`` in Algorithm 1)."""
+        block = self.block_of(layer_index)
+        if block is None:
+            return self.mcts[layer_index].est_latency_s
+        return sum(
+            self.mcts[i].est_latency_s for i in range(block[0], block[1])
+        )
+
+    def total_dram_bytes(self, level_bytes: int) -> float:
+        """Whole-model DRAM traffic if every layer ran its largest LWM
+        candidate within ``level_bytes`` (a static what-if helper)."""
+        total = 0.0
+        for mct in self.mcts:
+            fitting = [
+                c for c in mct.lwm if c.cache_bytes <= level_bytes
+            ]
+            total += min(c.dram_bytes for c in fitting) if fitting \
+                else mct.lwm[0].dram_bytes
+        return total

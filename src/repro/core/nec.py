@@ -1,0 +1,225 @@
+"""NPU-exclusive controller (Section III-B2, Figure 5(a)).
+
+An NEC sits in each cache slice behind a dual interface: normal cache
+requests keep flowing to the hardware cache controller, while NPU-specific
+requests are handled by the NEC, which reads/writes data-array lines
+directly and generates memory requests to the memory controllers.
+
+The NEC replaces hardware-managed replacement with explicit, line-granular
+semantics:
+
+* basic — ``READ_LINE`` / ``WRITE_LINE`` (cache <-> NPU) and
+  ``FETCH_LINE`` / ``WRITEBACK_LINE`` (memory <-> cache);
+* advanced — ``BYPASS_READ`` / ``BYPASS_WRITE`` move non-reusable data
+  straight between memory and the NPU without occupying cache space, and
+  ``MULTICAST_READ`` / ``MULTICAST_BYPASS_READ`` combine identical requests
+  from a group of NPUs running the same model, cutting memory and NoC
+  traffic.
+
+This module is *functional*: it moves line-sized values between a backing
+memory, the slice data arrays and the requesting NPU, and counts the traffic
+that the performance model consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import CacheConfig
+from ..errors import CacheAddressError
+from .cpt import PhysicalCacheAddress
+
+
+class NECOp(enum.Enum):
+    """NPU-controlled cache access semantics."""
+
+    READ_LINE = "read_line"
+    WRITE_LINE = "write_line"
+    FETCH_LINE = "fetch_line"
+    WRITEBACK_LINE = "writeback_line"
+    BYPASS_READ = "bypass_read"
+    BYPASS_WRITE = "bypass_write"
+    MULTICAST_READ = "multicast_read"
+    MULTICAST_BYPASS_READ = "multicast_bypass_read"
+
+
+@dataclass(frozen=True)
+class NECRequest:
+    """One NPU-originated request at the NEC interface.
+
+    Attributes:
+        op: requested semantic.
+        paddr: decoded physical cache address (``None`` for pure bypass
+            ops, which never touch the data array).
+        mem_addr: backing-memory line address for ops that touch DRAM.
+        data: line value for writes.
+        group_size: number of NPUs whose identical requests were combined
+            (multicast ops; 1 otherwise).
+    """
+
+    op: NECOp
+    paddr: Optional[PhysicalCacheAddress] = None
+    mem_addr: Optional[int] = None
+    data: Optional[int] = None
+    group_size: int = 1
+
+
+@dataclass
+class NECStats:
+    """Traffic counters maintained by one NEC."""
+
+    op_counts: Dict[NECOp, int] = field(default_factory=dict)
+    dram_read_lines: int = 0
+    dram_write_lines: int = 0
+    cache_read_lines: int = 0
+    cache_write_lines: int = 0
+    multicast_lines_saved: int = 0
+
+    def record(self, op: NECOp, group_size: int = 1) -> None:
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        if op in (NECOp.FETCH_LINE, NECOp.BYPASS_READ,
+                  NECOp.MULTICAST_BYPASS_READ):
+            self.dram_read_lines += 1
+        if op in (NECOp.WRITEBACK_LINE, NECOp.BYPASS_WRITE):
+            self.dram_write_lines += 1
+        if op in (NECOp.READ_LINE, NECOp.MULTICAST_READ):
+            self.cache_read_lines += 1
+        if op in (NECOp.WRITE_LINE, NECOp.FETCH_LINE):
+            self.cache_write_lines += 1
+        if op in (NECOp.MULTICAST_READ, NECOp.MULTICAST_BYPASS_READ):
+            self.multicast_lines_saved += group_size - 1
+
+    def dram_bytes(self, line_bytes: int) -> int:
+        """Total DRAM traffic in bytes."""
+        return (self.dram_read_lines + self.dram_write_lines) * line_bytes
+
+    def merge(self, other: "NECStats") -> None:
+        """Accumulate ``other`` into this counter set."""
+        for op, count in other.op_counts.items():
+            self.op_counts[op] = self.op_counts.get(op, 0) + count
+        self.dram_read_lines += other.dram_read_lines
+        self.dram_write_lines += other.dram_write_lines
+        self.cache_read_lines += other.cache_read_lines
+        self.cache_write_lines += other.cache_write_lines
+        self.multicast_lines_saved += other.multicast_lines_saved
+
+
+class NEC:
+    """The NPU-exclusive controller of one cache slice.
+
+    Args:
+        slice_index: which slice this NEC belongs to.
+        cache: shared cache configuration.
+        data_array: the slice's data array, indexed ``[set][way]``; shared
+            with the slice's normal cache controller.
+        memory: backing main memory (line-address -> value mapping with
+            ``read_line`` / ``write_line`` methods).
+    """
+
+    def __init__(self, slice_index: int, cache: CacheConfig,
+                 data_array: List[List[Optional[int]]], memory) -> None:
+        self.slice_index = slice_index
+        self.cache = cache
+        self.data_array = data_array
+        self.memory = memory
+        self.stats = NECStats()
+
+    # ------------------------------------------------------------------
+
+    def handle(self, request: NECRequest) -> Optional[Tuple[int, ...]]:
+        """Handle one request; returns delivered line value(s) for reads."""
+        op = request.op
+        if op is NECOp.READ_LINE:
+            value = self._read_array(request.paddr)
+            self.stats.record(op)
+            return (value,)
+        if op is NECOp.WRITE_LINE:
+            self._write_array(request.paddr, request.data)
+            self.stats.record(op)
+            return None
+        if op is NECOp.FETCH_LINE:
+            value = self.memory.read_line(request.mem_addr)
+            self._write_array(request.paddr, value)
+            self.stats.record(op)
+            return None
+        if op is NECOp.WRITEBACK_LINE:
+            value = self._read_array(request.paddr)
+            self.memory.write_line(request.mem_addr, value)
+            self.stats.record(op)
+            return None
+        if op is NECOp.BYPASS_READ:
+            value = self.memory.read_line(request.mem_addr)
+            self.stats.record(op)
+            return (value,)
+        if op is NECOp.BYPASS_WRITE:
+            self.memory.write_line(request.mem_addr, request.data)
+            self.stats.record(op)
+            return None
+        if op is NECOp.MULTICAST_READ:
+            value = self._read_array(request.paddr)
+            self.stats.record(op, request.group_size)
+            return tuple([value] * request.group_size)
+        if op is NECOp.MULTICAST_BYPASS_READ:
+            value = self.memory.read_line(request.mem_addr)
+            self.stats.record(op, request.group_size)
+            return tuple([value] * request.group_size)
+        raise CacheAddressError(f"unknown NEC op {op!r}")
+
+    # ------------------------------------------------------------------
+
+    def _check(self, paddr: Optional[PhysicalCacheAddress]) -> \
+            PhysicalCacheAddress:
+        if paddr is None:
+            raise CacheAddressError("NEC array op requires a pcaddr")
+        if paddr.slice_index != self.slice_index:
+            raise CacheAddressError(
+                f"pcaddr routed to slice {self.slice_index} but targets "
+                f"slice {paddr.slice_index}"
+            )
+        npu_way_base = self.cache.num_ways - self.cache.npu_ways
+        if paddr.way_index < npu_way_base:
+            raise CacheAddressError(
+                f"way {paddr.way_index} is outside the NPU subspace"
+            )
+        return paddr
+
+    def _read_array(self, paddr: Optional[PhysicalCacheAddress]) -> int:
+        paddr = self._check(paddr)
+        value = self.data_array[paddr.set_index][paddr.way_index]
+        if value is None:
+            raise CacheAddressError(
+                f"read of uninitialized line set={paddr.set_index} "
+                f"way={paddr.way_index} in slice {self.slice_index}"
+            )
+        return value
+
+    def _write_array(self, paddr: Optional[PhysicalCacheAddress],
+                     data: Optional[int]) -> None:
+        paddr = self._check(paddr)
+        if data is None:
+            raise CacheAddressError("NEC write requires data")
+        self.data_array[paddr.set_index][paddr.way_index] = data
+
+
+class NECFabric:
+    """Routes decoded requests to the per-slice NECs and aggregates stats."""
+
+    def __init__(self, necs: List[NEC]) -> None:
+        self.necs = necs
+
+    def handle(self, request: NECRequest) -> Optional[Tuple[int, ...]]:
+        """Route ``request`` to its target slice (bypass ops go to slice 0:
+        they never touch a data array, so any NEC may generate the memory
+        request)."""
+        if request.paddr is None:
+            return self.necs[0].handle(request)
+        return self.necs[request.paddr.slice_index].handle(request)
+
+    def total_stats(self) -> NECStats:
+        """Aggregate stats across all slices."""
+        total = NECStats()
+        for nec in self.necs:
+            total.merge(nec.stats)
+        return total

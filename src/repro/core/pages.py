@@ -1,0 +1,163 @@
+"""Cache page allocator for the NPU subspace (Section III-B3).
+
+The NPU subspace is divided into pages of identical size (32 KiB for a
+16 MiB cache) and assigned to models.  This module owns the global free
+list; per-model address translation lives in :mod:`~repro.core.cpt`.
+
+Physical cache pages are identified by *physical cache page number*
+(``pcpn``), numbered 0..N-1 across the whole NPU subspace.  Consecutive
+lines inside a page interleave across slices (Figure 5(b)), which the CPT
+handles; the allocator itself only tracks ownership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..errors import PageAllocationError
+
+
+@dataclass(frozen=True)
+class PageRange:
+    """A set of physical pages granted to one owner."""
+
+    owner: str
+    pcpns: tuple
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.pcpns)
+
+
+class CachePageAllocator:
+    """Free-list allocator over the NPU subspace's physical cache pages.
+
+    Owners are model/task identifiers (strings).  The allocator enforces
+    exclusivity: a page belongs to at most one owner — this is the property
+    that eliminates inter-model cache contention in CaMDN.
+    """
+
+    def __init__(self, num_pages: int) -> None:
+        if num_pages <= 0:
+            raise PageAllocationError("allocator needs at least one page")
+        self.num_pages = num_pages
+        self._free: List[int] = list(range(num_pages))
+        self._owner_pages: Dict[str, Set[int]] = {}
+
+    @property
+    def free_pages(self) -> int:
+        """Number of currently unowned pages."""
+        return len(self._free)
+
+    @property
+    def used_pages(self) -> int:
+        """Number of pages owned by some model."""
+        return self.num_pages - self.free_pages
+
+    def owners(self) -> List[str]:
+        """All owners currently holding at least one page."""
+        return sorted(o for o, pages in self._owner_pages.items() if pages)
+
+    def pages_of(self, owner: str) -> List[int]:
+        """Sorted pcpns held by ``owner`` (empty list if none)."""
+        return sorted(self._owner_pages.get(owner, ()))
+
+    def owner_of(self, pcpn: int) -> Optional[str]:
+        """Owner of page ``pcpn`` or ``None`` if free."""
+        self._check_pcpn(pcpn)
+        for owner, pages in self._owner_pages.items():
+            if pcpn in pages:
+                return owner
+        return None
+
+    def can_allocate(self, num_pages: int) -> bool:
+        """Would an allocation of ``num_pages`` succeed right now?"""
+        return num_pages <= self.free_pages
+
+    def allocate(self, owner: str, num_pages: int) -> PageRange:
+        """Grant ``num_pages`` free pages to ``owner``.
+
+        Raises:
+            PageAllocationError: not enough free pages.  Callers (the
+            dynamic allocation algorithm) treat this as a timeout-retry
+            situation rather than a fatal error.
+        """
+        if num_pages < 0:
+            raise PageAllocationError("cannot allocate a negative count")
+        if num_pages > self.free_pages:
+            raise PageAllocationError(
+                f"{owner}: requested {num_pages} pages, "
+                f"only {self.free_pages} free"
+            )
+        granted = tuple(self._free[:num_pages])
+        del self._free[:num_pages]
+        self._owner_pages.setdefault(owner, set()).update(granted)
+        return PageRange(owner=owner, pcpns=granted)
+
+    def release(self, owner: str, pcpns: Optional[List[int]] = None) -> int:
+        """Return pages to the free list.
+
+        Args:
+            owner: releasing model.
+            pcpns: specific pages to release, or ``None`` for all of the
+                owner's pages.
+
+        Returns:
+            Number of pages released.
+
+        Raises:
+            PageAllocationError: a listed page is not owned by ``owner``.
+        """
+        held = self._owner_pages.get(owner, set())
+        if pcpns is None:
+            pcpns = sorted(held)
+        for pcpn in pcpns:
+            if pcpn not in held:
+                raise PageAllocationError(
+                    f"{owner} does not own page {pcpn}"
+                )
+        for pcpn in pcpns:
+            held.remove(pcpn)
+            self._free.append(pcpn)
+        self._free.sort()
+        return len(pcpns)
+
+    def resize_owner(self, owner: str, target_pages: int) -> int:
+        """Grow or shrink ``owner`` to exactly ``target_pages`` pages.
+
+        Returns the signed page delta applied.  Shrinking releases the
+        highest-numbered pages first (their contents are the most recently
+        mapped and cheapest to refill).
+        """
+        if target_pages < 0:
+            raise PageAllocationError("target_pages cannot be negative")
+        current = len(self._owner_pages.get(owner, ()))
+        delta = target_pages - current
+        if delta > 0:
+            self.allocate(owner, delta)
+        elif delta < 0:
+            victims = self.pages_of(owner)[delta:]
+            self.release(owner, victims)
+        return delta
+
+    def _check_pcpn(self, pcpn: int) -> None:
+        if not 0 <= pcpn < self.num_pages:
+            raise PageAllocationError(
+                f"pcpn {pcpn} out of range [0, {self.num_pages})"
+            )
+
+    def check_invariants(self) -> None:
+        """Assert exclusivity and conservation; used by property tests."""
+        seen: Set[int] = set(self._free)
+        if len(seen) != len(self._free):
+            raise PageAllocationError("duplicate pages in free list")
+        for owner, pages in self._owner_pages.items():
+            overlap = seen & pages
+            if overlap:
+                raise PageAllocationError(
+                    f"pages {sorted(overlap)} double-owned ({owner})"
+                )
+            seen |= pages
+        if seen != set(range(self.num_pages)):
+            raise PageAllocationError("page conservation violated")

@@ -1,0 +1,151 @@
+"""Mapping-file serialization (the on-disk "Model Mapping File" of
+Figure 6).
+
+The offline mapping phase is expensive relative to dispatch, so real
+deployments persist its output.  This module round-trips
+:class:`~repro.core.mct.ModelMappingFile` objects through plain JSON —
+compact, diff-able, and free of pickle's versioning hazards.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import MappingError
+from .mct import (
+    CacheMapEntry,
+    LoopLevel,
+    MappingCandidate,
+    MappingCandidateTable,
+    ModelMappingFile,
+)
+
+#: Format version written into every file; bumped on schema changes.
+SCHEMA_VERSION = 1
+
+
+def _candidate_to_dict(candidate: MappingCandidate) -> dict:
+    return {
+        "kind": candidate.kind,
+        "usage_limit_bytes": candidate.usage_limit_bytes,
+        "cache_bytes": candidate.cache_bytes,
+        "dram_bytes": candidate.dram_bytes,
+        "compute_cycles": candidate.compute_cycles,
+        "loop_table": [
+            {"dim": l.dim, "factor": l.factor, "level": l.level}
+            for l in candidate.loop_table
+        ],
+        "cache_map": [
+            {
+                "tensor": e.tensor,
+                "vcaddr": e.vcaddr,
+                "size": e.size,
+                "reuse": e.reuse,
+                "bypass": e.bypass,
+            }
+            for e in candidate.cache_map
+        ],
+    }
+
+
+def _candidate_from_dict(data: dict) -> MappingCandidate:
+    return MappingCandidate(
+        kind=data["kind"],
+        usage_limit_bytes=data["usage_limit_bytes"],
+        cache_bytes=data["cache_bytes"],
+        dram_bytes=data["dram_bytes"],
+        compute_cycles=data["compute_cycles"],
+        loop_table=tuple(
+            LoopLevel(l["dim"], l["factor"], l["level"])
+            for l in data["loop_table"]
+        ),
+        cache_map=tuple(
+            CacheMapEntry(
+                tensor=e["tensor"],
+                vcaddr=e["vcaddr"],
+                size=e["size"],
+                reuse=e["reuse"],
+                bypass=e["bypass"],
+            )
+            for e in data["cache_map"]
+        ),
+    )
+
+
+def mapping_file_to_dict(mapping_file: ModelMappingFile) -> dict:
+    """Serialize a mapping file to a JSON-ready dictionary."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "model_name": mapping_file.model_name,
+        "usage_levels": list(mapping_file.usage_levels),
+        "blocks": [list(block) for block in mapping_file.blocks],
+        "mcts": [
+            {
+                "layer_index": mct.layer_index,
+                "layer_name": mct.layer_name,
+                "est_latency_s": mct.est_latency_s,
+                "lwm": [_candidate_to_dict(c) for c in mct.lwm],
+                "lbm": (
+                    _candidate_to_dict(mct.lbm)
+                    if mct.lbm is not None else None
+                ),
+            }
+            for mct in mapping_file.mcts
+        ],
+    }
+
+
+def mapping_file_from_dict(data: dict) -> ModelMappingFile:
+    """Deserialize a mapping file (validating the schema version)."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise MappingError(
+            f"unsupported mapping-file schema {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    mcts = []
+    for entry in data["mcts"]:
+        mct = MappingCandidateTable(
+            layer_index=entry["layer_index"],
+            layer_name=entry["layer_name"],
+        )
+        mct.lwm = [_candidate_from_dict(c) for c in entry["lwm"]]
+        mct.lbm = (
+            _candidate_from_dict(entry["lbm"])
+            if entry["lbm"] is not None else None
+        )
+        mct.est_latency_s = entry["est_latency_s"]
+        mcts.append(mct)
+    return ModelMappingFile(
+        model_name=data["model_name"],
+        usage_levels=tuple(data["usage_levels"]),
+        mcts=mcts,
+        blocks=[tuple(block) for block in data["blocks"]],
+    )
+
+
+def save_mapping_file(mapping_file: ModelMappingFile,
+                      path: Union[str, Path]) -> Path:
+    """Write a mapping file as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(mapping_file_to_dict(mapping_file), indent=1)
+    )
+    return path
+
+
+def load_mapping_file(path: Union[str, Path]) -> ModelMappingFile:
+    """Read a JSON mapping file.
+
+    Raises:
+        MappingError: the file is not a supported mapping file.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise MappingError(f"cannot read mapping file {path}: {exc}") \
+            from exc
+    return mapping_file_from_dict(data)

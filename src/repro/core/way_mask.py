@@ -1,0 +1,74 @@
+"""Way-partition registers (Section III-B1).
+
+CaMDN divides the shared cache into a general-purpose subspace and an NPU
+subspace by way partitioning: a way-mask register per cache slice masks off
+the ways reserved for the NPU subspace.  In Figure 4's example, ways 0-1
+serve CPU traffic and ways 2-7 belong to the NPU subspace.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+class WayMask:
+    """Per-slice way-mask register.
+
+    The mask is a bit vector over ways; bit ``w`` set means way ``w`` belongs
+    to the NPU subspace (masked off from the hardware-managed replacement
+    policy of the general-purpose subspace).
+    """
+
+    def __init__(self, num_ways: int, npu_ways: int) -> None:
+        if num_ways <= 0:
+            raise ConfigError("num_ways must be positive")
+        if not 0 <= npu_ways <= num_ways:
+            raise ConfigError("npu_ways out of range")
+        self.num_ways = num_ways
+        # Assign the highest-numbered ways to the NPU, as in Figure 4.
+        self._mask = ((1 << npu_ways) - 1) << (num_ways - npu_ways)
+
+    @property
+    def mask(self) -> int:
+        """Raw register value (bit w set = way w is NPU-owned)."""
+        return self._mask
+
+    @property
+    def npu_ways(self) -> int:
+        """Number of ways currently assigned to the NPU subspace."""
+        return bin(self._mask).count("1")
+
+    @property
+    def cpu_ways(self) -> int:
+        """Number of ways left to general-purpose traffic."""
+        return self.num_ways - self.npu_ways
+
+    def is_npu_way(self, way: int) -> bool:
+        """Does way ``way`` belong to the NPU subspace?"""
+        self._check_way(way)
+        return bool(self._mask >> way & 1)
+
+    def npu_way_indices(self) -> list:
+        """Sorted way indices belonging to the NPU subspace."""
+        return [w for w in range(self.num_ways) if self.is_npu_way(w)]
+
+    def cpu_way_indices(self) -> list:
+        """Sorted way indices available to general-purpose replacement."""
+        return [w for w in range(self.num_ways) if not self.is_npu_way(w)]
+
+    def repartition(self, npu_ways: int) -> None:
+        """Change the NPU/CPU split (different application scenarios adapt
+        different proportions, per Section III-B1)."""
+        if not 0 <= npu_ways <= self.num_ways:
+            raise ConfigError("npu_ways out of range")
+        self._mask = ((1 << npu_ways) - 1) << (self.num_ways - npu_ways)
+
+    def _check_way(self, way: int) -> None:
+        if not 0 <= way < self.num_ways:
+            raise ConfigError(
+                f"way {way} out of range [0, {self.num_ways})"
+            )
+
+    def __repr__(self) -> str:
+        bits = format(self._mask, f"0{self.num_ways}b")
+        return f"WayMask({bits})"

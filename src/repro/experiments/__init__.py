@@ -1,0 +1,39 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each module exposes a ``run_*`` function returning structured rows plus a
+``format_*`` helper that prints them the way the paper reports them.  The
+:mod:`~repro.experiments.runner` CLI regenerates any experiment::
+
+    python -m repro.experiments.runner fig2
+    python -m repro.experiments.runner all --scale 0.5
+"""
+
+from .common import ExperimentScale, isolated_latencies
+from .fig2_motivation import Fig2Row, format_fig2, run_fig2
+from .fig3_reuse import Fig3Row, format_fig3, run_fig3
+from .fig7_speedup import Fig7Row, format_fig7, run_fig7
+from .fig8_scaling import Fig8Row, format_fig8, run_fig8
+from .fig9_qos import Fig9Row, format_fig9, run_fig9
+from .table3_area import format_table3, run_table3
+
+__all__ = [
+    "ExperimentScale",
+    "isolated_latencies",
+    "Fig2Row",
+    "run_fig2",
+    "format_fig2",
+    "Fig3Row",
+    "run_fig3",
+    "format_fig3",
+    "Fig7Row",
+    "run_fig7",
+    "format_fig7",
+    "Fig8Row",
+    "run_fig8",
+    "format_fig8",
+    "Fig9Row",
+    "run_fig9",
+    "format_fig9",
+    "run_table3",
+    "format_table3",
+]

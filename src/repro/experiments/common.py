@@ -1,0 +1,82 @@
+"""Shared experiment plumbing: scaling knobs and isolated-latency probes."""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..config import SoCConfig
+from ..schedulers import make_scheduler
+from ..sim.engine import MultiTenantEngine, SimulationResult
+from ..sim.workload import ClosedLoopWorkload, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knob trading fidelity for wall-clock time.
+
+    ``scale=1.0`` reproduces the full measurement windows; smaller values
+    shrink the simulated steady-state window proportionally (benchmarks use
+    ~0.25 so pytest-benchmark iterations stay cheap).
+    """
+
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scale <= 4.0:
+            raise ValueError("scale must be in (0, 4]")
+
+    @property
+    def duration_s(self) -> float:
+        """Steady-state window length."""
+        return 0.4 * self.scale
+
+    @property
+    def warmup_s(self) -> float:
+        return 0.08 * self.scale
+
+
+def run_policy(
+    soc: SoCConfig,
+    policy_name: str,
+    model_keys: Sequence[str],
+    scale: ExperimentScale,
+    qos_scale: float = float("inf"),
+    qos_mode: bool = False,
+) -> SimulationResult:
+    """Simulate one (policy, workload) cell."""
+    kwargs = {}
+    if qos_mode and policy_name.startswith("camdn"):
+        kwargs["qos_mode"] = True
+    scheduler = make_scheduler(policy_name, **kwargs)
+    spec = WorkloadSpec(
+        model_keys=list(model_keys),
+        duration_s=scale.duration_s,
+        warmup_s=scale.warmup_s,
+        qos_scale=qos_scale,
+    )
+    workload = ClosedLoopWorkload(spec)
+    return MultiTenantEngine(soc, scheduler, workload).run()
+
+
+@functools.lru_cache(maxsize=None)
+def _isolated_latency(model_key: str, cache_bytes: int,
+                      policy_name: str) -> float:
+    """Single-tenant latency of one model (memoized)."""
+    soc = SoCConfig().with_cache_bytes(cache_bytes)
+    result = run_policy(
+        soc, policy_name, (model_key,), ExperimentScale(scale=0.5)
+    )
+    return result.metrics.macro_avg_latency_s()
+
+
+def isolated_latencies(model_keys: Sequence[str],
+                       soc: SoCConfig,
+                       policy_name: str = "baseline"
+                       ) -> Dict[str, float]:
+    """Per-model single-tenant latency (``T_isolated`` for STP/fairness)."""
+    return {
+        key: _isolated_latency(key, soc.cache.total_bytes, policy_name)
+        for key in dict.fromkeys(model_keys)
+    }

@@ -1,0 +1,119 @@
+"""Figure 2: cache inefficiency with multi-tenant DNNs (motivation).
+
+Random model mixes are dispatched on the NPU-integrated SoC with an
+unmanaged transparent shared cache, sweeping the number of co-located DNNs
+(1..32) and the shared-cache capacity (4..64 MiB).  The paper observes, at
+32 DNNs: hit rate dropping 18.9-59.7 %, memory access growing 32.7-64.1 %
+and average latency growing 3.46-5.65x versus single-tenant execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..config import MiB, SoCConfig
+from ..sim.workload import random_model_mix
+from .common import ExperimentScale, run_policy
+
+#: Paper sweep axes.
+DNN_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+CACHE_SIZES_MB: Tuple[int, ...] = (4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class Fig2Row:
+    """One point of the Figure 2 sweep."""
+
+    cache_mb: int
+    num_dnns: int
+    hit_rate: float
+    dram_mb_per_model: float
+    avg_latency_ms: float
+
+
+def run_fig2(
+    dnn_counts: Sequence[int] = DNN_COUNTS,
+    cache_sizes_mb: Sequence[int] = CACHE_SIZES_MB,
+    scale: float = 1.0,
+    seed: int = 2025,
+) -> List[Fig2Row]:
+    """Regenerate the Figure 2 sweep (transparent-cache baseline)."""
+    rows: List[Fig2Row] = []
+    experiment_scale = ExperimentScale(scale=scale)
+    for cache_mb in cache_sizes_mb:
+        soc = SoCConfig().with_cache_bytes(cache_mb * MiB)
+        for num_dnns in dnn_counts:
+            keys = random_model_mix(num_dnns, seed=seed)
+            result = run_policy(soc, "baseline", keys, experiment_scale)
+            rows.append(
+                Fig2Row(
+                    cache_mb=cache_mb,
+                    num_dnns=num_dnns,
+                    hit_rate=result.metrics.overall_hit_rate(),
+                    dram_mb_per_model=(
+                        result.metrics.macro_avg_dram_bytes() / 1e6
+                    ),
+                    avg_latency_ms=(
+                        result.metrics.macro_avg_latency_s() * 1e3
+                    ),
+                )
+            )
+    return rows
+
+
+def format_fig2(rows: Sequence[Fig2Row]) -> str:
+    """Render the three Figure 2 panels as text tables."""
+    lines = ["Figure 2 — transparent shared cache under multi-tenancy"]
+    for metric, fmt in (
+        ("hit_rate", "{:.3f}"),
+        ("dram_mb_per_model", "{:.1f}"),
+        ("avg_latency_ms", "{:.2f}"),
+    ):
+        lines.append("")
+        lines.append(f"  panel: {metric}")
+        caches = sorted({r.cache_mb for r in rows})
+        counts = sorted({r.num_dnns for r in rows})
+        header = "  cache\\N " + "".join(f"{n:>9}" for n in counts)
+        lines.append(header)
+        for cache_mb in caches:
+            cells = []
+            for n in counts:
+                row = next(
+                    r for r in rows
+                    if r.cache_mb == cache_mb and r.num_dnns == n
+                )
+                cells.append(f"{fmt.format(getattr(row, metric)):>9}")
+            lines.append(f"  {cache_mb:>5}MB " + "".join(cells))
+    return "\n".join(lines)
+
+
+def degradation_summary(rows: Sequence[Fig2Row]) -> dict:
+    """Paper-quoted degradations at the largest tenant count."""
+    counts = sorted({r.num_dnns for r in rows})
+    lo, hi = counts[0], counts[-1]
+    hit_drops = []
+    access_growths = []
+    latency_growths = []
+    for cache_mb in sorted({r.cache_mb for r in rows}):
+        first = next(r for r in rows
+                     if r.cache_mb == cache_mb and r.num_dnns == lo)
+        last = next(r for r in rows
+                    if r.cache_mb == cache_mb and r.num_dnns == hi)
+        if first.hit_rate > 0:
+            hit_drops.append(1.0 - last.hit_rate / first.hit_rate)
+        access_growths.append(
+            last.dram_mb_per_model / first.dram_mb_per_model - 1.0
+        )
+        latency_growths.append(
+            last.avg_latency_ms / first.avg_latency_ms
+        )
+    return {
+        "hit_rate_drop_range": (min(hit_drops), max(hit_drops)),
+        "memory_access_growth_range": (
+            min(access_growths), max(access_growths)
+        ),
+        "latency_growth_range": (
+            min(latency_growths), max(latency_growths)
+        ),
+    }

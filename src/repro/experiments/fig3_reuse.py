@@ -1,0 +1,85 @@
+"""Figure 3: reuse counts and reuse distances of benchmark DNNs.
+
+The paper reports that on average 68.0 % of data has reuse count 1 (no
+future reuse) and that 61.8 % of intermediate data has reuse distance above
+1 MB (47.9 % above 2 MB) — the two properties a transparent cache handles
+badly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..models.reuse import (
+    REUSE_COUNT_BUCKETS,
+    REUSE_DISTANCE_BUCKETS,
+    average_fractions,
+    profile_model,
+)
+from ..models.zoo import BENCHMARK_MODELS, build_model
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    """Reuse statistics of one model (or the "Avg." bar)."""
+
+    model: str
+    count_fractions: Dict[str, float]
+    distance_fractions: Dict[str, float]
+
+
+def run_fig3(model_keys: Sequence[str] = BENCHMARK_MODELS,
+             dtype_bytes: int = 1) -> List[Fig3Row]:
+    """Profile every benchmark model plus the average bar."""
+    rows: List[Fig3Row] = []
+    profiles = []
+    for key in model_keys:
+        profile = profile_model(build_model(key), dtype_bytes)
+        profiles.append(profile)
+        rows.append(
+            Fig3Row(
+                model=key,
+                count_fractions=profile.count_fractions(),
+                distance_fractions=profile.distance_fractions(),
+            )
+        )
+    count_avg, dist_avg = average_fractions(profiles)
+    rows.append(
+        Fig3Row(
+            model="Avg.",
+            count_fractions=count_avg,
+            distance_fractions=dist_avg,
+        )
+    )
+    return rows
+
+
+def format_fig3(rows: Sequence[Fig3Row]) -> str:
+    """Render both Figure 3 panels as stacked-percentage tables."""
+    lines = ["Figure 3 — reuse counts / reuse distances (fraction of bytes)"]
+    lines.append("")
+    lines.append("  (a) reuse counts")
+    header = "  model " + "".join(
+        f"{label:>10}" for label, _, _ in REUSE_COUNT_BUCKETS
+    )
+    lines.append(header)
+    for row in rows:
+        cells = "".join(
+            f"{row.count_fractions[label]:>10.1%}"
+            for label, _, _ in REUSE_COUNT_BUCKETS
+        )
+        lines.append(f"  {row.model:<6}" + cells)
+    lines.append("")
+    lines.append("  (b) reuse distances of intermediate data")
+    header = "  model " + "".join(
+        f"{label:>12}" for label, _, _ in REUSE_DISTANCE_BUCKETS
+    )
+    lines.append(header)
+    for row in rows:
+        cells = "".join(
+            f"{row.distance_fractions[label]:>12.1%}"
+            for label, _, _ in REUSE_DISTANCE_BUCKETS
+        )
+        lines.append(f"  {row.model:<6}" + cells)
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Figure 8: average latency and memory access at different scales.
+
+Sweeps shared-cache capacity 4-64 MiB and co-located DNN count 1-16,
+comparing the bandwidth-managed baseline (AuRORA as representative, per the
+paper) against CaMDN(Full).  The paper reports 34.3-42.3 % latency and
+16.0-37.7 % memory-access reductions, growing with tenant count and cache
+capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..config import MiB, SoCConfig
+from ..sim.workload import random_model_mix
+from .common import ExperimentScale, run_policy
+
+DNN_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16)
+CACHE_SIZES_MB: Tuple[int, ...] = (4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    """One (cache size, tenant count) cell of the scaling comparison."""
+
+    cache_mb: int
+    num_dnns: int
+    baseline_latency_ms: float
+    camdn_latency_ms: float
+    baseline_dram_mb: float
+    camdn_dram_mb: float
+
+    @property
+    def latency_reduction(self) -> float:
+        return 1.0 - self.camdn_latency_ms / self.baseline_latency_ms
+
+    @property
+    def dram_reduction(self) -> float:
+        return 1.0 - self.camdn_dram_mb / self.baseline_dram_mb
+
+
+def run_fig8(
+    dnn_counts: Sequence[int] = DNN_COUNTS,
+    cache_sizes_mb: Sequence[int] = CACHE_SIZES_MB,
+    scale: float = 1.0,
+    seed: int = 2025,
+) -> List[Fig8Row]:
+    """Regenerate the Figure 8 scaling comparison."""
+    rows: List[Fig8Row] = []
+    experiment_scale = ExperimentScale(scale=scale)
+    for cache_mb in cache_sizes_mb:
+        soc = SoCConfig().with_cache_bytes(cache_mb * MiB)
+        for num_dnns in dnn_counts:
+            keys = random_model_mix(num_dnns, seed=seed)
+            base = run_policy(soc, "aurora", keys, experiment_scale)
+            camdn = run_policy(soc, "camdn-full", keys, experiment_scale)
+            rows.append(
+                Fig8Row(
+                    cache_mb=cache_mb,
+                    num_dnns=num_dnns,
+                    baseline_latency_ms=(
+                        base.metrics.macro_avg_latency_s() * 1e3
+                    ),
+                    camdn_latency_ms=(
+                        camdn.metrics.macro_avg_latency_s() * 1e3
+                    ),
+                    baseline_dram_mb=(
+                        base.metrics.macro_avg_dram_bytes() / 1e6
+                    ),
+                    camdn_dram_mb=(
+                        camdn.metrics.macro_avg_dram_bytes() / 1e6
+                    ),
+                )
+            )
+    return rows
+
+
+def format_fig8(rows: Sequence[Fig8Row]) -> str:
+    lines = [
+        "Figure 8 — scaling: AuRORA vs CaMDN(Full)",
+        f"  {'cache':>6}{'DNNs':>6}{'base ms':>9}{'CaMDN ms':>10}"
+        f"{'lat red.':>10}{'base MB':>9}{'CaMDN MB':>10}{'mem red.':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row.cache_mb:>5}M{row.num_dnns:>6}"
+            f"{row.baseline_latency_ms:>9.2f}{row.camdn_latency_ms:>10.2f}"
+            f"{row.latency_reduction:>10.1%}"
+            f"{row.baseline_dram_mb:>9.1f}{row.camdn_dram_mb:>10.1f}"
+            f"{row.dram_reduction:>10.1%}"
+        )
+    if rows:
+        multi = [r for r in rows if r.num_dnns > 1]
+        lat = [r.latency_reduction for r in multi]
+        mem = [r.dram_reduction for r in multi]
+        lines.append(
+            f"  multi-tenant reductions: latency "
+            f"{min(lat):.1%}..{max(lat):.1%} "
+            f"(paper 34.3%..42.3%), memory {min(mem):.1%}..{max(mem):.1%} "
+            f"(paper 16.0%..37.7%)"
+        )
+    return "\n".join(lines)

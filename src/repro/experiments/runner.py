@@ -1,0 +1,86 @@
+"""Experiment runner CLI.
+
+Usage::
+
+    python -m repro.experiments.runner fig2 [--scale 0.5]
+    python -m repro.experiments.runner all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from .fig2_motivation import format_fig2, run_fig2
+from .fig3_reuse import format_fig3, run_fig3
+from .fig7_speedup import format_fig7, run_fig7
+from .fig8_scaling import format_fig8, run_fig8
+from .fig9_qos import format_fig9, run_fig9
+from .table3_area import format_table3, run_table3
+
+
+def _fig2(scale: float) -> str:
+    return format_fig2(run_fig2(scale=scale))
+
+
+def _fig3(scale: float) -> str:
+    return format_fig3(run_fig3())
+
+
+def _fig7(scale: float) -> str:
+    return format_fig7(run_fig7(scale=scale))
+
+
+def _fig8(scale: float) -> str:
+    return format_fig8(run_fig8(scale=scale))
+
+
+def _fig9(scale: float) -> str:
+    return format_fig9(run_fig9(scale=scale))
+
+
+def _table3(scale: float) -> str:
+    return format_table3(run_table3())
+
+
+EXPERIMENTS: Dict[str, Callable[[float], str]] = {
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "table3": _table3,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate CaMDN paper tables and figures."
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="measurement-window scale (smaller = faster, default 1.0)",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        start = time.time()
+        print(EXPERIMENTS[name](args.scale))
+        print(f"  [{name} regenerated in {time.time() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

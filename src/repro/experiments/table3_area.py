@@ -1,0 +1,43 @@
+"""Table III: area breakdown of the CaMDN architecture (45 nm)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..config import SoCConfig
+from ..core.area import area_breakdown_table
+
+#: Paper Table III reference values: component -> (area um^2, percent).
+PAPER_TABLE3: Dict[str, Tuple[float, float]] = {
+    "Scratchpad": (6302e3, 79.7),
+    "PE Array": (1302e3, 16.5),
+    "CPT": (73e3, 0.9),
+    "Data Array": (21878e3, 88.7),
+    "Tag Array": (2398e3, 9.7),
+    "NEC": (66e3, 0.3),
+}
+
+
+def run_table3(soc: SoCConfig | None = None
+               ) -> Dict[str, List[Tuple[str, float, float]]]:
+    """Regenerate the Table III breakdown for ``soc`` (default Table II)."""
+    return area_breakdown_table(soc)
+
+
+def format_table3(
+    breakdown: Dict[str, List[Tuple[str, float, float]]]
+) -> str:
+    lines = ["Table III — area breakdown (45 nm analytic model)"]
+    for side, rows in breakdown.items():
+        lines.append(f"  {side}")
+        for name, area, pct in rows:
+            ref = PAPER_TABLE3.get(name)
+            ref_text = (
+                f"   (paper {ref[0] / 1e3:.0f}k / {ref[1]:.1f}%)"
+                if ref else ""
+            )
+            lines.append(
+                f"    {name:<18}{area / 1e3:>9.0f}k um^2 {pct:>6.1f}%"
+                f"{ref_text}"
+            )
+    return "\n".join(lines)

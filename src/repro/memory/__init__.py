@@ -1,0 +1,18 @@
+"""DRAM substrate: functional backing store and bandwidth models."""
+
+from .dram import DRAMTimingModel, MainMemory
+from .bwalloc import (
+    BandwidthAllocation,
+    DemandProportionalPolicy,
+    EqualSharePolicy,
+    SlackWeightedPolicy,
+)
+
+__all__ = [
+    "MainMemory",
+    "DRAMTimingModel",
+    "BandwidthAllocation",
+    "EqualSharePolicy",
+    "DemandProportionalPolicy",
+    "SlackWeightedPolicy",
+]

@@ -1,0 +1,131 @@
+"""Memory bandwidth allocation policies.
+
+The baselines the paper compares against are bandwidth-centric schedulers:
+
+* MoCA partitions bandwidth among co-located DNNs according to their memory
+  access requirements (demand-proportional with QoS-slack boosts);
+* AuRORA co-allocates bandwidth and NPU cores toward latency targets
+  (slack-weighted).
+
+These policies are pure functions from per-task demand/slack snapshots to
+fractional shares summing to at most 1, so both the fluid simulator and the
+unit tests can exercise them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class BandwidthAllocation:
+    """Result of one allocation round: task id -> share in (0, 1]."""
+
+    shares: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        total = sum(self.shares.values())
+        if total > 1.0 + 1e-9:
+            raise SimulationError(f"shares sum to {total} > 1")
+        for task, share in self.shares.items():
+            if share <= 0:
+                raise SimulationError(f"{task}: non-positive share {share}")
+
+    def share_of(self, task_id: str) -> float:
+        return self.shares.get(task_id, 0.0)
+
+
+class EqualSharePolicy:
+    """Even split among active tasks (the unmanaged baseline)."""
+
+    def allocate(self, demands: Mapping[str, float],
+                 slacks: Mapping[str, float] | None = None
+                 ) -> BandwidthAllocation:
+        """``demands`` maps task id -> bytes/s it could consume."""
+        if not demands:
+            return BandwidthAllocation(shares={})
+        share = 1.0 / len(demands)
+        return BandwidthAllocation(
+            shares={task: share for task in demands}
+        )
+
+
+class DemandProportionalPolicy:
+    """MoCA-style: shares proportional to memory-access requirements.
+
+    Tasks that move more bytes per unit time get proportionally more
+    bandwidth; a floor keeps light tasks from starving.
+    """
+
+    def __init__(self, floor: float = 0.02) -> None:
+        if not 0 <= floor < 1:
+            raise SimulationError("floor must be in [0, 1)")
+        self.floor = floor
+
+    def allocate(self, demands: Mapping[str, float],
+                 slacks: Mapping[str, float] | None = None
+                 ) -> BandwidthAllocation:
+        if not demands:
+            return BandwidthAllocation(shares={})
+        n = len(demands)
+        total_demand = sum(max(d, 0.0) for d in demands.values())
+        shares: Dict[str, float] = {}
+        floor_total = self.floor * n if self.floor * n < 1 else 0.0
+        remaining = 1.0 - floor_total
+        for task, demand in demands.items():
+            proportional = (
+                max(demand, 0.0) / total_demand if total_demand > 0
+                else 1.0 / n
+            )
+            base = self.floor if floor_total else 0.0
+            shares[task] = base + remaining * proportional
+        return BandwidthAllocation(shares=shares)
+
+
+class SlackWeightedPolicy:
+    """AuRORA-style: tasks behind their latency target get boosted shares.
+
+    Slack is ``(target - predicted_latency) / target``; negative slack means
+    the task is missing its deadline.  Weights grow exponentially as slack
+    shrinks, so badly-behind tasks dominate the allocation — the behaviour
+    that lets AuRORA reach high SLA rates at some fairness cost (a result
+    the paper reproduces in Figure 9).
+    """
+
+    def __init__(self, urgency: float = 3.0, floor: float = 0.02) -> None:
+        if urgency <= 0:
+            raise SimulationError("urgency must be positive")
+        if not 0 <= floor < 1:
+            raise SimulationError("floor must be in [0, 1)")
+        self.urgency = urgency
+        self.floor = floor
+
+    def allocate(self, demands: Mapping[str, float],
+                 slacks: Mapping[str, float] | None = None
+                 ) -> BandwidthAllocation:
+        if not demands:
+            return BandwidthAllocation(shares={})
+        slacks = slacks or {}
+        import math
+
+        weights: Dict[str, float] = {}
+        for task, demand in demands.items():
+            # Clamp: a hopelessly late task should dominate but not
+            # overflow the exponential.
+            slack = min(max(slacks.get(task, 0.0), -20.0), 20.0)
+            # slack <= 0 -> weight >= 1; generous slack -> weight ~ 0+.
+            weight = math.exp(-self.urgency * slack)
+            weights[task] = max(demand, 1.0) * weight
+        total = sum(weights.values())
+        n = len(weights)
+        floor_total = self.floor * n if self.floor * n < 1 else 0.0
+        remaining = 1.0 - floor_total
+        shares = {
+            task: (self.floor if floor_total else 0.0)
+            + remaining * weight / total
+            for task, weight in weights.items()
+        }
+        return BandwidthAllocation(shares=shares)

@@ -1,0 +1,88 @@
+"""DRAM models: functional backing store and analytic timing.
+
+Two views of the same subsystem:
+
+* :class:`MainMemory` — a functional line-addressed store used by the NEC
+  and cache integration tests (what value lives where).
+* :class:`DRAMTimingModel` — the analytic bandwidth/latency model the
+  fluid simulator uses (how long moving bytes takes), standing in for the
+  paper's DRAMsim3-based backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..config import DRAMConfig
+from ..errors import CacheAddressError
+
+
+class MainMemory:
+    """Line-addressed functional memory with traffic counters."""
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        self.line_bytes = line_bytes
+        self._store: Dict[int, int] = {}
+        self.read_lines = 0
+        self.write_lines = 0
+
+    def read_line(self, line_addr: int) -> int:
+        """Read one line; uninitialized lines read as zero."""
+        if line_addr is None or line_addr < 0:
+            raise CacheAddressError(f"bad memory line address {line_addr}")
+        self.read_lines += 1
+        return self._store.get(line_addr, 0)
+
+    def write_line(self, line_addr: int, value: int) -> None:
+        """Write one line."""
+        if line_addr is None or line_addr < 0:
+            raise CacheAddressError(f"bad memory line address {line_addr}")
+        if value is None:
+            raise CacheAddressError("cannot write None to memory")
+        self.write_lines += 1
+        self._store[line_addr] = value
+
+    @property
+    def total_bytes_moved(self) -> int:
+        return (self.read_lines + self.write_lines) * self.line_bytes
+
+    def reset_counters(self) -> None:
+        self.read_lines = 0
+        self.write_lines = 0
+
+
+@dataclass
+class DRAMTimingModel:
+    """Analytic DRAM bandwidth/latency model.
+
+    The fluid simulator divides the aggregate bandwidth among tenants; this
+    model converts a byte volume and a bandwidth share into time and keeps
+    global traffic accounting.
+    """
+
+    config: DRAMConfig = field(default_factory=DRAMConfig)
+    total_bytes: int = 0
+
+    def transfer_time_s(self, num_bytes: float, bandwidth_share: float,
+                        first_access: bool = False) -> float:
+        """Seconds to move ``num_bytes`` at ``bandwidth_share`` (0..1] of
+        the aggregate bandwidth, plus one access latency for the first
+        touch of a layer."""
+        if num_bytes < 0:
+            raise CacheAddressError("negative byte volume")
+        if bandwidth_share <= 0:
+            raise CacheAddressError("bandwidth share must be positive")
+        share = min(bandwidth_share, 1.0)
+        bw = self.config.total_bandwidth_bytes_per_s * share
+        latency = self.config.access_latency_s if first_access else 0.0
+        return num_bytes / bw + latency
+
+    def effective_bandwidth(self, bandwidth_share: float) -> float:
+        """Bytes/s available at a fractional share."""
+        return self.config.total_bandwidth_bytes_per_s * \
+            min(max(bandwidth_share, 0.0), 1.0)
+
+    def account(self, num_bytes: float) -> None:
+        """Accumulate global DRAM traffic."""
+        self.total_bytes += int(num_bytes)

@@ -1,0 +1,46 @@
+"""DNN model substrate: benchmark models as shape-accurate layer graphs.
+
+The paper evaluates eight models (Table I) spanning convolution, depth-wise
+convolution, transformer and LSTM workloads.  Cache behaviour depends only on
+tensor shapes, reuse structure and MAC counts, so each model is represented
+as a :class:`~repro.models.graph.ModelGraph` of
+:class:`~repro.models.layers.LayerSpec` entries rather than real weights.
+"""
+
+from .layers import (
+    LayerKind,
+    LayerSpec,
+    attention_matmul,
+    conv2d,
+    dwconv2d,
+    elementwise,
+    matmul,
+    pool2d,
+)
+from .graph import ModelGraph, SkipEdge, segment_into_blocks
+from .zoo import (
+    BENCHMARK_MODELS,
+    MODEL_BUILDERS,
+    QOS_TARGETS_MS,
+    build_model,
+    load_benchmark_suite,
+)
+
+__all__ = [
+    "LayerKind",
+    "LayerSpec",
+    "ModelGraph",
+    "SkipEdge",
+    "attention_matmul",
+    "conv2d",
+    "dwconv2d",
+    "elementwise",
+    "matmul",
+    "pool2d",
+    "segment_into_blocks",
+    "BENCHMARK_MODELS",
+    "MODEL_BUILDERS",
+    "QOS_TARGETS_MS",
+    "build_model",
+    "load_benchmark_suite",
+]

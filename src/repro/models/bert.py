@@ -1,0 +1,37 @@
+"""BERT-base layer graph (Devlin et al., NAACL 2019) — Table I "BE."."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import ModelGraph, SkipEdge
+from .layers import LayerSpec, elementwise, matmul
+from .transformer_common import encoder_stack
+
+
+def build_bert_base(seq_len: int = 128) -> ModelGraph:
+    """Build the BERT-base graph at sequence length ``seq_len``.
+
+    Token/position embeddings are lookups (no MACs) modeled as an
+    element-wise layer producing the embedded sequence; 12 encoder blocks at
+    d=768, 12 heads, FFN 3072; pooler matmul on the CLS token.
+    """
+    d_model, heads, d_ff, blocks = 768, 12, 3072, 12
+
+    layers: List[LayerSpec] = [
+        elementwise("embeddings", seq_len * d_model, operands=3)
+    ]
+    skips: List[SkipEdge] = []
+    encoder_stack("enc", blocks, seq_len, d_model, heads, d_ff, layers,
+                  skips)
+    layers.append(matmul("pooler", 1, d_model, d_model))
+
+    return ModelGraph(
+        name="BERT-base",
+        abbr="BE.",
+        layers=tuple(layers),
+        skip_edges=tuple(skips),
+        qos_target_ms=40.0,
+        domain="Natural Language Processing",
+        model_type="Trans",
+    )

@@ -1,0 +1,90 @@
+"""EfficientNet-b0 layer graph (Tan & Le, ICML 2019) — Table I "EF."."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import ModelGraph, SkipEdge
+from .layers import LayerSpec, conv2d, dwconv2d, elementwise, matmul, pool2d
+
+#: (expansion t, output channels c, repeats n, stride s, kernel) —
+#: the b0 MBConv stage configuration.
+_MBCONV_STAGES = (
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+)
+
+#: Squeeze-and-excitation bottleneck ratio (relative to block input chans).
+_SE_RATIO = 0.25
+
+
+def build_efficientnet_b0(input_size: int = 224) -> ModelGraph:
+    """Build the EfficientNet-b0 graph.
+
+    MBConv blocks expand to 1x1 expand, kxk depth-wise, squeeze-excitation
+    (two tiny matmuls on pooled features) and 1x1 project; stride-1
+    same-channel blocks carry residual skip edges.
+    """
+    layers: List[LayerSpec] = []
+    skips: List[SkipEdge] = []
+
+    h = w = input_size
+    layers.append(conv2d("conv_stem", h, w, 3, 32, kernel=3, stride=2))
+    h = w = input_size // 2
+    c_in = 32
+
+    for stage_idx, (t, c, n, s, kernel) in enumerate(_MBCONV_STAGES):
+        for block_idx in range(n):
+            stride = s if block_idx == 0 else 1
+            prefix = f"mb{stage_idx + 1}_{block_idx + 1}"
+            hidden = c_in * t
+            se_dim = max(1, int(c_in * _SE_RATIO))
+            block_input_idx = len(layers) - 1
+            if t != 1:
+                layers.append(
+                    conv2d(f"{prefix}_expand", h, w, c_in, hidden,
+                           kernel=1, stride=1, padding=0)
+                )
+            layers.append(
+                dwconv2d(f"{prefix}_dw", h, w, hidden, kernel=kernel,
+                         stride=stride)
+            )
+            oh, ow = h // stride, w // stride
+            layers.append(
+                matmul(f"{prefix}_se_reduce", 1, se_dim, hidden)
+            )
+            layers.append(
+                matmul(f"{prefix}_se_expand", 1, hidden, se_dim)
+            )
+            layers.append(
+                conv2d(f"{prefix}_project", oh, ow, hidden, c,
+                       kernel=1, stride=1, padding=0)
+            )
+            if stride == 1 and c_in == c:
+                layers.append(
+                    elementwise(f"{prefix}_add", oh * ow * c, operands=2)
+                )
+                skips.append(SkipEdge(block_input_idx, len(layers) - 1))
+            h, w = oh, ow
+            c_in = c
+
+    layers.append(
+        conv2d("conv_head", h, w, c_in, 1280, kernel=1, stride=1, padding=0)
+    )
+    layers.append(pool2d("avgpool", h, w, 1280, kernel=h))
+    layers.append(matmul("fc", 1, 1000, 1280))
+
+    return ModelGraph(
+        name="EfficientNet-b0",
+        abbr="EF.",
+        layers=tuple(layers),
+        skip_edges=tuple(skips),
+        qos_target_ms=2.8,
+        domain="Computer Vision",
+        model_type="DwConv",
+    )

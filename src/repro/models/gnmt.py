@@ -1,0 +1,76 @@
+"""GNMT layer graph (Wu et al., 2016) — Table I "GN.".
+
+GNMT is an 8-layer encoder / 8-layer decoder LSTM seq2seq model with
+inter-layer residual connections and attention.  Each LSTM layer is lowered
+to its gate GEMM with the time dimension folded into ``M``: an LSTM layer
+over ``T`` steps with hidden size ``H`` computes
+``[T, 2H] x [2H, 4H]`` worth of MACs against a weight matrix that is reused
+across all ``T`` steps — the long-reuse-distance weight traffic that makes
+LSTMs cache-sensitive.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import ModelGraph, SkipEdge
+from .layers import LayerSpec, attention_matmul, elementwise, matmul
+
+_HIDDEN = 1024
+_ENC_LAYERS = 8
+_DEC_LAYERS = 8
+_VOCAB = 32000
+
+
+def build_gnmt(seq_len: int = 25) -> ModelGraph:
+    """Build the GNMT graph at source/target length ``seq_len``."""
+    layers: List[LayerSpec] = []
+    skips: List[SkipEdge] = []
+
+    layers.append(elementwise("src_embed", seq_len * _HIDDEN, operands=1))
+    # Encoder: layer 1 is bidirectional (2x gate GEMM), 2..8 unidirectional
+    # with residual connections from layer 3 on (as in the GNMT paper).
+    layers.append(
+        matmul("enc1_gates", 2 * seq_len, 4 * _HIDDEN, 2 * _HIDDEN)
+    )
+    for i in range(2, _ENC_LAYERS + 1):
+        residual_src = len(layers) - 1
+        layers.append(
+            matmul(f"enc{i}_gates", seq_len, 4 * _HIDDEN, 2 * _HIDDEN)
+        )
+        if i >= 3:
+            layers.append(
+                elementwise(f"enc{i}_res", seq_len * _HIDDEN, operands=2)
+            )
+            skips.append(SkipEdge(residual_src, len(layers) - 1))
+
+    layers.append(elementwise("tgt_embed", seq_len * _HIDDEN, operands=1))
+    layers.append(
+        attention_matmul("attn_scores", seq_len, _HIDDEN, heads=1)
+    )
+    layers.append(
+        attention_matmul("attn_context", seq_len, _HIDDEN, heads=1,
+                         transposed=True)
+    )
+    for i in range(1, _DEC_LAYERS + 1):
+        residual_src = len(layers) - 1
+        layers.append(
+            matmul(f"dec{i}_gates", seq_len, 4 * _HIDDEN, 2 * _HIDDEN)
+        )
+        if i >= 3:
+            layers.append(
+                elementwise(f"dec{i}_res", seq_len * _HIDDEN, operands=2)
+            )
+            skips.append(SkipEdge(residual_src, len(layers) - 1))
+
+    layers.append(matmul("softmax_proj", seq_len, _VOCAB, _HIDDEN))
+
+    return ModelGraph(
+        name="GNMT",
+        abbr="GN.",
+        layers=tuple(layers),
+        skip_edges=tuple(skips),
+        qos_target_ms=6.7,
+        domain="Natural Language Processing",
+        model_type="LSTM",
+    )

@@ -1,0 +1,291 @@
+"""Layer specifications lowered to GEMM dimensions.
+
+Every layer is described by the tensor footprints that matter to the memory
+system (weight / input / output element counts) plus a GEMM lowering
+``(M, N, K)`` that the systolic-array timing model and the layer mapper
+consume:
+
+* convolution (im2col):  ``M = OH*OW``, ``N = OC``, ``K = IC*KH*KW``
+* depth-wise convolution: ``M = OH*OW``, ``N = C``, ``K = KH*KW`` (the
+  reduction dimension is tiny, which is why depth-wise layers underutilize a
+  systolic array)
+* matmul / attention:     literal ``(M, N, K)``
+
+Element counts are dtype-agnostic; multiply by ``SoCConfig.dtype_bytes`` to
+get bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ModelGraphError
+
+
+class LayerKind(enum.Enum):
+    """Computational class of a layer; drives the compute-efficiency model."""
+
+    CONV = "conv"
+    DWCONV = "dwconv"
+    MATMUL = "matmul"
+    ATTENTION = "attention"
+    POOL = "pool"
+    ELEMWISE = "elemwise"
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """A single DNN layer, as seen by the memory and compute models.
+
+    Attributes:
+        name: human-readable layer name, unique within a model.
+        kind: computational class (:class:`LayerKind`).
+        m / n / k: GEMM lowering dimensions.
+        weight_elems: static parameter elements read from DRAM.  Zero for
+            pooling, element-wise and activation-activation matmuls.
+        input_elems: activation elements consumed.
+        output_elems: activation elements produced.
+        macs: multiply-accumulate operations.
+        groups: number of independent GEMMs sharing the ``(m, n, k)`` shape
+            (e.g. attention heads); total MACs are ``groups * m * n * k``
+            for matmul-like layers.
+    """
+
+    name: str
+    kind: LayerKind
+    m: int
+    n: int
+    k: int
+    weight_elems: int
+    input_elems: int
+    output_elems: int
+    macs: int
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelGraphError("layer name must be non-empty")
+        for field_name in ("m", "n", "k", "groups"):
+            if getattr(self, field_name) <= 0:
+                raise ModelGraphError(
+                    f"{self.name}: {field_name} must be positive"
+                )
+        for field_name in ("weight_elems", "input_elems", "output_elems",
+                           "macs"):
+            if getattr(self, field_name) < 0:
+                raise ModelGraphError(
+                    f"{self.name}: {field_name} cannot be negative"
+                )
+        if self.input_elems == 0 and self.kind is not LayerKind.ELEMWISE:
+            raise ModelGraphError(f"{self.name}: layer consumes no input")
+
+    @property
+    def total_elems(self) -> int:
+        """All elements touched by the layer once (no refetch)."""
+        return self.weight_elems + self.input_elems + self.output_elems
+
+    @property
+    def is_memory_dominated(self) -> bool:
+        """Heuristic: more than one element moved per two MACs."""
+        return self.macs < 2 * self.total_elems
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """MACs per element moved (compulsory traffic only)."""
+        if self.total_elems == 0:
+            return 0.0
+        return self.macs / self.total_elems
+
+
+def _out_dim(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ModelGraphError(
+            f"non-positive output dim for size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def conv2d(
+    name: str,
+    h: int,
+    w: int,
+    c_in: int,
+    c_out: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int | None = None,
+) -> LayerSpec:
+    """Standard 2-D convolution lowered to GEMM via im2col.
+
+    ``padding=None`` selects "same"-style padding ``kernel // 2``.
+    """
+    if padding is None:
+        padding = kernel // 2
+    oh = _out_dim(h, kernel, stride, padding)
+    ow = _out_dim(w, kernel, stride, padding)
+    m = oh * ow
+    n = c_out
+    k = c_in * kernel * kernel
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.CONV,
+        m=m,
+        n=n,
+        k=k,
+        weight_elems=c_out * c_in * kernel * kernel,
+        input_elems=h * w * c_in,
+        output_elems=oh * ow * c_out,
+        macs=m * n * k,
+    )
+
+
+def dwconv2d(
+    name: str,
+    h: int,
+    w: int,
+    channels: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int | None = None,
+) -> LayerSpec:
+    """Depth-wise 2-D convolution (one filter per channel)."""
+    if padding is None:
+        padding = kernel // 2
+    oh = _out_dim(h, kernel, stride, padding)
+    ow = _out_dim(w, kernel, stride, padding)
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.DWCONV,
+        m=oh * ow,
+        n=channels,
+        k=kernel * kernel,
+        weight_elems=channels * kernel * kernel,
+        input_elems=h * w * channels,
+        output_elems=oh * ow * channels,
+        macs=oh * ow * channels * kernel * kernel,
+    )
+
+
+def conv1d(
+    name: str,
+    length: int,
+    c_in: int,
+    c_out: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> LayerSpec:
+    """1-D convolution (audio feature extractors); lowered like conv2d."""
+    out_len = _out_dim(length, kernel, stride, padding)
+    m = out_len
+    n = c_out
+    k = c_in * kernel
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.CONV,
+        m=m,
+        n=n,
+        k=k,
+        weight_elems=c_out * c_in * kernel,
+        input_elems=length * c_in,
+        output_elems=out_len * c_out,
+        macs=m * n * k,
+    )
+
+
+def matmul(
+    name: str,
+    m: int,
+    n: int,
+    k: int,
+    has_weights: bool = True,
+) -> LayerSpec:
+    """Dense matmul ``[m,k] x [k,n]``; the ``[k,n]`` operand is a static
+    weight when ``has_weights`` is true."""
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.MATMUL,
+        m=m,
+        n=n,
+        k=k,
+        weight_elems=k * n if has_weights else 0,
+        input_elems=m * k if has_weights else m * k + k * n,
+        output_elems=m * n,
+        macs=m * n * k,
+    )
+
+
+def attention_matmul(
+    name: str,
+    seq: int,
+    head_dim: int,
+    heads: int,
+    transposed: bool = False,
+) -> LayerSpec:
+    """Activation-activation matmul inside multi-head attention.
+
+    ``transposed=False`` is the Q @ K^T score computation
+    (``[seq, d] x [d, seq]`` per head); ``transposed=True`` is the
+    scores @ V computation (``[seq, seq] x [seq, d]`` per head).
+    Both operands are activations, so ``weight_elems`` is zero.
+    """
+    if transposed:
+        m, n, k = seq, head_dim, seq
+    else:
+        m, n, k = seq, seq, head_dim
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.ATTENTION,
+        m=m,
+        n=n,
+        k=k,
+        weight_elems=0,
+        input_elems=heads * (m * k + k * n),
+        output_elems=heads * m * n,
+        macs=heads * m * n * k,
+        groups=heads,
+    )
+
+
+def pool2d(
+    name: str,
+    h: int,
+    w: int,
+    channels: int,
+    kernel: int,
+    stride: int | None = None,
+) -> LayerSpec:
+    """Average/max pooling; no weights, one op per window element."""
+    if stride is None:
+        stride = kernel
+    oh = _out_dim(h, kernel, stride, 0)
+    ow = _out_dim(w, kernel, stride, 0)
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.POOL,
+        m=oh * ow,
+        n=channels,
+        k=kernel * kernel,
+        weight_elems=0,
+        input_elems=h * w * channels,
+        output_elems=oh * ow * channels,
+        macs=oh * ow * channels * kernel * kernel,
+    )
+
+
+def elementwise(name: str, elems: int, operands: int = 2) -> LayerSpec:
+    """Element-wise op (residual add, activation, layernorm, ...)."""
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.ELEMWISE,
+        m=elems,
+        n=1,
+        k=1,
+        weight_elems=0,
+        input_elems=elems * operands,
+        output_elems=elems,
+        macs=elems,
+    )

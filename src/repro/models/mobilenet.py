@@ -1,0 +1,82 @@
+"""MobileNet-v2 layer graph (Sandler et al., CVPR 2018) — Table I "MB."."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import ModelGraph, SkipEdge
+from .layers import LayerSpec, conv2d, dwconv2d, elementwise, matmul, pool2d
+
+#: (expansion t, output channels c, repeats n, stride s) — the paper's
+#: Table 2 inverted-residual configuration.
+_INVERTED_RESIDUALS = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def build_mobilenet_v2(input_size: int = 224) -> ModelGraph:
+    """Build the MobileNet-v2 graph.
+
+    Inverted residual blocks expand to 1x1 expand, 3x3 depth-wise, 1x1
+    project convolutions; blocks with stride 1 and matching channels carry a
+    residual skip edge.  The dominance of depth-wise layers and large
+    expanded activations makes this model the paper's best case for CaMDN's
+    layer-block mapping.
+    """
+    layers: List[LayerSpec] = []
+    skips: List[SkipEdge] = []
+
+    h = w = input_size
+    layers.append(conv2d("conv_stem", h, w, 3, 32, kernel=3, stride=2))
+    h = w = input_size // 2
+    c_in = 32
+
+    for stage_idx, (t, c, n, s) in enumerate(_INVERTED_RESIDUALS):
+        for block_idx in range(n):
+            stride = s if block_idx == 0 else 1
+            prefix = f"ir{stage_idx + 1}_{block_idx + 1}"
+            hidden = c_in * t
+            block_input_idx = len(layers) - 1
+            if t != 1:
+                layers.append(
+                    conv2d(f"{prefix}_expand", h, w, c_in, hidden,
+                           kernel=1, stride=1, padding=0)
+                )
+            layers.append(
+                dwconv2d(f"{prefix}_dw", h, w, hidden, kernel=3,
+                         stride=stride)
+            )
+            oh, ow = h // stride, w // stride
+            layers.append(
+                conv2d(f"{prefix}_project", oh, ow, hidden, c,
+                       kernel=1, stride=1, padding=0)
+            )
+            if stride == 1 and c_in == c:
+                layers.append(
+                    elementwise(f"{prefix}_add", oh * ow * c, operands=2)
+                )
+                skips.append(SkipEdge(block_input_idx, len(layers) - 1))
+            h, w = oh, ow
+            c_in = c
+
+    layers.append(
+        conv2d("conv_head", h, w, c_in, 1280, kernel=1, stride=1, padding=0)
+    )
+    layers.append(pool2d("avgpool", h, w, 1280, kernel=h))
+    layers.append(matmul("fc", 1, 1000, 1280))
+
+    return ModelGraph(
+        name="MobileNet-v2",
+        abbr="MB.",
+        layers=tuple(layers),
+        skip_edges=tuple(skips),
+        qos_target_ms=2.8,
+        domain="Computer Vision",
+        model_type="DwConv",
+    )

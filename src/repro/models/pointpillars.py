@@ -1,0 +1,79 @@
+"""PointPillars layer graph (Lang et al., CVPR 2019) — Table I "PP."."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import ModelGraph, SkipEdge
+from .layers import LayerSpec, conv2d, elementwise, matmul
+
+#: Backbone blocks: (num convs, channels, stride of first conv).
+_BACKBONE = ((4, 64, 2), (6, 128, 2), (6, 256, 2))
+
+#: Pseudo-image grid produced by pillar scatter (KITTI-style).
+_GRID_H, _GRID_W = 248, 216
+
+
+def build_pointpillars(num_pillars: int = 6000,
+                       points_per_pillar: int = 32) -> ModelGraph:
+    """Build the PointPillars graph.
+
+    The pillar feature network is a shared PointNet (9 -> 64 matmul over all
+    points); scatter forms a 496x432x64 pseudo-image; a three-block 2-D CNN
+    backbone with upsampling heads and SSD detection heads follows.
+    """
+    layers: List[LayerSpec] = []
+    skips: List[SkipEdge] = []
+
+    total_points = num_pillars * points_per_pillar
+    layers.append(matmul("pfn_linear", total_points, 64, 9))
+    layers.append(
+        elementwise("pillar_scatter", _GRID_H * _GRID_W * 64, operands=1)
+    )
+
+    h, w = _GRID_H, _GRID_W
+    c_in = 64
+    up_sources: List[int] = []
+    for block_idx, (num_convs, channels, first_stride) in \
+            enumerate(_BACKBONE):
+        for conv_idx in range(num_convs):
+            stride = first_stride if conv_idx == 0 else 1
+            layers.append(
+                conv2d(f"bb{block_idx + 1}_conv{conv_idx + 1}", h, w, c_in,
+                       channels, kernel=3, stride=stride)
+            )
+            h, w = h // stride, w // stride
+            c_in = channels
+        up_sources.append(len(layers) - 1)
+
+    # Upsampling heads: each backbone block output is deconvolved to the
+    # stride-2 resolution at 128 channels, then concatenated.
+    up_h, up_w = _GRID_H // 2, _GRID_W // 2
+    for i, src in enumerate(up_sources):
+        src_layer = layers[src]
+        # Transposed conv modeled as a conv at the upsampled resolution.
+        layers.append(
+            conv2d(f"up{i + 1}", up_h, up_w, src_layer.n, 128, kernel=3)
+        )
+        skips.append(SkipEdge(src, len(layers) - 1))
+    layers.append(
+        elementwise("concat", up_h * up_w * 128 * 3, operands=3)
+    )
+
+    head_c = 128 * 3
+    layers.append(conv2d("head_cls", up_h, up_w, head_c, 2 * 1,
+                         kernel=1, padding=0))
+    layers.append(conv2d("head_box", up_h, up_w, head_c, 2 * 7,
+                         kernel=1, padding=0))
+    layers.append(conv2d("head_dir", up_h, up_w, head_c, 2 * 2,
+                         kernel=1, padding=0))
+
+    return ModelGraph(
+        name="PointPillars",
+        abbr="PP.",
+        layers=tuple(layers),
+        skip_edges=tuple(skips),
+        qos_target_ms=100.0,
+        domain="Point Cloud",
+        model_type="Conv",
+    )

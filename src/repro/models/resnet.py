@@ -1,0 +1,77 @@
+"""ResNet50 layer graph (He et al., CVPR 2016) — paper Table I "RS."."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import ModelGraph, SkipEdge
+from .layers import LayerSpec, conv2d, elementwise, matmul, pool2d
+
+#: (num_blocks, base_channels, stride of first block) per stage.
+_STAGES = ((3, 64, 1), (4, 128, 2), (6, 256, 2), (3, 512, 2))
+_EXPANSION = 4
+
+
+def build_resnet50(input_size: int = 224) -> ModelGraph:
+    """Build the ResNet50 graph at ``input_size`` x ``input_size`` x 3.
+
+    Bottleneck blocks are expanded into their 1x1 / 3x3 / 1x1 convolutions
+    plus the residual add; each add carries a skip edge from the block input
+    (or the downsampling projection) so the reuse profiler sees the true
+    residual reuse distance.
+    """
+    layers: List[LayerSpec] = []
+    skips: List[SkipEdge] = []
+
+    h = w = input_size
+    layers.append(conv2d("conv1", h, w, 3, 64, kernel=7, stride=2))
+    h = w = input_size // 2
+    layers.append(pool2d("maxpool", h, w, 64, kernel=2, stride=2))
+    h = w = h // 2
+    c_in = 64
+
+    for stage_idx, (num_blocks, base, first_stride) in enumerate(_STAGES):
+        c_out = base * _EXPANSION
+        for block_idx in range(num_blocks):
+            stride = first_stride if block_idx == 0 else 1
+            prefix = f"s{stage_idx + 1}b{block_idx + 1}"
+            # Identity (or projection) source for the residual add.
+            if c_in != c_out or stride != 1:
+                layers.append(
+                    conv2d(f"{prefix}_proj", h, w, c_in, c_out,
+                           kernel=1, stride=stride, padding=0)
+                )
+            identity_idx = len(layers) - 1
+            layers.append(
+                conv2d(f"{prefix}_conv1", h, w, c_in, base,
+                       kernel=1, stride=1, padding=0)
+            )
+            layers.append(
+                conv2d(f"{prefix}_conv2", h, w, base, base,
+                       kernel=3, stride=stride)
+            )
+            oh = h // stride
+            ow = w // stride
+            layers.append(
+                conv2d(f"{prefix}_conv3", oh, ow, base, c_out,
+                       kernel=1, stride=1, padding=0)
+            )
+            layers.append(
+                elementwise(f"{prefix}_add", oh * ow * c_out, operands=2)
+            )
+            skips.append(SkipEdge(identity_idx, len(layers) - 1))
+            h, w = oh, ow
+            c_in = c_out
+
+    layers.append(pool2d("avgpool", h, w, c_in, kernel=h))
+    layers.append(matmul("fc", 1, 1000, c_in))
+
+    return ModelGraph(
+        name="ResNet50",
+        abbr="RS.",
+        layers=tuple(layers),
+        skip_edges=tuple(skips),
+        qos_target_ms=6.7,
+        domain="Computer Vision",
+        model_type="Conv",
+    )

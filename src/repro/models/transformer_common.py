@@ -1,0 +1,81 @@
+"""Shared transformer encoder-block construction.
+
+ViT-base-16, BERT-base and Wav2Vec2-base all use the same encoder block
+(pre/post-norm differences do not affect the memory system); this module
+builds one block as explicit GEMMs plus attention matmuls and residual adds,
+wiring skip edges for the two residual connections per block.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .graph import SkipEdge
+from .layers import LayerSpec, attention_matmul, elementwise, matmul
+
+
+def append_encoder_block(
+    layers: List[LayerSpec],
+    skips: List[SkipEdge],
+    prefix: str,
+    seq: int,
+    d_model: int,
+    heads: int,
+    d_ff: int,
+) -> None:
+    """Append one transformer encoder block to ``layers`` in place.
+
+    The block is lowered to:
+
+    * QKV projection     — matmul [seq, d] x [d, 3d]
+    * attention scores   — per-head [seq, hd] x [hd, seq]
+    * attention output   — per-head [seq, seq] x [seq, hd]
+    * output projection  — matmul [seq, d] x [d, d]  (+ residual add)
+    * FFN up / down      — matmuls [seq, d]x[d, ff] and [seq, ff]x[ff, d]
+      (+ residual add)
+    """
+    head_dim = d_model // heads
+    attn_input_idx = len(layers) - 1
+    layers.append(matmul(f"{prefix}_qkv", seq, 3 * d_model, d_model))
+    layers.append(
+        attention_matmul(f"{prefix}_scores", seq, head_dim, heads)
+    )
+    layers.append(
+        attention_matmul(f"{prefix}_context", seq, head_dim, heads,
+                         transposed=True)
+    )
+    layers.append(matmul(f"{prefix}_proj", seq, d_model, d_model))
+    layers.append(
+        elementwise(f"{prefix}_add_attn", seq * d_model, operands=2)
+    )
+    if attn_input_idx >= 0:
+        skips.append(SkipEdge(attn_input_idx, len(layers) - 1))
+    ffn_input_idx = len(layers) - 1
+    layers.append(matmul(f"{prefix}_ffn_up", seq, d_ff, d_model))
+    layers.append(matmul(f"{prefix}_ffn_down", seq, d_model, d_ff))
+    layers.append(
+        elementwise(f"{prefix}_add_ffn", seq * d_model, operands=2)
+    )
+    skips.append(SkipEdge(ffn_input_idx, len(layers) - 1))
+
+
+def encoder_stack(
+    prefix: str,
+    num_blocks: int,
+    seq: int,
+    d_model: int,
+    heads: int,
+    d_ff: int,
+    layers: List[LayerSpec] | None = None,
+    skips: List[SkipEdge] | None = None,
+) -> Tuple[List[LayerSpec], List[SkipEdge]]:
+    """Build ``num_blocks`` encoder blocks, continuing existing lists."""
+    if layers is None:
+        layers = []
+    if skips is None:
+        skips = []
+    for i in range(num_blocks):
+        append_encoder_block(
+            layers, skips, f"{prefix}{i + 1}", seq, d_model, heads, d_ff
+        )
+    return layers, skips

@@ -1,0 +1,38 @@
+"""ViT-base-16 layer graph (Dosovitskiy et al., ICLR 2021) — Table I "VT."."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import ModelGraph, SkipEdge
+from .layers import LayerSpec, matmul
+from .transformer_common import encoder_stack
+
+
+def build_vit_base_16(input_size: int = 224) -> ModelGraph:
+    """Build the ViT-base-16 graph.
+
+    Patch embedding is the 16x16 stride-16 convolution lowered to a matmul
+    over ``(input_size/16)^2`` patches; 12 encoder blocks at d=768, 12 heads,
+    FFN 3072; classification head on the CLS token.
+    """
+    patches = (input_size // 16) ** 2
+    seq = patches + 1  # CLS token
+    d_model, heads, d_ff, blocks = 768, 12, 3072, 12
+
+    layers: List[LayerSpec] = [
+        matmul("patch_embed", patches, d_model, 16 * 16 * 3)
+    ]
+    skips: List[SkipEdge] = []
+    encoder_stack("enc", blocks, seq, d_model, heads, d_ff, layers, skips)
+    layers.append(matmul("head", 1, 1000, d_model))
+
+    return ModelGraph(
+        name="ViT-base-16",
+        abbr="VT.",
+        layers=tuple(layers),
+        skip_edges=tuple(skips),
+        qos_target_ms=40.0,
+        domain="Computer Vision",
+        model_type="Trans",
+    )

@@ -1,0 +1,57 @@
+"""Wav2Vec2-base layer graph (Baevski et al., NeurIPS 2020) — Table I "WV."."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import ModelGraph, SkipEdge
+from .layers import LayerSpec, conv1d, matmul
+from .transformer_common import encoder_stack
+
+#: Feature-extractor conv1d stack: (channels, kernel, stride).
+_FEATURE_CONVS = (
+    (512, 10, 5),
+    (512, 3, 2),
+    (512, 3, 2),
+    (512, 3, 2),
+    (512, 3, 2),
+    (512, 2, 2),
+    (512, 2, 2),
+)
+
+
+def build_wav2vec2_base(audio_seconds: float = 1.0,
+                        sample_rate: int = 16000) -> ModelGraph:
+    """Build the Wav2Vec2-base graph for ``audio_seconds`` of audio.
+
+    The raw waveform passes through seven strided 1-D convolutions
+    (downsampling by 320x) and a linear feature projection, then 12
+    transformer encoder blocks at d=768.
+    """
+    layers: List[LayerSpec] = []
+    skips: List[SkipEdge] = []
+
+    length = int(audio_seconds * sample_rate)
+    c_in = 1
+    for i, (c_out, kernel, stride) in enumerate(_FEATURE_CONVS):
+        layers.append(
+            conv1d(f"feat_conv{i + 1}", length, c_in, c_out, kernel,
+                   stride=stride)
+        )
+        length = (length - kernel) // stride + 1
+        c_in = c_out
+
+    d_model, heads, d_ff, blocks = 768, 12, 3072, 12
+    layers.append(matmul("feat_proj", length, d_model, c_in))
+    encoder_stack("enc", blocks, length, d_model, heads, d_ff, layers, skips)
+    layers.append(matmul("final_proj", length, 256, d_model))
+
+    return ModelGraph(
+        name="Wav2Vec2-base",
+        abbr="WV.",
+        layers=tuple(layers),
+        skip_edges=tuple(skips),
+        qos_target_ms=16.7,
+        domain="Audio Processing",
+        model_type="Trans",
+    )

@@ -1,0 +1,81 @@
+"""Benchmark model registry (paper Table I).
+
+========================  =====  ======  =======
+Model                     Abbr.  Type    QoS(ms)
+========================  =====  ======  =======
+ResNet50                  RS.    Conv    6.7
+MobileNet-v2              MB.    DwConv  2.8
+EfficientNet-b0           EF.    DwConv  2.8
+ViT-base-16               VT.    Trans   40.0
+BERT-base                 BE.    Trans   40.0
+GNMT                      GN.    LSTM    6.7
+Wav2Vec2-base             WV.    Trans   16.7
+PointPillars              PP.    Conv    100.0
+========================  =====  ======  =======
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, List
+
+from ..errors import ModelGraphError
+from .bert import build_bert_base
+from .efficientnet import build_efficientnet_b0
+from .gnmt import build_gnmt
+from .graph import ModelGraph
+from .mobilenet import build_mobilenet_v2
+from .pointpillars import build_pointpillars
+from .resnet import build_resnet50
+from .vit import build_vit_base_16
+from .wav2vec2 import build_wav2vec2_base
+
+#: Table I model order, keyed by paper abbreviation.
+MODEL_BUILDERS: Dict[str, Callable[[], ModelGraph]] = {
+    "RS.": build_resnet50,
+    "MB.": build_mobilenet_v2,
+    "EF.": build_efficientnet_b0,
+    "VT.": build_vit_base_16,
+    "BE.": build_bert_base,
+    "GN.": build_gnmt,
+    "WV.": build_wav2vec2_base,
+    "PP.": build_pointpillars,
+}
+
+#: Paper Table I abbreviations in presentation order.
+BENCHMARK_MODELS = tuple(MODEL_BUILDERS)
+
+#: Paper Table I QoS latency targets in milliseconds.
+QOS_TARGETS_MS: Dict[str, float] = {
+    "RS.": 6.7,
+    "MB.": 2.8,
+    "EF.": 2.8,
+    "VT.": 40.0,
+    "BE.": 40.0,
+    "GN.": 6.7,
+    "WV.": 16.7,
+    "PP.": 100.0,
+}
+
+
+@functools.lru_cache(maxsize=None)
+def build_model(key: str) -> ModelGraph:
+    """Build (and cache) a benchmark model by abbreviation or full name.
+
+    Raises:
+        ModelGraphError: ``key`` names no benchmark model.
+    """
+    if key in MODEL_BUILDERS:
+        return MODEL_BUILDERS[key]()
+    for abbr, builder in MODEL_BUILDERS.items():
+        graph = builder()
+        if graph.name == key:
+            return graph
+    raise ModelGraphError(
+        f"unknown model {key!r}; known: {sorted(MODEL_BUILDERS)}"
+    )
+
+
+def load_benchmark_suite() -> List[ModelGraph]:
+    """Return all eight Table I models in paper order."""
+    return [build_model(abbr) for abbr in BENCHMARK_MODELS]

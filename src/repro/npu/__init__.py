@@ -1,0 +1,17 @@
+"""NPU substrate: systolic-array timing, scratchpad, DMA and core models."""
+
+from .systolic import SystolicModel, compute_cycles
+from .scratchpad import Scratchpad, ScratchpadSegment
+from .dma import DMAEngine, DMARequest, DMAOp
+from .npu_core import NPUCore
+
+__all__ = [
+    "SystolicModel",
+    "compute_cycles",
+    "Scratchpad",
+    "ScratchpadSegment",
+    "DMAEngine",
+    "DMARequest",
+    "DMAOp",
+    "NPUCore",
+]

@@ -1,0 +1,129 @@
+"""NPU DMA: turns cache-map entries into NEC request streams.
+
+The DMA engine is the NPU-side client of the NEC dual interface (Figure
+5(a)): given a mapping candidate's cache map, it synthesizes the per-line
+request stream — cached tensors translate vcaddrs through the NPU's CPT,
+bypassed tensors go straight to memory with bypass semantics, and
+multi-core groups use multicast variants.
+
+``DMAOp`` is the NPU-visible request vocabulary; it is deliberately a thin
+alias of :class:`~repro.core.nec.NECOp` so tests can assert the exact
+semantics each tensor uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..config import CacheConfig
+from ..core.cpt import CachePageTable
+from ..core.mct import CacheMapEntry
+from ..core.nec import NECOp, NECRequest
+from ..errors import CacheAddressError
+
+#: NPU-visible operation vocabulary (alias of the NEC semantics).
+DMAOp = NECOp
+
+
+@dataclass(frozen=True)
+class DMARequest:
+    """One line-granular DMA descriptor before NEC routing.
+
+    Attributes:
+        op: requested semantic.
+        vcaddr: virtual cache address (cached ops) or ``None``.
+        mem_addr: memory line address (DRAM-touching ops) or ``None``.
+        data: payload for writes.
+        group_size: multicast group size.
+    """
+
+    op: DMAOp
+    vcaddr: Optional[int] = None
+    mem_addr: Optional[int] = None
+    data: Optional[int] = None
+    group_size: int = 1
+
+
+class DMAEngine:
+    """Synthesizes and issues NEC request streams for one NPU."""
+
+    def __init__(self, cache: CacheConfig, cpt: CachePageTable) -> None:
+        self.cache = cache
+        self.cpt = cpt
+
+    # ------------------------------------------------------------------
+
+    def requests_for_entry(
+        self,
+        entry: CacheMapEntry,
+        mem_base_line: int,
+        load: bool,
+        group_size: int = 1,
+    ) -> Iterator[DMARequest]:
+        """Yield the line requests moving one cache-map tensor.
+
+        Args:
+            entry: the tensor's cache-map row.
+            mem_base_line: the tensor's base line address in DRAM.
+            load: True to move data toward the NPU, False to store results.
+            group_size: NPUs sharing the data (>1 selects multicast reads).
+        """
+        line = self.cache.line_bytes
+        if entry.bypass:
+            num_lines = 1  # bypassed rows carry no size; callers set count
+            op = self._bypass_op(load, group_size)
+            for i in range(num_lines):
+                yield DMARequest(
+                    op=op,
+                    mem_addr=mem_base_line + i,
+                    data=0 if not load else None,
+                    group_size=group_size,
+                )
+            return
+        num_lines = max(1, entry.size // line)
+        for i in range(num_lines):
+            vcaddr = entry.vcaddr + i * line
+            if load:
+                op = (
+                    DMAOp.MULTICAST_READ if group_size > 1
+                    else DMAOp.READ_LINE
+                )
+                yield DMARequest(op=op, vcaddr=vcaddr,
+                                 group_size=group_size)
+            else:
+                yield DMARequest(op=DMAOp.WRITE_LINE, vcaddr=vcaddr, data=0)
+
+    @staticmethod
+    def _bypass_op(load: bool, group_size: int) -> DMAOp:
+        if load:
+            return (
+                DMAOp.MULTICAST_BYPASS_READ if group_size > 1
+                else DMAOp.BYPASS_READ
+            )
+        return DMAOp.BYPASS_WRITE
+
+    # ------------------------------------------------------------------
+
+    def to_nec_request(self, request: DMARequest) -> NECRequest:
+        """Translate a DMA descriptor into a routed NEC request."""
+        paddr = None
+        if request.vcaddr is not None:
+            paddr = self.cpt.translate(request.vcaddr)
+        if request.vcaddr is None and request.mem_addr is None:
+            raise CacheAddressError("DMA request with no address")
+        return NECRequest(
+            op=request.op,
+            paddr=paddr,
+            mem_addr=request.mem_addr,
+            data=request.data,
+            group_size=request.group_size,
+        )
+
+    def issue(self, requests: List[DMARequest], fabric) -> List[tuple]:
+        """Issue descriptors through an :class:`~repro.core.nec.NECFabric`;
+        returns each read's delivered values (write ops yield ``None``)."""
+        results = []
+        for request in requests:
+            results.append(fabric.handle(self.to_nec_request(request)))
+        return results

@@ -1,0 +1,63 @@
+"""NPU core: PE array + scratchpad + CPT + DMA behind one object.
+
+The core is the unit the runtime dispatches tasks to.  It owns the
+hardware CPT (one per NPU, Section III-B3) and a DMA engine bound to it,
+plus busy/assignment state the multi-tenant scheduler manipulates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SoCConfig
+from ..core.cpt import CachePageTable
+from ..errors import SimulationError
+from .dma import DMAEngine
+from .scratchpad import Scratchpad
+from .systolic import SystolicModel
+
+
+class NPUCore:
+    """One NPU core of the SoC."""
+
+    def __init__(self, core_id: int, soc: SoCConfig) -> None:
+        self.core_id = core_id
+        self.soc = soc
+        self.systolic = SystolicModel(soc.npu)
+        self.scratchpad = Scratchpad(soc.npu.scratchpad_bytes)
+        self.cpt = CachePageTable(soc.cache)
+        self.dma = DMAEngine(soc.cache, self.cpt)
+        self._task_id: Optional[str] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._task_id is not None
+
+    @property
+    def task_id(self) -> Optional[str]:
+        return self._task_id
+
+    def assign(self, task_id: str) -> None:
+        """Bind a task to this core.
+
+        Raises:
+            SimulationError: the core is already running another task.
+        """
+        if self._task_id is not None and self._task_id != task_id:
+            raise SimulationError(
+                f"core {self.core_id} busy with {self._task_id}"
+            )
+        self._task_id = task_id
+
+    def release(self) -> None:
+        """Unbind the current task and clear per-task state."""
+        self._task_id = None
+        self.scratchpad.reset()
+
+    def adopt_region_cpt(self, cpt: CachePageTable) -> None:
+        """Point this core's address translation at a model region's CPT
+        (the "modify CPT" step after a successful page request)."""
+        self.cpt = cpt
+        self.dma = DMAEngine(self.soc.cache, cpt)

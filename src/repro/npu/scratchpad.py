@@ -1,0 +1,104 @@
+"""Private NPU scratchpad model (Table II: 256 KiB per core).
+
+The scratchpad is software-managed: the layer mapper reserves named
+segments for weight, input and output tiles.  This module provides a simple
+first-fit segment allocator so mapping candidates can be validated against
+the real capacity constraint and integration tests can exercise
+allocate/free cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError, MappingError
+
+
+@dataclass(frozen=True)
+class ScratchpadSegment:
+    """A reserved region of scratchpad.
+
+    Attributes:
+        name: segment label (e.g. ``"weight_tile"``).
+        offset: byte offset inside the scratchpad.
+        size: segment size in bytes.
+    """
+
+    name: str
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+class Scratchpad:
+    """First-fit segment allocator over a fixed-capacity scratchpad."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigError("scratchpad capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._segments: Dict[str, ScratchpadSegment] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        """Total bytes currently reserved."""
+        return sum(seg.size for seg in self._segments.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Total bytes not reserved (may be fragmented)."""
+        return self.capacity_bytes - self.used_bytes
+
+    def segments(self) -> List[ScratchpadSegment]:
+        """Current segments sorted by offset."""
+        return sorted(self._segments.values(), key=lambda s: s.offset)
+
+    def allocate(self, name: str, size: int) -> ScratchpadSegment:
+        """Reserve ``size`` bytes under ``name`` (first fit).
+
+        Raises:
+            MappingError: the name is taken or no gap is large enough.
+        """
+        if size <= 0:
+            raise MappingError(f"segment {name!r}: size must be positive")
+        if name in self._segments:
+            raise MappingError(f"segment {name!r} already allocated")
+        offset = 0
+        for seg in self.segments():
+            if seg.offset - offset >= size:
+                break
+            offset = seg.end
+        if offset + size > self.capacity_bytes:
+            raise MappingError(
+                f"segment {name!r} ({size} B) does not fit; "
+                f"{self.free_bytes} B free of {self.capacity_bytes}"
+            )
+        segment = ScratchpadSegment(name, offset, size)
+        self._segments[name] = segment
+        return segment
+
+    def free(self, name: str) -> None:
+        """Release the segment named ``name``.
+
+        Raises:
+            MappingError: no such segment.
+        """
+        if name not in self._segments:
+            raise MappingError(f"segment {name!r} is not allocated")
+        del self._segments[name]
+
+    def get(self, name: str) -> Optional[ScratchpadSegment]:
+        """Look up a segment by name (``None`` if absent)."""
+        return self._segments.get(name)
+
+    def reset(self) -> None:
+        """Release every segment (layer boundary)."""
+        self._segments.clear()
+
+    def fits(self, *sizes: int) -> bool:
+        """Would segments of the given sizes fit in an empty scratchpad?"""
+        return sum(sizes) <= self.capacity_bytes

@@ -1,0 +1,39 @@
+"""Scheduling policies: prior-work baselines and the two CaMDN variants."""
+
+from .base import SchedulerPolicy
+from .shared_baseline import SharedCacheBaseline
+from .moca import MoCAScheduler
+from .aurora import AuRORAScheduler
+from .camdn_hw import CaMDNHWOnlyScheduler
+from .camdn_full import CaMDNFullScheduler
+
+__all__ = [
+    "SchedulerPolicy",
+    "SharedCacheBaseline",
+    "MoCAScheduler",
+    "AuRORAScheduler",
+    "CaMDNHWOnlyScheduler",
+    "CaMDNFullScheduler",
+]
+
+
+def make_scheduler(name: str, **kwargs) -> SchedulerPolicy:
+    """Build a scheduler by its paper name.
+
+    Accepted names: ``"baseline"``, ``"moca"``, ``"aurora"``,
+    ``"camdn-hw"``, ``"camdn-full"``.
+    """
+    registry = {
+        "baseline": SharedCacheBaseline,
+        "moca": MoCAScheduler,
+        "aurora": AuRORAScheduler,
+        "camdn-hw": CaMDNHWOnlyScheduler,
+        "camdn-full": CaMDNFullScheduler,
+    }
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; known: {sorted(registry)}"
+        ) from None
+    return cls(**kwargs)

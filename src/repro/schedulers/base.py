@@ -1,0 +1,150 @@
+"""Scheduler policy interface.
+
+A policy answers four questions for the fluid engine:
+
+1. how many cores an arriving inference gets (``cores_for``);
+2. what executing one layer costs (``begin_layer`` — compute cycles and
+   DRAM bytes, possibly after waiting for cache pages);
+3. how the DRAM bandwidth splits across running tasks
+   (``bandwidth_shares``);
+4. what bookkeeping happens at layer/inference boundaries
+   (``on_layer_end`` / ``on_task_end``).
+
+``begin_layer`` may return ``(None, timeout)`` meaning the task must wait
+for cache pages; the engine then calls ``poll_layer`` whenever pages might
+have been freed and ``timeout_layer`` when the wait budget expires
+(the downgrade path of Figure 6).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, Optional, Tuple
+
+from ..config import SoCConfig
+from ..npu.systolic import SystolicModel
+from ..sim.task import LayerWork, TaskInstance
+
+#: Added speedup per extra core when a model spans multiple NPUs
+#: (sub-linear, matching AuRORA's reported fission efficiency).
+PARALLEL_EFFICIENCY = 0.85
+
+
+class SchedulerPolicy(abc.ABC):
+    """Base class for all scheduling policies."""
+
+    #: Paper-facing policy name (overridden by subclasses).
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.soc: Optional[SoCConfig] = None
+        self.systolic: Optional[SystolicModel] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def attach(self, soc: SoCConfig) -> None:
+        """Bind the policy to an SoC before a simulation run."""
+        self.soc = soc
+        self.systolic = SystolicModel(soc.npu)
+
+    def cores_for(self, instance: TaskInstance, free_cores: int) -> int:
+        """Cores granted to an arriving inference (default: one)."""
+        return 1
+
+    def on_task_start(self, instance: TaskInstance, now: float) -> None:
+        """An inference acquired its core(s) and is about to map layers."""
+
+    # ------------------------------------------------------------------
+    # Layer protocol
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def begin_layer(self, instance: TaskInstance, now: float
+                    ) -> Tuple[Optional[LayerWork], float]:
+        """Cost of the instance's current layer, or ``(None, timeout)`` to
+        wait for cache pages."""
+
+    def poll_layer(self, instance: TaskInstance, now: float
+                   ) -> Tuple[Optional[LayerWork], float]:
+        """Re-attempt a waiting layer after pages may have been freed
+        (no downgrade).  Default: re-run ``begin_layer``."""
+        return self.begin_layer(instance, now)
+
+    def timeout_layer(self, instance: TaskInstance, now: float
+                      ) -> Tuple[Optional[LayerWork], float]:
+        """The wait budget expired; policies with degradable requests
+        downgrade here.  Default: retry as a poll."""
+        return self.begin_layer(instance, now)
+
+    def on_layer_end(self, instance: TaskInstance, now: float) -> None:
+        """The instance finished its current layer."""
+
+    def on_task_end(self, instance: TaskInstance, now: float) -> None:
+        """The instance finished its last layer and releases its cores."""
+
+    # ------------------------------------------------------------------
+    # Bandwidth
+    # ------------------------------------------------------------------
+
+    def dram_efficiency(self, instance: TaskInstance,
+                        num_running: int) -> float:
+        """Fraction of the allocated DRAM bandwidth actually sustained.
+
+        Real DRAM delivers its peak only to row-buffer-friendly streams.
+        A transparent cache turns tenant traffic into scattered 64 B demand
+        misses whose interleaving across tenants destroys row locality —
+        the latency amplification the paper's DRAMsim3 backend exhibits and
+        the reason latency reductions in Figure 8 (34-42 %) exceed traffic
+        reductions (16-38 %).  Policies override this with their achievable
+        efficiency; the default is ideal (1.0).
+        """
+        return 1.0
+
+    def bandwidth_shares(self, running: Dict[str, TaskInstance],
+                         now: float) -> Dict[str, float]:
+        """Fractional DRAM bandwidth per running instance (sums <= 1).
+
+        Default: equal split.
+        """
+        if not running:
+            return {}
+        share = 1.0 / len(running)
+        return {instance_id: share for instance_id in running}
+
+    # ------------------------------------------------------------------
+    # Helpers shared by concrete policies
+    # ------------------------------------------------------------------
+
+    def compute_cycles(self, instance: TaskInstance) -> float:
+        """Cycles of the current layer on the instance's core group."""
+        layer = instance.graph.layers[instance.layer_index]
+        cycles = self.systolic.layer_cycles(layer)
+        if instance.cores > 1:
+            speedup = 1.0 + PARALLEL_EFFICIENCY * (instance.cores - 1)
+            cycles = cycles / speedup
+        return float(cycles)
+
+    def slack_of(self, instance: TaskInstance, now: float,
+                 est_total_latency_s: float) -> float:
+        """Normalized QoS slack used by slack-aware policies.
+
+        Positive: ahead of the deadline; negative: behind.
+        """
+        if math.isinf(instance.qos_target_s):
+            return 1.0
+        progress = (
+            instance.layer_index / max(instance.num_layers, 1)
+        )
+        expected_finish = instance.arrival_time + (
+            est_total_latency_s * (1.0 - progress)
+        ) + (now - instance.arrival_time)
+        slack = instance.arrival_time + instance.qos_target_s \
+            - expected_finish
+        return slack / instance.qos_target_s
+
+    def stats(self) -> Dict[str, float]:
+        """Policy-specific counters for reports (default: none)."""
+        return {}

@@ -1,0 +1,199 @@
+"""Shared machinery of the two CaMDN scheduler variants.
+
+Both variants drive a :class:`~repro.core.camdn.CaMDNSystem` through the
+engine's layer protocol; they differ only in the system mode (``full`` vs
+``hw_only``) and in the optional AuRORA-style QoS integration (the paper's
+Figure 9 configuration gives CaMDN the same bandwidth and NPU allocation
+algorithms as AuRORA).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from ..config import SoCConfig
+from ..core.camdn import CaMDNSystem, LayerGrant
+from ..memory.bwalloc import DemandProportionalPolicy, SlackWeightedPolicy
+from ..sim.task import LayerWork, TaskInstance
+from .base import SchedulerPolicy
+from .moca import _est_isolated_latency_s
+
+#: With multicast, extra cores add only a small per-core control traffic
+#: overhead instead of replicating tensors.
+MULTICAST_TRAFFIC_OVERHEAD = 0.05
+
+#: NEC transfers are explicit bulk streams (whole tiles/pages in order), so
+#: they sustain near-peak DRAM efficiency regardless of tenant count.
+CAMDN_DRAM_EFFICIENCY = 0.92
+
+
+class CaMDNSchedulerBase(SchedulerPolicy):
+    """Engine adapter around :class:`CaMDNSystem`."""
+
+    #: CaMDN system mode; overridden by subclasses.
+    mode = "full"
+
+    def __init__(self, qos_mode: bool = False, urgency: float = 3.0,
+                 floor: float = 0.02,
+                 usage_levels: Optional[tuple] = None,
+                 lbm_occupancy_fraction: Optional[float] = None) -> None:
+        super().__init__()
+        self.qos_mode = qos_mode
+        self._bw_policy = SlackWeightedPolicy(urgency=urgency, floor=floor)
+        self._demand_policy = DemandProportionalPolicy(floor=floor)
+        self.usage_levels = usage_levels
+        self.lbm_occupancy_fraction = lbm_occupancy_fraction
+        self.system: Optional[CaMDNSystem] = None
+        self._grants: Dict[str, LayerGrant] = {}
+        self._timeouts = 0
+        self._lbm_layers = 0
+
+    def attach(self, soc: SoCConfig) -> None:
+        super().attach(soc)
+        mapper = None
+        if self.usage_levels is not None or \
+                self.lbm_occupancy_fraction is not None:
+            from ..core.mapper.layer_mapper import LayerMapper
+
+            kwargs = {}
+            if self.usage_levels is not None:
+                kwargs["usage_levels"] = tuple(self.usage_levels)
+            if self.lbm_occupancy_fraction is not None:
+                kwargs["lbm_occupancy_fraction"] = \
+                    self.lbm_occupancy_fraction
+            mapper = LayerMapper(soc, **kwargs)
+        self.system = CaMDNSystem(soc, mode=self.mode, mapper=mapper)
+        self._grants = {}
+        self._timeouts = 0
+        self._lbm_layers = 0
+
+    # ------------------------------------------------------------------
+    # Core allocation (AuRORA-compatible in QoS mode)
+    # ------------------------------------------------------------------
+
+    def cores_for(self, instance: TaskInstance, free_cores: int) -> int:
+        if not self.qos_mode or free_cores < 2:
+            return 1
+        if instance.qos_target_s == float("inf"):
+            return 1
+        est = _est_isolated_latency_s(
+            instance.graph,
+            self.soc.npu.frequency_hz,
+            self.soc.npu.macs_per_cycle,
+            self.soc.dram.total_bandwidth_bytes_per_s,
+            self.soc.dtype_bytes,
+        )
+        if est > 0.7 * instance.qos_target_s:
+            return min(2, free_cores)
+        return 1
+
+    # ------------------------------------------------------------------
+    # Layer protocol
+    # ------------------------------------------------------------------
+
+    def on_task_start(self, instance: TaskInstance, now: float) -> None:
+        self.system.admit_task(instance.instance_id, instance.graph)
+
+    def begin_layer(self, instance: TaskInstance, now: float
+                    ) -> Tuple[Optional[LayerWork], float]:
+        grant = self.system.begin_layer(
+            instance.instance_id, instance.layer_index, now
+        )
+        return self._grant_to_work(instance, grant)
+
+    def poll_layer(self, instance: TaskInstance, now: float
+                   ) -> Tuple[Optional[LayerWork], float]:
+        # Re-select with fresh predictions; pages may have been freed.
+        grant = self.system.begin_layer(
+            instance.instance_id, instance.layer_index, now
+        )
+        return self._grant_to_work(instance, grant)
+
+    def timeout_layer(self, instance: TaskInstance, now: float
+                      ) -> Tuple[Optional[LayerWork], float]:
+        self._timeouts += 1
+        last = self._grants[instance.instance_id]
+        grant = self.system.retry_layer(
+            instance.instance_id, instance.layer_index, last
+        )
+        return self._grant_to_work(instance, grant)
+
+    def on_layer_end(self, instance: TaskInstance, now: float) -> None:
+        self.system.finish_layer(
+            instance.instance_id, instance.layer_index, now
+        )
+
+    def on_task_end(self, instance: TaskInstance, now: float) -> None:
+        self.system.retire_task(instance.instance_id, now)
+        self._grants.pop(instance.instance_id, None)
+
+    # ------------------------------------------------------------------
+
+    def _grant_to_work(self, instance: TaskInstance, grant: LayerGrant
+                       ) -> Tuple[Optional[LayerWork], float]:
+        self._grants[instance.instance_id] = grant
+        if not grant.granted:
+            timeout = grant.wait_timeout_s
+            if math.isinf(timeout):
+                # Defensive: never hand the engine an unbounded wait.
+                timeout = max(
+                    self.system.mapper.map_model(instance.graph)
+                    .mcts[instance.layer_index].est_latency_s * 0.2,
+                    1e-6,
+                )
+            return None, timeout
+        candidate = grant.decision.candidate
+        if candidate.kind == "LBM":
+            self._lbm_layers += 1
+        dram = candidate.dram_bytes
+        if instance.cores > 1:
+            # Multicast combines the per-core identical reads.
+            dram *= 1.0 + MULTICAST_TRAFFIC_OVERHEAD * \
+                (instance.cores - 1)
+        work = LayerWork(
+            compute_cycles=self.compute_cycles(instance),
+            dram_bytes=dram,
+        )
+        return work, 0.0
+
+    # ------------------------------------------------------------------
+
+    def dram_efficiency(self, instance: TaskInstance,
+                        num_running: int) -> float:
+        return CAMDN_DRAM_EFFICIENCY
+
+    def bandwidth_shares(self, running: Dict[str, TaskInstance],
+                         now: float) -> Dict[str, float]:
+        """Demand-proportional shares by default (bandwidth allocation is
+        orthogonal to CaMDN and the baselines also manage it); AuRORA's
+        slack-weighted allocation in QoS mode (the Figure 9 integration).
+        """
+        if not running:
+            return {}
+        demands = {}
+        for iid, inst in running.items():
+            compute_s = max(
+                inst.rem_compute_cycles / self.soc.npu.frequency_hz, 1e-9
+            )
+            demands[iid] = max(inst.rem_dram_bytes, 1.0) / compute_s
+        if not self.qos_mode:
+            return dict(self._demand_policy.allocate(demands).shares)
+        slacks = {}
+        for iid, inst in running.items():
+            est = _est_isolated_latency_s(
+                inst.graph,
+                self.soc.npu.frequency_hz,
+                self.soc.npu.macs_per_cycle,
+                self.soc.dram.total_bandwidth_bytes_per_s,
+                self.soc.dtype_bytes,
+            )
+            slacks[iid] = self.slack_of(inst, now, est)
+        allocation = self._bw_policy.allocate(demands, slacks)
+        return dict(allocation.shares)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "timeouts": float(self._timeouts),
+            "lbm_layers": float(self._lbm_layers),
+        }

@@ -1,0 +1,18 @@
+"""CaMDN(Full): the complete architecture-scheduling co-design.
+
+Cache-aware mapping candidates + Algorithm 1 dynamic allocation over
+model-exclusive, NPU-controlled regions.  In QoS mode the policy also runs
+AuRORA's bandwidth and NPU allocation (the paper's Figure 9 setup), with
+multicast keeping multi-core traffic flat.
+"""
+
+from __future__ import annotations
+
+from .camdn_common import CaMDNSchedulerBase
+
+
+class CaMDNFullScheduler(CaMDNSchedulerBase):
+    """Dynamic cache allocation over the CaMDN architecture."""
+
+    name = "camdn-full"
+    mode = "full"

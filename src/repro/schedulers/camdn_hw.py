@@ -1,0 +1,19 @@
+"""CaMDN(HW-only): the architecture without dynamic cache scheduling.
+
+The paper's ablation (Figure 7): model-exclusive NPU-controlled regions
+exist, but cache capacity is split *equally* among active NPUs and never
+adjusted at runtime.  The gap between this variant and CaMDN(Full)
+quantifies the contribution of cache-aware mapping selection plus
+Algorithm 1 (an average 1.18x per the paper).
+"""
+
+from __future__ import annotations
+
+from .camdn_common import CaMDNSchedulerBase
+
+
+class CaMDNHWOnlyScheduler(CaMDNSchedulerBase):
+    """Static equal cache regions over the CaMDN architecture."""
+
+    name = "camdn-hw"
+    mode = "hw_only"

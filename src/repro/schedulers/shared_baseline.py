@@ -1,0 +1,134 @@
+"""Unmanaged shared-cache baseline (the Section II-C motivation setup).
+
+Every tenant's traffic flows through the transparent shared cache; nothing
+partitions bandwidth or cache.  This is the configuration behind Figure 2:
+hit rate collapses and memory access grows as tenants are added.
+
+Traffic model: a layer's cache-level accesses are its compulsory tensor
+fetches *plus* the scratchpad-tiling refetch traffic.  The refetch volume
+comes from the same zero-cache-budget mapping the CaMDN compiler produces
+(identical tiling hardware), but where CaMDN retains refetched data in an
+exclusive region, the baseline trusts the transparent cache: refetches have
+short reuse distances (the layer's working set) and hit when the machine is
+lightly loaded, then spill to DRAM as co-tenants inflate stack distances —
+the mechanism behind Figure 2's memory-access growth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..cache.transparent import (
+    AccessSegment,
+    TransparentCacheModel,
+    layer_access_segments,
+)
+from ..config import SoCConfig
+from ..core.mapper.layer_mapper import LayerMapper
+from ..models.graph import ModelGraph
+from ..sim.task import LayerWork, TaskInstance
+from .base import SchedulerPolicy
+
+#: Traffic replication factor per extra core when a model spans NPUs
+#: without multicast support (partial input/weight duplication).
+CORE_TRAFFIC_REPLICATION = 0.3
+
+#: DRAM efficiency of demand-miss traffic: a lone tenant keeps some row
+#: locality; fully interleaved tenants degrade toward the scattered-access
+#: floor.  eta(N) = FLOOR + LOCALITY_BONUS / N.
+DRAM_EFF_FLOOR = 0.55
+DRAM_EFF_LOCALITY_BONUS = 0.30
+
+
+class SharedCacheBaseline(SchedulerPolicy):
+    """Transparent shared cache, equal bandwidth, one core per task."""
+
+    name = "baseline"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache_model: Optional[TransparentCacheModel] = None
+        self._active_ids: set = set()
+        self._mapper: Optional[LayerMapper] = None
+        self._segments: Dict[str, Tuple[Tuple[AccessSegment, ...], ...]] = {}
+
+    def attach(self, soc: SoCConfig) -> None:
+        super().attach(soc)
+        self._cache_model = TransparentCacheModel(soc.cache.total_bytes)
+        self._active_ids = set()
+        self._mapper = LayerMapper(soc)
+        self._segments = {}
+
+    # ------------------------------------------------------------------
+
+    def _model_segments(self, graph: ModelGraph
+                        ) -> Tuple[Tuple[AccessSegment, ...], ...]:
+        """Per-layer segments: compulsory fetches + tiling refetch."""
+        cached = self._segments.get(graph.name)
+        if cached is not None:
+            return cached
+        dtype = self.soc.dtype_bytes
+        mapping_file = self._mapper.map_model(graph)
+        per_layer = []
+        for i, layer in enumerate(graph.layers):
+            segments = list(layer_access_segments(graph, i, dtype))
+            compulsory = layer.total_elems * dtype
+            tiled = mapping_file.mcts[i].lwm[0].dram_bytes
+            refetch = max(tiled - compulsory, 0.0)
+            if refetch > 0:
+                working_set = layer.total_elems * dtype
+                segments.append(
+                    AccessSegment(
+                        bytes_=refetch,
+                        reuse_distance=float(working_set),
+                    )
+                )
+            per_layer.append(tuple(segments))
+        result = tuple(per_layer)
+        self._segments[graph.name] = result
+        return result
+
+    # ------------------------------------------------------------------
+
+    def contention_factor(self, instance: TaskInstance) -> float:
+        """Effective reuse-distance inflation for ``instance``.
+
+        The engine does not pass the running set into ``begin_layer``, so
+        the policy tracks it via task start/end hooks.
+        """
+        return float(max(len(self._active_ids), 1))
+
+    def on_task_start(self, instance: TaskInstance, now: float) -> None:
+        self._active_ids.add(instance.instance_id)
+
+    def on_task_end(self, instance: TaskInstance, now: float) -> None:
+        self._active_ids.discard(instance.instance_id)
+
+    def dram_efficiency(self, instance: TaskInstance,
+                        num_running: int) -> float:
+        """Scattered demand misses: row locality decays with tenant count.
+        """
+        return DRAM_EFF_FLOOR + DRAM_EFF_LOCALITY_BONUS / max(
+            num_running, 1
+        )
+
+    def begin_layer(self, instance: TaskInstance, now: float
+                    ) -> Tuple[Optional[LayerWork], float]:
+        segments = self._model_segments(
+            instance.graph
+        )[instance.layer_index]
+        factor = self.contention_factor(instance)
+        dram, hits, accesses = self._cache_model.layer_traffic(
+            segments, contention_factor=factor
+        )
+        if instance.cores > 1:
+            replication = 1.0 + CORE_TRAFFIC_REPLICATION * \
+                (instance.cores - 1)
+            dram *= replication
+        work = LayerWork(
+            compute_cycles=self.compute_cycles(instance),
+            dram_bytes=dram,
+            hit_bytes=hits,
+            access_bytes=accesses,
+        )
+        return work, 0.0

@@ -1,0 +1,25 @@
+"""Multi-tenant execution substrate: fluid discrete-event simulation."""
+
+from .task import InstanceState, LayerWork, TaskInstance
+from .engine import MultiTenantEngine, SimulationResult
+from .workload import ClosedLoopWorkload, WorkloadSpec, random_model_mix
+from .metrics import InstanceRecord, MetricsCollector, ModelSummary
+from .qos import QoSReport, fairness, sla_rate, system_throughput
+
+__all__ = [
+    "InstanceState",
+    "LayerWork",
+    "TaskInstance",
+    "MultiTenantEngine",
+    "SimulationResult",
+    "ClosedLoopWorkload",
+    "WorkloadSpec",
+    "random_model_mix",
+    "InstanceRecord",
+    "MetricsCollector",
+    "ModelSummary",
+    "QoSReport",
+    "sla_rate",
+    "system_throughput",
+    "fairness",
+]

@@ -1,0 +1,251 @@
+"""Fluid discrete-event multi-tenant engine.
+
+The engine advances a set of closed-loop inference streams over shared NPU
+cores and shared DRAM bandwidth.  Every running instance executes one layer
+at a time; a layer holds two fluid work quantities (compute cycles and DRAM
+bytes) that drain at rates set by the core clock and the policy's bandwidth
+shares.  A layer completes when both streams drain (double-buffered
+compute/DMA overlap).  Events are layer completions, page-wait wakeups and
+core handoffs; rates are recomputed after every event, which makes the
+simulation exact for piecewise-constant shares.
+
+This substrate replaces the paper's in-house cycle-accurate simulator on
+DRAMsim3; see DESIGN.md for the substitution argument.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..config import SoCConfig
+from ..errors import SimulationError
+from .metrics import MetricsCollector
+
+if TYPE_CHECKING:  # circular at runtime: schedulers.base uses sim.task
+    from ..schedulers.base import SchedulerPolicy
+    from .trace import TraceRecorder
+from .task import InstanceState, TaskInstance
+from .workload import ClosedLoopWorkload
+
+#: Hard cap on engine iterations; generous versus any real experiment and
+#: purely a runaway guard.
+_MAX_EVENTS = 5_000_000
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one engine run."""
+
+    scheduler_name: str
+    sim_time_s: float
+    metrics: MetricsCollector
+    scheduler_stats: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "sim_time_s": self.sim_time_s,
+            "inferences": self.metrics.num_inferences,
+            "avg_latency_ms": self.metrics.macro_avg_latency_s() * 1e3,
+            "avg_dram_mb": self.metrics.macro_avg_dram_bytes() / 1e6,
+            "hit_rate": self.metrics.overall_hit_rate(),
+        }
+
+
+class MultiTenantEngine:
+    """Simulates a workload under one scheduling policy."""
+
+    def __init__(self, soc: SoCConfig, scheduler: "SchedulerPolicy",
+                 workload: ClosedLoopWorkload,
+                 trace: Optional["TraceRecorder"] = None) -> None:
+        self.soc = soc
+        self.scheduler = scheduler
+        self.workload = workload
+        self.metrics = MetricsCollector()
+        self.trace = trace
+        self.now = 0.0
+        self._queued: List[TaskInstance] = []
+        self._active: Dict[str, TaskInstance] = {}
+        self._free_cores = soc.num_npu_cores
+        self._core_grant: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the workload to completion."""
+        self.scheduler.attach(self.soc)
+        self._queued.extend(self.workload.initial_instances())
+        self._dispatch_queued()
+
+        for _ in range(_MAX_EVENTS):
+            if not self._active and not self._queued:
+                break
+            rates = self._rates()
+            dt = self._next_event_dt(rates)
+            if math.isinf(dt):
+                raise SimulationError(
+                    "deadlock: active instances but no future event"
+                )
+            self._advance(dt, rates)
+            self._process_completions()
+            self._process_timeouts()
+            self._dispatch_queued()
+        else:
+            raise SimulationError("event cap exceeded; runaway simulation")
+
+        return SimulationResult(
+            scheduler_name=self.scheduler.name,
+            sim_time_s=self.now,
+            metrics=self.metrics,
+            scheduler_stats=self.scheduler.stats(),
+        )
+
+    # ------------------------------------------------------------------
+    # Event loop pieces
+    # ------------------------------------------------------------------
+
+    def _running(self) -> Dict[str, TaskInstance]:
+        return {
+            iid: inst for iid, inst in self._active.items()
+            if inst.state is InstanceState.RUNNING
+        }
+
+    def _rates(self) -> Dict[str, tuple]:
+        """(compute_rate cycles/s, dram_rate bytes/s) per running task."""
+        running = self._running()
+        shares = self.scheduler.bandwidth_shares(running, self.now)
+        total_bw = self.soc.dram.total_bandwidth_bytes_per_s
+        freq = self.soc.npu.frequency_hz
+        rates: Dict[str, tuple] = {}
+        num_running = len(running)
+        for iid, inst in running.items():
+            share = shares.get(iid, 0.0)
+            if share <= 0 and inst.rem_dram_bytes > 0:
+                raise SimulationError(
+                    f"{iid} has pending DRAM work but zero bandwidth"
+                )
+            efficiency = self.scheduler.dram_efficiency(inst, num_running)
+            rates[iid] = (freq, total_bw * share * efficiency)
+        return rates
+
+    def _next_event_dt(self, rates: Dict[str, tuple]) -> float:
+        dt = math.inf
+        for iid, inst in self._active.items():
+            if inst.state is InstanceState.RUNNING:
+                compute_rate, dram_rate = rates[iid]
+                dt = min(
+                    dt,
+                    inst.time_to_finish_layer(
+                        compute_rate, max(dram_rate, 1e-6)
+                    ),
+                )
+            elif inst.state is InstanceState.WAITING_PAGES:
+                dt = min(dt, max(inst.wake_time - self.now, 0.0))
+        return dt
+
+    def _advance(self, dt: float, rates: Dict[str, tuple]) -> None:
+        if dt < 0:
+            raise SimulationError(f"negative time step {dt}")
+        for iid, inst in self._active.items():
+            if inst.state is InstanceState.RUNNING:
+                compute_rate, dram_rate = rates[iid]
+                inst.advance(dt, compute_rate, dram_rate)
+        self.now += dt
+
+    def _process_completions(self) -> None:
+        finished_layers = [
+            inst for inst in self._active.values() if inst.layer_finished()
+        ]
+        pages_freed = False
+        for inst in finished_layers:
+            if self.trace is not None:
+                self.trace.end(inst.instance_id, self.now,
+                               dram_bytes=inst.work.dram_bytes)
+            inst.account_layer()
+            self.scheduler.on_layer_end(inst, self.now)
+            inst.layer_index += 1
+            pages_freed = True
+            if inst.done_all_layers:
+                self._finish_instance(inst)
+            else:
+                self._begin_layer(inst, first_attempt=True)
+        if pages_freed:
+            self._poll_waiting()
+
+    def _finish_instance(self, inst: TaskInstance) -> None:
+        inst.state = InstanceState.DONE
+        inst.finish_time = self.now
+        self.scheduler.on_task_end(inst, self.now)
+        self._free_cores += self._core_grant.pop(inst.instance_id)
+        del self._active[inst.instance_id]
+        if not self.workload.is_warmup(inst):
+            self.metrics.record(inst)
+        next_inst = self.workload.next_instance(inst.stream_id, self.now)
+        if next_inst is not None:
+            self._queued.append(next_inst)
+
+    def _begin_layer(self, inst: TaskInstance,
+                     first_attempt: bool) -> None:
+        work, timeout = self.scheduler.begin_layer(inst, self.now)
+        self._apply_grant(inst, work, timeout)
+
+    def _apply_grant(self, inst: TaskInstance, work, timeout: float
+                     ) -> None:
+        if work is None:
+            inst.state = InstanceState.WAITING_PAGES
+            if math.isinf(timeout):
+                raise SimulationError(
+                    f"{inst.instance_id}: ungranted wait with no timeout"
+                )
+            inst.wake_time = self.now + max(timeout, 0.0)
+            if self.trace is not None:
+                from .trace import SpanKind
+
+                self.trace.begin(inst.instance_id, SpanKind.WAIT_PAGES,
+                                 inst.layer_index, self.now)
+        else:
+            inst.begin_work(work)
+            inst.wake_time = math.inf
+            if inst.start_time is None:
+                inst.start_time = self.now
+            if self.trace is not None:
+                from .trace import SpanKind
+
+                self.trace.begin(inst.instance_id, SpanKind.LAYER,
+                                 inst.layer_index, self.now)
+
+    def _poll_waiting(self) -> None:
+        for inst in list(self._active.values()):
+            if inst.state is not InstanceState.WAITING_PAGES:
+                continue
+            work, timeout = self.scheduler.poll_layer(inst, self.now)
+            if work is not None:
+                self._apply_grant(inst, work, timeout)
+            # An unsuccessful poll must NOT reset the wake timer, or a
+            # frequently-polled task would never reach its timeout and
+            # would wait for pages indefinitely instead of downgrading.
+
+    def _process_timeouts(self) -> None:
+        for inst in list(self._active.values()):
+            if inst.state is not InstanceState.WAITING_PAGES:
+                continue
+            if inst.wake_time - self.now > 1e-12:
+                continue
+            work, timeout = self.scheduler.timeout_layer(inst, self.now)
+            self._apply_grant(inst, work, timeout)
+
+    def _dispatch_queued(self) -> None:
+        still_queued: List[TaskInstance] = []
+        for inst in self._queued:
+            cores = self.scheduler.cores_for(inst, self._free_cores)
+            if 0 < cores <= self._free_cores:
+                self._free_cores -= cores
+                inst.cores = cores
+                self._core_grant[inst.instance_id] = cores
+                self._active[inst.instance_id] = inst
+                self.scheduler.on_task_start(inst, self.now)
+                self._begin_layer(inst, first_attempt=True)
+            else:
+                still_queued.append(inst)
+        self._queued = still_queued

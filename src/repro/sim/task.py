@@ -1,0 +1,147 @@
+"""Task instances: one inference execution flowing through the engine."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SimulationError
+from ..models.graph import ModelGraph
+
+
+class InstanceState(enum.Enum):
+    """Lifecycle of one inference instance."""
+
+    QUEUED = "queued"            # waiting for a free NPU core
+    WAITING_PAGES = "waiting"    # holds a core, waiting for cache pages
+    RUNNING = "running"          # executing its current layer
+    DONE = "done"
+
+
+@dataclass
+class LayerWork:
+    """Resource requirements of one layer under the active policy.
+
+    Attributes:
+        compute_cycles: NPU cycles on the assigned core group.
+        dram_bytes: DRAM traffic the layer will generate.
+        hit_bytes: cache-hit bytes (transparent-cache policies only;
+            feeds the Figure 2 hit-rate metric).
+        access_bytes: cache-lookup bytes (hit-rate denominator).
+    """
+
+    compute_cycles: float
+    dram_bytes: float
+    hit_bytes: float = 0.0
+    access_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.compute_cycles < 0 or self.dram_bytes < 0:
+            raise SimulationError("negative layer work")
+
+
+@dataclass
+class TaskInstance:
+    """One inference of one model stream.
+
+    Attributes:
+        instance_id: unique id (``"<stream>#<n>"``).
+        stream_id: the closed-loop stream this inference belongs to.
+        graph: the model being executed.
+        arrival_time: dispatch time (previous inference's finish).
+        qos_target_s: per-inference deadline (scaled per QoS level).
+    """
+
+    instance_id: str
+    stream_id: str
+    graph: ModelGraph
+    arrival_time: float
+    qos_target_s: float = math.inf
+
+    state: InstanceState = InstanceState.QUEUED
+    layer_index: int = 0
+    work: Optional[LayerWork] = None
+    rem_compute_cycles: float = 0.0
+    rem_dram_bytes: float = 0.0
+    cores: int = 1
+    wake_time: float = math.inf
+
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    dram_bytes_total: float = 0.0
+    hit_bytes_total: float = 0.0
+    access_bytes_total: float = 0.0
+    layers_executed: int = 0
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.graph.layers)
+
+    @property
+    def done_all_layers(self) -> bool:
+        return self.layer_index >= self.num_layers
+
+    def begin_work(self, work: LayerWork) -> None:
+        """Enter RUNNING with the given per-layer requirements."""
+        self.work = work
+        self.rem_compute_cycles = work.compute_cycles
+        self.rem_dram_bytes = work.dram_bytes
+        self.state = InstanceState.RUNNING
+
+    def advance(self, dt: float, compute_rate: float,
+                dram_rate: float) -> None:
+        """Fluid progress over ``dt`` seconds at the given rates."""
+        if self.state is not InstanceState.RUNNING:
+            return
+        self.rem_compute_cycles = max(
+            0.0, self.rem_compute_cycles - dt * compute_rate
+        )
+        self.rem_dram_bytes = max(
+            0.0, self.rem_dram_bytes - dt * dram_rate
+        )
+
+    def layer_finished(self) -> bool:
+        """Both the compute and memory streams of the layer completed."""
+        return (
+            self.state is InstanceState.RUNNING
+            and self.rem_compute_cycles <= 1e-9
+            and self.rem_dram_bytes <= 1e-9
+        )
+
+    def time_to_finish_layer(self, compute_rate: float,
+                             dram_rate: float) -> float:
+        """Seconds until the current layer completes at constant rates."""
+        if self.state is not InstanceState.RUNNING:
+            return math.inf
+        t_compute = (
+            self.rem_compute_cycles / compute_rate
+            if self.rem_compute_cycles > 0 else 0.0
+        )
+        t_dram = (
+            self.rem_dram_bytes / dram_rate
+            if self.rem_dram_bytes > 0 else 0.0
+        )
+        return max(t_compute, t_dram)
+
+    def account_layer(self) -> None:
+        """Fold the finished layer's traffic into the instance totals."""
+        if self.work is None:
+            raise SimulationError(
+                f"{self.instance_id}: no work to account"
+            )
+        self.dram_bytes_total += self.work.dram_bytes
+        self.hit_bytes_total += self.work.hit_bytes
+        self.access_bytes_total += self.work.access_bytes
+        self.layers_executed += 1
+
+    @property
+    def latency(self) -> float:
+        """Dispatch-to-finish latency (includes queueing)."""
+        if self.finish_time is None:
+            raise SimulationError(f"{self.instance_id} not finished")
+        return self.finish_time - self.arrival_time
+
+    def met_deadline(self) -> bool:
+        return self.latency <= self.qos_target_s

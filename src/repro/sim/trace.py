@@ -1,0 +1,117 @@
+"""Execution-timeline tracing for the multi-tenant engine.
+
+A :class:`TraceRecorder` attached to a
+:class:`~repro.sim.engine.MultiTenantEngine` collects per-layer execution
+spans (instance, layer, start, end, DRAM bytes), from which users can
+render Gantt-style timelines, compute per-model bandwidth profiles, or
+debug allocation stalls (``WAIT`` spans mark time spent waiting for cache
+pages).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class SpanKind(enum.Enum):
+    """What an instance was doing during a span."""
+
+    QUEUED = "queued"
+    WAIT_PAGES = "wait_pages"
+    LAYER = "layer"
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One closed interval of an instance's timeline."""
+
+    instance_id: str
+    kind: SpanKind
+    layer_index: int
+    start_s: float
+    end_s: float
+    dram_bytes: float = 0.0
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class TraceRecorder:
+    """Collects spans; attach via ``MultiTenantEngine(trace=...)``."""
+
+    spans: List[TraceSpan] = field(default_factory=list)
+    _open: Dict[str, tuple] = field(default_factory=dict)
+
+    # -- engine-facing hooks ------------------------------------------
+
+    def begin(self, instance_id: str, kind: SpanKind, layer_index: int,
+              now: float) -> None:
+        """Open a span (closing any previous open span first)."""
+        self.end(instance_id, now)
+        self._open[instance_id] = (kind, layer_index, now)
+
+    def end(self, instance_id: str, now: float,
+            dram_bytes: float = 0.0) -> None:
+        """Close the instance's open span, if any."""
+        open_span = self._open.pop(instance_id, None)
+        if open_span is None:
+            return
+        kind, layer_index, start = open_span
+        if now < start:
+            raise ValueError("span ends before it starts")
+        self.spans.append(
+            TraceSpan(
+                instance_id=instance_id,
+                kind=kind,
+                layer_index=layer_index,
+                start_s=start,
+                end_s=now,
+                dram_bytes=dram_bytes,
+            )
+        )
+
+    # -- analysis helpers ----------------------------------------------
+
+    def spans_of(self, instance_id: str) -> List[TraceSpan]:
+        return [s for s in self.spans if s.instance_id == instance_id]
+
+    def wait_time_s(self, instance_id: Optional[str] = None) -> float:
+        """Total time spent waiting for cache pages."""
+        return sum(
+            s.duration_s for s in self.spans
+            if s.kind is SpanKind.WAIT_PAGES
+            and (instance_id is None or s.instance_id == instance_id)
+        )
+
+    def busy_time_s(self, instance_id: str) -> float:
+        """Total layer-execution time of one instance."""
+        return sum(
+            s.duration_s for s in self.spans_of(instance_id)
+            if s.kind is SpanKind.LAYER
+        )
+
+    def timeline_text(self, width: int = 72,
+                      max_rows: int = 16) -> str:
+        """Rough ASCII timeline: one row per instance, '#' layer spans,
+        '.' page waits."""
+        if not self.spans:
+            return "(empty trace)"
+        t_end = max(s.end_s for s in self.spans)
+        if t_end <= 0:
+            return "(zero-length trace)"
+        rows = []
+        instances = sorted({s.instance_id for s in self.spans})
+        for instance_id in instances[:max_rows]:
+            line = [" "] * width
+            for span in self.spans_of(instance_id):
+                lo = int(span.start_s / t_end * (width - 1))
+                hi = max(int(span.end_s / t_end * (width - 1)), lo)
+                char = "#" if span.kind is SpanKind.LAYER else "."
+                for i in range(lo, hi + 1):
+                    line[i] = char
+            rows.append(f"{instance_id:<16}|{''.join(line)}|")
+        return "\n".join(rows)

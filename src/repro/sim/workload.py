@@ -1,0 +1,172 @@
+"""Multi-tenant workload generation.
+
+The paper's experiments "randomly dispatch each model task to one NPU as
+soon as it finishes its current task", i.e. every tenant is a closed-loop
+stream: the next inference of a stream is dispatched the instant the
+previous one completes, keeping all NPUs busy and cache contention maximal.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import WorkloadError
+from ..models.graph import ModelGraph
+from ..models.zoo import BENCHMARK_MODELS, build_model
+from .task import TaskInstance
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Description of one multi-tenant workload.
+
+    Two measurement modes:
+
+    * **count mode** (``duration_s is None``) — every stream runs
+      ``warmup_inferences + inferences_per_stream`` inferences; the warmup
+      ones are excluded from metrics.  Deterministic, used by unit tests.
+    * **steady-state mode** (``duration_s`` set) — streams keep dispatching
+      until the simulated clock passes ``duration_s``; only inferences
+      arriving after ``warmup_s`` *and* finishing before ``duration_s`` are
+      measured.  This keeps all tenants active across the measured window
+      (a fixed per-stream quota would let short models drain early and hand
+      their bandwidth to the stragglers, biasing tail latencies down).
+
+    Attributes:
+        model_keys: one entry per co-located stream (model abbreviations;
+            repeats allowed — 32 tenants cycle through the 8 models).
+        inferences_per_stream: measured inferences per stream (count mode).
+        warmup_inferences: leading inferences excluded (count mode).
+        qos_scale: deadline multiplier (QoS-H/M/L are 0.8 / 1.0 / 1.2).
+        duration_s: steady-state window end (enables steady-state mode).
+        warmup_s: steady-state measurement start.
+    """
+
+    model_keys: Sequence[str]
+    inferences_per_stream: int = 3
+    warmup_inferences: int = 1
+    qos_scale: float = float("inf")
+    duration_s: Optional[float] = None
+    warmup_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.model_keys:
+            raise WorkloadError("workload needs at least one stream")
+        if self.inferences_per_stream <= 0:
+            raise WorkloadError("inferences_per_stream must be positive")
+        if self.warmup_inferences < 0:
+            raise WorkloadError("warmup cannot be negative")
+        if self.duration_s is not None:
+            if self.duration_s <= 0:
+                raise WorkloadError("duration must be positive")
+            if not 0 <= self.warmup_s < self.duration_s:
+                raise WorkloadError("warmup must precede the window end")
+
+    @property
+    def num_streams(self) -> int:
+        return len(self.model_keys)
+
+    @property
+    def total_inferences(self) -> int:
+        return self.num_streams * (
+            self.inferences_per_stream + self.warmup_inferences
+        )
+
+
+def random_model_mix(num_streams: int,
+                     seed: int = 2025) -> List[str]:
+    """A random multiset of benchmark models for ``num_streams`` tenants.
+
+    The first ``min(num_streams, 8)`` streams cover distinct models (so
+    per-model metrics exist); extras are drawn uniformly at random.
+    """
+    if num_streams <= 0:
+        raise WorkloadError("num_streams must be positive")
+    rng = random.Random(seed)
+    keys = list(BENCHMARK_MODELS[:num_streams])
+    while len(keys) < num_streams:
+        keys.append(rng.choice(BENCHMARK_MODELS))
+    return keys
+
+
+@dataclass
+class ClosedLoopWorkload:
+    """Closed-loop stream manager driven by the engine.
+
+    Each stream dispatches its next inference when the previous finishes;
+    the workload signals completion once every stream has run its measured
+    inference quota.
+    """
+
+    spec: WorkloadSpec
+    _graphs: Dict[str, ModelGraph] = field(default_factory=dict)
+    _dispatched: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.streams: List[str] = [
+            f"{key}@{i}" for i, key in enumerate(self.spec.model_keys)
+        ]
+        for stream_id, key in zip(self.streams, self.spec.model_keys):
+            self._graphs[stream_id] = build_model(key)
+            self._dispatched[stream_id] = 0
+
+    def graph_of(self, stream_id: str) -> ModelGraph:
+        return self._graphs[stream_id]
+
+    def initial_instances(self) -> List[TaskInstance]:
+        """First inference of every stream, dispatched at t=0."""
+        return [
+            self._spawn(stream_id, now=0.0) for stream_id in self.streams
+        ]
+
+    def next_instance(self, stream_id: str,
+                      now: float) -> Optional[TaskInstance]:
+        """Dispatch the stream's next inference, or ``None`` if the stream
+        is done (quota exhausted / window closed)."""
+        if self.spec.duration_s is not None:
+            if now >= self.spec.duration_s:
+                return None
+            return self._spawn(stream_id, now)
+        quota = (
+            self.spec.inferences_per_stream + self.spec.warmup_inferences
+        )
+        if self._dispatched[stream_id] >= quota:
+            return None
+        return self._spawn(stream_id, now)
+
+    def is_warmup(self, instance: TaskInstance) -> bool:
+        """Instances outside the measurement window are excluded.
+
+        Steady-state mode measures every inference *arriving* inside the
+        window.  Judging by finish time instead would silently drop slow
+        models whose latency exceeds the window remainder — a survivorship
+        bias that makes crowded systems look faster.  Arrived inferences
+        always complete (streams stop dispatching after the window and the
+        engine drains), so no measured latency is truncated.
+        """
+        if self.spec.duration_s is not None:
+            in_window = (
+                self.spec.warmup_s <= instance.arrival_time
+                < self.spec.duration_s
+            )
+            return not in_window
+        serial = int(instance.instance_id.rsplit("#", 1)[1])
+        return serial < self.spec.warmup_inferences
+
+    def _spawn(self, stream_id: str, now: float) -> TaskInstance:
+        graph = self._graphs[stream_id]
+        serial = self._dispatched[stream_id]
+        self._dispatched[stream_id] += 1
+        qos_s = (
+            graph.qos_target_ms * 1e-3 * self.spec.qos_scale
+            if graph.qos_target_ms else float("inf")
+        )
+        return TaskInstance(
+            instance_id=f"{stream_id}#{serial}",
+            stream_id=stream_id,
+            graph=graph,
+            arrival_time=now,
+            qos_target_s=qos_s,
+        )

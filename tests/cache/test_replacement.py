@@ -1,0 +1,48 @@
+"""Tests for way-masked LRU replacement."""
+
+import pytest
+
+from repro.cache.replacement import LRUState
+from repro.errors import ConfigError
+
+
+class TestLRUState:
+    def test_victim_is_least_recent(self):
+        lru = LRUState([0, 1, 2])
+        lru.touch(0)
+        lru.touch(1)
+        assert lru.victim() == 2
+
+    def test_touch_reorders(self):
+        lru = LRUState([0, 1, 2])
+        lru.touch(0)  # order: 1,2,0
+        assert lru.victim() == 1
+        lru.touch(1)  # order: 2,0,1
+        assert lru.victim() == 2
+
+    def test_empty_policy_has_no_victim(self):
+        assert LRUState([]).victim() is None
+
+    def test_touch_unmanaged_way_raises(self):
+        lru = LRUState([0, 1])
+        with pytest.raises(ConfigError):
+            lru.touch(5)
+
+    def test_duplicate_ways_rejected(self):
+        with pytest.raises(ConfigError):
+            LRUState([1, 1])
+
+    def test_restrict_keeps_recency(self):
+        lru = LRUState([0, 1, 2, 3])
+        lru.touch(2)
+        lru.touch(0)
+        lru.restrict([0, 2])
+        assert lru.victim() == 2  # 2 touched before 0
+        assert set(lru.allowed_ways) == {0, 2}
+
+    def test_restrict_adds_new_ways_as_cold(self):
+        lru = LRUState([0, 1])
+        lru.touch(0)
+        lru.touch(1)
+        lru.restrict([0, 1, 5])
+        assert lru.victim() == 5

@@ -1,0 +1,89 @@
+"""Integration tests: CPU / NPU subspace isolation in the sliced cache."""
+
+import pytest
+
+from repro.cache.sliced_cache import SlicedSharedCache
+from repro.config import CacheConfig
+from repro.core.cpt import CachePageTable
+from repro.core.nec import NECOp, NECRequest
+from repro.errors import CacheAddressError
+from repro.memory.dram import MainMemory
+
+
+@pytest.fixture
+def cache():
+    return SlicedSharedCache(CacheConfig(), MainMemory())
+
+
+class TestCPUSide:
+    def test_miss_then_hit(self, cache):
+        assert cache.cpu_access(0x1000) is False
+        assert cache.cpu_access(0x1000) is True
+        assert cache.cpu_stats.hits == 1
+        assert cache.cpu_stats.misses == 1
+
+    def test_cpu_uses_only_cpu_ways(self, cache):
+        # Fill far more lines than the CPU subspace holds in one set.
+        cfg = cache.config
+        set_stride = cfg.line_bytes * cfg.num_slices * cfg.sets_per_slice
+        for i in range(10):
+            cache.cpu_access(i * set_stride)  # same set, same slice
+        assert cache.cpu_resident_lines() <= cache.way_mask.cpu_ways
+
+    def test_cpu_never_touches_npu_subspace(self, cache):
+        fabric = cache.install_necs()
+        cpt = CachePageTable(cache.config)
+        cpt.map(0, 0)
+        paddr = cpt.translate(0)
+        fabric.handle(NECRequest(NECOp.WRITE_LINE, paddr=paddr, data=42))
+        before = cache.snapshot_npu_subspace()
+        for i in range(10_000):
+            cache.cpu_access(i * 64, write=True)
+        assert cache.snapshot_npu_subspace() == before
+
+    def test_dirty_eviction_writes_back(self, cache):
+        cfg = cache.config
+        set_stride = cfg.line_bytes * cfg.num_slices * cfg.sets_per_slice
+        cache.cpu_access(0, write=True)
+        for i in range(1, cfg.num_ways + 1):
+            cache.cpu_access(i * set_stride)
+        assert cache.cpu_stats.writebacks >= 1
+
+    def test_negative_address_rejected(self, cache):
+        with pytest.raises(CacheAddressError):
+            cache.cpu_access(-64)
+
+
+class TestNPUSide:
+    def test_npu_data_survives_cpu_storm(self, cache):
+        """The core isolation claim: CPU traffic cannot evict NPU lines."""
+        fabric = cache.install_necs()
+        cpt = CachePageTable(cache.config)
+        cpt.remap_all([0, 1, 2, 3])
+        written = {}
+        for line in range(64):
+            vcaddr = line * 64
+            paddr = cpt.translate(vcaddr)
+            fabric.handle(
+                NECRequest(NECOp.WRITE_LINE, paddr=paddr, data=line)
+            )
+            written[vcaddr] = line
+        for i in range(50_000):
+            cache.cpu_access(i * 64, write=(i % 2 == 0))
+        for vcaddr, expected in written.items():
+            paddr = cpt.translate(vcaddr)
+            (value,) = fabric.handle(
+                NECRequest(NECOp.READ_LINE, paddr=paddr)
+            )
+            assert value == expected
+
+    def test_npu_line_direct_access_guard(self, cache):
+        with pytest.raises(CacheAddressError):
+            cache.npu_line(0, 0, 0)  # way 0 is CPU-owned
+
+    def test_all_cpu_ways_masked_off(self):
+        cfg = CacheConfig(npu_ways=16)
+        cache = SlicedSharedCache(cfg, MainMemory())
+        # With zero CPU ways every access bypasses (misses).
+        assert cache.cpu_access(0) is False
+        assert cache.cpu_access(0) is False

@@ -1,0 +1,37 @@
+"""Tests for cache statistics counters."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+
+
+class TestCacheStats:
+    def test_empty_hit_rate_is_zero(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_hit_rate(self):
+        stats = CacheStats()
+        stats.record_hit(3)
+        stats.record_miss(1)
+        assert stats.hit_rate == pytest.approx(0.75)
+        assert stats.accesses == 4
+
+    def test_dirty_eviction_counts_writeback(self):
+        stats = CacheStats()
+        stats.record_eviction(dirty=True)
+        stats.record_eviction(dirty=False)
+        assert stats.evictions == 2
+        assert stats.writebacks == 1
+
+    def test_merge(self):
+        a, b = CacheStats(), CacheStats()
+        a.record_hit(2)
+        b.record_miss(3)
+        a.merge(b)
+        assert a.accesses == 5
+
+    def test_reset(self):
+        stats = CacheStats()
+        stats.record_hit()
+        stats.reset()
+        assert stats.accesses == 0

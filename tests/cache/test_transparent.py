@@ -1,0 +1,122 @@
+"""Tests for the analytic transparent shared-cache model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.transparent import (
+    AccessSegment,
+    TransparentCacheModel,
+    layer_access_segments,
+)
+from repro.config import MiB
+from repro.errors import SimulationError
+from repro.models.zoo import build_model
+
+
+class TestHitProbability:
+    def test_short_distance_hits(self):
+        model = TransparentCacheModel(16 * MiB)
+        assert model.hit_probability(1024) > 0.99
+
+    def test_infinite_distance_misses(self):
+        model = TransparentCacheModel(16 * MiB)
+        assert model.hit_probability(math.inf) == 0.0
+
+    def test_contention_inflates_distance(self):
+        model = TransparentCacheModel(16 * MiB)
+        solo = model.hit_probability(4 * MiB, contention_factor=1.0)
+        shared = model.hit_probability(4 * MiB, contention_factor=8.0)
+        assert shared < solo
+
+    def test_bigger_cache_helps(self):
+        small = TransparentCacheModel(4 * MiB)
+        big = TransparentCacheModel(64 * MiB)
+        assert big.hit_probability(8 * MiB) > small.hit_probability(8 * MiB)
+
+    def test_contention_below_one_rejected(self):
+        model = TransparentCacheModel(MiB)
+        with pytest.raises(SimulationError):
+            model.hit_probability(1024, contention_factor=0.5)
+
+    @given(
+        distance=st.floats(1.0, 1e9),
+        factor=st.floats(1.0, 64.0),
+    )
+    def test_monotone_in_contention(self, distance, factor):
+        model = TransparentCacheModel(16 * MiB)
+        assert model.hit_probability(distance, factor) <= \
+            model.hit_probability(distance, 1.0) + 1e-12
+
+
+class TestLayerSegments:
+    def test_weights_have_cross_inference_distance(self):
+        graph = build_model("RS.")
+        segments = layer_access_segments(graph, 2)
+        weight_seg = max(segments, key=lambda s: s.reuse_distance
+                         if not s.writes and not math.isinf(s.reuse_distance)
+                         else 0)
+        assert weight_seg.reuse_distance >= \
+            graph.compulsory_traffic_elems() * 0.5
+
+    def test_first_layer_input_is_compulsory(self):
+        graph = build_model("RS.")
+        segments = layer_access_segments(graph, 0)
+        input_segs = [s for s in segments if not s.writes
+                      and math.isinf(s.reuse_distance)]
+        assert input_segs  # model input always misses
+
+    def test_skip_edges_get_long_distance_segments(self):
+        graph = build_model("RS.")
+        add_index = next(
+            i for i, layer in enumerate(graph.layers)
+            if layer.name.endswith("_add")
+        )
+        segments = layer_access_segments(graph, add_index)
+        reads = [s for s in segments if not s.writes]
+        assert len(reads) >= 2  # direct operand + skip operand
+
+    def test_total_read_bytes_match_inputs(self):
+        graph = build_model("MB.")
+        for i in (1, 5, 10):
+            layer = graph.layers[i]
+            segments = layer_access_segments(graph, i)
+            read_bytes = sum(s.bytes_ for s in segments if not s.writes)
+            assert read_bytes == pytest.approx(
+                layer.weight_elems + layer.input_elems, rel=1e-6
+            )
+
+    def test_out_of_range_layer(self):
+        with pytest.raises(SimulationError):
+            layer_access_segments(build_model("MB."), 9999)
+
+
+class TestModelTraffic:
+    def test_contention_increases_traffic(self):
+        model = TransparentCacheModel(16 * MiB)
+        graph = build_model("RS.")
+        solo, solo_hit = model.model_traffic(graph)
+        shared, shared_hit = model.model_traffic(graph,
+                                                 contention_factor=16.0)
+        assert shared > solo
+        assert shared_hit < solo_hit
+
+    def test_traffic_at_least_writes(self):
+        model = TransparentCacheModel(64 * MiB)
+        graph = build_model("MB.")
+        traffic, _ = model.model_traffic(graph)
+        writes = sum(layer.output_elems for layer in graph.layers)
+        assert traffic >= writes
+
+    def test_layer_traffic_accounting(self):
+        model = TransparentCacheModel(16 * MiB)
+        segments = [
+            AccessSegment(bytes_=1000, reuse_distance=10.0),
+            AccessSegment(bytes_=500, reuse_distance=math.inf),
+            AccessSegment(bytes_=200, reuse_distance=0.0, writes=True),
+        ]
+        dram, hits, accesses = model.layer_traffic(segments)
+        assert accesses == 1500
+        assert hits == pytest.approx(1000 * model.hit_probability(10.0))
+        assert dram == pytest.approx(1500 - hits + 200 - 500 + 500)

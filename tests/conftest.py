@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import KiB, MiB, CacheConfig, NPUConfig, SoCConfig
+from repro.models.zoo import build_model, load_benchmark_suite
+
+
+@pytest.fixture(scope="session")
+def soc() -> SoCConfig:
+    """The paper's Table II SoC."""
+    return SoCConfig()
+
+
+@pytest.fixture(scope="session")
+def small_soc() -> SoCConfig:
+    """A scaled-down SoC for fast functional tests: 1 MiB cache, 2 slices,
+    4 cores.  Keeps page/line geometry realistic while making exhaustive
+    sweeps cheap."""
+    return SoCConfig(
+        npu=NPUConfig(scratchpad_bytes=64 * KiB),
+        num_npu_cores=4,
+        cache=CacheConfig(
+            total_bytes=1 * MiB,
+            num_slices=2,
+            num_ways=8,
+            npu_ways=6,
+            page_bytes=32 * KiB,
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def resnet():
+    return build_model("RS.")
+
+
+@pytest.fixture(scope="session")
+def mobilenet():
+    return build_model("MB.")
+
+
+@pytest.fixture(scope="session")
+def bert():
+    return build_model("BE.")
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return load_benchmark_suite()

@@ -1,0 +1,140 @@
+"""Tests for the cache page table (Section III-B3, Figure 5(b))."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig, KiB, MiB
+from repro.core.cpt import CachePageTable
+from repro.errors import CacheAddressError, CPTError
+
+
+@pytest.fixture
+def cpt():
+    return CachePageTable(CacheConfig())
+
+
+class TestTableManagement:
+    def test_paper_sram_budget(self, cpt):
+        # Paper: <= 512 entries x 3 bytes = 1.5 KiB for a 16 MiB cache.
+        # With a 12/16 way split the NPU subspace holds 384 pages.
+        assert cpt.max_entries == 384
+        assert cpt.sram_bytes == 384 * 3
+
+    def test_full_cache_cpt_is_512_entries(self):
+        cache = CacheConfig(npu_ways=16)
+        assert CachePageTable(cache).max_entries == 512
+
+    def test_map_unmap(self, cpt):
+        cpt.map(0, 42)
+        assert cpt.lookup(0) == 42
+        assert cpt.unmap(0) == 42
+        assert cpt.lookup(0) is None
+
+    def test_double_map_raises(self, cpt):
+        cpt.map(0, 1)
+        with pytest.raises(CPTError):
+            cpt.map(0, 2)
+
+    def test_unmap_invalid_raises(self, cpt):
+        with pytest.raises(CPTError):
+            cpt.unmap(3)
+
+    def test_out_of_range_vcpn(self, cpt):
+        with pytest.raises(CPTError):
+            cpt.map(cpt.max_entries, 0)
+
+    def test_out_of_range_pcpn(self, cpt):
+        with pytest.raises(CPTError):
+            cpt.map(0, 10_000)
+
+    def test_remap_all(self, cpt):
+        cpt.remap_all([5, 6, 7])
+        assert cpt.num_mapped == 3
+        assert cpt.mapped_vcpns() == [0, 1, 2]
+        assert cpt.lookup(1) == 6
+
+
+class TestTranslation:
+    def test_identity_page_offset_carried(self, cpt):
+        cpt.map(0, 0)
+        paddr = cpt.translate(100)
+        assert paddr.byte_offset == 100 % 64
+
+    def test_unmapped_page_faults(self, cpt):
+        with pytest.raises(CacheAddressError):
+            cpt.translate(0)
+
+    def test_negative_vcaddr(self, cpt):
+        with pytest.raises(CacheAddressError):
+            cpt.translate(-1)
+
+    def test_beyond_virtual_space(self, cpt):
+        with pytest.raises(CacheAddressError):
+            cpt.translate(cpt.max_entries * 32 * KiB)
+
+    def test_npu_way_range(self, cpt):
+        """Decoded ways always land inside the NPU subspace (ways 4..15
+        for the 12/16 split)."""
+        cpt.remap_all(list(range(10)))
+        for vcaddr in range(0, 10 * 32 * KiB, 4096):
+            paddr = cpt.translate(vcaddr)
+            assert 4 <= paddr.way_index < 16
+
+    def test_consecutive_lines_interleave_slices(self, cpt):
+        """Figure 5(b): consecutive data lines spread across all slices."""
+        cpt.map(0, 0)
+        slices = [
+            cpt.translate(i * 64).slice_index for i in range(8)
+        ]
+        assert sorted(slices) == list(range(8))
+
+    def test_translation_is_injective(self, cpt):
+        cpt.remap_all(list(range(16)))
+        seen = set()
+        for vcaddr in range(0, 16 * 32 * KiB, 64):
+            paddr = cpt.translate(vcaddr)
+            key = paddr.as_tuple()[:3]  # slice/set/way identify the line
+            assert key not in seen
+            seen.add(key)
+
+
+class TestTranslationProperties:
+    @given(
+        pcpns=st.lists(
+            st.integers(0, 383), unique=True, min_size=1, max_size=32
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_pages_never_collide(self, pcpns, data):
+        cpt = CachePageTable(CacheConfig())
+        cpt.remap_all(pcpns)
+        vcpn_a = data.draw(st.integers(0, len(pcpns) - 1))
+        vcpn_b = data.draw(st.integers(0, len(pcpns) - 1))
+        offset = data.draw(
+            st.integers(0, 32 * KiB - 1).map(lambda x: x - x % 64)
+        )
+        pa = cpt.translate(vcpn_a * 32 * KiB + offset)
+        pb = cpt.translate(vcpn_b * 32 * KiB + offset)
+        if vcpn_a != vcpn_b:
+            assert pa.as_tuple()[:3] != pb.as_tuple()[:3]
+        else:
+            assert pa == pb
+
+    @given(offset=st.integers(0, 32 * KiB - 1))
+    def test_byte_offset_roundtrip(self, offset):
+        cpt = CachePageTable(CacheConfig())
+        cpt.map(0, 7)
+        paddr = cpt.translate(offset)
+        assert paddr.byte_offset == offset % 64
+        assert paddr.pcpn == 7
+
+    @given(cache_mb=st.sampled_from([4, 8, 16, 32, 64]))
+    def test_scaling_cache_sizes(self, cache_mb):
+        cache = CacheConfig(total_bytes=cache_mb * MiB)
+        cpt = CachePageTable(cache)
+        assert cpt.max_entries == cache.num_pages
+        cpt.map(0, cache.num_pages - 1)
+        paddr = cpt.translate(0)
+        assert paddr.slice_index < cache.num_slices
+        assert paddr.set_index < cache.sets_per_slice

@@ -1,0 +1,163 @@
+"""Tests for mapping candidate tables (Section III-C3)."""
+
+import pytest
+
+from repro.config import KiB
+from repro.core.mct import (
+    CacheMapEntry,
+    LoopLevel,
+    MappingCandidate,
+    MappingCandidateTable,
+    ModelMappingFile,
+)
+from repro.errors import MappingError
+
+PAGE = 32 * KiB
+
+
+def _candidate(cache_bytes: int, dram: float = 100.0,
+               kind: str = "LWM") -> MappingCandidate:
+    return MappingCandidate(
+        kind=kind,
+        usage_limit_bytes=cache_bytes,
+        cache_bytes=cache_bytes,
+        dram_bytes=dram,
+        compute_cycles=10,
+    )
+
+
+def _mct(cache_sizes) -> MappingCandidateTable:
+    mct = MappingCandidateTable(layer_index=0, layer_name="l0")
+    mct.lwm = [_candidate(c) for c in cache_sizes]
+    return mct
+
+
+class TestLoopLevel:
+    def test_valid(self):
+        LoopLevel("m", 4, "dram")
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(MappingError):
+            LoopLevel("x", 4, "dram")
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(MappingError):
+            LoopLevel("m", 4, "l3")
+
+    def test_rejects_zero_factor(self):
+        with pytest.raises(MappingError):
+            LoopLevel("m", 0, "npu")
+
+
+class TestCacheMapEntry:
+    def test_bypass_has_no_size(self):
+        with pytest.raises(MappingError):
+            CacheMapEntry("weight", 0, 100, reuse=False, bypass=True)
+
+    def test_reuse_bypass_conflict(self):
+        with pytest.raises(MappingError):
+            CacheMapEntry("weight", 0, 0, reuse=True, bypass=True)
+
+    def test_valid_pinned(self):
+        entry = CacheMapEntry("input", 0x200, 0x100, reuse=True,
+                              bypass=False)
+        assert entry.size == 0x100
+
+
+class TestMappingCandidate:
+    def test_pages_needed_rounds_up(self):
+        candidate = _candidate(PAGE + 1)
+        assert candidate.pages_needed(PAGE) == 2
+
+    def test_zero_cache_needs_zero_pages(self):
+        assert _candidate(0).pages_needed(PAGE) == 0
+
+    def test_rejects_over_limit(self):
+        with pytest.raises(MappingError):
+            MappingCandidate(
+                kind="LWM", usage_limit_bytes=10, cache_bytes=20,
+                dram_bytes=0, compute_cycles=0,
+            )
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(MappingError):
+            MappingCandidate(
+                kind="XXX", usage_limit_bytes=0, cache_bytes=0,
+                dram_bytes=0, compute_cycles=0,
+            )
+
+    def test_cache_map_cannot_exceed_claim(self):
+        with pytest.raises(MappingError):
+            MappingCandidate(
+                kind="LWM", usage_limit_bytes=64, cache_bytes=64,
+                dram_bytes=0, compute_cycles=0,
+                cache_map=(
+                    CacheMapEntry("weight", 0, 128, reuse=True,
+                                  bypass=False),
+                ),
+            )
+
+
+class TestMCT:
+    def test_validate_requires_zero_fallback(self):
+        mct = _mct([PAGE])
+        with pytest.raises(MappingError):
+            mct.validate(PAGE)
+
+    def test_validate_requires_sorted(self):
+        mct = MappingCandidateTable(0, "l0")
+        mct.lwm = [_candidate(2 * PAGE), _candidate(0)]
+        with pytest.raises(MappingError):
+            mct.validate(PAGE)
+
+    def test_validate_ok(self):
+        _mct([0, PAGE, 4 * PAGE]).validate(PAGE)
+
+    def test_smaller_than_walks_down(self):
+        mct = _mct([0, PAGE, 4 * PAGE])
+        smaller = mct.smaller_than(mct.lwm[2], PAGE)
+        assert smaller is mct.lwm[1]
+        smallest = mct.smaller_than(smaller, PAGE)
+        assert smallest is mct.lwm[0]
+        assert mct.smaller_than(smallest, PAGE) is None
+
+
+class TestModelMappingFile:
+    def _file(self):
+        mcts = []
+        for i in range(4):
+            mct = _mct([0, PAGE])
+            mct.layer_index = i
+            mct.est_latency_s = 0.001 * (i + 1)
+            mcts.append(mct)
+        return ModelMappingFile(
+            model_name="toy", usage_levels=(0, PAGE),
+            mcts=mcts, blocks=[(0, 2), (2, 4)],
+        )
+
+    def test_mct_for(self):
+        mf = self._file()
+        assert mf.mct_for(2).layer_index == 2
+        with pytest.raises(MappingError):
+            mf.mct_for(10)
+
+    def test_block_of(self):
+        mf = self._file()
+        assert mf.block_of(0) == (0, 2)
+        assert mf.block_of(3) == (2, 4)
+
+    def test_is_block_head(self):
+        mf = self._file()
+        assert mf.is_block_head(0)
+        assert not mf.is_block_head(1)
+        assert mf.is_block_head(2)
+
+    def test_block_est_latency_sums_members(self):
+        mf = self._file()
+        assert mf.block_est_latency_s(0) == pytest.approx(0.001 + 0.002)
+        assert mf.block_est_latency_s(2) == pytest.approx(0.003 + 0.004)
+
+    def test_total_dram_bytes_picks_fitting_candidates(self):
+        mf = self._file()
+        # At level 0 only the zero-cache candidates fit.
+        assert mf.total_dram_bytes(0) == pytest.approx(4 * 100.0)

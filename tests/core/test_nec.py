@@ -1,0 +1,163 @@
+"""Tests for the NPU-exclusive controller semantics (Section III-B2)."""
+
+import pytest
+
+from repro.cache.sliced_cache import SlicedSharedCache
+from repro.config import CacheConfig
+from repro.core.cpt import CachePageTable
+from repro.core.nec import NECOp, NECRequest, NECStats
+from repro.errors import CacheAddressError
+from repro.memory.dram import MainMemory
+
+
+@pytest.fixture
+def setup():
+    cache_cfg = CacheConfig()
+    memory = MainMemory()
+    cache = SlicedSharedCache(cache_cfg, memory)
+    fabric = cache.install_necs()
+    cpt = CachePageTable(cache_cfg)
+    cpt.map(0, 0)
+    return cache_cfg, memory, cache, fabric, cpt
+
+
+class TestBasicSemantics:
+    def test_fetch_then_read(self, setup):
+        _, memory, _, fabric, cpt = setup
+        memory.write_line(1000, 0xABCD)
+        paddr = cpt.translate(0)
+        fabric.handle(NECRequest(NECOp.FETCH_LINE, paddr=paddr,
+                                 mem_addr=1000))
+        (value,) = fabric.handle(NECRequest(NECOp.READ_LINE, paddr=paddr))
+        assert value == 0xABCD
+
+    def test_write_then_writeback(self, setup):
+        _, memory, _, fabric, cpt = setup
+        paddr = cpt.translate(64)
+        fabric.handle(NECRequest(NECOp.WRITE_LINE, paddr=paddr, data=77))
+        fabric.handle(NECRequest(NECOp.WRITEBACK_LINE, paddr=paddr,
+                                 mem_addr=500))
+        assert memory.read_line(500) == 77
+
+    def test_read_uninitialized_faults(self, setup):
+        _, _, _, fabric, cpt = setup
+        paddr = cpt.translate(128)
+        with pytest.raises(CacheAddressError):
+            fabric.handle(NECRequest(NECOp.READ_LINE, paddr=paddr))
+
+    def test_write_requires_data(self, setup):
+        _, _, _, fabric, cpt = setup
+        paddr = cpt.translate(0)
+        with pytest.raises(CacheAddressError):
+            fabric.handle(NECRequest(NECOp.WRITE_LINE, paddr=paddr))
+
+
+class TestBypassSemantics:
+    def test_bypass_read_skips_cache(self, setup):
+        _, memory, cache, fabric, _ = setup
+        memory.write_line(2000, 1234)
+        before = cache.snapshot_npu_subspace()
+        (value,) = fabric.handle(
+            NECRequest(NECOp.BYPASS_READ, mem_addr=2000)
+        )
+        assert value == 1234
+        assert cache.snapshot_npu_subspace() == before
+
+    def test_bypass_write_skips_cache(self, setup):
+        _, memory, cache, fabric, _ = setup
+        before = cache.snapshot_npu_subspace()
+        fabric.handle(
+            NECRequest(NECOp.BYPASS_WRITE, mem_addr=3000, data=55)
+        )
+        assert memory.read_line(3000) == 55
+        assert cache.snapshot_npu_subspace() == before
+
+
+class TestMulticastSemantics:
+    def test_multicast_read_delivers_to_group(self, setup):
+        _, _, _, fabric, cpt = setup
+        paddr = cpt.translate(0)
+        fabric.handle(NECRequest(NECOp.WRITE_LINE, paddr=paddr, data=9))
+        values = fabric.handle(
+            NECRequest(NECOp.MULTICAST_READ, paddr=paddr, group_size=4)
+        )
+        assert values == (9, 9, 9, 9)
+
+    def test_multicast_combines_memory_requests(self, setup):
+        _, memory, _, fabric, _ = setup
+        memory.write_line(100, 5)
+        memory.reset_counters()
+        values = fabric.handle(
+            NECRequest(NECOp.MULTICAST_BYPASS_READ, mem_addr=100,
+                       group_size=8)
+        )
+        assert len(values) == 8
+        assert memory.read_lines == 1  # one DRAM read serves 8 NPUs
+
+    def test_multicast_saved_lines_counted(self, setup):
+        _, _, _, fabric, _ = setup
+        fabric.handle(
+            NECRequest(NECOp.MULTICAST_BYPASS_READ, mem_addr=0,
+                       group_size=4)
+        )
+        stats = fabric.total_stats()
+        assert stats.multicast_lines_saved == 3
+
+
+class TestIsolationAndRouting:
+    def test_request_routed_to_correct_slice(self, setup):
+        _, _, _, fabric, cpt = setup
+        for line in range(8):
+            paddr = cpt.translate(line * 64)
+            fabric.handle(
+                NECRequest(NECOp.WRITE_LINE, paddr=paddr, data=line)
+            )
+        per_slice = [nec.stats.cache_write_lines for nec in fabric.necs]
+        assert per_slice == [1] * 8  # perfect interleave
+
+    def test_nec_rejects_cpu_subspace_way(self, setup):
+        cache_cfg, _, _, fabric, cpt = setup
+        paddr = cpt.translate(0)
+        bad = type(paddr)(
+            pcpn=paddr.pcpn,
+            slice_index=paddr.slice_index,
+            set_index=paddr.set_index,
+            way_index=0,  # CPU-owned way
+            byte_offset=0,
+        )
+        with pytest.raises(CacheAddressError):
+            fabric.necs[bad.slice_index].handle(
+                NECRequest(NECOp.READ_LINE, paddr=bad)
+            )
+
+    def test_wrong_slice_rejected(self, setup):
+        _, _, _, fabric, cpt = setup
+        paddr = cpt.translate(0)
+        wrong = (paddr.slice_index + 1) % 8
+        with pytest.raises(CacheAddressError):
+            fabric.necs[wrong].handle(
+                NECRequest(NECOp.READ_LINE, paddr=paddr)
+            )
+
+
+class TestStats:
+    def test_dram_accounting(self, setup):
+        _, _, _, fabric, cpt = setup
+        paddr = cpt.translate(0)
+        fabric.handle(NECRequest(NECOp.FETCH_LINE, paddr=paddr, mem_addr=0))
+        fabric.handle(NECRequest(NECOp.BYPASS_READ, mem_addr=1))
+        fabric.handle(NECRequest(NECOp.BYPASS_WRITE, mem_addr=2, data=1))
+        stats = fabric.total_stats()
+        assert stats.dram_read_lines == 2
+        assert stats.dram_write_lines == 1
+        assert stats.dram_bytes(64) == 3 * 64
+
+    def test_merge(self):
+        a = NECStats()
+        b = NECStats()
+        a.record(NECOp.READ_LINE)
+        b.record(NECOp.READ_LINE)
+        b.record(NECOp.BYPASS_READ)
+        a.merge(b)
+        assert a.op_counts[NECOp.READ_LINE] == 2
+        assert a.dram_read_lines == 1

@@ -1,0 +1,132 @@
+"""Tests for the cache page allocator, including exclusivity invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pages import CachePageAllocator
+from repro.errors import PageAllocationError
+
+
+class TestAllocate:
+    def test_initial_state(self):
+        alloc = CachePageAllocator(384)
+        assert alloc.free_pages == 384
+        assert alloc.used_pages == 0
+
+    def test_allocate_grants_exact_count(self):
+        alloc = CachePageAllocator(16)
+        grant = alloc.allocate("A", 5)
+        assert grant.num_pages == 5
+        assert alloc.free_pages == 11
+
+    def test_exclusivity(self):
+        alloc = CachePageAllocator(16)
+        a = set(alloc.allocate("A", 8).pcpns)
+        b = set(alloc.allocate("B", 8).pcpns)
+        assert a & b == set()
+
+    def test_over_allocation_raises(self):
+        alloc = CachePageAllocator(4)
+        alloc.allocate("A", 3)
+        with pytest.raises(PageAllocationError):
+            alloc.allocate("B", 2)
+
+    def test_zero_allocation_ok(self):
+        alloc = CachePageAllocator(4)
+        grant = alloc.allocate("A", 0)
+        assert grant.num_pages == 0
+
+    def test_negative_allocation_raises(self):
+        with pytest.raises(PageAllocationError):
+            CachePageAllocator(4).allocate("A", -1)
+
+    def test_owner_of(self):
+        alloc = CachePageAllocator(8)
+        grant = alloc.allocate("A", 2)
+        for pcpn in grant.pcpns:
+            assert alloc.owner_of(pcpn) == "A"
+        free = next(
+            p for p in range(8) if p not in grant.pcpns
+        )
+        assert alloc.owner_of(free) is None
+
+
+class TestRelease:
+    def test_release_all(self):
+        alloc = CachePageAllocator(8)
+        alloc.allocate("A", 5)
+        released = alloc.release("A")
+        assert released == 5
+        assert alloc.free_pages == 8
+
+    def test_release_specific(self):
+        alloc = CachePageAllocator(8)
+        grant = alloc.allocate("A", 4)
+        alloc.release("A", list(grant.pcpns[:2]))
+        assert len(alloc.pages_of("A")) == 2
+
+    def test_release_foreign_page_raises(self):
+        alloc = CachePageAllocator(8)
+        alloc.allocate("A", 2)
+        grant_b = alloc.allocate("B", 2)
+        with pytest.raises(PageAllocationError):
+            alloc.release("A", list(grant_b.pcpns))
+
+    def test_released_pages_are_reusable(self):
+        alloc = CachePageAllocator(4)
+        alloc.allocate("A", 4)
+        alloc.release("A")
+        assert alloc.allocate("B", 4).num_pages == 4
+
+
+class TestResize:
+    def test_grow(self):
+        alloc = CachePageAllocator(16)
+        alloc.allocate("A", 4)
+        delta = alloc.resize_owner("A", 10)
+        assert delta == 6
+        assert len(alloc.pages_of("A")) == 10
+
+    def test_shrink(self):
+        alloc = CachePageAllocator(16)
+        alloc.allocate("A", 10)
+        delta = alloc.resize_owner("A", 3)
+        assert delta == -7
+        assert alloc.free_pages == 13
+
+    def test_resize_to_same_is_noop(self):
+        alloc = CachePageAllocator(16)
+        alloc.allocate("A", 4)
+        assert alloc.resize_owner("A", 4) == 0
+
+    def test_resize_new_owner_from_zero(self):
+        alloc = CachePageAllocator(16)
+        assert alloc.resize_owner("A", 5) == 5
+
+
+class TestInvariants:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["alloc", "free", "resize"]),
+                st.sampled_from(["A", "B", "C"]),
+                st.integers(0, 12),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_op_sequences_conserve_pages(self, ops):
+        alloc = CachePageAllocator(24)
+        for op, owner, count in ops:
+            try:
+                if op == "alloc":
+                    alloc.allocate(owner, count)
+                elif op == "free":
+                    alloc.release(owner)
+                else:
+                    alloc.resize_owner(owner, count)
+            except PageAllocationError:
+                pass  # over-allocation / double-release are legal rejections
+            alloc.check_invariants()
+            assert alloc.free_pages + alloc.used_pages == 24

@@ -1,0 +1,106 @@
+"""Tests for model-exclusive region management."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.core.region import RegionManager
+from repro.errors import PageAllocationError
+
+
+@pytest.fixture
+def manager():
+    return RegionManager(CacheConfig())
+
+
+class TestRegionLifecycle:
+    def test_create_and_destroy(self, manager):
+        region = manager.create_region("A", 10)
+        assert region.num_pages == 10
+        assert manager.free_pages == 384 - 10
+        assert manager.destroy_region("A") == 10
+        assert manager.free_pages == 384
+
+    def test_double_create_raises(self, manager):
+        manager.create_region("A", 1)
+        with pytest.raises(PageAllocationError):
+            manager.create_region("A", 1)
+
+    def test_destroy_unknown_raises(self, manager):
+        with pytest.raises(PageAllocationError):
+            manager.destroy_region("ghost")
+
+    def test_region_bytes(self, manager):
+        region = manager.create_region("A", 4)
+        assert region.bytes == 4 * 32 * 1024
+
+
+class TestResize:
+    def test_grow_preserves_existing_mappings(self, manager):
+        region = manager.create_region("A", 4)
+        before = list(region.pcpns)
+        manager.resize_region("A", 8)
+        assert region.pcpns[:4] == before  # cached data survives growth
+
+    def test_shrink_drops_highest_vcpns(self, manager):
+        region = manager.create_region("A", 8)
+        kept = list(region.pcpns[:3])
+        manager.resize_region("A", 3)
+        assert region.pcpns == kept
+        assert region.cpt.lookup(2) == kept[2]
+        assert region.cpt.lookup(3) is None
+
+    def test_resize_to_zero(self, manager):
+        manager.create_region("A", 8)
+        manager.resize_region("A", 0)
+        assert manager.region_of("A").num_pages == 0
+        assert manager.free_pages == 384
+
+    def test_grow_beyond_capacity_raises(self, manager):
+        manager.create_region("A", 380)
+        with pytest.raises(PageAllocationError):
+            manager.resize_region("A", 390)
+
+    def test_failed_grow_leaves_state_intact(self, manager):
+        manager.create_region("A", 380)
+        manager.create_region("B", 4)
+        with pytest.raises(PageAllocationError):
+            manager.resize_region("B", 10)
+        manager.check_invariants()
+        assert manager.region_of("B").num_pages == 4
+
+
+class TestIsolation:
+    def test_regions_never_share_pages(self, manager):
+        a = manager.create_region("A", 100)
+        b = manager.create_region("B", 100)
+        assert set(a.pcpns) & set(b.pcpns) == set()
+
+    def test_cpts_translate_disjointly(self, manager):
+        a = manager.create_region("A", 4)
+        b = manager.create_region("B", 4)
+        lines_a = {
+            a.cpt.translate(off).as_tuple()[:3]
+            for off in range(0, 4 * 32 * 1024, 64)
+        }
+        lines_b = {
+            b.cpt.translate(off).as_tuple()[:3]
+            for off in range(0, 4 * 32 * 1024, 64)
+        }
+        assert lines_a & lines_b == set()
+
+    @given(
+        sizes=st.lists(st.integers(0, 60), min_size=1, max_size=6),
+        resizes=st.lists(st.integers(0, 60), min_size=1, max_size=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_resizes_keep_invariants(self, sizes, resizes):
+        manager = RegionManager(CacheConfig())
+        for i, size in enumerate(sizes):
+            manager.create_region(f"T{i}", size)
+        for i, target in enumerate(resizes[:len(sizes)]):
+            try:
+                manager.resize_region(f"T{i}", target)
+            except PageAllocationError:
+                pass
+            manager.check_invariants()

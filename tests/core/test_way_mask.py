@@ -1,0 +1,58 @@
+"""Tests for way-partition registers (Section III-B1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.way_mask import WayMask
+from repro.errors import ConfigError
+
+
+class TestWayMask:
+    def test_figure4_example(self):
+        # Figure 4: ways 0-1 CPU, ways 2-7 NPU on an 8-way slice.
+        mask = WayMask(num_ways=8, npu_ways=6)
+        assert mask.cpu_way_indices() == [0, 1]
+        assert mask.npu_way_indices() == [2, 3, 4, 5, 6, 7]
+
+    def test_table2_split(self):
+        mask = WayMask(num_ways=16, npu_ways=12)
+        assert mask.cpu_ways == 4
+        assert mask.npu_ways == 12
+
+    def test_mask_register_value(self):
+        mask = WayMask(num_ways=8, npu_ways=6)
+        assert mask.mask == 0b11111100
+
+    def test_no_npu_ways(self):
+        mask = WayMask(num_ways=8, npu_ways=0)
+        assert mask.npu_way_indices() == []
+        assert mask.cpu_ways == 8
+
+    def test_all_npu_ways(self):
+        mask = WayMask(num_ways=8, npu_ways=8)
+        assert mask.cpu_way_indices() == []
+
+    def test_repartition(self):
+        mask = WayMask(num_ways=8, npu_ways=6)
+        mask.repartition(2)
+        assert mask.npu_ways == 2
+        assert mask.cpu_way_indices() == [0, 1, 2, 3, 4, 5]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigError):
+            WayMask(num_ways=8, npu_ways=9)
+
+    def test_rejects_bad_way_query(self):
+        mask = WayMask(8, 4)
+        with pytest.raises(ConfigError):
+            mask.is_npu_way(8)
+
+    @given(num_ways=st.integers(1, 32), data=st.data())
+    def test_partition_is_exact(self, num_ways, data):
+        npu_ways = data.draw(st.integers(0, num_ways))
+        mask = WayMask(num_ways, npu_ways)
+        npu = set(mask.npu_way_indices())
+        cpu = set(mask.cpu_way_indices())
+        assert npu | cpu == set(range(num_ways))
+        assert npu & cpu == set()
+        assert len(npu) == npu_ways

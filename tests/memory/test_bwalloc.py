@@ -1,0 +1,98 @@
+"""Tests for bandwidth allocation policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.memory.bwalloc import (
+    BandwidthAllocation,
+    DemandProportionalPolicy,
+    EqualSharePolicy,
+    SlackWeightedPolicy,
+)
+
+
+class TestBandwidthAllocation:
+    def test_rejects_oversubscription(self):
+        with pytest.raises(SimulationError):
+            BandwidthAllocation(shares={"a": 0.7, "b": 0.7})
+
+    def test_rejects_non_positive_share(self):
+        with pytest.raises(SimulationError):
+            BandwidthAllocation(shares={"a": 0.0})
+
+    def test_share_of_missing_task(self):
+        allocation = BandwidthAllocation(shares={"a": 1.0})
+        assert allocation.share_of("ghost") == 0.0
+
+
+class TestEqualShare:
+    def test_even_split(self):
+        allocation = EqualSharePolicy().allocate({"a": 1, "b": 1, "c": 1})
+        for share in allocation.shares.values():
+            assert share == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        assert EqualSharePolicy().allocate({}).shares == {}
+
+
+class TestDemandProportional:
+    def test_proportionality(self):
+        policy = DemandProportionalPolicy(floor=0.0)
+        allocation = policy.allocate({"a": 3e9, "b": 1e9})
+        assert allocation.share_of("a") == pytest.approx(0.75)
+        assert allocation.share_of("b") == pytest.approx(0.25)
+
+    def test_floor_protects_light_tasks(self):
+        policy = DemandProportionalPolicy(floor=0.05)
+        allocation = policy.allocate({"a": 1e12, "b": 1.0})
+        assert allocation.share_of("b") >= 0.05
+
+    def test_zero_demand_falls_back_to_equal(self):
+        policy = DemandProportionalPolicy(floor=0.0)
+        allocation = policy.allocate({"a": 0.0, "b": 0.0})
+        assert allocation.share_of("a") == pytest.approx(0.5)
+
+    @given(
+        demands=st.dictionaries(
+            st.sampled_from(list("abcdefgh")),
+            st.floats(0.0, 1e12),
+            min_size=1,
+        )
+    )
+    def test_shares_always_sum_to_one(self, demands):
+        allocation = DemandProportionalPolicy().allocate(demands)
+        assert sum(allocation.shares.values()) == pytest.approx(1.0)
+
+
+class TestSlackWeighted:
+    def test_behind_task_gets_boost(self):
+        policy = SlackWeightedPolicy(floor=0.0)
+        allocation = policy.allocate(
+            demands={"late": 1e9, "early": 1e9},
+            slacks={"late": -0.5, "early": 0.5},
+        )
+        assert allocation.share_of("late") > allocation.share_of("early")
+
+    def test_equal_slack_follows_demand(self):
+        policy = SlackWeightedPolicy(floor=0.0)
+        allocation = policy.allocate(
+            demands={"a": 2e9, "b": 1e9},
+            slacks={"a": 0.0, "b": 0.0},
+        )
+        assert allocation.share_of("a") > allocation.share_of("b")
+
+    def test_urgency_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            SlackWeightedPolicy(urgency=0.0)
+
+    @given(
+        slack=st.floats(-2.0, 2.0),
+    )
+    def test_shares_sum_to_one(self, slack):
+        policy = SlackWeightedPolicy()
+        allocation = policy.allocate(
+            demands={"a": 1e9, "b": 1e9},
+            slacks={"a": slack, "b": 0.0},
+        )
+        assert sum(allocation.shares.values()) == pytest.approx(1.0)

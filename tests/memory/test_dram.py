@@ -1,0 +1,72 @@
+"""Tests for the DRAM substrate."""
+
+import pytest
+
+from repro.config import DRAMConfig
+from repro.errors import CacheAddressError
+from repro.memory.dram import DRAMTimingModel, MainMemory
+
+
+class TestMainMemory:
+    def test_uninitialized_reads_zero(self):
+        assert MainMemory().read_line(10) == 0
+
+    def test_write_read_roundtrip(self):
+        memory = MainMemory()
+        memory.write_line(5, 123)
+        assert memory.read_line(5) == 123
+
+    def test_traffic_counters(self):
+        memory = MainMemory(line_bytes=64)
+        memory.write_line(0, 1)
+        memory.read_line(0)
+        memory.read_line(1)
+        assert memory.total_bytes_moved == 3 * 64
+
+    def test_reset_counters(self):
+        memory = MainMemory()
+        memory.write_line(0, 1)
+        memory.reset_counters()
+        assert memory.total_bytes_moved == 0
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(CacheAddressError):
+            MainMemory().read_line(-1)
+
+    def test_none_write_rejected(self):
+        with pytest.raises(CacheAddressError):
+            MainMemory().write_line(0, None)
+
+
+class TestTimingModel:
+    def test_full_bandwidth_time(self):
+        model = DRAMTimingModel()
+        t = model.transfer_time_s(102.4e9, bandwidth_share=1.0)
+        assert t == pytest.approx(1.0)
+
+    def test_share_scales_time(self):
+        model = DRAMTimingModel()
+        full = model.transfer_time_s(1e9, 1.0)
+        half = model.transfer_time_s(1e9, 0.5)
+        assert half == pytest.approx(2 * full)
+
+    def test_first_access_latency(self):
+        model = DRAMTimingModel(config=DRAMConfig(access_latency_s=1e-7))
+        with_latency = model.transfer_time_s(64, 1.0, first_access=True)
+        without = model.transfer_time_s(64, 1.0)
+        assert with_latency - without == pytest.approx(1e-7)
+
+    def test_share_clamped_to_one(self):
+        model = DRAMTimingModel()
+        assert model.transfer_time_s(1e9, 5.0) == \
+            model.transfer_time_s(1e9, 1.0)
+
+    def test_zero_share_rejected(self):
+        with pytest.raises(CacheAddressError):
+            DRAMTimingModel().transfer_time_s(64, 0.0)
+
+    def test_accounting(self):
+        model = DRAMTimingModel()
+        model.account(1000)
+        model.account(24)
+        assert model.total_bytes == 1024

@@ -1,0 +1,149 @@
+"""Tests for layer specs and GEMM lowering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelGraphError
+from repro.models.layers import (
+    LayerKind,
+    attention_matmul,
+    conv1d,
+    conv2d,
+    dwconv2d,
+    elementwise,
+    matmul,
+    pool2d,
+)
+
+
+class TestConv2D:
+    def test_gemm_lowering(self):
+        layer = conv2d("c", h=56, w=56, c_in=64, c_out=128, kernel=3)
+        assert layer.m == 56 * 56
+        assert layer.n == 128
+        assert layer.k == 64 * 9
+
+    def test_stride_halves_output(self):
+        layer = conv2d("c", 56, 56, 64, 128, kernel=3, stride=2)
+        assert layer.m == 28 * 28
+
+    def test_macs(self):
+        layer = conv2d("c", 8, 8, 4, 4, kernel=1, padding=0)
+        assert layer.macs == 8 * 8 * 4 * 4
+
+    def test_weight_footprint(self):
+        layer = conv2d("c", 8, 8, 16, 32, kernel=3)
+        assert layer.weight_elems == 32 * 16 * 9
+
+    def test_explicit_padding(self):
+        layer = conv2d("c", 224, 224, 3, 64, kernel=7, stride=2, padding=3)
+        assert layer.m == 112 * 112
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ModelGraphError):
+            conv2d("c", 2, 2, 4, 4, kernel=7, stride=8, padding=0)
+
+
+class TestDwConv2D:
+    def test_small_reduction_dim(self):
+        layer = dwconv2d("d", 56, 56, channels=144, kernel=3)
+        assert layer.k == 9
+        assert layer.n == 144
+
+    def test_macs_scale_with_channels_not_squared(self):
+        small = dwconv2d("d", 8, 8, channels=16, kernel=3)
+        big = dwconv2d("d", 8, 8, channels=32, kernel=3)
+        assert big.macs == 2 * small.macs
+
+    def test_kind(self):
+        assert dwconv2d("d", 8, 8, 16, 3).kind is LayerKind.DWCONV
+
+
+class TestMatmul:
+    def test_dims(self):
+        layer = matmul("m", 128, 3072, 768)
+        assert (layer.m, layer.n, layer.k) == (128, 3072, 768)
+        assert layer.weight_elems == 3072 * 768
+        assert layer.macs == 128 * 3072 * 768
+
+    def test_weightless(self):
+        layer = matmul("m", 16, 16, 16, has_weights=False)
+        assert layer.weight_elems == 0
+        assert layer.input_elems == 16 * 16 * 2
+
+
+class TestAttention:
+    def test_scores_shape(self):
+        layer = attention_matmul("a", seq=128, head_dim=64, heads=12)
+        assert (layer.m, layer.n, layer.k) == (128, 128, 64)
+        assert layer.groups == 12
+        assert layer.weight_elems == 0
+
+    def test_context_shape(self):
+        layer = attention_matmul("a", 128, 64, 12, transposed=True)
+        assert (layer.m, layer.n, layer.k) == (128, 64, 128)
+
+    def test_macs_include_heads(self):
+        layer = attention_matmul("a", 128, 64, 12)
+        assert layer.macs == 12 * 128 * 128 * 64
+
+
+class TestConv1D:
+    def test_feature_extractor_shape(self):
+        layer = conv1d("f", length=16000, c_in=1, c_out=512, kernel=10,
+                       stride=5)
+        assert layer.m == (16000 - 10) // 5 + 1
+        assert layer.n == 512
+
+
+class TestPoolAndElemwise:
+    def test_pool_no_weights(self):
+        layer = pool2d("p", 8, 8, 64, kernel=2)
+        assert layer.weight_elems == 0
+        assert layer.m == 4 * 4
+
+    def test_elementwise_operands(self):
+        layer = elementwise("e", 1000, operands=3)
+        assert layer.input_elems == 3000
+        assert layer.output_elems == 1000
+
+
+class TestLayerSpecInvariants:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelGraphError):
+            matmul("", 4, 4, 4)
+
+    def test_arithmetic_intensity(self):
+        layer = matmul("m", 256, 256, 256)
+        assert layer.arithmetic_intensity == pytest.approx(
+            layer.macs / layer.total_elems
+        )
+
+    def test_memory_dominated_flag(self):
+        gemv = matmul("v", 1, 4096, 4096)  # classic memory-bound GEMV
+        big = matmul("b", 1024, 1024, 1024)
+        assert gemv.is_memory_dominated
+        assert not big.is_memory_dominated
+
+    @given(
+        m=st.integers(1, 512),
+        n=st.integers(1, 512),
+        k=st.integers(1, 512),
+    )
+    def test_matmul_macs_product(self, m, n, k):
+        layer = matmul("m", m, n, k)
+        assert layer.macs == m * n * k
+        assert layer.total_elems == m * k + k * n + m * n
+
+    @given(
+        h=st.integers(4, 64),
+        c_in=st.integers(1, 64),
+        c_out=st.integers(1, 64),
+        kernel=st.sampled_from([1, 3, 5]),
+        stride=st.sampled_from([1, 2]),
+    )
+    def test_conv_macs_consistent_with_gemm(self, h, c_in, c_out, kernel,
+                                            stride):
+        layer = conv2d("c", h, h, c_in, c_out, kernel, stride)
+        assert layer.macs == layer.m * layer.n * layer.k
+        assert layer.output_elems == layer.m * layer.n

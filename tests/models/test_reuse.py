@@ -1,0 +1,104 @@
+"""Tests for the reuse profiler (Figure 3 substrate)."""
+
+import pytest
+
+from repro.models.graph import ModelGraph, SkipEdge
+from repro.models.layers import elementwise, matmul
+from repro.models.reuse import (
+    REUSE_COUNT_BUCKETS,
+    REUSE_DISTANCE_BUCKETS,
+    average_fractions,
+    profile_model,
+    profile_suite,
+)
+from repro.models.zoo import load_benchmark_suite
+
+
+def _toy_graph():
+    layers = (
+        matmul("l0", 1000, 64, 64),
+        matmul("l1", 1000, 64, 64),
+        elementwise("add", 1000 * 64, operands=2),
+    )
+    return ModelGraph(
+        name="toy", abbr="T.", layers=layers,
+        skip_edges=(SkipEdge(0, 2),),
+    )
+
+
+class TestProfileModel:
+    def test_fractions_sum_to_one(self):
+        profile = profile_model(_toy_graph())
+        assert sum(profile.count_fractions().values()) == \
+            pytest.approx(1.0)
+        assert sum(profile.distance_fractions().values()) == \
+            pytest.approx(1.0)
+
+    def test_weights_counted_once(self):
+        profile = profile_model(_toy_graph())
+        weight_bytes = 2 * 64 * 64  # two matmuls
+        assert profile.count_bytes["1"] >= weight_bytes
+
+    def test_skip_producer_has_two_consumers(self):
+        # l0's output is read by l1 and by the add: count = 1 write + 2
+        # reads = 3 -> bucket [2,4].
+        profile = profile_model(_toy_graph())
+        assert profile.count_bytes["[2,4]"] >= 1000 * 64
+
+    def test_distance_buckets_are_exhaustive(self):
+        labels = [label for label, _, _ in REUSE_DISTANCE_BUCKETS]
+        profile = profile_model(_toy_graph())
+        assert set(profile.distance_bytes) == set(labels)
+
+    def test_model_output_is_single_use(self):
+        graph = ModelGraph(
+            name="one", abbr="O.", layers=(matmul("l0", 10, 10, 10),)
+        )
+        profile = profile_model(graph)
+        assert profile.count_fractions()["1"] == pytest.approx(1.0)
+
+
+class TestPaperClaims:
+    """Figure 3's headline statistics should hold qualitatively."""
+
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return list(profile_suite(load_benchmark_suite()).values())
+
+    def test_majority_of_data_not_reused(self, profiles):
+        # Paper: 68.0 % of data has no future reuse on average.
+        count_avg, _ = average_fractions(profiles)
+        assert 0.4 <= count_avg["1"] <= 0.9
+
+    def test_long_reuse_distances_dominate(self, profiles):
+        # Paper: 61.8 % of intermediate data above 1 MB reuse distance.
+        _, dist_avg = average_fractions(profiles)
+        above_1mb = 1.0 - dist_avg["(0MB,1MB]"]
+        assert above_1mb >= 0.35
+
+    def test_above_2mb_fraction(self, profiles):
+        # Paper: 47.9 % above 2 MB; ours should be in the same regime.
+        _, dist_avg = average_fractions(profiles)
+        above_2mb = dist_avg["(2MB,4MB]"] + dist_avg["(4MB,inf)"]
+        assert above_2mb >= 0.25
+
+    def test_every_model_has_data(self, profiles):
+        for profile in profiles:
+            assert profile.total_bytes > 0
+            assert profile.total_intermediate_bytes > 0
+
+
+class TestBuckets:
+    def test_count_buckets_match_figure(self):
+        labels = [label for label, _, _ in REUSE_COUNT_BUCKETS]
+        assert labels == ["1", "[2,4]", "[5,8]", "[9,inf)"]
+
+    def test_distance_buckets_match_figure(self):
+        labels = [label for label, _, _ in REUSE_DISTANCE_BUCKETS]
+        assert labels == [
+            "(0MB,1MB]", "(1MB,2MB]", "(2MB,4MB]", "(4MB,inf)",
+        ]
+
+    def test_fraction_distance_above(self):
+        profile = profile_model(_toy_graph())
+        assert profile.fraction_distance_above(0) == pytest.approx(1.0)

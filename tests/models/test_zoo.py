@@ -1,0 +1,42 @@
+"""Tests for the model registry."""
+
+import pytest
+
+from repro.errors import ModelGraphError
+from repro.models.zoo import (
+    BENCHMARK_MODELS,
+    QOS_TARGETS_MS,
+    build_model,
+    load_benchmark_suite,
+)
+
+
+class TestRegistry:
+    def test_eight_models(self):
+        assert len(BENCHMARK_MODELS) == 8
+
+    def test_build_by_abbr(self):
+        assert build_model("RS.").name == "ResNet50"
+
+    def test_build_by_full_name(self):
+        assert build_model("MobileNet-v2").abbr == "MB."
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ModelGraphError):
+            build_model("AlexNet")
+
+    def test_builders_are_cached(self):
+        assert build_model("RS.") is build_model("RS.")
+
+    def test_qos_targets_cover_all_models(self):
+        assert set(QOS_TARGETS_MS) == set(BENCHMARK_MODELS)
+
+    def test_suite_order(self):
+        suite = load_benchmark_suite()
+        assert [g.abbr for g in suite] == list(BENCHMARK_MODELS)
+
+    def test_domains(self):
+        domains = {g.abbr: g.domain for g in load_benchmark_suite()}
+        assert domains["WV."] == "Audio Processing"
+        assert domains["PP."] == "Point Cloud"
+        assert domains["GN."] == "Natural Language Processing"

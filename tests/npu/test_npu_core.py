@@ -1,0 +1,111 @@
+"""Tests for NPU cores and the DMA / NEC interface plumbing."""
+
+import pytest
+
+from repro.cache.sliced_cache import SlicedSharedCache
+from repro.config import SoCConfig
+from repro.core.mct import CacheMapEntry
+from repro.core.nec import NECOp
+from repro.core.region import RegionManager
+from repro.errors import CacheAddressError, SimulationError
+from repro.memory.dram import MainMemory
+from repro.npu.dma import DMAOp, DMARequest
+from repro.npu.npu_core import NPUCore
+
+
+@pytest.fixture
+def soc():
+    return SoCConfig()
+
+
+@pytest.fixture
+def core(soc):
+    return NPUCore(core_id=0, soc=soc)
+
+
+class TestCoreState:
+    def test_assign_release(self, core):
+        assert not core.busy
+        core.assign("task0")
+        assert core.busy
+        assert core.task_id == "task0"
+        core.release()
+        assert not core.busy
+
+    def test_double_assign_conflict(self, core):
+        core.assign("a")
+        with pytest.raises(SimulationError):
+            core.assign("b")
+
+    def test_reassign_same_task_ok(self, core):
+        core.assign("a")
+        core.assign("a")
+
+    def test_release_clears_scratchpad(self, core):
+        core.scratchpad.allocate("tile", 64)
+        core.release()
+        assert core.scratchpad.used_bytes == 0
+
+
+class TestDMA:
+    def test_pinned_entry_generates_cached_reads(self, core):
+        entry = CacheMapEntry("weight", vcaddr=0, size=256, reuse=True,
+                              bypass=False)
+        requests = list(
+            core.dma.requests_for_entry(entry, mem_base_line=0, load=True)
+        )
+        assert len(requests) == 4  # 256 B / 64 B lines
+        assert all(r.op is DMAOp.READ_LINE for r in requests)
+
+    def test_bypass_entry_uses_bypass_op(self, core):
+        entry = CacheMapEntry("input", vcaddr=0, size=0, reuse=False,
+                              bypass=True)
+        requests = list(
+            core.dma.requests_for_entry(entry, mem_base_line=10, load=True)
+        )
+        assert all(r.op is DMAOp.BYPASS_READ for r in requests)
+
+    def test_multicast_selected_for_groups(self, core):
+        entry = CacheMapEntry("weight", vcaddr=0, size=64, reuse=True,
+                              bypass=False)
+        requests = list(
+            core.dma.requests_for_entry(entry, 0, load=True, group_size=4)
+        )
+        assert all(r.op is DMAOp.MULTICAST_READ for r in requests)
+
+    def test_store_uses_write_line(self, core):
+        entry = CacheMapEntry("output", vcaddr=0, size=64, reuse=True,
+                              bypass=False)
+        requests = list(
+            core.dma.requests_for_entry(entry, 0, load=False)
+        )
+        assert all(r.op is DMAOp.WRITE_LINE for r in requests)
+
+    def test_addressless_request_rejected(self, core):
+        with pytest.raises(CacheAddressError):
+            core.dma.to_nec_request(DMARequest(op=DMAOp.READ_LINE))
+
+
+class TestEndToEndDataPath:
+    def test_region_backed_dma_roundtrip(self, soc):
+        """NPU -> CPT -> NEC -> data array -> NEC -> NPU roundtrip."""
+        memory = MainMemory()
+        cache = SlicedSharedCache(soc.cache, memory)
+        fabric = cache.install_necs()
+        regions = RegionManager(soc.cache)
+        region = regions.create_region("model0", 2)
+
+        core = NPUCore(0, soc)
+        core.assign("model0")
+        core.adopt_region_cpt(region.cpt)
+
+        entry = CacheMapEntry("weight", vcaddr=0, size=512, reuse=True,
+                              bypass=False)
+        writes = [
+            DMARequest(op=NECOp.WRITE_LINE, vcaddr=i * 64, data=i)
+            for i in range(8)
+        ]
+        core.dma.issue(writes, fabric)
+        reads = list(core.dma.requests_for_entry(entry, 0, load=True))
+        values = core.dma.issue(reads, fabric)
+        assert [v[0] for v in values] == list(range(8))

@@ -1,0 +1,99 @@
+"""Tests for the scratchpad segment allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, MappingError
+from repro.npu.scratchpad import Scratchpad
+
+
+class TestAllocate:
+    def test_basic_allocation(self):
+        spad = Scratchpad(1024)
+        seg = spad.allocate("w", 256)
+        assert seg.offset == 0
+        assert spad.used_bytes == 256
+
+    def test_first_fit_packs(self):
+        spad = Scratchpad(1024)
+        spad.allocate("a", 100)
+        b = spad.allocate("b", 100)
+        assert b.offset == 100
+
+    def test_free_opens_gap(self):
+        spad = Scratchpad(1024)
+        spad.allocate("a", 100)
+        spad.allocate("b", 100)
+        spad.free("a")
+        c = spad.allocate("c", 50)
+        assert c.offset == 0  # reuses the gap
+
+    def test_gap_too_small_skipped(self):
+        spad = Scratchpad(1024)
+        spad.allocate("a", 100)
+        spad.allocate("b", 100)
+        spad.free("a")
+        c = spad.allocate("c", 200)
+        assert c.offset == 200  # gap (100) skipped
+
+    def test_overflow_raises(self):
+        spad = Scratchpad(256)
+        with pytest.raises(MappingError):
+            spad.allocate("big", 512)
+
+    def test_duplicate_name_raises(self):
+        spad = Scratchpad(1024)
+        spad.allocate("a", 10)
+        with pytest.raises(MappingError):
+            spad.allocate("a", 10)
+
+    def test_zero_size_raises(self):
+        with pytest.raises(MappingError):
+            Scratchpad(1024).allocate("a", 0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            Scratchpad(0)
+
+
+class TestFreeAndReset:
+    def test_free_unknown_raises(self):
+        with pytest.raises(MappingError):
+            Scratchpad(64).free("ghost")
+
+    def test_reset_clears_all(self):
+        spad = Scratchpad(1024)
+        spad.allocate("a", 100)
+        spad.allocate("b", 100)
+        spad.reset()
+        assert spad.used_bytes == 0
+
+    def test_get(self):
+        spad = Scratchpad(64)
+        spad.allocate("a", 8)
+        assert spad.get("a").size == 8
+        assert spad.get("zz") is None
+
+    def test_fits(self):
+        spad = Scratchpad(100)
+        assert spad.fits(40, 60)
+        assert not spad.fits(40, 61)
+
+
+class TestProperties:
+    @given(
+        sizes=st.lists(st.integers(1, 64), min_size=1, max_size=20),
+    )
+    @settings(max_examples=50)
+    def test_segments_never_overlap(self, sizes):
+        spad = Scratchpad(1024)
+        for i, size in enumerate(sizes):
+            try:
+                spad.allocate(f"s{i}", size)
+            except MappingError:
+                break
+        segments = spad.segments()
+        for a, b in zip(segments, segments[1:]):
+            assert a.end <= b.offset
+        for seg in segments:
+            assert 0 <= seg.offset and seg.end <= 1024

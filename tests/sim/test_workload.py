@@ -1,0 +1,105 @@
+"""Tests for closed-loop workload generation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.workload import (
+    ClosedLoopWorkload,
+    WorkloadSpec,
+    random_model_mix,
+)
+
+
+class TestWorkloadSpec:
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(model_keys=[])
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(model_keys=["RS."], duration_s=-1.0)
+
+    def test_rejects_warmup_after_end(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(model_keys=["RS."], duration_s=1.0, warmup_s=1.5)
+
+    def test_total_inferences(self):
+        spec = WorkloadSpec(model_keys=["RS.", "MB."],
+                            inferences_per_stream=3, warmup_inferences=1)
+        assert spec.total_inferences == 8
+
+
+class TestRandomModelMix:
+    def test_first_eight_distinct(self):
+        keys = random_model_mix(8)
+        assert len(set(keys)) == 8
+
+    def test_deterministic_by_seed(self):
+        assert random_model_mix(32, seed=7) == random_model_mix(32, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert random_model_mix(32, seed=1) != random_model_mix(32, seed=2)
+
+    def test_small_counts(self):
+        assert random_model_mix(1) == ["RS."]
+
+    def test_rejects_zero(self):
+        with pytest.raises(WorkloadError):
+            random_model_mix(0)
+
+
+class TestClosedLoopCountMode:
+    def test_initial_instances_one_per_stream(self):
+        spec = WorkloadSpec(model_keys=["RS.", "MB."])
+        workload = ClosedLoopWorkload(spec)
+        initial = workload.initial_instances()
+        assert len(initial) == 2
+        assert {i.stream_id for i in initial} == set(workload.streams)
+
+    def test_quota_enforced(self):
+        spec = WorkloadSpec(model_keys=["RS."], inferences_per_stream=2,
+                            warmup_inferences=1)
+        workload = ClosedLoopWorkload(spec)
+        workload.initial_instances()
+        spawned = 0
+        while workload.next_instance(workload.streams[0], 0.0):
+            spawned += 1
+        assert spawned == 2  # 3 total minus the initial one
+
+    def test_warmup_flag(self):
+        spec = WorkloadSpec(model_keys=["RS."], warmup_inferences=1)
+        workload = ClosedLoopWorkload(spec)
+        first = workload.initial_instances()[0]
+        second = workload.next_instance(first.stream_id, 1.0)
+        assert workload.is_warmup(first)
+        assert not workload.is_warmup(second)
+
+    def test_qos_scale_applied(self):
+        spec = WorkloadSpec(model_keys=["MB."], qos_scale=0.8)
+        inst = ClosedLoopWorkload(spec).initial_instances()[0]
+        assert inst.qos_target_s == pytest.approx(2.8e-3 * 0.8)
+
+
+class TestClosedLoopSteadyState:
+    def test_dispatch_stops_after_window(self):
+        spec = WorkloadSpec(model_keys=["RS."], duration_s=1.0)
+        workload = ClosedLoopWorkload(spec)
+        workload.initial_instances()
+        assert workload.next_instance(workload.streams[0], 0.5) is not None
+        assert workload.next_instance(workload.streams[0], 1.5) is None
+
+    def test_window_measurement_by_arrival(self):
+        spec = WorkloadSpec(model_keys=["RS."], duration_s=1.0,
+                            warmup_s=0.2)
+        workload = ClosedLoopWorkload(spec)
+        inst = workload.initial_instances()[0]
+        inst.finish_time = 0.5
+        assert workload.is_warmup(inst)  # arrived at 0 < warmup
+        later = workload.next_instance(inst.stream_id, 0.3)
+        later.finish_time = 0.9
+        assert not workload.is_warmup(later)
+        slow = workload.next_instance(inst.stream_id, 0.95)
+        slow.finish_time = 1.4
+        # Arrived inside the window: measured even though it finishes
+        # after the window ends (no survivorship bias against slow models).
+        assert not workload.is_warmup(slow)

@@ -1,0 +1,82 @@
+"""Tests for the package-level public API."""
+
+import pytest
+
+import repro
+from repro import SoCConfig, simulate
+from repro.errors import ReproError
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_error_hierarchy(self):
+        from repro.errors import (
+            CacheAddressError,
+            ConfigError,
+            CPTError,
+            MappingError,
+            ModelGraphError,
+            PageAllocationError,
+            SimulationError,
+            WorkloadError,
+        )
+
+        for exc in (ConfigError, MappingError, CacheAddressError,
+                    PageAllocationError, CPTError, SimulationError,
+                    WorkloadError, ModelGraphError):
+            assert issubclass(exc, ReproError)
+
+
+class TestSimulateHelper:
+    def test_count_mode(self):
+        result = simulate("camdn-full", ["MB."], inferences_per_stream=2)
+        assert result.metrics.num_inferences == 2
+
+    def test_steady_state_mode(self):
+        result = simulate("baseline", ["MB.", "EF."], duration_s=0.02,
+                          warmup_s=0.005)
+        assert result.metrics.num_inferences > 0
+
+    def test_custom_soc(self):
+        from repro import MiB
+
+        soc = SoCConfig().with_cache_bytes(4 * MiB)
+        result = simulate("baseline", ["MB."], inferences_per_stream=1,
+                          soc=soc)
+        assert result.metrics.num_inferences == 1
+
+    def test_policy_kwargs_forwarded(self):
+        result = simulate("camdn-full", ["MB."], inferences_per_stream=1,
+                          qos_mode=True)
+        assert result.scheduler_name == "camdn-full"
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            simulate("magic", ["MB."])
+
+    def test_qos_scale_sets_deadlines(self):
+        result = simulate("camdn-full", ["MB."], inferences_per_stream=1,
+                          qos_scale=1.0)
+        record = result.metrics.records[0]
+        assert record.qos_target_s == pytest.approx(2.8e-3)
+
+
+class TestRunnerCLI:
+    def test_table3_via_cli(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+
+    def test_fig3_via_cli(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig3"]) == 0
+        assert "reuse" in capsys.readouterr().out
