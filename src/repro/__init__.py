@@ -39,6 +39,14 @@ from .config import (
     SoCConfig,
     default_soc,
 )
+from .core.prepared import (
+    PreparedModel,
+    PreparedWorkload,
+    clear_prepared_caches,
+    prepare_model,
+    prepare_workload,
+    prepared_cache_info,
+)
 from .errors import ReproError
 from .models import build_model, load_benchmark_suite
 from .schedulers import make_scheduler
@@ -69,6 +77,12 @@ __all__ = [
     "ClosedLoopWorkload",
     "MultiTenantEngine",
     "SimulationResult",
+    "PreparedModel",
+    "PreparedWorkload",
+    "prepare_model",
+    "prepare_workload",
+    "prepared_cache_info",
+    "clear_prepared_caches",
     "simulate",
 ]
 
@@ -101,6 +115,12 @@ def simulate(
     Returns:
         The :class:`~repro.sim.engine.SimulationResult` with metrics.
     """
+    soc = soc or SoCConfig()
+    # Warm (or hit) the process-wide prepared-workload cache: repeated
+    # simulate() calls over the same (policy, models, SoC) reuse solved
+    # mappings, layer cycles and access segments instead of re-deriving
+    # them inside the engine run.
+    prepare_workload(policy, model_keys, soc)
     spec = WorkloadSpec(
         model_keys=list(model_keys),
         inferences_per_stream=inferences_per_stream,
@@ -111,5 +131,5 @@ def simulate(
     )
     workload = ClosedLoopWorkload(spec)
     scheduler = make_scheduler(policy, **policy_kwargs)
-    engine = MultiTenantEngine(soc or SoCConfig(), scheduler, workload)
+    engine = MultiTenantEngine(soc, scheduler, workload)
     return engine.run()

@@ -30,6 +30,14 @@ from .mct import (
 )
 from .allocator import AllocationDecision, DynamicCacheAllocator, TaskState
 from .camdn import CaMDNSystem
+from .prepared import (
+    PreparedModel,
+    PreparedWorkload,
+    clear_prepared_caches,
+    prepare_model,
+    prepare_workload,
+    prepared_cache_info,
+)
 from .area import AreaModel, area_breakdown_table
 from .isa import NPUInstr, NPUOp, generate_layer_program, program_stats
 from .serialize import load_mapping_file, save_mapping_file
@@ -55,6 +63,12 @@ __all__ = [
     "DynamicCacheAllocator",
     "TaskState",
     "CaMDNSystem",
+    "PreparedModel",
+    "PreparedWorkload",
+    "prepare_model",
+    "prepare_workload",
+    "prepared_cache_info",
+    "clear_prepared_caches",
     "AreaModel",
     "area_breakdown_table",
     "NPUInstr",

@@ -11,7 +11,7 @@ staying dependency-free.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import ClassVar, Dict, Optional, Tuple
 
 from ...config import NPUConfig
 from ...errors import MappingError
@@ -38,10 +38,18 @@ class SolvedMapping:
 class SubspaceSolver:
     """Exact solver over heuristic-pruned tiling subspaces."""
 
+    #: Process-wide memo of :meth:`solve` results.  A solve is a pure
+    #: function of ``(npu, dtype, shape, usage limit, lbm flags)``, and the
+    #: same GEMM shapes recur heavily — transformer encoders repeat one
+    #: block shape 12 times, and experiment sweeps re-map the same models
+    #: under many SoC variants whose usage levels largely overlap.
+    _SOLVE_CACHE: ClassVar[Dict[tuple, SolvedMapping]] = {}
+
     def __init__(self, npu: NPUConfig, dtype_bytes: int = 1) -> None:
         self.npu = npu
         self.dtype_bytes = dtype_bytes
         self.rules = HeuristicRules(npu=npu, dtype_bytes=dtype_bytes)
+        self._memo_prefix: Tuple = (npu, dtype_bytes)
 
     def solve_subspace(
         self,
@@ -95,6 +103,12 @@ class SubspaceSolver:
                 positive scratchpad capacity, since minimal PE-sized tiles
                 always fit; guarded for safety).
         """
+        key = self._memo_prefix + (
+            shape, usage_limit_bytes, lbm_input, lbm_output
+        )
+        cached = self._SOLVE_CACHE.get(key)
+        if cached is not None:
+            return cached
         best: Optional[SolvedMapping] = None
         for subspace in self.rules.subspaces(shape, usage_limit_bytes):
             solved = self.solve_subspace(
@@ -110,6 +124,7 @@ class SubspaceSolver:
                 f"no feasible mapping for GEMM {shape} at "
                 f"{usage_limit_bytes} B cache"
             )
+        self._SOLVE_CACHE[key] = best
         return best
 
     @staticmethod

@@ -9,6 +9,7 @@ Each module exposes a ``run_*`` function returning structured rows plus a
 """
 
 from .common import ExperimentScale, isolated_latencies
+from .sweep import SweepCell, run_sweep
 from .fig2_motivation import Fig2Row, format_fig2, run_fig2
 from .fig3_reuse import Fig3Row, format_fig3, run_fig3
 from .fig7_speedup import Fig7Row, format_fig7, run_fig7
@@ -19,6 +20,8 @@ from .table3_area import format_table3, run_table3
 __all__ = [
     "ExperimentScale",
     "isolated_latencies",
+    "SweepCell",
+    "run_sweep",
     "Fig2Row",
     "run_fig2",
     "format_fig2",

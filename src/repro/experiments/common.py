@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from typing import Dict, Sequence
 
 from ..config import SoCConfig
+from ..core.prepared import prepare_workload
 from ..schedulers import make_scheduler
 from ..sim.engine import MultiTenantEngine, SimulationResult
 from ..sim.workload import ClosedLoopWorkload, WorkloadSpec
@@ -49,6 +50,7 @@ def run_policy(
     kwargs = {}
     if qos_mode and policy_name.startswith("camdn"):
         kwargs["qos_mode"] = True
+    prepare_workload(policy_name, model_keys, soc)
     scheduler = make_scheduler(policy_name, **kwargs)
     spec = WorkloadSpec(
         model_keys=list(model_keys),

@@ -10,11 +10,10 @@ and average latency growing 3.46-5.65x versus single-tenant execution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from ..config import MiB, SoCConfig
-from ..sim.workload import random_model_mix
-from .common import ExperimentScale, run_policy
+from ..config import MiB
+from .sweep import SweepCell, run_sweep
 
 #: Paper sweep axes.
 DNN_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
@@ -37,28 +36,37 @@ def run_fig2(
     cache_sizes_mb: Sequence[int] = CACHE_SIZES_MB,
     scale: float = 1.0,
     seed: int = 2025,
+    jobs: Optional[int] = None,
 ) -> List[Fig2Row]:
     """Regenerate the Figure 2 sweep (transparent-cache baseline)."""
+    grid = [
+        (cache_mb, num_dnns)
+        for cache_mb in cache_sizes_mb
+        for num_dnns in dnn_counts
+    ]
+    cells = [
+        SweepCell.random_mix(
+            "baseline", num_dnns, seed=seed, scale=scale,
+            cache_bytes=cache_mb * MiB,
+        )
+        for cache_mb, num_dnns in grid
+    ]
+    results = run_sweep(cells, max_workers=jobs)
     rows: List[Fig2Row] = []
-    experiment_scale = ExperimentScale(scale=scale)
-    for cache_mb in cache_sizes_mb:
-        soc = SoCConfig().with_cache_bytes(cache_mb * MiB)
-        for num_dnns in dnn_counts:
-            keys = random_model_mix(num_dnns, seed=seed)
-            result = run_policy(soc, "baseline", keys, experiment_scale)
-            rows.append(
-                Fig2Row(
-                    cache_mb=cache_mb,
-                    num_dnns=num_dnns,
-                    hit_rate=result.metrics.overall_hit_rate(),
-                    dram_mb_per_model=(
-                        result.metrics.macro_avg_dram_bytes() / 1e6
-                    ),
-                    avg_latency_ms=(
-                        result.metrics.macro_avg_latency_s() * 1e3
-                    ),
-                )
+    for (cache_mb, num_dnns), result in zip(grid, results):
+        rows.append(
+            Fig2Row(
+                cache_mb=cache_mb,
+                num_dnns=num_dnns,
+                hit_rate=result.metrics.overall_hit_rate(),
+                dram_mb_per_model=(
+                    result.metrics.macro_avg_dram_bytes() / 1e6
+                ),
+                avg_latency_ms=(
+                    result.metrics.macro_avg_latency_s() * 1e3
+                ),
             )
+        )
     return rows
 
 

@@ -11,14 +11,16 @@ serves entirely from cache).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..config import SoCConfig
 from ..models.zoo import BENCHMARK_MODELS
-from .common import ExperimentScale, run_policy
+from .sweep import SweepCell, run_sweep
 
 #: 16 streams = each benchmark model twice (all NPUs busy, Section IV-A4).
 SPEEDUP_WORKLOAD = tuple(BENCHMARK_MODELS) * 2
+
+#: Policies compared in Figure 7, in presentation order.
+SPEEDUP_POLICIES = ("aurora", "camdn-hw", "camdn-full")
 
 
 @dataclass(frozen=True)
@@ -40,13 +42,16 @@ class Fig7Row:
 
 
 def run_fig7(scale: float = 1.0,
-             model_keys: Sequence[str] = SPEEDUP_WORKLOAD) -> List[Fig7Row]:
+             model_keys: Sequence[str] = SPEEDUP_WORKLOAD,
+             jobs: Optional[int] = None) -> List[Fig7Row]:
     """Regenerate the Figure 7 model-wise speedup comparison."""
-    soc = SoCConfig()
-    experiment_scale = ExperimentScale(scale=scale)
+    cells = [
+        SweepCell(policy=policy, model_keys=tuple(model_keys), scale=scale)
+        for policy in SPEEDUP_POLICIES
+    ]
+    results = run_sweep(cells, max_workers=jobs)
     summaries: Dict[str, Dict[str, float]] = {}
-    for policy in ("aurora", "camdn-hw", "camdn-full"):
-        result = run_policy(soc, policy, model_keys, experiment_scale)
+    for policy, result in zip(SPEEDUP_POLICIES, results):
         summaries[policy] = {
             abbr: s.avg_latency_s * 1e3
             for abbr, s in result.metrics.by_model().items()

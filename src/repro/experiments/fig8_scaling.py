@@ -10,11 +10,10 @@ capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from ..config import MiB, SoCConfig
-from ..sim.workload import random_model_mix
-from .common import ExperimentScale, run_policy
+from ..config import MiB
+from .sweep import SweepCell, run_sweep
 
 DNN_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16)
 CACHE_SIZES_MB: Tuple[int, ...] = (4, 8, 16, 32, 64)
@@ -45,34 +44,44 @@ def run_fig8(
     cache_sizes_mb: Sequence[int] = CACHE_SIZES_MB,
     scale: float = 1.0,
     seed: int = 2025,
+    jobs: Optional[int] = None,
 ) -> List[Fig8Row]:
     """Regenerate the Figure 8 scaling comparison."""
+    grid = [
+        (cache_mb, num_dnns)
+        for cache_mb in cache_sizes_mb
+        for num_dnns in dnn_counts
+    ]
+    cells = [
+        SweepCell.random_mix(
+            policy, num_dnns, seed=seed, scale=scale,
+            cache_bytes=cache_mb * MiB,
+        )
+        for cache_mb, num_dnns in grid
+        for policy in ("aurora", "camdn-full")
+    ]
+    results = run_sweep(cells, max_workers=jobs)
     rows: List[Fig8Row] = []
-    experiment_scale = ExperimentScale(scale=scale)
-    for cache_mb in cache_sizes_mb:
-        soc = SoCConfig().with_cache_bytes(cache_mb * MiB)
-        for num_dnns in dnn_counts:
-            keys = random_model_mix(num_dnns, seed=seed)
-            base = run_policy(soc, "aurora", keys, experiment_scale)
-            camdn = run_policy(soc, "camdn-full", keys, experiment_scale)
-            rows.append(
-                Fig8Row(
-                    cache_mb=cache_mb,
-                    num_dnns=num_dnns,
-                    baseline_latency_ms=(
-                        base.metrics.macro_avg_latency_s() * 1e3
-                    ),
-                    camdn_latency_ms=(
-                        camdn.metrics.macro_avg_latency_s() * 1e3
-                    ),
-                    baseline_dram_mb=(
-                        base.metrics.macro_avg_dram_bytes() / 1e6
-                    ),
-                    camdn_dram_mb=(
-                        camdn.metrics.macro_avg_dram_bytes() / 1e6
-                    ),
-                )
+    for i, (cache_mb, num_dnns) in enumerate(grid):
+        base, camdn = results[2 * i], results[2 * i + 1]
+        rows.append(
+            Fig8Row(
+                cache_mb=cache_mb,
+                num_dnns=num_dnns,
+                baseline_latency_ms=(
+                    base.metrics.macro_avg_latency_s() * 1e3
+                ),
+                camdn_latency_ms=(
+                    camdn.metrics.macro_avg_latency_s() * 1e3
+                ),
+                baseline_dram_mb=(
+                    base.metrics.macro_avg_dram_bytes() / 1e6
+                ),
+                camdn_dram_mb=(
+                    camdn.metrics.macro_avg_dram_bytes() / 1e6
+                ),
             )
+        )
     return rows
 
 

@@ -11,12 +11,13 @@ fairness than MoCA under the tightened targets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import SoCConfig
 from ..models.zoo import BENCHMARK_MODELS
 from ..sim.qos import fairness, sla_rate, system_throughput
-from .common import ExperimentScale, isolated_latencies, run_policy
+from .common import isolated_latencies
+from .sweep import SweepCell, run_sweep
 
 #: QoS levels: label -> latency-target multiplier.
 QOS_LEVELS: Tuple[Tuple[str, float], ...] = (
@@ -45,28 +46,39 @@ class Fig9Row:
 
 
 def run_fig9(scale: float = 1.0,
-             model_keys: Sequence[str] = QOS_WORKLOAD) -> List[Fig9Row]:
+             model_keys: Sequence[str] = QOS_WORKLOAD,
+             jobs: Optional[int] = None) -> List[Fig9Row]:
     """Regenerate the Figure 9 QoS comparison."""
     soc = SoCConfig()
-    experiment_scale = ExperimentScale(scale=scale)
     isolated = isolated_latencies(model_keys, soc)
+    grid = [
+        (policy, level, qos_scale)
+        for policy in QOS_POLICIES
+        for level, qos_scale in QOS_LEVELS
+    ]
+    cells = [
+        SweepCell(
+            policy=policy,
+            model_keys=tuple(model_keys),
+            qos_scale=qos_scale,
+            qos_mode=True,
+            scale=scale,
+        )
+        for policy, _, qos_scale in grid
+    ]
+    results = run_sweep(cells, soc=soc, max_workers=jobs)
     rows: List[Fig9Row] = []
-    for policy in QOS_POLICIES:
-        for level, qos_scale in QOS_LEVELS:
-            result = run_policy(
-                soc, policy, model_keys, experiment_scale,
-                qos_scale=qos_scale, qos_mode=True,
+    for (policy, level, qos_scale), result in zip(grid, results):
+        rows.append(
+            Fig9Row(
+                policy=policy,
+                qos_level=level,
+                qos_scale=qos_scale,
+                sla=sla_rate(result.metrics),
+                stp=system_throughput(result.metrics, isolated),
+                fairness=fairness(result.metrics, isolated),
             )
-            rows.append(
-                Fig9Row(
-                    policy=policy,
-                    qos_level=level,
-                    qos_scale=qos_scale,
-                    sla=sla_rate(result.metrics),
-                    stp=system_throughput(result.metrics, isolated),
-                    fairness=fairness(result.metrics, isolated),
-                )
-            )
+        )
     return rows
 
 

@@ -2,8 +2,12 @@
 
 Usage::
 
-    python -m repro.experiments.runner fig2 [--scale 0.5]
+    python -m repro.experiments.runner fig2 [--scale 0.5] [--jobs 4]
     python -m repro.experiments.runner all
+
+``--jobs`` fans the experiment's independent simulation cells out over a
+process pool (see :mod:`repro.experiments.sweep`); the default picks one
+worker per CPU.  Experiments without a cell grid (fig3, table3) ignore it.
 """
 
 from __future__ import annotations
@@ -11,7 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from .fig2_motivation import format_fig2, run_fig2
 from .fig3_reuse import format_fig3, run_fig3
@@ -21,31 +25,31 @@ from .fig9_qos import format_fig9, run_fig9
 from .table3_area import format_table3, run_table3
 
 
-def _fig2(scale: float) -> str:
-    return format_fig2(run_fig2(scale=scale))
+def _fig2(scale: float, jobs: Optional[int]) -> str:
+    return format_fig2(run_fig2(scale=scale, jobs=jobs))
 
 
-def _fig3(scale: float) -> str:
+def _fig3(scale: float, jobs: Optional[int]) -> str:
     return format_fig3(run_fig3())
 
 
-def _fig7(scale: float) -> str:
-    return format_fig7(run_fig7(scale=scale))
+def _fig7(scale: float, jobs: Optional[int]) -> str:
+    return format_fig7(run_fig7(scale=scale, jobs=jobs))
 
 
-def _fig8(scale: float) -> str:
-    return format_fig8(run_fig8(scale=scale))
+def _fig8(scale: float, jobs: Optional[int]) -> str:
+    return format_fig8(run_fig8(scale=scale, jobs=jobs))
 
 
-def _fig9(scale: float) -> str:
-    return format_fig9(run_fig9(scale=scale))
+def _fig9(scale: float, jobs: Optional[int]) -> str:
+    return format_fig9(run_fig9(scale=scale, jobs=jobs))
 
 
-def _table3(scale: float) -> str:
+def _table3(scale: float, jobs: Optional[int]) -> str:
     return format_table3(run_table3())
 
 
-EXPERIMENTS: Dict[str, Callable[[float], str]] = {
+EXPERIMENTS: Dict[str, Callable[[float, Optional[int]], str]] = {
     "fig2": _fig2,
     "fig3": _fig3,
     "fig7": _fig7,
@@ -70,13 +74,19 @@ def main(argv=None) -> int:
         default=1.0,
         help="measurement-window scale (smaller = faster, default 1.0)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for sweep cells (default: one per CPU)",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     for name in names:
         start = time.time()
-        print(EXPERIMENTS[name](args.scale))
+        print(EXPERIMENTS[name](args.scale, args.jobs))
         print(f"  [{name} regenerated in {time.time() - start:.1f}s]")
         print()
     return 0

@@ -1,0 +1,115 @@
+"""Parallel experiment sweep runner.
+
+Experiment harnesses and benchmarks run grids of independent simulation
+cells — one per ``(policy, model mix, QoS level, SoC variant)`` point.
+Cells share no mutable state (each builds its own scheduler, workload and
+engine), so they parallelize perfectly across processes.
+
+:func:`run_sweep` executes a list of :class:`SweepCell` descriptions and
+returns one :class:`~repro.sim.engine.SimulationResult` per cell, in cell
+order regardless of completion order, so results are deterministic under
+any worker count.  On single-core hosts (or ``max_workers=1``) the sweep
+runs serially in-process, which also reuses the warm prepared-workload and
+solver caches; worker processes re-derive them on first use (the caches
+are process-wide, and the memoized mapping layer makes that warm-up a few
+seconds once per worker, amortized across that worker's cells).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import SoCConfig
+from ..errors import WorkloadError
+from ..sim.engine import SimulationResult
+from ..sim.workload import random_model_mix
+from .common import ExperimentScale, run_policy
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent simulation cell of an experiment grid.
+
+    Attributes:
+        policy: scheduler name (``"baseline"``, ``"moca"``, ``"aurora"``,
+            ``"camdn-hw"``, ``"camdn-full"``).
+        model_keys: one Table I abbreviation per co-located stream.
+        qos_scale: latency-target multiplier (``inf`` disables deadlines).
+        qos_mode: enable the AuRORA-style QoS integration on CaMDN.
+        scale: measurement-window scale (see :class:`ExperimentScale`).
+        cache_bytes: overrides the sweep SoC's shared-cache capacity for
+            this cell (``None`` keeps the sweep default).
+        seed: seed used when the cell is built from a random model mix
+            (recorded so the cell is self-describing and reproducible).
+    """
+
+    policy: str
+    model_keys: Tuple[str, ...]
+    qos_scale: float = math.inf
+    qos_mode: bool = False
+    scale: float = 1.0
+    cache_bytes: Optional[int] = None
+    seed: int = field(default=2025)
+
+    def __post_init__(self) -> None:
+        if not self.model_keys:
+            raise WorkloadError("sweep cell needs at least one stream")
+
+    @classmethod
+    def random_mix(cls, policy: str, num_streams: int,
+                   seed: int = 2025, **kwargs) -> "SweepCell":
+        """Build a cell over a seeded random model mix (deterministic in
+        ``(num_streams, seed)``)."""
+        return cls(
+            policy=policy,
+            model_keys=tuple(random_model_mix(num_streams, seed=seed)),
+            seed=seed,
+            **kwargs,
+        )
+
+
+def _run_cell(args: tuple) -> SimulationResult:
+    """Execute one cell (top-level so it pickles for worker processes)."""
+    cell, soc = args
+    if cell.cache_bytes is not None:
+        soc = soc.with_cache_bytes(cell.cache_bytes)
+    return run_policy(
+        soc,
+        cell.policy,
+        cell.model_keys,
+        ExperimentScale(scale=cell.scale),
+        qos_scale=cell.qos_scale,
+        qos_mode=cell.qos_mode,
+    )
+
+
+def run_sweep(
+    cells: Sequence[SweepCell],
+    soc: Optional[SoCConfig] = None,
+    max_workers: Optional[int] = None,
+) -> List[SimulationResult]:
+    """Run every cell and return results in cell order.
+
+    Args:
+        cells: the grid points to simulate.
+        soc: base hardware configuration (defaults to paper Table II);
+            per-cell ``cache_bytes`` overrides apply on top.
+        max_workers: process count.  ``None`` picks
+            ``min(len(cells), cpu_count)``; values <= 1 (or a single cell,
+            or a single-core host) run serially in-process.
+
+    Each cell is simulated by a deterministic closed-loop engine run, so
+    the results are identical whichever worker executes them.
+    """
+    soc = soc or SoCConfig()
+    work = [(cell, soc) for cell in cells]
+    if max_workers is None:
+        max_workers = min(len(work), os.cpu_count() or 1)
+    if max_workers <= 1 or len(work) <= 1:
+        return [_run_cell(item) for item in work]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_run_cell, work))

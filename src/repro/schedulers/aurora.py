@@ -21,7 +21,7 @@ from typing import Dict
 
 from ..memory.bwalloc import SlackWeightedPolicy
 from ..sim.task import TaskInstance
-from .moca import MoCAScheduler, _est_isolated_latency_s
+from .moca import MoCAScheduler
 
 #: Grant a second core when estimated isolated latency exceeds this
 #: fraction of the QoS target.
@@ -49,13 +49,7 @@ class AuRORAScheduler(MoCAScheduler):
             return 1
         if instance.qos_target_s == float("inf"):
             return 1
-        est = _est_isolated_latency_s(
-            instance.graph,
-            self.soc.npu.frequency_hz,
-            self.soc.npu.macs_per_cycle,
-            self.soc.dram.total_bandwidth_bytes_per_s,
-            self.soc.dtype_bytes,
-        )
+        est = self.est_isolated_latency_s(instance)
         if est > _CORE_BOOST_THRESHOLD * instance.qos_target_s:
             return min(_MAX_CORES, free_cores)
         return 1

@@ -23,6 +23,8 @@ import math
 from typing import Dict, Optional, Tuple
 
 from ..config import SoCConfig
+from ..core.prepared import PreparedModel, prepare_model
+from ..models.graph import ModelGraph
 from ..npu.systolic import SystolicModel
 from ..sim.task import LayerWork, TaskInstance
 
@@ -37,9 +39,18 @@ class SchedulerPolicy(abc.ABC):
     #: Paper-facing policy name (overridden by subclasses).
     name = "abstract"
 
+    #: Whether per-task rates can change *between* engine events.  ``True``
+    #: (the safe default) makes the engine recompute bandwidth shares after
+    #: every event.  Policies whose shares and DRAM efficiency depend only
+    #: on the running-set membership (e.g. the equal-split default) may set
+    #: this to ``False`` so the engine reuses cached rates until the
+    #: running set changes.
+    dynamic_rates = True
+
     def __init__(self) -> None:
         self.soc: Optional[SoCConfig] = None
         self.systolic: Optional[SystolicModel] = None
+        self._prepared: Dict[str, PreparedModel] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -49,6 +60,20 @@ class SchedulerPolicy(abc.ABC):
         """Bind the policy to an SoC before a simulation run."""
         self.soc = soc
         self.systolic = SystolicModel(soc.npu)
+        self._prepared = {}
+
+    def prepared_for(self, graph: ModelGraph) -> PreparedModel:
+        """The graph's prepared artifacts on the attached SoC.
+
+        The process-wide prepared cache is fronted by a per-policy dict
+        keyed on the graph name so the hot path costs one string hash
+        instead of re-hashing the SoC config on every call.
+        """
+        prepared = self._prepared.get(graph.name)
+        if prepared is None or prepared.graph is not graph:
+            prepared = prepare_model(graph, self.soc)
+            self._prepared[graph.name] = prepared
+        return prepared
 
     def cores_for(self, instance: TaskInstance, free_cores: int) -> int:
         """Cores granted to an arriving inference (default: one)."""
@@ -120,12 +145,16 @@ class SchedulerPolicy(abc.ABC):
 
     def compute_cycles(self, instance: TaskInstance) -> float:
         """Cycles of the current layer on the instance's core group."""
-        layer = instance.graph.layers[instance.layer_index]
-        cycles = self.systolic.layer_cycles(layer)
+        prepared = self.prepared_for(instance.graph)
+        cycles = prepared.layer_cycles[instance.layer_index]
         if instance.cores > 1:
             speedup = 1.0 + PARALLEL_EFFICIENCY * (instance.cores - 1)
             cycles = cycles / speedup
         return float(cycles)
+
+    def est_isolated_latency_s(self, instance: TaskInstance) -> float:
+        """Single-tenant latency estimate for slack computations."""
+        return self.prepared_for(instance.graph).isolated_latency_s
 
     def slack_of(self, instance: TaskInstance, now: float,
                  est_total_latency_s: float) -> float:

@@ -17,7 +17,6 @@ from ..core.camdn import CaMDNSystem, LayerGrant
 from ..memory.bwalloc import DemandProportionalPolicy, SlackWeightedPolicy
 from ..sim.task import LayerWork, TaskInstance
 from .base import SchedulerPolicy
-from .moca import _est_isolated_latency_s
 
 #: With multicast, extra cores add only a small per-core control traffic
 #: overhead instead of replicating tensors.
@@ -77,13 +76,7 @@ class CaMDNSchedulerBase(SchedulerPolicy):
             return 1
         if instance.qos_target_s == float("inf"):
             return 1
-        est = _est_isolated_latency_s(
-            instance.graph,
-            self.soc.npu.frequency_hz,
-            self.soc.npu.macs_per_cycle,
-            self.soc.dram.total_bandwidth_bytes_per_s,
-            self.soc.dtype_bytes,
-        )
+        est = self.est_isolated_latency_s(instance)
         if est > 0.7 * instance.qos_target_s:
             return min(2, free_cores)
         return 1
@@ -181,13 +174,7 @@ class CaMDNSchedulerBase(SchedulerPolicy):
             return dict(self._demand_policy.allocate(demands).shares)
         slacks = {}
         for iid, inst in running.items():
-            est = _est_isolated_latency_s(
-                inst.graph,
-                self.soc.npu.frequency_hz,
-                self.soc.npu.macs_per_cycle,
-                self.soc.dram.total_bandwidth_bytes_per_s,
-                self.soc.dtype_bytes,
-            )
+            est = self.est_isolated_latency_s(inst)
             slacks[iid] = self.slack_of(inst, now, est)
         allocation = self._bw_policy.allocate(demands, slacks)
         return dict(allocation.shares)

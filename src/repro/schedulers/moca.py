@@ -11,24 +11,11 @@ their targets).
 
 from __future__ import annotations
 
-import functools
 from typing import Dict
 
 from ..memory.bwalloc import DemandProportionalPolicy
-from ..models.graph import ModelGraph
 from ..sim.task import TaskInstance
 from .shared_baseline import SharedCacheBaseline
-
-
-@functools.lru_cache(maxsize=None)
-def _est_isolated_latency_s(graph: ModelGraph, freq_hz: float,
-                            macs_per_cycle: int, bw_bytes: float,
-                            dtype_bytes: int) -> float:
-    """Crude isolated-latency estimate used for slack computation."""
-    compute = graph.total_macs / (macs_per_cycle * freq_hz)
-    memory = graph.compulsory_traffic_elems() * dtype_bytes / bw_bytes
-    return max(compute, memory)
-
 
 #: Bandwidth partitioning restores part of the row locality (each tenant
 #: gets contiguous service windows at the memory controller).
@@ -41,6 +28,10 @@ class MoCAScheduler(SharedCacheBaseline):
     cache."""
 
     name = "moca"
+
+    #: Demand-proportional shares track each task's remaining layer work,
+    #: which drains continuously — rates change at every event.
+    dynamic_rates = True
 
     def __init__(self, floor: float = 0.02) -> None:
         super().__init__()
@@ -65,13 +56,7 @@ class MoCAScheduler(SharedCacheBaseline):
         return max(instance.rem_dram_bytes, 1.0) / compute_s
 
     def _slack(self, instance: TaskInstance, now: float) -> float:
-        est = _est_isolated_latency_s(
-            instance.graph,
-            self.soc.npu.frequency_hz,
-            self.soc.npu.macs_per_cycle,
-            self.soc.dram.total_bandwidth_bytes_per_s,
-            self.soc.dtype_bytes,
-        )
+        est = self.est_isolated_latency_s(instance)
         return self.slack_of(instance, now, est)
 
     def bandwidth_shares(self, running: Dict[str, TaskInstance],

@@ -16,15 +16,10 @@ the mechanism behind Figure 2's memory-access growth.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
-from ..cache.transparent import (
-    AccessSegment,
-    TransparentCacheModel,
-    layer_access_segments,
-)
+from ..cache.transparent import AccessSegment, TransparentCacheModel
 from ..config import SoCConfig
-from ..core.mapper.layer_mapper import LayerMapper
 from ..models.graph import ModelGraph
 from ..sim.task import LayerWork, TaskInstance
 from .base import SchedulerPolicy
@@ -45,48 +40,26 @@ class SharedCacheBaseline(SchedulerPolicy):
 
     name = "baseline"
 
+    #: Equal split + membership-dependent efficiency: rates only change
+    #: when the running set changes, so the engine may cache them.
+    dynamic_rates = False
+
     def __init__(self) -> None:
         super().__init__()
         self._cache_model: Optional[TransparentCacheModel] = None
         self._active_ids: set = set()
-        self._mapper: Optional[LayerMapper] = None
-        self._segments: Dict[str, Tuple[Tuple[AccessSegment, ...], ...]] = {}
 
     def attach(self, soc: SoCConfig) -> None:
         super().attach(soc)
         self._cache_model = TransparentCacheModel(soc.cache.total_bytes)
         self._active_ids = set()
-        self._mapper = LayerMapper(soc)
-        self._segments = {}
 
     # ------------------------------------------------------------------
 
     def _model_segments(self, graph: ModelGraph
                         ) -> Tuple[Tuple[AccessSegment, ...], ...]:
-        """Per-layer segments: compulsory fetches + tiling refetch."""
-        cached = self._segments.get(graph.name)
-        if cached is not None:
-            return cached
-        dtype = self.soc.dtype_bytes
-        mapping_file = self._mapper.map_model(graph)
-        per_layer = []
-        for i, layer in enumerate(graph.layers):
-            segments = list(layer_access_segments(graph, i, dtype))
-            compulsory = layer.total_elems * dtype
-            tiled = mapping_file.mcts[i].lwm[0].dram_bytes
-            refetch = max(tiled - compulsory, 0.0)
-            if refetch > 0:
-                working_set = layer.total_elems * dtype
-                segments.append(
-                    AccessSegment(
-                        bytes_=refetch,
-                        reuse_distance=float(working_set),
-                    )
-                )
-            per_layer.append(tuple(segments))
-        result = tuple(per_layer)
-        self._segments[graph.name] = result
-        return result
+        """Per-layer segments (from the prepared-model fast path)."""
+        return self.prepared_for(graph).segments
 
     # ------------------------------------------------------------------
 

@@ -9,6 +9,15 @@ compute/DMA overlap).  Events are layer completions, page-wait wakeups and
 core handoffs; rates are recomputed after every event, which makes the
 simulation exact for piecewise-constant shares.
 
+The event loop keeps incremental bookkeeping instead of rescanning all
+active instances at every event: the RUNNING and WAITING_PAGES sets are
+maintained at state transitions, and per-task rates are cached under a
+dirty flag that is raised whenever the running set or any layer work
+changes (and after every advance for policies whose shares track task
+progress — see :attr:`SchedulerPolicy.dynamic_rates`).  Event semantics
+are identical to the full-rescan loop; only the bookkeeping is
+incremental.
+
 This substrate replaces the paper's in-house cycle-accurate simulator on
 DRAMsim3; see DESIGN.md for the substitution argument.
 """
@@ -48,8 +57,10 @@ class SimulationResult:
             "sim_time_s": self.sim_time_s,
             "inferences": self.metrics.num_inferences,
             "avg_latency_ms": self.metrics.macro_avg_latency_s() * 1e3,
+            "p99_latency_ms": self.metrics.p99_latency_s() * 1e3,
             "avg_dram_mb": self.metrics.macro_avg_dram_bytes() / 1e6,
             "hit_rate": self.metrics.overall_hit_rate(),
+            "qos_violations": self.metrics.qos_violation_count(),
         }
 
 
@@ -69,6 +80,12 @@ class MultiTenantEngine:
         self._active: Dict[str, TaskInstance] = {}
         self._free_cores = soc.num_npu_cores
         self._core_grant: Dict[str, int] = {}
+        # Incremental state-set bookkeeping: every active instance lives in
+        # exactly one of these two dicts, maintained at state transitions.
+        self._running_set: Dict[str, TaskInstance] = {}
+        self._waiting_set: Dict[str, TaskInstance] = {}
+        self._rates_cache: Dict[str, tuple] = {}
+        self._rates_dirty = True
 
     # ------------------------------------------------------------------
 
@@ -105,15 +122,15 @@ class MultiTenantEngine:
     # Event loop pieces
     # ------------------------------------------------------------------
 
-    def _running(self) -> Dict[str, TaskInstance]:
-        return {
-            iid: inst for iid, inst in self._active.items()
-            if inst.state is InstanceState.RUNNING
-        }
-
     def _rates(self) -> Dict[str, tuple]:
-        """(compute_rate cycles/s, dram_rate bytes/s) per running task."""
-        running = self._running()
+        """(compute_rate cycles/s, dram_rate bytes/s) per running task.
+
+        Recomputed only when dirty: membership or layer work changed, or
+        the policy's shares track task progress (``dynamic_rates``).
+        """
+        if not self._rates_dirty:
+            return self._rates_cache
+        running = self._running_set
         shares = self.scheduler.bandwidth_shares(running, self.now)
         total_bw = self.soc.dram.total_bandwidth_bytes_per_s
         freq = self.soc.npu.frequency_hz
@@ -127,35 +144,39 @@ class MultiTenantEngine:
                 )
             efficiency = self.scheduler.dram_efficiency(inst, num_running)
             rates[iid] = (freq, total_bw * share * efficiency)
+        self._rates_cache = rates
+        self._rates_dirty = False
         return rates
 
     def _next_event_dt(self, rates: Dict[str, tuple]) -> float:
         dt = math.inf
-        for iid, inst in self._active.items():
-            if inst.state is InstanceState.RUNNING:
-                compute_rate, dram_rate = rates[iid]
-                dt = min(
-                    dt,
-                    inst.time_to_finish_layer(
-                        compute_rate, max(dram_rate, 1e-6)
-                    ),
-                )
-            elif inst.state is InstanceState.WAITING_PAGES:
-                dt = min(dt, max(inst.wake_time - self.now, 0.0))
+        for iid, inst in self._running_set.items():
+            compute_rate, dram_rate = rates[iid]
+            dt = min(
+                dt,
+                inst.time_to_finish_layer(
+                    compute_rate, max(dram_rate, 1e-6)
+                ),
+            )
+        now = self.now
+        for inst in self._waiting_set.values():
+            dt = min(dt, max(inst.wake_time - now, 0.0))
         return dt
 
     def _advance(self, dt: float, rates: Dict[str, tuple]) -> None:
         if dt < 0:
             raise SimulationError(f"negative time step {dt}")
-        for iid, inst in self._active.items():
-            if inst.state is InstanceState.RUNNING:
-                compute_rate, dram_rate = rates[iid]
-                inst.advance(dt, compute_rate, dram_rate)
+        for iid, inst in self._running_set.items():
+            compute_rate, dram_rate = rates[iid]
+            inst.advance(dt, compute_rate, dram_rate)
         self.now += dt
+        if self._running_set and self.scheduler.dynamic_rates:
+            self._rates_dirty = True
 
     def _process_completions(self) -> None:
         finished_layers = [
-            inst for inst in self._active.values() if inst.layer_finished()
+            inst for inst in self._running_set.values()
+            if inst.layer_finished()
         ]
         pages_freed = False
         for inst in finished_layers:
@@ -179,6 +200,9 @@ class MultiTenantEngine:
         self.scheduler.on_task_end(inst, self.now)
         self._free_cores += self._core_grant.pop(inst.instance_id)
         del self._active[inst.instance_id]
+        self._running_set.pop(inst.instance_id, None)
+        self._waiting_set.pop(inst.instance_id, None)
+        self._rates_dirty = True
         if not self.workload.is_warmup(inst):
             self.metrics.record(inst)
         next_inst = self.workload.next_instance(inst.stream_id, self.now)
@@ -192,6 +216,7 @@ class MultiTenantEngine:
 
     def _apply_grant(self, inst: TaskInstance, work, timeout: float
                      ) -> None:
+        self._rates_dirty = True
         if work is None:
             inst.state = InstanceState.WAITING_PAGES
             if math.isinf(timeout):
@@ -199,6 +224,8 @@ class MultiTenantEngine:
                     f"{inst.instance_id}: ungranted wait with no timeout"
                 )
             inst.wake_time = self.now + max(timeout, 0.0)
+            self._running_set.pop(inst.instance_id, None)
+            self._waiting_set[inst.instance_id] = inst
             if self.trace is not None:
                 from .trace import SpanKind
 
@@ -207,6 +234,8 @@ class MultiTenantEngine:
         else:
             inst.begin_work(work)
             inst.wake_time = math.inf
+            self._waiting_set.pop(inst.instance_id, None)
+            self._running_set[inst.instance_id] = inst
             if inst.start_time is None:
                 inst.start_time = self.now
             if self.trace is not None:
@@ -216,9 +245,7 @@ class MultiTenantEngine:
                                  inst.layer_index, self.now)
 
     def _poll_waiting(self) -> None:
-        for inst in list(self._active.values()):
-            if inst.state is not InstanceState.WAITING_PAGES:
-                continue
+        for inst in list(self._waiting_set.values()):
             work, timeout = self.scheduler.poll_layer(inst, self.now)
             if work is not None:
                 self._apply_grant(inst, work, timeout)
@@ -227,9 +254,7 @@ class MultiTenantEngine:
             # would wait for pages indefinitely instead of downgrading.
 
     def _process_timeouts(self) -> None:
-        for inst in list(self._active.values()):
-            if inst.state is not InstanceState.WAITING_PAGES:
-                continue
+        for inst in list(self._waiting_set.values()):
             if inst.wake_time - self.now > 1e-12:
                 continue
             work, timeout = self.scheduler.timeout_layer(inst, self.now)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -92,6 +93,22 @@ class MetricsCollector:
         if not self.records:
             raise SimulationError("no measured inferences")
         return sum(r.dram_bytes for r in self.records) / len(self.records)
+
+    def p99_latency_s(self) -> float:
+        """99th-percentile dispatch-to-finish latency (tail metric).
+
+        Nearest-rank percentile over all measured inferences: the smallest
+        latency such that at least 99 % of records are at or below it.
+        """
+        if not self.records:
+            raise SimulationError("no measured inferences")
+        ordered = sorted(r.latency_s for r in self.records)
+        rank = math.ceil(0.99 * len(ordered))
+        return ordered[rank - 1]
+
+    def qos_violation_count(self) -> int:
+        """Number of measured inferences that missed their deadline."""
+        return sum(1 for r in self.records if not r.met_deadline)
 
     def overall_hit_rate(self) -> float:
         """Aggregate cache hit rate (Figure 2(a) metric); 0 when the

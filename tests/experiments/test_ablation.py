@@ -10,6 +10,8 @@ from repro.experiments.ablation import (
     run_way_partition_ablation,
 )
 
+pytestmark = [pytest.mark.slow, pytest.mark.experiment]
+
 
 class TestMulticastSavings:
     def test_all_models_covered(self):

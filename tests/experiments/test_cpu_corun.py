@@ -13,6 +13,8 @@ from repro.experiments.cpu_corun import (
 )
 from repro.memory.dram import MainMemory
 
+pytestmark = [pytest.mark.slow, pytest.mark.experiment]
+
 
 class TestCPUProgram:
     def test_rejects_bad_locality(self):

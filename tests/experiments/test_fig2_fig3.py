@@ -10,6 +10,8 @@ from repro.experiments.fig2_motivation import (
 from repro.experiments.fig3_reuse import format_fig3, run_fig3
 from repro.models.reuse import REUSE_COUNT_BUCKETS
 
+pytestmark = [pytest.mark.slow, pytest.mark.experiment]
+
 
 @pytest.fixture(scope="module")
 def fig2_rows():

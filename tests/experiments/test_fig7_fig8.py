@@ -5,6 +5,8 @@ import pytest
 from repro.experiments.fig7_speedup import format_fig7, run_fig7
 from repro.experiments.fig8_scaling import format_fig8, run_fig8
 
+pytestmark = [pytest.mark.slow, pytest.mark.experiment]
+
 
 @pytest.fixture(scope="module")
 def fig7_rows():

@@ -16,6 +16,8 @@ from repro.experiments.table3_area import (
 )
 from repro.models.zoo import BENCHMARK_MODELS
 
+pytestmark = [pytest.mark.slow, pytest.mark.experiment]
+
 
 @pytest.fixture(scope="module")
 def fig9_rows():

@@ -1,0 +1,99 @@
+"""Tests for the parallel experiment sweep runner."""
+
+import math
+
+import pytest
+
+from repro.config import MiB
+from repro.errors import WorkloadError
+from repro.experiments.sweep import SweepCell, run_sweep
+
+pytestmark = pytest.mark.experiment
+
+_KEYS = ("MB.", "EF.")
+
+
+class TestSweepCell:
+    def test_rejects_empty_workload(self):
+        with pytest.raises(WorkloadError):
+            SweepCell(policy="baseline", model_keys=())
+
+    def test_random_mix_is_deterministic_in_seed(self):
+        # Streams beyond the first eight (the distinct-model prefix) are
+        # drawn from the seeded RNG, so the seed must matter there.
+        a = SweepCell.random_mix("baseline", 12, seed=7)
+        b = SweepCell.random_mix("baseline", 12, seed=7)
+        c = SweepCell.random_mix("baseline", 12, seed=8)
+        assert a == b
+        assert a.model_keys != c.model_keys
+
+    def test_random_mix_covers_distinct_models_first(self):
+        cell = SweepCell.random_mix("moca", 4, seed=1)
+        assert len(set(cell.model_keys)) == 4
+
+
+class TestRunSweep:
+    def test_results_in_cell_order(self):
+        cells = [
+            SweepCell(policy=policy, model_keys=_KEYS, scale=0.1)
+            for policy in ("baseline", "camdn-full")
+        ]
+        results = run_sweep(cells, max_workers=1)
+        assert [r.scheduler_name for r in results] == \
+            ["baseline", "camdn-full"]
+
+    def test_serial_matches_cell_count(self):
+        cells = [
+            SweepCell(policy="baseline", model_keys=_KEYS, scale=0.1),
+            SweepCell(policy="baseline", model_keys=_KEYS, scale=0.1,
+                      cache_bytes=8 * MiB),
+        ]
+        results = run_sweep(cells, max_workers=1)
+        assert len(results) == 2
+        for result in results:
+            assert result.metrics.num_inferences > 0
+
+    def test_cache_override_changes_behaviour(self):
+        base, small = run_sweep(
+            [
+                SweepCell(policy="baseline", model_keys=_KEYS, scale=0.1),
+                SweepCell(policy="baseline", model_keys=_KEYS, scale=0.1,
+                          cache_bytes=4 * MiB),
+            ],
+            max_workers=1,
+        )
+        # A smaller transparent cache can only lower the hit rate.
+        assert small.metrics.overall_hit_rate() <= \
+            base.metrics.overall_hit_rate()
+
+    def test_qos_cells_carry_deadlines(self):
+        (result,) = run_sweep(
+            [
+                SweepCell(policy="camdn-full", model_keys=_KEYS,
+                          qos_scale=1.0, qos_mode=True, scale=0.1),
+            ],
+            max_workers=1,
+        )
+        assert all(
+            not math.isinf(r.qos_target_s) for r in result.metrics.records
+        )
+
+    def test_rerun_is_deterministic(self):
+        cells = [SweepCell(policy="moca", model_keys=_KEYS, scale=0.1)]
+        first = run_sweep(cells, max_workers=1)[0]
+        second = run_sweep(cells, max_workers=1)[0]
+        assert first.summary() == second.summary()
+
+    def test_process_pool_matches_serial(self):
+        """The parallel path (cells pickled to workers, results pickled
+        back) must return byte-identical results in cell order."""
+        cells = [
+            SweepCell(policy=policy, model_keys=_KEYS, scale=0.1)
+            for policy in ("baseline", "moca")
+        ]
+        serial = run_sweep(cells, max_workers=1)
+        pooled = run_sweep(cells, max_workers=2)
+        assert [r.scheduler_name for r in pooled] == \
+            [r.scheduler_name for r in serial]
+        assert [r.summary() for r in pooled] == \
+            [r.summary() for r in serial]

@@ -1,0 +1,71 @@
+"""Determinism regression tests for the simulation fast path.
+
+Two identical ``simulate()`` calls must produce byte-identical summaries,
+whether the prepared-workload cache is cold or warm — the fast path may
+never change results, only skip re-derivation.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    clear_prepared_caches,
+    prepared_cache_info,
+    simulate,
+)
+
+SCENARIO = ("RS.", "MB.", "BE.")
+
+
+def _summary_json(policy, **kwargs) -> str:
+    result = simulate(policy, SCENARIO, **kwargs)
+    return json.dumps(result.summary(), sort_keys=True)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "policy", ["baseline", "moca", "aurora", "camdn-hw", "camdn-full"]
+    )
+    def test_repeated_runs_byte_identical(self, policy):
+        first = _summary_json(policy, inferences_per_stream=2)
+        second = _summary_json(policy, inferences_per_stream=2)
+        assert first == second
+
+    def test_steady_state_runs_byte_identical(self):
+        first = _summary_json("camdn-full", duration_s=0.05)
+        second = _summary_json("camdn-full", duration_s=0.05)
+        assert first == second
+
+    def test_cold_and_warm_prepared_cache_byte_identical(self):
+        clear_prepared_caches()
+        cold = _summary_json("camdn-full", inferences_per_stream=2)
+        info = prepared_cache_info()
+        assert info["workloads"].misses >= 1
+        warm = _summary_json("camdn-full", inferences_per_stream=2)
+        assert cold == warm
+
+
+class TestPreparedCacheReuse:
+    def test_repeated_simulate_hits_prepared_cache(self):
+        """The second identical simulate() must be served from the
+        prepared-workload cache: workload hits grow, model misses don't."""
+        clear_prepared_caches()
+        simulate("aurora", SCENARIO, inferences_per_stream=1)
+        before = prepared_cache_info()
+        assert before["workloads"].misses == 1
+        assert before["models"].misses == len(SCENARIO)
+        simulate("aurora", SCENARIO, inferences_per_stream=1)
+        after = prepared_cache_info()
+        assert after["workloads"].hits == before["workloads"].hits + 1
+        assert after["models"].misses == before["models"].misses
+
+    def test_models_shared_across_policies(self):
+        """A new policy over known models reuses every prepared model."""
+        clear_prepared_caches()
+        simulate("aurora", SCENARIO, inferences_per_stream=1)
+        misses_before = prepared_cache_info()["models"].misses
+        simulate("camdn-full", SCENARIO, inferences_per_stream=1)
+        info = prepared_cache_info()
+        assert info["models"].misses == misses_before
+        assert info["workloads"].size == 2

@@ -25,7 +25,8 @@ class FixedWorkScheduler(SchedulerPolicy):
                          dram_bytes=self.dram), 0.0
 
 
-def _run(scheduler, model_keys=("MB.",), inferences=1, cores=None):
+def _run(scheduler, model_keys=("MB.",), inferences=1, cores=None,
+         qos_scale=float("inf")):
     soc = SoCConfig()
     if cores is not None:
         soc = SoCConfig(num_npu_cores=cores)
@@ -33,6 +34,7 @@ def _run(scheduler, model_keys=("MB.",), inferences=1, cores=None):
         model_keys=list(model_keys),
         inferences_per_stream=inferences,
         warmup_inferences=0,
+        qos_scale=qos_scale,
     )
     workload = ClosedLoopWorkload(spec)
     return MultiTenantEngine(soc, scheduler, workload).run()
@@ -101,3 +103,34 @@ class TestRealPolicies:
     def test_scheduler_stats_exposed(self):
         result = _run(make_scheduler("camdn-full"), model_keys=("MB.",))
         assert "lbm_layers" in result.scheduler_stats
+
+
+class TestSummaryMetrics:
+    def test_summary_exposes_tail_and_qos_fields(self):
+        result = _run(FixedWorkScheduler(cycles=1000, dram=10),
+                      model_keys=("MB.", "RS."), inferences=2)
+        summary = result.summary()
+        assert "p99_latency_ms" in summary
+        assert "qos_violations" in summary
+        assert summary["p99_latency_ms"] > 0
+
+    def test_p99_is_max_latency_for_small_samples(self):
+        # Nearest-rank p99 over n <= 100 records selects the maximum.
+        result = _run(FixedWorkScheduler(cycles=1000, dram=10),
+                      model_keys=("MB.", "MB.", "MB."), inferences=3)
+        latencies = [r.latency_s for r in result.metrics.records]
+        assert result.metrics.p99_latency_s() == pytest.approx(
+            max(latencies)
+        )
+
+    def test_no_deadlines_means_no_violations(self):
+        result = _run(FixedWorkScheduler(cycles=1000, dram=10),
+                      model_keys=("MB.",), inferences=2)
+        assert result.summary()["qos_violations"] == 0
+
+    def test_impossible_deadlines_all_violate(self):
+        result = _run(FixedWorkScheduler(cycles=1000, dram=10),
+                      model_keys=("MB.", "MB."), inferences=2,
+                      qos_scale=1e-9)
+        summary = result.summary()
+        assert summary["qos_violations"] == summary["inferences"] == 4
