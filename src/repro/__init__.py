@@ -57,7 +57,7 @@ from .sim import (
     WorkloadSpec,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "KiB",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from pathlib import Path
 from typing import ClassVar, Dict, List, Optional, Tuple
 
 from ...config import KiB, MiB, SoCConfig
@@ -29,6 +30,18 @@ from .dram_model import TilingChoice, refetch_factors
 from .lbm import build_lbm_candidates, plan_blocks
 from .loopnest import GEMMShape, trip_count
 from .solver import SolvedMapping, SubspaceSolver
+
+#: Environment override for the on-disk mapping-file cache location; an
+#: empty value disables disk persistence (the process memo remains).
+MAPPING_CACHE_DIR_ENV = "REPRO_MAPPING_CACHE_DIR"
+
+
+def mapping_cache_dir() -> Optional[Path]:
+    """Resolved mapping-file cache directory, or ``None`` when disabled."""
+    from ..serialize import resolve_cache_dir
+
+    return resolve_cache_dir(MAPPING_CACHE_DIR_ENV, "mappings")
+
 
 #: Figure 6's cache-usage levels: 0 KiB, 256 KiB, 512 KiB, 1 MiB, 2 MiB,
 #: 4 MiB.  The paper's list is open-ended ("[0KB, 256KB, 512KB, ...]");
@@ -105,12 +118,70 @@ class LayerMapper:
     # ------------------------------------------------------------------
 
     def map_model(self, graph: ModelGraph) -> ModelMappingFile:
-        """Run the offline mapping phase for ``graph`` (memoized)."""
+        """Run the offline mapping phase for ``graph`` (memoized).
+
+        Two cache layers: the process-wide memo, then the on-disk
+        mapping-file store (the persisted "Model Mapping File" of
+        Figure 6 — real deployments persist the offline phase's output,
+        and so do we).  Disk entries are keyed by a content hash of the
+        memo key plus the package version and round-trip through the
+        exact JSON serializers of :mod:`repro.core.serialize`, so a
+        loaded mapping is float-for-float the one that was solved.
+        """
         key = self._memo_key(graph)
         cached = self._SHARED_CACHE.get(key)
         if cached is not None:
             return cached
+        disk_path = self._disk_path(key)
+        loaded = self._load_disk(disk_path)
+        if loaded is not None:
+            self._SHARED_CACHE[key] = loaded
+            return loaded
+        mapping_file = self._solve_model(graph)
+        self._SHARED_CACHE[key] = mapping_file
+        self._store_disk(disk_path, mapping_file)
+        return mapping_file
 
+    def _disk_path(self, key: tuple) -> Optional[Path]:
+        cache_dir = mapping_cache_dir()
+        if cache_dir is None:
+            return None
+        from ... import __version__
+        from ..serialize import source_content_salt, stable_content_hash
+
+        digest = stable_content_hash({
+            "repro_version": __version__,
+            "source_salt": source_content_salt(),
+            "key": list(key),
+        })
+        return cache_dir / f"{digest}.json"
+
+    @staticmethod
+    def _load_disk(path: Optional[Path]) -> Optional[ModelMappingFile]:
+        if path is None:
+            return None
+        from ..serialize import load_mapping_file
+
+        try:
+            return load_mapping_file(path)
+        except Exception:
+            return None
+
+    @staticmethod
+    def _store_disk(path: Optional[Path],
+                    mapping_file: ModelMappingFile) -> None:
+        if path is None:
+            return
+        import json
+
+        from ..serialize import atomic_write_text, mapping_file_to_dict
+
+        # Best-effort: a failed write must not fail the mapping phase.
+        atomic_write_text(
+            path, json.dumps(mapping_file_to_dict(mapping_file), indent=1)
+        )
+
+    def _solve_model(self, graph: ModelGraph) -> ModelMappingFile:
         blocks = plan_blocks(graph, self.soc, self.lbm_occupancy_fraction)
         lbm_candidates = build_lbm_candidates(
             graph, blocks, self._solver, self.soc
@@ -134,14 +205,12 @@ class LayerMapper:
             mct.validate(self.soc.cache.page_bytes)
             mcts.append(mct)
 
-        mapping_file = ModelMappingFile(
+        return ModelMappingFile(
             model_name=graph.name,
             usage_levels=self.usage_levels,
             mcts=mcts,
             blocks=[(b.start, b.end) for b in blocks],
         )
-        self._SHARED_CACHE[key] = mapping_file
-        return mapping_file
 
     # ------------------------------------------------------------------
 

@@ -45,6 +45,23 @@ class SubspaceSolver:
     #: under many SoC variants whose usage levels largely overlap.
     _SOLVE_CACHE: ClassVar[Dict[tuple, SolvedMapping]] = {}
 
+    @classmethod
+    def export_solve_memo(cls) -> Dict[tuple, SolvedMapping]:
+        """Snapshot of the process-wide solve memo.
+
+        Entries are pure ``(inputs) -> result`` pairs of picklable frozen
+        dataclasses, so the snapshot can be shipped to sweep worker
+        processes (via the executor initializer) to spare each worker the
+        cold-start re-solve.
+        """
+        return dict(cls._SOLVE_CACHE)
+
+    @classmethod
+    def install_solve_memo(cls,
+                           entries: Dict[tuple, SolvedMapping]) -> None:
+        """Merge a memo snapshot (worker-side warm-up)."""
+        cls._SOLVE_CACHE.update(entries)
+
     def __init__(self, npu: NPUConfig, dtype_bytes: int = 1) -> None:
         self.npu = npu
         self.dtype_bytes = dtype_bytes

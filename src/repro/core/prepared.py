@@ -209,8 +209,11 @@ def prepared_cache_info() -> Dict[str, CacheInfo]:
 def clear_prepared_caches() -> None:
     """Drop all prepared objects and reset counters (for tests).
 
-    Also clears the underlying mapping memos (solved loop nests and model
-    mapping files) so a subsequent run is genuinely cold.
+    Also clears the underlying in-process mapping memos (solved loop
+    nests and model mapping files) so a subsequent run re-derives them.
+    The on-disk mapping-file store is left intact (point
+    ``REPRO_MAPPING_CACHE_DIR`` at an empty dir — or set it empty to
+    disable — for a fully cold run).
     """
     from .mapper.solver import SubspaceSolver
 

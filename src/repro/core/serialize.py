@@ -1,18 +1,28 @@
-"""Mapping-file serialization (the on-disk "Model Mapping File" of
-Figure 6).
+"""On-disk serialization: mapping files, SoC configs, engine results.
 
 The offline mapping phase is expensive relative to dispatch, so real
 deployments persist its output.  This module round-trips
 :class:`~repro.core.mct.ModelMappingFile` objects through plain JSON —
 compact, diff-able, and free of pickle's versioning hazards.
+
+It also provides the canonical-JSON plumbing behind the persistent sweep
+cache (:mod:`repro.experiments.sweep`): stable dictionaries for
+:class:`~repro.config.SoCConfig` and
+:class:`~repro.sim.engine.SimulationResult`, plus a content hash over
+canonical JSON.  Floats round-trip exactly (``repr``-based shortest
+representation), so a deserialized result is byte-identical to the run
+that produced it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from pathlib import Path
-from typing import Union
+from typing import TYPE_CHECKING, Optional, Union
 
+from ..config import CacheConfig, DRAMConfig, NPUConfig, SoCConfig
 from ..errors import MappingError
 from .mct import (
     CacheMapEntry,
@@ -22,8 +32,15 @@ from .mct import (
     ModelMappingFile,
 )
 
+if TYPE_CHECKING:
+    from ..sim.engine import SimulationResult
+
 #: Format version written into every file; bumped on schema changes.
 SCHEMA_VERSION = 1
+
+#: Schema of serialized simulation results (sweep-cache entries); bump
+#: whenever :class:`SimulationResult` / metrics records change shape.
+RESULT_SCHEMA_VERSION = 1
 
 
 def _candidate_to_dict(candidate: MappingCandidate) -> dict:
@@ -134,6 +151,163 @@ def save_mapping_file(mapping_file: ModelMappingFile,
         json.dumps(mapping_file_to_dict(mapping_file), indent=1)
     )
     return path
+
+
+def stable_content_hash(payload: dict) -> str:
+    """SHA-256 over canonical JSON (sorted keys, exact float reprs).
+
+    Stable across processes and platforms for JSON-representable
+    payloads, so it can key on-disk caches.
+    """
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+_SOURCE_SALT: Optional[str] = None
+
+
+def source_content_salt() -> str:
+    """Digest of the package's own source files (cached per process).
+
+    On-disk caches of simulation outputs must not survive code changes:
+    salting keys with this digest invalidates every entry whenever any
+    ``repro`` source file changes, in either direction — maximally safe,
+    while identical trees still share warm caches across runs.
+    """
+    global _SOURCE_SALT
+    if _SOURCE_SALT is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for source in sorted(package_root.rglob("*.py")):
+            digest.update(str(source.relative_to(package_root)).encode())
+            digest.update(source.read_bytes())
+        _SOURCE_SALT = digest.hexdigest()
+    return _SOURCE_SALT
+
+
+def resolve_cache_dir(env_var: str, subdir: str) -> Optional[Path]:
+    """Shared cache-directory resolution for the persistent stores.
+
+    ``env_var`` overrides the location; an empty value disables the
+    store (returns ``None``).  Default: ``$XDG_CACHE_HOME/camdn-repro/
+    <subdir>`` (falling back to ``~/.cache``).
+    """
+    env = os.environ.get(env_var)
+    if env is not None:
+        return Path(env).expanduser() if env else None
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base).expanduser() if base else Path.home() / ".cache"
+    return root / "camdn-repro" / subdir
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Best-effort atomic file write (tmp + rename); never raises OSError.
+
+    Persistent caches are optimizations — a failed write must not fail
+    the computation that produced the value.
+    """
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
+def soc_config_to_dict(soc: SoCConfig) -> dict:
+    """Canonical JSON-ready form of a full SoC configuration."""
+    return {
+        "npu": {
+            "pe_rows": soc.npu.pe_rows,
+            "pe_cols": soc.npu.pe_cols,
+            "scratchpad_bytes": soc.npu.scratchpad_bytes,
+            "frequency_hz": soc.npu.frequency_hz,
+            "dwconv_efficiency": soc.npu.dwconv_efficiency,
+        },
+        "num_npu_cores": soc.num_npu_cores,
+        "cache": {
+            "total_bytes": soc.cache.total_bytes,
+            "num_slices": soc.cache.num_slices,
+            "num_ways": soc.cache.num_ways,
+            "npu_ways": soc.cache.npu_ways,
+            "line_bytes": soc.cache.line_bytes,
+            "page_bytes": soc.cache.page_bytes,
+        },
+        "dram": {
+            "total_bandwidth_bytes_per_s":
+                soc.dram.total_bandwidth_bytes_per_s,
+            "num_channels": soc.dram.num_channels,
+            "access_latency_s": soc.dram.access_latency_s,
+        },
+        "dtype_bytes": soc.dtype_bytes,
+    }
+
+
+def soc_config_from_dict(data: dict) -> SoCConfig:
+    """Inverse of :func:`soc_config_to_dict`."""
+    return SoCConfig(
+        npu=NPUConfig(**data["npu"]),
+        num_npu_cores=data["num_npu_cores"],
+        cache=CacheConfig(**data["cache"]),
+        dram=DRAMConfig(**data["dram"]),
+        dtype_bytes=data["dtype_bytes"],
+    )
+
+
+#: Field order of serialized per-inference records.
+_RECORD_FIELDS = (
+    "instance_id", "stream_id", "model_abbr", "arrival_time",
+    "start_time", "finish_time", "latency_s", "dram_bytes",
+    "hit_bytes", "access_bytes", "qos_target_s", "met_deadline",
+)
+
+
+def simulation_result_to_dict(result: "SimulationResult") -> dict:
+    """Serialize an engine run (including its metrics records)."""
+    return {
+        "result_schema_version": RESULT_SCHEMA_VERSION,
+        "scheduler_name": result.scheduler_name,
+        "sim_time_s": result.sim_time_s,
+        "scheduler_stats": dict(result.scheduler_stats),
+        "wall_time_s": result.wall_time_s,
+        "events_processed": result.events_processed,
+        "records": [
+            [getattr(rec, f) for f in _RECORD_FIELDS]
+            for rec in result.metrics.records
+        ],
+    }
+
+
+def simulation_result_from_dict(data: dict) -> "SimulationResult":
+    """Inverse of :func:`simulation_result_to_dict`.
+
+    Raises:
+        MappingError: the payload is not a supported result schema.
+    """
+    from ..sim.engine import SimulationResult
+    from ..sim.metrics import InstanceRecord, MetricsCollector
+
+    version = data.get("result_schema_version")
+    if version != RESULT_SCHEMA_VERSION:
+        raise MappingError(
+            f"unsupported result schema {version!r} "
+            f"(expected {RESULT_SCHEMA_VERSION})"
+        )
+    metrics = MetricsCollector()
+    for values in data["records"]:
+        metrics.records.append(
+            InstanceRecord(**dict(zip(_RECORD_FIELDS, values)))
+        )
+    return SimulationResult(
+        scheduler_name=data["scheduler_name"],
+        sim_time_s=data["sim_time_s"],
+        metrics=metrics,
+        scheduler_stats=dict(data["scheduler_stats"]),
+        wall_time_s=data["wall_time_s"],
+        events_processed=data["events_processed"],
+    )
 
 
 def load_mapping_file(path: Union[str, Path]) -> ModelMappingFile:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..config import SoCConfig
 from ..core.prepared import prepare_workload
@@ -45,8 +45,15 @@ def run_policy(
     scale: ExperimentScale,
     qos_scale: float = float("inf"),
     qos_mode: bool = False,
+    legacy_loop: Optional[bool] = None,
 ) -> SimulationResult:
-    """Simulate one (policy, workload) cell."""
+    """Simulate one (policy, workload) cell.
+
+    ``legacy_loop`` selects the engine's pre-kernel scan loop (the
+    equivalence oracle used by tests and ``bench_engine.py``); the
+    default (``None``) follows the ``REPRO_LEGACY_ENGINE`` environment
+    variable.
+    """
     kwargs = {}
     if qos_mode and policy_name.startswith("camdn"):
         kwargs["qos_mode"] = True
@@ -59,7 +66,8 @@ def run_policy(
         qos_scale=qos_scale,
     )
     workload = ClosedLoopWorkload(spec)
-    return MultiTenantEngine(soc, scheduler, workload).run()
+    return MultiTenantEngine(soc, scheduler, workload,
+                             legacy_loop=legacy_loop).run()
 
 
 @functools.lru_cache(maxsize=None)

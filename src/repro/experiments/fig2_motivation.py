@@ -37,6 +37,7 @@ def run_fig2(
     scale: float = 1.0,
     seed: int = 2025,
     jobs: Optional[int] = None,
+    use_cache: bool = True,
 ) -> List[Fig2Row]:
     """Regenerate the Figure 2 sweep (transparent-cache baseline)."""
     grid = [
@@ -51,7 +52,7 @@ def run_fig2(
         )
         for cache_mb, num_dnns in grid
     ]
-    results = run_sweep(cells, max_workers=jobs)
+    results = run_sweep(cells, max_workers=jobs, use_cache=use_cache)
     rows: List[Fig2Row] = []
     for (cache_mb, num_dnns), result in zip(grid, results):
         rows.append(

@@ -43,13 +43,14 @@ class Fig7Row:
 
 def run_fig7(scale: float = 1.0,
              model_keys: Sequence[str] = SPEEDUP_WORKLOAD,
-             jobs: Optional[int] = None) -> List[Fig7Row]:
+             jobs: Optional[int] = None,
+             use_cache: bool = True) -> List[Fig7Row]:
     """Regenerate the Figure 7 model-wise speedup comparison."""
     cells = [
         SweepCell(policy=policy, model_keys=tuple(model_keys), scale=scale)
         for policy in SPEEDUP_POLICIES
     ]
-    results = run_sweep(cells, max_workers=jobs)
+    results = run_sweep(cells, max_workers=jobs, use_cache=use_cache)
     summaries: Dict[str, Dict[str, float]] = {}
     for policy, result in zip(SPEEDUP_POLICIES, results):
         summaries[policy] = {

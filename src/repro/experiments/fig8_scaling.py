@@ -45,6 +45,7 @@ def run_fig8(
     scale: float = 1.0,
     seed: int = 2025,
     jobs: Optional[int] = None,
+    use_cache: bool = True,
 ) -> List[Fig8Row]:
     """Regenerate the Figure 8 scaling comparison."""
     grid = [
@@ -60,7 +61,7 @@ def run_fig8(
         for cache_mb, num_dnns in grid
         for policy in ("aurora", "camdn-full")
     ]
-    results = run_sweep(cells, max_workers=jobs)
+    results = run_sweep(cells, max_workers=jobs, use_cache=use_cache)
     rows: List[Fig8Row] = []
     for i, (cache_mb, num_dnns) in enumerate(grid):
         base, camdn = results[2 * i], results[2 * i + 1]

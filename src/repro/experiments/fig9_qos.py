@@ -47,7 +47,8 @@ class Fig9Row:
 
 def run_fig9(scale: float = 1.0,
              model_keys: Sequence[str] = QOS_WORKLOAD,
-             jobs: Optional[int] = None) -> List[Fig9Row]:
+             jobs: Optional[int] = None,
+             use_cache: bool = True) -> List[Fig9Row]:
     """Regenerate the Figure 9 QoS comparison."""
     soc = SoCConfig()
     isolated = isolated_latencies(model_keys, soc)
@@ -66,7 +67,8 @@ def run_fig9(scale: float = 1.0,
         )
         for policy, _, qos_scale in grid
     ]
-    results = run_sweep(cells, soc=soc, max_workers=jobs)
+    results = run_sweep(cells, soc=soc, max_workers=jobs,
+                        use_cache=use_cache)
     rows: List[Fig9Row] = []
     for (policy, level, qos_scale), result in zip(grid, results):
         rows.append(

@@ -3,11 +3,19 @@
 Usage::
 
     python -m repro.experiments.runner fig2 [--scale 0.5] [--jobs 4]
-    python -m repro.experiments.runner all
+    python -m repro.experiments.runner all --no-cache
 
 ``--jobs`` fans the experiment's independent simulation cells out over a
 process pool (see :mod:`repro.experiments.sweep`); the default picks one
-worker per CPU.  Experiments without a cell grid (fig3, table3) ignore it.
+worker per CPU.  Sweep cells are served from the persistent on-disk
+result cache when an identical cell was simulated before; ``--no-cache``
+forces fresh simulation (CI uses this so the engine is always
+exercised).  Experiments without a cell grid (fig3, table3) ignore both
+flags.
+
+After each experiment the runner prints an engine-observability line:
+cells simulated vs. served from cache, events processed, and the
+events/sec throughput of the fresh simulations.
 """
 
 from __future__ import annotations
@@ -22,34 +30,39 @@ from .fig3_reuse import format_fig3, run_fig3
 from .fig7_speedup import format_fig7, run_fig7
 from .fig8_scaling import format_fig8, run_fig8
 from .fig9_qos import format_fig9, run_fig9
+from .sweep import last_sweep_stats, reset_sweep_stats
 from .table3_area import format_table3, run_table3
 
 
-def _fig2(scale: float, jobs: Optional[int]) -> str:
-    return format_fig2(run_fig2(scale=scale, jobs=jobs))
+def _fig2(scale: float, jobs: Optional[int], use_cache: bool) -> str:
+    return format_fig2(run_fig2(scale=scale, jobs=jobs,
+                                use_cache=use_cache))
 
 
-def _fig3(scale: float, jobs: Optional[int]) -> str:
+def _fig3(scale: float, jobs: Optional[int], use_cache: bool) -> str:
     return format_fig3(run_fig3())
 
 
-def _fig7(scale: float, jobs: Optional[int]) -> str:
-    return format_fig7(run_fig7(scale=scale, jobs=jobs))
+def _fig7(scale: float, jobs: Optional[int], use_cache: bool) -> str:
+    return format_fig7(run_fig7(scale=scale, jobs=jobs,
+                                use_cache=use_cache))
 
 
-def _fig8(scale: float, jobs: Optional[int]) -> str:
-    return format_fig8(run_fig8(scale=scale, jobs=jobs))
+def _fig8(scale: float, jobs: Optional[int], use_cache: bool) -> str:
+    return format_fig8(run_fig8(scale=scale, jobs=jobs,
+                                use_cache=use_cache))
 
 
-def _fig9(scale: float, jobs: Optional[int]) -> str:
-    return format_fig9(run_fig9(scale=scale, jobs=jobs))
+def _fig9(scale: float, jobs: Optional[int], use_cache: bool) -> str:
+    return format_fig9(run_fig9(scale=scale, jobs=jobs,
+                                use_cache=use_cache))
 
 
-def _table3(scale: float, jobs: Optional[int]) -> str:
+def _table3(scale: float, jobs: Optional[int], use_cache: bool) -> str:
     return format_table3(run_table3())
 
 
-EXPERIMENTS: Dict[str, Callable[[float, Optional[int]], str]] = {
+EXPERIMENTS: Dict[str, Callable[[float, Optional[int], bool], str]] = {
     "fig2": _fig2,
     "fig3": _fig3,
     "fig7": _fig7,
@@ -57,6 +70,21 @@ EXPERIMENTS: Dict[str, Callable[[float, Optional[int]], str]] = {
     "fig9": _fig9,
     "table3": _table3,
 }
+
+
+def _engine_stats_line() -> str:
+    """Observability footer from the last sweep (empty if no sweep ran)."""
+    stats = last_sweep_stats()
+    if not stats or not stats.get("cells"):
+        return ""
+    line = (
+        f"  [engine: {stats['cells']:.0f} cells "
+        f"({stats['cached_cells']:.0f} cached), "
+        f"{stats['events']:,.0f} events"
+    )
+    if stats["events_per_s"] > 0:
+        line += f", {stats['events_per_s']:,.0f} events/s"
+    return line + "]"
 
 
 def main(argv=None) -> int:
@@ -80,13 +108,23 @@ def main(argv=None) -> int:
         default=None,
         help="worker processes for sweep cells (default: one per CPU)",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent sweep-result cache (always simulate)",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     for name in names:
         start = time.time()
-        print(EXPERIMENTS[name](args.scale, args.jobs))
+        reset_sweep_stats()
+        print(EXPERIMENTS[name](args.scale, args.jobs,
+                                not args.no_cache))
+        stats_line = _engine_stats_line()
+        if stats_line:
+            print(stats_line)
         print(f"  [{name} regenerated in {time.time() - start:.1f}s]")
         print()
     return 0

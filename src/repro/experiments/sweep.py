@@ -1,4 +1,4 @@
-"""Parallel experiment sweep runner.
+"""Parallel experiment sweep runner with a persistent result cache.
 
 Experiment harnesses and benchmarks run grids of independent simulation
 cells — one per ``(policy, model mix, QoS level, SoC variant)`` point.
@@ -8,26 +8,62 @@ engine), so they parallelize perfectly across processes.
 :func:`run_sweep` executes a list of :class:`SweepCell` descriptions and
 returns one :class:`~repro.sim.engine.SimulationResult` per cell, in cell
 order regardless of completion order, so results are deterministic under
-any worker count.  On single-core hosts (or ``max_workers=1``) the sweep
-runs serially in-process, which also reuses the warm prepared-workload and
-solver caches; worker processes re-derive them on first use (the caches
-are process-wide, and the memoized mapping layer makes that warm-up a few
-seconds once per worker, amortized across that worker's cells).
+any worker count.
+
+Two cache layers remove redundant work:
+
+* **Persistent result cache** — every cell is keyed by a stable content
+  hash of its :class:`SweepCell` fields, the full
+  :class:`~repro.config.SoCConfig`, and the package version (via
+  :mod:`repro.core.serialize`).  Results are stored as JSON under
+  ``$REPRO_SWEEP_CACHE_DIR`` (default
+  ``$XDG_CACHE_HOME/camdn-repro/sweeps``); a re-run of a figure harness,
+  benchmark or slow test with identical cells skips the simulation
+  entirely and deserializes byte-identical results.  Disable with
+  ``use_cache=False`` (the runner's ``--no-cache``) or by setting
+  ``REPRO_SWEEP_CACHE_DIR`` to an empty string.  The engine is
+  deterministic, so a cache hit and a fresh run are interchangeable;
+  the version salt invalidates entries across releases.
+* **Worker warm-up** — the parent ships its loop-nest solve memo
+  (:meth:`~repro.core.mapper.solver.SubspaceSolver.export_solve_memo`)
+  to every pool worker through the executor initializer, so workers skip
+  the cold-start mapping re-solve for shapes the parent already solved.
+
+On single-core hosts (or ``max_workers=1``) the sweep runs serially
+in-process, which reuses the warm prepared-workload and solver caches
+directly.
 """
 
 from __future__ import annotations
 
+import json
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import __version__
 from ..config import SoCConfig
+from ..core.mapper.solver import SubspaceSolver
+from ..core.serialize import (
+    atomic_write_text,
+    resolve_cache_dir,
+    simulation_result_from_dict,
+    simulation_result_to_dict,
+    soc_config_to_dict,
+    source_content_salt,
+    stable_content_hash,
+)
 from ..errors import WorkloadError
 from ..sim.engine import SimulationResult
 from ..sim.workload import random_model_mix
 from .common import ExperimentScale, run_policy
+
+#: Environment override for the persistent cell cache location; an empty
+#: value disables the cache entirely.
+CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
 
 
 @dataclass(frozen=True)
@@ -71,6 +107,92 @@ class SweepCell:
             **kwargs,
         )
 
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form (part of the cache key)."""
+        return {
+            "policy": self.policy,
+            "model_keys": list(self.model_keys),
+            "qos_scale": self.qos_scale,
+            "qos_mode": self.qos_mode,
+            "scale": self.scale,
+            "cache_bytes": self.cache_bytes,
+            "seed": self.seed,
+        }
+
+
+# ----------------------------------------------------------------------
+# Persistent cell cache
+# ----------------------------------------------------------------------
+
+def default_cache_dir() -> Optional[Path]:
+    """Resolved cache directory, or ``None`` when disabled via env."""
+    return resolve_cache_dir(CACHE_DIR_ENV, "sweeps")
+
+
+def cell_cache_key(cell: SweepCell, soc: SoCConfig) -> str:
+    """Stable content hash identifying one cell on one SoC.
+
+    Salted with the package version *and* a digest of the package's own
+    source files, so any code edit — versioned or not — invalidates
+    every cached result instead of silently replaying stale simulations.
+    """
+    return stable_content_hash({
+        "repro_version": __version__,
+        "source_salt": source_content_salt(),
+        "cell": cell.to_dict(),
+        "soc": soc_config_to_dict(soc),
+    })
+
+
+def clear_sweep_cache(cache_dir: Optional[Path] = None) -> int:
+    """Delete all cached cell results; returns the number removed."""
+    cache_dir = cache_dir or default_cache_dir()
+    if cache_dir is None or not cache_dir.is_dir():
+        return 0
+    removed = 0
+    for entry in cache_dir.glob("*.json"):
+        try:
+            entry.unlink()
+            removed += 1
+        except OSError:
+            continue
+    return removed
+
+
+def _load_cached(path: Path) -> Optional[SimulationResult]:
+    """A cached result, or ``None`` on any miss/corruption."""
+    try:
+        data = json.loads(path.read_text())
+        return simulation_result_from_dict(data)
+    except Exception:
+        return None
+
+
+def _store_cached(path: Path, result: SimulationResult) -> None:
+    """Best-effort atomic write of one cell result."""
+    atomic_write_text(path, json.dumps(simulation_result_to_dict(result)))
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+#: Statistics of the most recent run_sweep call in this process (the
+#: runner surfaces these as its events/sec observability line).
+_LAST_STATS: Dict[str, float] = {}
+
+
+def last_sweep_stats() -> Dict[str, float]:
+    """``{cells, cached_cells, events, sim_wall_s, events_per_s}`` of the
+    latest :func:`run_sweep` call (empty before the first sweep)."""
+    return dict(_LAST_STATS)
+
+
+def reset_sweep_stats() -> None:
+    """Clear the latest-sweep statistics (callers that need to attribute
+    stats to one harness invocation reset before it runs)."""
+    _LAST_STATS.clear()
+
 
 def _run_cell(args: tuple) -> SimulationResult:
     """Execute one cell (top-level so it pickles for worker processes)."""
@@ -87,10 +209,17 @@ def _run_cell(args: tuple) -> SimulationResult:
     )
 
 
+def _warm_worker(solve_memo) -> None:
+    """Pool-worker initializer: install the parent's solve memo."""
+    SubspaceSolver.install_solve_memo(solve_memo)
+
+
 def run_sweep(
     cells: Sequence[SweepCell],
     soc: Optional[SoCConfig] = None,
     max_workers: Optional[int] = None,
+    use_cache: bool = True,
+    cache_dir: Optional[Path] = None,
 ) -> List[SimulationResult]:
     """Run every cell and return results in cell order.
 
@@ -101,15 +230,59 @@ def run_sweep(
         max_workers: process count.  ``None`` picks
             ``min(len(cells), cpu_count)``; values <= 1 (or a single cell,
             or a single-core host) run serially in-process.
+        use_cache: consult/populate the persistent cell cache.
+        cache_dir: cache location override (default: see
+            :func:`default_cache_dir` / ``REPRO_SWEEP_CACHE_DIR``).
 
     Each cell is simulated by a deterministic closed-loop engine run, so
-    the results are identical whichever worker executes them.
+    the results are identical whichever worker executes them — or whether
+    they come from the cache at all.
     """
     soc = soc or SoCConfig()
-    work = [(cell, soc) for cell in cells]
-    if max_workers is None:
-        max_workers = min(len(work), os.cpu_count() or 1)
-    if max_workers <= 1 or len(work) <= 1:
-        return [_run_cell(item) for item in work]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(_run_cell, work))
+    cells = list(cells)
+    results: List[Optional[SimulationResult]] = [None] * len(cells)
+
+    cache_path: Optional[Path] = None
+    keys: List[Optional[str]] = [None] * len(cells)
+    # Legacy-oracle runs must actually execute the legacy loop: cached
+    # entries hold kernel-loop results, so serving them would validate
+    # nothing.
+    if use_cache and not os.environ.get("REPRO_LEGACY_ENGINE"):
+        cache_path = cache_dir or default_cache_dir()
+    if cache_path is not None:
+        for i, cell in enumerate(cells):
+            keys[i] = cell_cache_key(cell, soc)
+            results[i] = _load_cached(cache_path / f"{keys[i]}.json")
+
+    misses = [i for i, r in enumerate(results) if r is None]
+    if misses:
+        work = [(cells[i], soc) for i in misses]
+        if max_workers is None:
+            max_workers = min(len(work), os.cpu_count() or 1)
+        if max_workers <= 1 or len(work) <= 1:
+            fresh = [_run_cell(item) for item in work]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_warm_worker,
+                initargs=(SubspaceSolver.export_solve_memo(),),
+            ) as pool:
+                fresh = list(pool.map(_run_cell, work))
+        for i, result in zip(misses, fresh):
+            results[i] = result
+            if cache_path is not None:
+                _store_cached(cache_path / f"{keys[i]}.json", result)
+
+    final = [r for r in results if r is not None]
+    fresh_wall = sum(results[i].wall_time_s for i in misses)
+    fresh_events = sum(results[i].events_processed for i in misses)
+    _LAST_STATS.clear()
+    _LAST_STATS.update({
+        "cells": len(final),
+        "cached_cells": len(final) - len(misses),
+        "events": sum(r.events_processed for r in final),
+        "sim_wall_s": fresh_wall,
+        "events_per_s":
+            fresh_events / fresh_wall if fresh_wall > 0 else 0.0,
+    })
+    return final

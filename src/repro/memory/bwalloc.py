@@ -14,8 +14,9 @@ unit tests can exercise them directly.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..errors import SimulationError
 
@@ -52,6 +53,15 @@ class EqualSharePolicy:
             shares={task: share for task in demands}
         )
 
+    def allocate_list(self, demands: Sequence[float],
+                      slacks: Optional[Sequence[float]] = None
+                      ) -> List[float]:
+        """Positional twin of :meth:`allocate` (same floats, no dicts)."""
+        if not demands:
+            return []
+        share = 1.0 / len(demands)
+        return [share] * len(demands)
+
 
 class DemandProportionalPolicy:
     """MoCA-style: shares proportional to memory-access requirements.
@@ -84,6 +94,39 @@ class DemandProportionalPolicy:
             shares[task] = base + remaining * proportional
         return BandwidthAllocation(shares=shares)
 
+    def allocate_list(self, demands: Sequence[float],
+                      slacks: Optional[Sequence[float]] = None
+                      ) -> List[float]:
+        """Positional twin of :meth:`allocate`.
+
+        Bit-identical to the dict path when ``demands`` is given in the
+        dict's iteration order: the demand total accumulates in the same
+        order and every per-task expression keeps its shape.
+        """
+        if not demands:
+            return []
+        n = len(demands)
+        floor_total = self.floor * n if self.floor * n < 1 else 0.0
+        remaining = 1.0 - floor_total
+        base = self.floor if floor_total else 0.0
+        if min(demands) >= 0:
+            # All-non-negative fast path: max(d, 0.0) is the identity, so
+            # the clamped and unclamped totals/ratios are the same floats.
+            total_demand = sum(demands)
+            if total_demand > 0:
+                return [
+                    base + remaining * (d / total_demand)
+                    for d in demands
+                ]
+        total_demand = sum([max(d, 0.0) for d in demands])
+        return [
+            base + remaining * (
+                max(d, 0.0) / total_demand if total_demand > 0
+                else 1.0 / n
+            )
+            for d in demands
+        ]
+
 
 class SlackWeightedPolicy:
     """AuRORA-style: tasks behind their latency target get boosted shares.
@@ -109,8 +152,6 @@ class SlackWeightedPolicy:
         if not demands:
             return BandwidthAllocation(shares={})
         slacks = slacks or {}
-        import math
-
         weights: Dict[str, float] = {}
         for task, demand in demands.items():
             # Clamp: a hopelessly late task should dominate but not
@@ -129,3 +170,26 @@ class SlackWeightedPolicy:
             for task, weight in weights.items()
         }
         return BandwidthAllocation(shares=shares)
+
+    def allocate_list(self, demands: Sequence[float],
+                      slacks: Optional[Sequence[float]] = None
+                      ) -> List[float]:
+        """Positional twin of :meth:`allocate` (see
+        :meth:`DemandProportionalPolicy.allocate_list` for the
+        bit-identity contract)."""
+        if not demands:
+            return []
+        if slacks is None:
+            slacks = [0.0] * len(demands)
+        weights = [
+            max(d, 1.0) * math.exp(
+                -self.urgency * min(max(s, -20.0), 20.0)
+            )
+            for d, s in zip(demands, slacks)
+        ]
+        total = sum(weights)
+        n = len(weights)
+        floor_total = self.floor * n if self.floor * n < 1 else 0.0
+        remaining = 1.0 - floor_total
+        base = self.floor if floor_total else 0.0
+        return [base + remaining * w / total for w in weights]

@@ -17,7 +17,8 @@ attacks.
 
 from __future__ import annotations
 
-from typing import Dict
+import math
+from typing import Dict, List, Optional, Sequence
 
 from ..memory.bwalloc import SlackWeightedPolicy
 from ..sim.task import TaskInstance
@@ -66,3 +67,27 @@ class AuRORAScheduler(MoCAScheduler):
         }
         allocation = self._bw_policy.allocate(demands, slacks)
         return dict(allocation.shares)
+
+    def bandwidth_shares_list(
+        self,
+        insts: Sequence[TaskInstance],
+        rem_compute: Sequence[float],
+        rem_dram: Sequence[float],
+        now: float,
+    ) -> Optional[List[float]]:
+        """Positional fast path mirroring the slack-weighted dict path."""
+        if not insts:
+            return []
+        freq = self.soc.npu.frequency_hz
+        slack_of = self.slack_of
+        est_of = self.est_isolated_latency_s
+        demands = []
+        slacks = []
+        for inst, rem_c, rem_d in zip(insts, rem_compute, rem_dram):
+            compute_s = max(rem_c / freq, 1e-9)
+            demands.append(max(rem_d, 1.0) / compute_s)
+            if math.isinf(inst.qos_target_s):
+                slacks.append(1.0)
+            else:
+                slacks.append(slack_of(inst, now, est_of(inst)))
+        return self._bw_policy.allocate_list(demands, slacks)

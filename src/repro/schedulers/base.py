@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import SoCConfig
 from ..core.prepared import PreparedModel, prepare_model
@@ -43,8 +43,10 @@ class SchedulerPolicy(abc.ABC):
     #: (the safe default) makes the engine recompute bandwidth shares after
     #: every event.  Policies whose shares and DRAM efficiency depend only
     #: on the running-set membership (e.g. the equal-split default) may set
-    #: this to ``False`` so the engine reuses cached rates until the
-    #: running set changes.
+    #: this to ``False``: the engine then keeps cached rates valid across
+    #: layer-work changes and only invalidates them on explicit
+    #: membership-change notifications, which is what enables the
+    #: steady-interval fast-forward.
     dynamic_rates = True
 
     def __init__(self) -> None:
@@ -128,6 +130,19 @@ class SchedulerPolicy(abc.ABC):
         """
         return 1.0
 
+    def uniform_dram_efficiency(self, num_running: int
+                                ) -> Optional[float]:
+        """Shared efficiency when it does not vary across instances.
+
+        Every shipped policy's :meth:`dram_efficiency` depends only on the
+        running-set width, so the engine can apply one value to the whole
+        set instead of N method calls per event.  Returning ``None`` (the
+        default) keeps the per-instance calls.  A policy overriding
+        :meth:`dram_efficiency` with per-instance behaviour must leave
+        this returning ``None``.
+        """
+        return None
+
     def bandwidth_shares(self, running: Dict[str, TaskInstance],
                          now: float) -> Dict[str, float]:
         """Fractional DRAM bandwidth per running instance (sums <= 1).
@@ -138,6 +153,32 @@ class SchedulerPolicy(abc.ABC):
             return {}
         share = 1.0 / len(running)
         return {instance_id: share for instance_id in running}
+
+    def bandwidth_shares_list(
+        self,
+        insts: Sequence[TaskInstance],
+        rem_compute: Sequence[float],
+        rem_dram: Sequence[float],
+        now: float,
+    ) -> Optional[List[float]]:
+        """Kernel fast path for :meth:`bandwidth_shares`.
+
+        The engine's SoA kernel calls this with the running instances and
+        their remaining work in insertion order; a policy that can compute
+        its shares positionally returns a list aligned with ``insts`` and
+        skips the per-event dict round-trip.  Returning ``None`` (the
+        default) falls back to the dict path.
+
+        Contract: the returned floats must be bit-identical to what
+        :meth:`bandwidth_shares` would produce for the same running set —
+        element-wise arithmetic may be reshaped, but every order-sensitive
+        reduction (demand totals, weight normalizations) must accumulate
+        in insertion order.  A subclass that overrides
+        :meth:`bandwidth_shares` with new semantics MUST override this
+        method as well (or return ``None``), otherwise the engine would
+        keep using the parent's fast path.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Helpers shared by concrete policies

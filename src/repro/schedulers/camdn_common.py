@@ -10,7 +10,7 @@ algorithms as AuRORA).
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import SoCConfig
 from ..core.camdn import CaMDNSystem, LayerGrant
@@ -156,6 +156,10 @@ class CaMDNSchedulerBase(SchedulerPolicy):
                         num_running: int) -> float:
         return CAMDN_DRAM_EFFICIENCY
 
+    def uniform_dram_efficiency(self, num_running: int
+                                ) -> Optional[float]:
+        return CAMDN_DRAM_EFFICIENCY
+
     def bandwidth_shares(self, running: Dict[str, TaskInstance],
                          now: float) -> Dict[str, float]:
         """Demand-proportional shares by default (bandwidth allocation is
@@ -178,6 +182,30 @@ class CaMDNSchedulerBase(SchedulerPolicy):
             slacks[iid] = self.slack_of(inst, now, est)
         allocation = self._bw_policy.allocate(demands, slacks)
         return dict(allocation.shares)
+
+    def bandwidth_shares_list(
+        self,
+        insts: Sequence[TaskInstance],
+        rem_compute: Sequence[float],
+        rem_dram: Sequence[float],
+        now: float,
+    ) -> Optional[List[float]]:
+        """Positional fast path mirroring :meth:`bandwidth_shares`."""
+        if not insts:
+            return []
+        freq = self.soc.npu.frequency_hz
+        demands = [
+            max(rem_d, 1.0) / max(rem_c / freq, 1e-9)
+            for rem_c, rem_d in zip(rem_compute, rem_dram)
+        ]
+        if not self.qos_mode:
+            return self._demand_policy.allocate_list(demands)
+        slack_of = self.slack_of
+        est_of = self.est_isolated_latency_s
+        slacks = [
+            slack_of(inst, now, est_of(inst)) for inst in insts
+        ]
+        return self._bw_policy.allocate_list(demands, slacks)
 
     def stats(self) -> Dict[str, float]:
         return {

@@ -11,7 +11,8 @@ their targets).
 
 from __future__ import annotations
 
-from typing import Dict
+import math
+from typing import Dict, List, Optional, Sequence
 
 from ..memory.bwalloc import DemandProportionalPolicy
 from ..sim.task import TaskInstance
@@ -36,9 +37,33 @@ class MoCAScheduler(SharedCacheBaseline):
     def __init__(self, floor: float = 0.02) -> None:
         super().__init__()
         self._policy = DemandProportionalPolicy(floor=floor)
+        # Active tasks with a finite deadline; when zero, the slack
+        # throttle degenerates to halving every demand, which cancels
+        # out of the proportional allocation (see bandwidth_shares_list).
+        self._finite_qos_active = 0
+
+    def attach(self, soc) -> None:
+        super().attach(soc)
+        self._finite_qos_active = 0
+
+    def on_task_start(self, instance: TaskInstance, now: float) -> None:
+        super().on_task_start(instance, now)
+        if not math.isinf(instance.qos_target_s):
+            self._finite_qos_active += 1
+
+    def on_task_end(self, instance: TaskInstance, now: float) -> None:
+        super().on_task_end(instance, now)
+        if not math.isinf(instance.qos_target_s):
+            self._finite_qos_active -= 1
 
     def dram_efficiency(self, instance: TaskInstance,
                         num_running: int) -> float:
+        return _MOCA_EFF_FLOOR + _MOCA_EFF_LOCALITY_BONUS / max(
+            num_running, 1
+        )
+
+    def uniform_dram_efficiency(self, num_running: int
+                                ) -> Optional[float]:
         return _MOCA_EFF_FLOOR + _MOCA_EFF_LOCALITY_BONUS / max(
             num_running, 1
         )
@@ -73,3 +98,44 @@ class MoCAScheduler(SharedCacheBaseline):
                 demands[iid] *= 0.5
         allocation = self._policy.allocate(demands)
         return dict(allocation.shares)
+
+    def bandwidth_shares_list(
+        self,
+        insts: Sequence[TaskInstance],
+        rem_compute: Sequence[float],
+        rem_dram: Sequence[float],
+        now: float,
+    ) -> Optional[List[float]]:
+        """Positional fast path: same demand/slack arithmetic as the dict
+        path, with remaining work read from the kernel arrays and the
+        demand total accumulated in insertion order."""
+        if not insts:
+            return []
+        freq = self.soc.npu.frequency_hz
+        if not self._finite_qos_active:
+            # No deadlines anywhere: every slack is 1.0 > 0.5, so the
+            # throttle halves every demand.  Halving all demands scales
+            # the proportional total by exactly 0.5 (power-of-two, no
+            # rounding), leaving every quotient — and thus every share —
+            # bit-identical, so skip it.
+            demands = [
+                max(rem_d, 1.0) / max(rem_c / freq, 1e-9)
+                for rem_c, rem_d in zip(rem_compute, rem_dram)
+            ]
+            return self._policy.allocate_list(demands)
+        slack_of = self.slack_of
+        est_of = self.est_isolated_latency_s
+        demands = []
+        for inst, rem_c, rem_d in zip(insts, rem_compute, rem_dram):
+            compute_s = max(rem_c / freq, 1e-9)
+            demand = max(rem_d, 1.0) / compute_s
+            # MoCA throttles tenants with generous slack: halve the
+            # demand of tasks more than 50 % ahead of their deadline.
+            if math.isinf(inst.qos_target_s):
+                slack = 1.0
+            else:
+                slack = slack_of(inst, now, est_of(inst))
+            if slack > 0.5:
+                demand *= 0.5
+            demands.append(demand)
+        return self._policy.allocate_list(demands)

@@ -9,14 +9,32 @@ compute/DMA overlap).  Events are layer completions, page-wait wakeups and
 core handoffs; rates are recomputed after every event, which makes the
 simulation exact for piecewise-constant shares.
 
-The event loop keeps incremental bookkeeping instead of rescanning all
-active instances at every event: the RUNNING and WAITING_PAGES sets are
-maintained at state transitions, and per-task rates are cached under a
-dirty flag that is raised whenever the running set or any layer work
-changes (and after every advance for policies whose shares track task
-progress — see :attr:`SchedulerPolicy.dynamic_rates`).  Event semantics
-are identical to the full-rescan loop; only the bookkeeping is
-incremental.
+The event loop runs on a structure-of-arrays kernel
+(:class:`~repro.sim.kernel.RunningKernel`): remaining compute/DRAM work and
+the applied rates live in flat arrays, so the per-event min-dt search,
+fluid advance and completion scan are batch operations instead of
+per-instance Python calls.  Waiting-set wakeups sit in an indexed min-heap
+with lazy invalidation, so timeout processing is O(1) peeks except at the
+events where a waiter is actually due.  Rate recomputation is driven by
+explicit invalidation notifications at the exact state transitions that
+can change shares — membership changes always invalidate; layer-work
+changes only invalidate policies whose shares track task progress
+(:attr:`SchedulerPolicy.dynamic_rates`) — replacing the coarse dirty flag
+that previously forced a share recomputation after every grant.
+
+When the policy's rates are static and no waiter or queued task can
+intervene, the loop drops into a **steady-interval fast-forward**
+(:meth:`MultiTenantEngine._fast_forward`): the run of consecutive layer
+completions is executed in a tight kernel-only loop that skips rate
+recomputation, wait-heap peeks and dispatch checks entirely.  Each
+piecewise-constant interval is still stepped individually — exactness (and
+bit-identity with the legacy scan loop) requires draining every interval
+with the same arithmetic — so the fast-forward elides bookkeeping, never
+events.
+
+The pre-kernel per-instance scan loop is retained for one release behind
+``legacy_loop=True`` (or ``REPRO_LEGACY_ENGINE=1``) as an equivalence
+oracle: both loops must produce byte-identical summary metrics.
 
 This substrate replaces the paper's in-house cycle-accurate simulator on
 DRAMsim3; see DESIGN.md for the substitution argument.
@@ -25,11 +43,15 @@ DRAMsim3; see DESIGN.md for the substitution argument.
 from __future__ import annotations
 
 import math
+import os
+import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..config import SoCConfig
 from ..errors import SimulationError
+from .kernel import RunningKernel
 from .metrics import MetricsCollector
 
 if TYPE_CHECKING:  # circular at runtime: schedulers.base uses sim.task
@@ -42,6 +64,9 @@ from .workload import ClosedLoopWorkload
 #: purely a runaway guard.
 _MAX_EVENTS = 5_000_000
 
+#: Tolerance for "a waiter is due" checks (matches the legacy loop).
+_WAKE_EPS = 1e-12
+
 
 @dataclass
 class SimulationResult:
@@ -51,8 +76,31 @@ class SimulationResult:
     sim_time_s: float
     metrics: MetricsCollector
     scheduler_stats: Dict[str, float] = field(default_factory=dict)
+    #: Wall-clock seconds the engine run took (observability only).
+    wall_time_s: float = 0.0
+    #: Number of engine events processed (deterministic per scenario).
+    events_processed: int = 0
+
+    @property
+    def events_per_s(self) -> float:
+        """Engine throughput (events per wall-clock second)."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.events_processed / self.wall_time_s
 
     def summary(self) -> Dict[str, float]:
+        summary = self.metric_summary()
+        summary["wall_time_s"] = self.wall_time_s
+        summary["events_processed"] = self.events_processed
+        return summary
+
+    def metric_summary(self) -> Dict[str, float]:
+        """Simulated-outcome metrics only (no wall-clock keys).
+
+        This is the byte-identity surface: two engines (or backends, or
+        cache layers) agree iff their ``metric_summary()`` dicts are
+        byte-identical under ``json.dumps``.
+        """
         return {
             "sim_time_s": self.sim_time_s,
             "inferences": self.metrics.num_inferences,
@@ -69,21 +117,42 @@ class MultiTenantEngine:
 
     def __init__(self, soc: SoCConfig, scheduler: "SchedulerPolicy",
                  workload: ClosedLoopWorkload,
-                 trace: Optional["TraceRecorder"] = None) -> None:
+                 trace: Optional["TraceRecorder"] = None,
+                 legacy_loop: Optional[bool] = None,
+                 kernel_backend: Optional[str] = None) -> None:
+        if legacy_loop is None:
+            legacy_loop = bool(os.environ.get("REPRO_LEGACY_ENGINE"))
         self.soc = soc
         self.scheduler = scheduler
         self.workload = workload
         self.metrics = MetricsCollector()
         self.trace = trace
+        self.legacy_loop = legacy_loop
         self.now = 0.0
+        self.events_processed = 0
+        self._dynamic_rates = scheduler.dynamic_rates
         self._queued: List[TaskInstance] = []
         self._active: Dict[str, TaskInstance] = {}
         self._free_cores = soc.num_npu_cores
         self._core_grant: Dict[str, int] = {}
-        # Incremental state-set bookkeeping: every active instance lives in
-        # exactly one of these two dicts, maintained at state transitions.
-        self._running_set: Dict[str, TaskInstance] = {}
+        # SoC constants and per-width uniform efficiencies, cached off
+        # the per-event rate path.
+        self._total_bw = soc.dram.total_bandwidth_bytes_per_s
+        self._freq = soc.npu.frequency_hz
+        self._uniform_eff: Dict[int, Optional[float]] = {}
+        # SoA kernel over the RUNNING set (kernel loop).
+        self._kernel = RunningKernel(force_backend=kernel_backend)
+        self._rates_valid = False
+        # WAITING_PAGES instances, insertion-ordered (grant-retry order is
+        # observable policy state, so iteration order must be stable).
         self._waiting_set: Dict[str, TaskInstance] = {}
+        # Lazily-invalidated wakeup min-heap: (wake_time, seq) entries;
+        # an entry is live iff _wait_seq maps its instance to its seq.
+        self._wait_heap: List[Tuple[float, int, TaskInstance]] = []
+        self._wait_seq: Dict[str, int] = {}
+        self._next_seq = 0
+        # Legacy-loop bookkeeping (pre-kernel engine).
+        self._running_set: Dict[str, TaskInstance] = {}
         self._rates_cache: Dict[str, tuple] = {}
         self._rates_dirty = True
 
@@ -91,43 +160,357 @@ class MultiTenantEngine:
 
     def run(self) -> SimulationResult:
         """Execute the workload to completion."""
+        start = time.perf_counter()
         self.scheduler.attach(self.soc)
+        self._dynamic_rates = self.scheduler.dynamic_rates
         self._queued.extend(self.workload.initial_instances())
-        self._dispatch_queued()
-
-        for _ in range(_MAX_EVENTS):
-            if not self._active and not self._queued:
-                break
-            rates = self._rates()
-            dt = self._next_event_dt(rates)
-            if math.isinf(dt):
-                raise SimulationError(
-                    "deadlock: active instances but no future event"
-                )
-            self._advance(dt, rates)
-            self._process_completions()
-            self._process_timeouts()
-            self._dispatch_queued()
+        if self.legacy_loop:
+            self._legacy_run_loop()
         else:
-            raise SimulationError("event cap exceeded; runaway simulation")
-
+            self._kernel_run_loop()
         return SimulationResult(
             scheduler_name=self.scheduler.name,
             sim_time_s=self.now,
             metrics=self.metrics,
             scheduler_stats=self.scheduler.stats(),
+            wall_time_s=time.perf_counter() - start,
+            events_processed=self.events_processed,
         )
 
     # ------------------------------------------------------------------
-    # Event loop pieces
+    # Kernel event loop
     # ------------------------------------------------------------------
 
-    def _rates(self) -> Dict[str, tuple]:
-        """(compute_rate cycles/s, dram_rate bytes/s) per running task.
+    def _kernel_run_loop(self) -> None:
+        self._dispatch_queued()
+        dynamic = self._dynamic_rates
+        kernel = self._kernel
+        while self._active or self._queued:
+            if self.events_processed >= _MAX_EVENTS:
+                raise SimulationError(
+                    "event cap exceeded; runaway simulation"
+                )
+            if not self._rates_valid:
+                self._recompute_rates()
+            if not dynamic and not self._wait_heap and not self._queued:
+                if self._fast_forward():
+                    # Finish the interrupted event's remaining phases:
+                    # a completion may have queued a successor stream or
+                    # parked an instance on the wait heap.
+                    if self._wait_heap:
+                        self._process_timeouts()
+                    if self._queued:
+                        self._dispatch_queued()
+                    continue
+            wait_dt = math.inf
+            if self._wait_heap:
+                wake = self._peek_wake_time()
+                if not math.isinf(wake):
+                    wait_dt = wake - self.now
+                    if wait_dt < 0.0:
+                        wait_dt = 0.0
+            dt, finished = kernel.step(wait_dt)
+            if math.isinf(dt):
+                raise SimulationError(
+                    "deadlock: active instances but no future event"
+                )
+            self.now += dt
+            if dynamic and kernel.insts:
+                self._rates_valid = False
+            self.events_processed += 1
+            if finished:
+                self._process_completions(finished)
+            if self._wait_heap:
+                self._process_timeouts()
+            if self._queued:
+                self._dispatch_queued()
 
-        Recomputed only when dirty: membership or layer work changed, or
-        the policy's shares track task progress (``dynamic_rates``).
+    def _fast_forward(self) -> bool:
+        """Steady-interval fast-forward for static-rate policies.
+
+        Preconditions (checked by the caller): rates are valid and cannot
+        drift between events (``dynamic_rates`` is False), no instance is
+        waiting for pages, and nothing is queued — so until a membership
+        change every event is a layer completion of a running instance.
+        The run of consecutive completions is executed in a tight loop
+        over the kernel alone; rate recomputation, wait-heap peeks and
+        dispatch checks are skipped until a grant or task finish breaks
+        the steady interval.  Returns True if any events were processed.
         """
+        kernel = self._kernel
+        step = kernel.step
+        processed = False
+        while (
+            self._rates_valid
+            and not self._wait_heap
+            and not self._queued
+            and self.events_processed < _MAX_EVENTS
+        ):
+            dt, finished = step(math.inf)
+            if math.isinf(dt):
+                break
+            self.now += dt
+            self.events_processed += 1
+            processed = True
+            if finished:
+                self._process_completions(finished)
+            if not self._active:
+                break
+        return processed
+
+    def _recompute_rates(self) -> None:
+        """Install per-position rates from the policy's shares.
+
+        The DRAM rate is clamped to >= 1e-6 bytes/s here — once, at the
+        single place rates are produced — so the min-dt search and the
+        fluid advance always use the same (finite-progress) rate.  The
+        legacy loop clamped only in the dt search, so a near-zero share
+        could yield a finite dt with no matching progress.
+        """
+        kernel = self._kernel
+        insts = kernel.insts
+        n = len(insts)
+        if not n:
+            kernel.set_rates([], [])
+            self._rates_valid = True
+            return
+        scheduler = self.scheduler
+        rem_c, rem_d = kernel.rem_views()
+        shares = scheduler.bandwidth_shares_list(
+            insts, rem_c, rem_d, self.now
+        )
+        if shares is None:
+            # Dict-path fallback: sync fluid state so the policy sees
+            # current remaining work, then look shares up by id.
+            kernel.sync_all()
+            running = {inst.instance_id: inst for inst in insts}
+            share_map = scheduler.bandwidth_shares(running, self.now)
+            shares = [share_map.get(inst.instance_id, 0.0)
+                      for inst in insts]
+        total_bw = self._total_bw
+        rate_c = [self._freq] * n
+        if min(shares) <= 0:
+            for i in range(n):
+                if shares[i] <= 0 and rem_d[i] > 0:
+                    raise SimulationError(
+                        f"{insts[i].instance_id} has pending DRAM work "
+                        f"but zero bandwidth"
+                    )
+        try:
+            efficiency = self._uniform_eff[n]
+        except KeyError:
+            efficiency = scheduler.uniform_dram_efficiency(n)
+            self._uniform_eff[n] = efficiency
+        if efficiency is not None:
+            rate_d = [
+                r if (r := total_bw * s * efficiency) > 1e-6 else 1e-6
+                for s in shares
+            ]
+        else:
+            rate_d = [0.0] * n
+            for i in range(n):
+                rate = total_bw * shares[i] * \
+                    scheduler.dram_efficiency(insts[i], n)
+                rate_d[i] = rate if rate > 1e-6 else 1e-6
+        kernel.set_rates(rate_c, rate_d)
+        self._rates_valid = True
+
+    # ------------------------------------------------------------------
+    # Explicit rate-invalidation notifications
+    # ------------------------------------------------------------------
+
+    def _notify_membership_change(self) -> None:
+        """The RUNNING set gained or lost a member: shares always change
+        (equal splits, demand pools and DRAM efficiency all depend on
+        membership)."""
+        self._rates_valid = False
+
+    def _notify_work_change(self, inst: TaskInstance) -> None:
+        """A running instance started a new layer.  Only policies whose
+        shares track task progress care; membership-only policies keep
+        their cached rates — this is the precise notification that
+        replaces the legacy loop's coarse dirty flag."""
+        if self.scheduler.dynamic_rates:
+            self._rates_valid = False
+
+    # ------------------------------------------------------------------
+    # Wait heap (lazy invalidation)
+    # ------------------------------------------------------------------
+
+    def _push_waiter(self, inst: TaskInstance) -> None:
+        seq = self._next_seq
+        self._next_seq += 1
+        self._wait_seq[inst.instance_id] = seq
+        heappush(self._wait_heap, (inst.wake_time, seq, inst))
+
+    def _peek_wake_time(self) -> float:
+        """Earliest live wakeup (inf when none); pops stale entries."""
+        heap = self._wait_heap
+        while heap:
+            wake, seq, inst = heap[0]
+            if self._wait_seq.get(inst.instance_id) == seq:
+                return wake
+            heappop(heap)
+        return math.inf
+
+    # ------------------------------------------------------------------
+    # Event handling (kernel loop)
+    # ------------------------------------------------------------------
+
+    def _process_completions(self, finished_pos: List[int]) -> None:
+        kernel = self._kernel
+        scheduler = self.scheduler
+        trace = self.trace
+        now = self.now
+        # Sync fluid state while positions are valid, then snapshot by
+        # reference: handling a completion can reshape the kernel (task
+        # finish, page wait), invalidating positions.
+        kernel.sync_positions(finished_pos)
+        finished = [kernel.insts[i] for i in finished_pos]
+        for inst in finished:
+            if trace is not None:
+                trace.end(inst.instance_id, now,
+                          dram_bytes=inst.work.dram_bytes)
+            inst.account_layer()
+            scheduler.on_layer_end(inst, now)
+            inst.layer_index += 1
+            if inst.layer_index >= len(inst.graph.layers):
+                self._finish_instance(inst)
+            else:
+                work, timeout = scheduler.begin_layer(inst, now)
+                self._apply_grant(inst, work, timeout)
+        if self._waiting_set:
+            self._poll_waiting()
+
+    def _finish_instance(self, inst: TaskInstance) -> None:
+        inst.state = InstanceState.DONE
+        inst.finish_time = self.now
+        self.scheduler.on_task_end(inst, self.now)
+        self._free_cores += self._core_grant.pop(inst.instance_id)
+        del self._active[inst.instance_id]
+        if inst.instance_id in self._kernel.pos:
+            self._kernel.remove(inst)
+        self._waiting_set.pop(inst.instance_id, None)
+        self._wait_seq.pop(inst.instance_id, None)
+        self._notify_membership_change()
+        if not self.workload.is_warmup(inst):
+            self.metrics.record(inst)
+        next_inst = self.workload.next_instance(inst.stream_id, self.now)
+        if next_inst is not None:
+            self._queued.append(next_inst)
+
+    def _begin_layer(self, inst: TaskInstance) -> None:
+        work, timeout = self.scheduler.begin_layer(inst, self.now)
+        self._apply_grant(inst, work, timeout)
+
+    def _apply_grant(self, inst: TaskInstance, work, timeout: float
+                     ) -> None:
+        kernel = self._kernel
+        iid = inst.instance_id
+        if work is None:
+            inst.state = InstanceState.WAITING_PAGES
+            if math.isinf(timeout):
+                raise SimulationError(
+                    f"{iid}: ungranted wait with no timeout"
+                )
+            inst.wake_time = self.now + max(timeout, 0.0)
+            if iid in kernel.pos:
+                kernel.remove(inst)
+                self._notify_membership_change()
+            self._waiting_set[iid] = inst
+            self._push_waiter(inst)
+            if self.trace is not None:
+                from .trace import SpanKind
+
+                self.trace.begin(iid, SpanKind.WAIT_PAGES,
+                                 inst.layer_index, self.now)
+        else:
+            inst.begin_work(work)
+            inst.wake_time = math.inf
+            if self._waiting_set and \
+                    self._waiting_set.pop(iid, None) is not None:
+                self._wait_seq.pop(iid, None)
+            if iid in kernel.pos:
+                kernel.set_work(inst)
+                # Work-change notification, inlined: only share policies
+                # that track task progress care (see
+                # _notify_work_change).
+                if self._dynamic_rates:
+                    self._rates_valid = False
+            else:
+                kernel.add(inst)
+                self._notify_membership_change()
+            if inst.start_time is None:
+                inst.start_time = self.now
+            if self.trace is not None:
+                from .trace import SpanKind
+
+                self.trace.begin(iid, SpanKind.LAYER,
+                                 inst.layer_index, self.now)
+
+    def _poll_waiting(self) -> None:
+        for inst in list(self._waiting_set.values()):
+            work, timeout = self.scheduler.poll_layer(inst, self.now)
+            if work is not None:
+                self._apply_grant(inst, work, timeout)
+            # An unsuccessful poll must NOT reset the wake timer, or a
+            # frequently-polled task would never reach its timeout and
+            # would wait for pages indefinitely instead of downgrading.
+
+    def _process_timeouts(self) -> None:
+        if self._peek_wake_time() - self.now > _WAKE_EPS:
+            return
+        now = self.now
+        due = [inst for inst in self._waiting_set.values()
+               if inst.wake_time - now <= _WAKE_EPS]
+        for inst in due:
+            work, timeout = self.scheduler.timeout_layer(inst, self.now)
+            self._apply_grant(inst, work, timeout)
+
+    def _dispatch_queued(self) -> None:
+        still_queued: List[TaskInstance] = []
+        for inst in self._queued:
+            cores = self.scheduler.cores_for(inst, self._free_cores)
+            if 0 < cores <= self._free_cores:
+                self._free_cores -= cores
+                inst.cores = cores
+                self._core_grant[inst.instance_id] = cores
+                self._active[inst.instance_id] = inst
+                self.scheduler.on_task_start(inst, self.now)
+                self._begin_layer(inst)
+            else:
+                still_queued.append(inst)
+        self._queued = still_queued
+
+    # ------------------------------------------------------------------
+    # Legacy per-instance scan loop (pre-kernel engine)
+    #
+    # Kept verbatim for one release as the equivalence oracle for the
+    # kernel loop; selected with ``legacy_loop=True`` or the
+    # ``REPRO_LEGACY_ENGINE=1`` environment variable.  Do not optimize.
+    # ------------------------------------------------------------------
+
+    def _legacy_run_loop(self) -> None:
+        self._legacy_dispatch_queued()
+        for _ in range(_MAX_EVENTS):
+            if not self._active and not self._queued:
+                break
+            rates = self._legacy_rates()
+            dt = self._legacy_next_event_dt(rates)
+            if math.isinf(dt):
+                raise SimulationError(
+                    "deadlock: active instances but no future event"
+                )
+            self._legacy_advance(dt, rates)
+            self.events_processed += 1
+            self._legacy_process_completions()
+            self._legacy_process_timeouts()
+            self._legacy_dispatch_queued()
+        else:
+            raise SimulationError("event cap exceeded; runaway simulation")
+
+    def _legacy_rates(self) -> Dict[str, tuple]:
+        """(compute_rate cycles/s, dram_rate bytes/s) per running task."""
         if not self._rates_dirty:
             return self._rates_cache
         running = self._running_set
@@ -148,7 +531,7 @@ class MultiTenantEngine:
         self._rates_dirty = False
         return rates
 
-    def _next_event_dt(self, rates: Dict[str, tuple]) -> float:
+    def _legacy_next_event_dt(self, rates: Dict[str, tuple]) -> float:
         dt = math.inf
         for iid, inst in self._running_set.items():
             compute_rate, dram_rate = rates[iid]
@@ -163,7 +546,8 @@ class MultiTenantEngine:
             dt = min(dt, max(inst.wake_time - now, 0.0))
         return dt
 
-    def _advance(self, dt: float, rates: Dict[str, tuple]) -> None:
+    def _legacy_advance(self, dt: float,
+                        rates: Dict[str, tuple]) -> None:
         if dt < 0:
             raise SimulationError(f"negative time step {dt}")
         for iid, inst in self._running_set.items():
@@ -173,7 +557,7 @@ class MultiTenantEngine:
         if self._running_set and self.scheduler.dynamic_rates:
             self._rates_dirty = True
 
-    def _process_completions(self) -> None:
+    def _legacy_process_completions(self) -> None:
         finished_layers = [
             inst for inst in self._running_set.values()
             if inst.layer_finished()
@@ -188,13 +572,13 @@ class MultiTenantEngine:
             inst.layer_index += 1
             pages_freed = True
             if inst.done_all_layers:
-                self._finish_instance(inst)
+                self._legacy_finish_instance(inst)
             else:
-                self._begin_layer(inst, first_attempt=True)
+                self._legacy_begin_layer(inst)
         if pages_freed:
-            self._poll_waiting()
+            self._legacy_poll_waiting()
 
-    def _finish_instance(self, inst: TaskInstance) -> None:
+    def _legacy_finish_instance(self, inst: TaskInstance) -> None:
         inst.state = InstanceState.DONE
         inst.finish_time = self.now
         self.scheduler.on_task_end(inst, self.now)
@@ -209,13 +593,12 @@ class MultiTenantEngine:
         if next_inst is not None:
             self._queued.append(next_inst)
 
-    def _begin_layer(self, inst: TaskInstance,
-                     first_attempt: bool) -> None:
+    def _legacy_begin_layer(self, inst: TaskInstance) -> None:
         work, timeout = self.scheduler.begin_layer(inst, self.now)
-        self._apply_grant(inst, work, timeout)
+        self._legacy_apply_grant(inst, work, timeout)
 
-    def _apply_grant(self, inst: TaskInstance, work, timeout: float
-                     ) -> None:
+    def _legacy_apply_grant(self, inst: TaskInstance, work,
+                            timeout: float) -> None:
         self._rates_dirty = True
         if work is None:
             inst.state = InstanceState.WAITING_PAGES
@@ -244,23 +627,20 @@ class MultiTenantEngine:
                 self.trace.begin(inst.instance_id, SpanKind.LAYER,
                                  inst.layer_index, self.now)
 
-    def _poll_waiting(self) -> None:
+    def _legacy_poll_waiting(self) -> None:
         for inst in list(self._waiting_set.values()):
             work, timeout = self.scheduler.poll_layer(inst, self.now)
             if work is not None:
-                self._apply_grant(inst, work, timeout)
-            # An unsuccessful poll must NOT reset the wake timer, or a
-            # frequently-polled task would never reach its timeout and
-            # would wait for pages indefinitely instead of downgrading.
+                self._legacy_apply_grant(inst, work, timeout)
 
-    def _process_timeouts(self) -> None:
+    def _legacy_process_timeouts(self) -> None:
         for inst in list(self._waiting_set.values()):
-            if inst.wake_time - self.now > 1e-12:
+            if inst.wake_time - self.now > _WAKE_EPS:
                 continue
             work, timeout = self.scheduler.timeout_layer(inst, self.now)
-            self._apply_grant(inst, work, timeout)
+            self._legacy_apply_grant(inst, work, timeout)
 
-    def _dispatch_queued(self) -> None:
+    def _legacy_dispatch_queued(self) -> None:
         still_queued: List[TaskInstance] = []
         for inst in self._queued:
             cores = self.scheduler.cores_for(inst, self._free_cores)
@@ -270,7 +650,7 @@ class MultiTenantEngine:
                 self._core_grant[inst.instance_id] = cores
                 self._active[inst.instance_id] = inst
                 self.scheduler.on_task_start(inst, self.now)
-                self._begin_layer(inst, first_attempt=True)
+                self._legacy_begin_layer(inst)
             else:
                 still_queued.append(inst)
         self._queued = still_queued

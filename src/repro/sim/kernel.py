@@ -1,0 +1,288 @@
+"""Structure-of-arrays kernel for the engine's per-event hot path.
+
+The fluid engine spends almost all of its event-loop time on three
+operations over the RUNNING set: finding the next event time (a min over
+per-instance layer-completion times), draining fluid work (two clamped
+subtractions per instance), and scanning for finished layers.  Doing those
+through per-instance Python method calls costs a dict iteration plus
+several attribute lookups per instance per event.
+
+:class:`RunningKernel` hoists the per-instance fluid state
+(``rem_compute_cycles`` / ``rem_dram_bytes`` and the applied rates) into
+flat parallel arrays ordered by running-set insertion order, so the three
+hot operations become batch kernels.  Two backends produce bit-identical
+results:
+
+* a **numpy** backend (element-wise float64 ops and an exact min
+  reduction) used for wide running sets, where vectorization wins;
+* a **pure-Python list** backend used for narrow running sets (and
+  whenever numpy is unavailable), where per-call numpy overhead would
+  exceed the loop it replaces.
+
+Bit-identity between the backends — and with the legacy per-instance scan
+loop — holds because every operation is element-wise IEEE-754 double
+arithmetic in the same expression shape, and the only reduction is a
+``min``, which is exact in any order.  Order-sensitive reductions (the
+bandwidth-share normalizations) stay in policy code and always see values
+in insertion order.
+
+Insertion order is load-bearing: completion processing and bandwidth-share
+normalization must observe instances in the same order as the legacy
+engine's insertion-ordered running dict, so positions are compacted (never
+reused out of order) on every membership change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..errors import SimulationError
+
+try:  # numpy is optional; the list backend is always available.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via force_backend tests
+    _np = None
+
+if TYPE_CHECKING:
+    from .task import TaskInstance
+
+#: Running-set width at which the numpy backend starts to win over the
+#: tight list loops (numpy's per-call overhead dominates below this).
+NUMPY_MIN_WIDTH = 24
+
+#: Completion threshold shared with :meth:`TaskInstance.layer_finished`.
+_FINISH_EPS = 1e-9
+
+
+class RunningKernel:
+    """Flat fluid-state arrays for the engine's running set."""
+
+    __slots__ = (
+        "insts", "pos", "rem_c", "rem_d", "rate_c", "rate_d",
+        "_force_backend", "_np_always", "_np_enabled", "_use_np",
+        "_arr_c", "_arr_d", "_arr_rc", "_arr_rd",
+    )
+
+    def __init__(self, force_backend: Optional[str] = None) -> None:
+        if force_backend not in (None, "numpy", "list"):
+            raise ValueError(f"unknown kernel backend {force_backend!r}")
+        if force_backend == "numpy" and _np is None:
+            raise ValueError("numpy backend requested but numpy missing")
+        #: Running instances in insertion order.
+        self.insts: List["TaskInstance"] = []
+        #: instance_id -> position in :attr:`insts`.
+        self.pos: Dict[str, int] = {}
+        # Parallel per-position state (authoritative python lists).
+        self.rem_c: List[float] = []
+        self.rem_d: List[float] = []
+        self.rate_c: List[float] = []
+        self.rate_d: List[float] = []
+        self._force_backend = force_backend
+        self._np_always = force_backend == "numpy"
+        self._np_enabled = _np is not None and force_backend != "list"
+        self._use_np = False
+        self._arr_c = self._arr_d = self._arr_rc = self._arr_rd = None
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def add(self, inst: "TaskInstance") -> None:
+        """Append a newly RUNNING instance (rates pending recompute)."""
+        self._materialize()
+        self.pos[inst.instance_id] = len(self.insts)
+        self.insts.append(inst)
+        self.rem_c.append(inst.rem_compute_cycles)
+        self.rem_d.append(inst.rem_dram_bytes)
+        self.rate_c.append(0.0)
+        self.rate_d.append(0.0)
+
+    def remove(self, inst: "TaskInstance") -> None:
+        """Drop an instance, writing its fluid state back to it."""
+        self._materialize()
+        i = self.pos.pop(inst.instance_id)
+        inst.rem_compute_cycles = self.rem_c[i]
+        inst.rem_dram_bytes = self.rem_d[i]
+        del self.insts[i]
+        del self.rem_c[i]
+        del self.rem_d[i]
+        del self.rate_c[i]
+        del self.rate_d[i]
+        for j in range(i, len(self.insts)):
+            self.pos[self.insts[j].instance_id] = j
+
+    def set_work(self, inst: "TaskInstance") -> None:
+        """Refresh an instance's remaining work after ``begin_work``."""
+        i = self.pos[inst.instance_id]
+        self.rem_c[i] = inst.rem_compute_cycles
+        self.rem_d[i] = inst.rem_dram_bytes
+        if self._use_np:
+            self._arr_c[i] = self.rem_c[i]
+            self._arr_d[i] = self.rem_d[i]
+
+    def set_rates(self, rate_c: List[float], rate_d: List[float]) -> None:
+        """Install per-position rates (aligned with :attr:`insts`)."""
+        self.rate_c = rate_c
+        self.rate_d = rate_d
+        if self._np_always or (
+            self._np_enabled and len(self.insts) >= NUMPY_MIN_WIDTH
+        ):
+            self._select_backend()
+        else:
+            self._use_np = False
+
+    def sync_positions(self, positions: List[int]) -> None:
+        """Write the given positions' fluid state back to their
+        instances (positions must be current, i.e. pre-mutation)."""
+        if self._use_np:
+            arr_c, arr_d = self._arr_c, self._arr_d
+            for i in positions:
+                inst = self.insts[i]
+                inst.rem_compute_cycles = float(arr_c[i])
+                inst.rem_dram_bytes = float(arr_d[i])
+            return
+        rem_c, rem_d = self.rem_c, self.rem_d
+        for i in positions:
+            inst = self.insts[i]
+            inst.rem_compute_cycles = rem_c[i]
+            inst.rem_dram_bytes = rem_d[i]
+
+    def sync_all(self) -> None:
+        """Write every instance's fluid state back to its attributes."""
+        self._pull_np()
+        for inst, c, d in zip(self.insts, self.rem_c, self.rem_d):
+            inst.rem_compute_cycles = c
+            inst.rem_dram_bytes = d
+
+    def rem_views(self):
+        """``(rem_c, rem_d)`` lists in insertion order (exact floats)."""
+        self._pull_np()
+        return self.rem_c, self.rem_d
+
+    # ------------------------------------------------------------------
+    # Hot kernels
+    # ------------------------------------------------------------------
+
+    def step(self, wait_dt: float) -> Tuple[float, List[int]]:
+        """Fused event step: pick the next event time and drain to it.
+
+        ``wait_dt`` is the (already clamped, non-negative) time to the
+        earliest waiting-set wakeup, or inf when nobody waits.  Returns
+        ``(dt, finished_positions)``; when ``dt`` is inf (nothing running
+        and nobody waking) no state is touched and the caller reports the
+        deadlock.
+
+        The event time is identical arithmetic to
+        :meth:`TaskInstance.time_to_finish_layer` — per instance
+        ``max(rem_c / rate_c, rem_d / rate_d)`` (a zero remainder divides
+        to exactly ``+0.0``), reduced with an exact min and clamped by
+        ``wait_dt`` — fused with :meth:`advance` so each array is touched
+        once per event.
+        """
+        if self._use_np:
+            t = self._arr_c / self._arr_rc
+            _np.maximum(t, self._arr_d / self._arr_rd, out=t)
+            dt = float(t.min()) if t.size else float("inf")
+            if wait_dt < dt:
+                dt = wait_dt
+            if dt == float("inf"):
+                return dt, []
+            if dt < 0:
+                raise SimulationError(f"negative time step {dt}")
+            return dt, self.advance(dt)
+        dt = float("inf")
+        rem_c, rem_d = self.rem_c, self.rem_d
+        rate_c, rate_d = self.rate_c, self.rate_d
+        n = len(rem_c)
+        for i in range(n):
+            t_c = rem_c[i] / rate_c[i]
+            t_d = rem_d[i] / rate_d[i]
+            t = t_c if t_c >= t_d else t_d
+            if t < dt:
+                dt = t
+        if wait_dt < dt:
+            dt = wait_dt
+        if dt == float("inf"):
+            return dt, []
+        if dt < 0:
+            raise SimulationError(f"negative time step {dt}")
+        finished: List[int] = []
+        for i in range(n):
+            c = rem_c[i] - dt * rate_c[i]
+            if c < 0.0:
+                c = 0.0
+            rem_c[i] = c
+            d = rem_d[i] - dt * rate_d[i]
+            if d < 0.0:
+                d = 0.0
+            rem_d[i] = d
+            if c <= _FINISH_EPS and d <= _FINISH_EPS:
+                finished.append(i)
+        return dt, finished
+
+    def advance(self, dt: float) -> List[int]:
+        """Drain ``dt`` seconds of fluid work; return finished positions.
+
+        Identical arithmetic to :meth:`TaskInstance.advance` followed by
+        :meth:`TaskInstance.layer_finished`; finished positions come back
+        in insertion order.
+        """
+        if self._use_np:
+            c, d = self._arr_c, self._arr_d
+            c -= dt * self._arr_rc
+            _np.maximum(c, 0.0, out=c)
+            d -= dt * self._arr_rd
+            _np.maximum(d, 0.0, out=d)
+            done = _np.nonzero((c <= _FINISH_EPS) & (d <= _FINISH_EPS))[0]
+            return done.tolist()
+        finished: List[int] = []
+        rem_c, rem_d = self.rem_c, self.rem_d
+        rate_c, rate_d = self.rate_c, self.rate_d
+        for i in range(len(rem_c)):
+            c = rem_c[i] - dt * rate_c[i]
+            if c < 0.0:
+                c = 0.0
+            rem_c[i] = c
+            d = rem_d[i] - dt * rate_d[i]
+            if d < 0.0:
+                d = 0.0
+            rem_d[i] = d
+            if c <= _FINISH_EPS and d <= _FINISH_EPS:
+                finished.append(i)
+        return finished
+
+    # ------------------------------------------------------------------
+    # Backend management
+    # ------------------------------------------------------------------
+
+    def _select_backend(self) -> None:
+        """Pick the backend for the current width (after rate install)."""
+        self._pull_np()  # lists must be current before re-snapshotting
+        if self._force_backend == "numpy":
+            use_np = True
+        elif self._force_backend == "list":
+            use_np = False
+        else:
+            use_np = _np is not None and len(self.insts) >= NUMPY_MIN_WIDTH
+        self._use_np = use_np
+        if use_np:
+            self._arr_c = _np.array(self.rem_c, dtype=_np.float64)
+            self._arr_d = _np.array(self.rem_d, dtype=_np.float64)
+            self._arr_rc = _np.array(self.rate_c, dtype=_np.float64)
+            self._arr_rd = _np.array(self.rate_d, dtype=_np.float64)
+
+    def _materialize(self) -> None:
+        """Fold numpy state back into the lists before a membership edit."""
+        if self._use_np:
+            self.rem_c = self._arr_c.tolist()
+            self.rem_d = self._arr_d.tolist()
+            self._use_np = False
+
+    def _pull_np(self) -> None:
+        """Refresh the list views from numpy state without leaving it."""
+        if self._use_np:
+            self.rem_c = self._arr_c.tolist()
+            self.rem_d = self._arr_d.tolist()

@@ -42,7 +42,7 @@ class LayerWork:
             raise SimulationError("negative layer work")
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskInstance:
     """One inference of one model stream.
 
@@ -52,6 +52,16 @@ class TaskInstance:
         graph: the model being executed.
         arrival_time: dispatch time (previous inference's finish).
         qos_target_s: per-inference deadline (scaled per QoS level).
+
+    While an instance is RUNNING under the kernel event loop, its fluid
+    state (``rem_compute_cycles`` / ``rem_dram_bytes``) is held in the
+    engine's structure-of-arrays kernel
+    (:class:`~repro.sim.kernel.RunningKernel`); the attributes here are
+    synchronized back before any scheduler hook observes the instance and
+    when it leaves the running set, so policy code always reads current
+    values.  The methods below remain the scalar reference semantics
+    (used by the legacy scan loop and the unit tests); the kernel's batch
+    operations are bit-identical to them.
     """
 
     instance_id: str

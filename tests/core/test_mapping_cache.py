@@ -1,0 +1,61 @@
+"""Tests for the on-disk mapping-file cache under LayerMapper."""
+
+import json
+
+import pytest
+
+from repro.config import SoCConfig
+from repro.core.mapper.layer_mapper import (
+    LayerMapper,
+    mapping_cache_dir,
+)
+from repro.core.serialize import mapping_file_to_dict
+from repro.models.zoo import build_model
+
+
+@pytest.fixture()
+def mapcache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_MAPPING_CACHE_DIR", str(tmp_path))
+    # Work on a private process memo so this test controls cold/warm.
+    monkeypatch.setattr(LayerMapper, "_SHARED_CACHE", {})
+    return tmp_path
+
+
+class TestMappingDiskCache:
+    def test_solve_writes_and_reload_is_exact(self, mapcache):
+        mapper = LayerMapper(SoCConfig())
+        graph = build_model("MB.")
+        solved = mapper.map_model(graph)
+        (entry,) = mapcache.glob("*.json")
+        # Cold process, warm disk: must load the identical mapping.
+        LayerMapper._SHARED_CACHE.clear()
+        loaded = LayerMapper(SoCConfig()).map_model(graph)
+        assert loaded is not solved
+        assert json.dumps(mapping_file_to_dict(loaded), sort_keys=True) \
+            == json.dumps(mapping_file_to_dict(solved), sort_keys=True)
+        assert entry.exists()
+
+    def test_corrupt_entry_resolves_fresh(self, mapcache):
+        mapper = LayerMapper(SoCConfig())
+        graph = build_model("MB.")
+        first = mapper.map_model(graph)
+        (entry,) = mapcache.glob("*.json")
+        entry.write_text("{broken")
+        LayerMapper._SHARED_CACHE.clear()
+        again = LayerMapper(SoCConfig()).map_model(graph)
+        assert json.dumps(mapping_file_to_dict(again), sort_keys=True) \
+            == json.dumps(mapping_file_to_dict(first), sort_keys=True)
+
+    def test_empty_env_disables_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MAPPING_CACHE_DIR", "")
+        monkeypatch.setattr(LayerMapper, "_SHARED_CACHE", {})
+        assert mapping_cache_dir() is None
+        LayerMapper(SoCConfig()).map_model(build_model("MB."))
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_key_tracks_mapper_knobs(self, mapcache):
+        graph = build_model("MB.")
+        LayerMapper(SoCConfig()).map_model(graph)
+        LayerMapper(SoCConfig(),
+                    lbm_occupancy_fraction=0.5).map_model(graph)
+        assert len(list(mapcache.glob("*.json"))) == 2

@@ -80,3 +80,62 @@ class TestErrors:
     def test_missing_file_rejected(self, tmp_path):
         with pytest.raises(MappingError):
             load_mapping_file(tmp_path / "missing.json")
+
+
+class TestSoCConfigRoundTrip:
+    def test_round_trip_default(self):
+        from repro.core.serialize import (
+            soc_config_from_dict,
+            soc_config_to_dict,
+        )
+
+        soc = SoCConfig()
+        assert soc_config_from_dict(soc_config_to_dict(soc)) == soc
+
+    def test_round_trip_through_json(self):
+        from repro.config import MiB
+        from repro.core.serialize import (
+            soc_config_from_dict,
+            soc_config_to_dict,
+        )
+
+        soc = SoCConfig().with_cache_bytes(8 * MiB)
+        blob = json.dumps(soc_config_to_dict(soc), sort_keys=True)
+        assert soc_config_from_dict(json.loads(blob)) == soc
+
+
+class TestSimulationResultRoundTrip:
+    def test_metrics_survive_exactly(self):
+        from repro import simulate
+        from repro.core.serialize import (
+            simulation_result_from_dict,
+            simulation_result_to_dict,
+        )
+
+        result = simulate("baseline", ("MB.",), inferences_per_stream=1)
+        blob = json.dumps(simulation_result_to_dict(result))
+        restored = simulation_result_from_dict(json.loads(blob))
+        assert restored.metric_summary() == result.metric_summary()
+        assert restored.summary() == result.summary()
+        assert [r.latency_s for r in restored.metrics.records] == \
+            [r.latency_s for r in result.metrics.records]
+
+    def test_wrong_result_schema_rejected(self):
+        from repro.core.serialize import simulation_result_from_dict
+
+        with pytest.raises(MappingError):
+            simulation_result_from_dict({"result_schema_version": 999})
+
+
+class TestStableContentHash:
+    def test_order_insensitive(self):
+        from repro.core.serialize import stable_content_hash
+
+        assert stable_content_hash({"a": 1, "b": [1.5, 2.5]}) == \
+            stable_content_hash({"b": [1.5, 2.5], "a": 1})
+
+    def test_value_sensitive(self):
+        from repro.core.serialize import stable_content_hash
+
+        assert stable_content_hash({"a": 1.0}) != \
+            stable_content_hash({"a": 1.0000000000000002})

@@ -79,21 +79,25 @@ class TestRunSweep:
         )
 
     def test_rerun_is_deterministic(self):
+        # use_cache=False: with the persistent cache on, the second run
+        # would deserialize the first run's file and the comparison
+        # would be vacuous.
         cells = [SweepCell(policy="moca", model_keys=_KEYS, scale=0.1)]
-        first = run_sweep(cells, max_workers=1)[0]
-        second = run_sweep(cells, max_workers=1)[0]
-        assert first.summary() == second.summary()
+        first = run_sweep(cells, max_workers=1, use_cache=False)[0]
+        second = run_sweep(cells, max_workers=1, use_cache=False)[0]
+        assert first.metric_summary() == second.metric_summary()
 
     def test_process_pool_matches_serial(self):
         """The parallel path (cells pickled to workers, results pickled
-        back) must return byte-identical results in cell order."""
+        back) must return byte-identical results in cell order.  The
+        persistent cache is disabled so the pool is actually exercised."""
         cells = [
             SweepCell(policy=policy, model_keys=_KEYS, scale=0.1)
             for policy in ("baseline", "moca")
         ]
-        serial = run_sweep(cells, max_workers=1)
-        pooled = run_sweep(cells, max_workers=2)
+        serial = run_sweep(cells, max_workers=1, use_cache=False)
+        pooled = run_sweep(cells, max_workers=2, use_cache=False)
         assert [r.scheduler_name for r in pooled] == \
             [r.scheduler_name for r in serial]
-        assert [r.summary() for r in pooled] == \
-            [r.summary() for r in serial]
+        assert [r.metric_summary() for r in pooled] == \
+            [r.metric_summary() for r in serial]

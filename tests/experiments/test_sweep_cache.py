@@ -1,0 +1,97 @@
+"""Tests for the persistent sweep-result cache."""
+
+import json
+
+import pytest
+
+from repro.config import MiB, SoCConfig
+from repro.experiments.sweep import (
+    SweepCell,
+    cell_cache_key,
+    clear_sweep_cache,
+    default_cache_dir,
+    last_sweep_stats,
+    run_sweep,
+)
+
+pytestmark = pytest.mark.experiment
+
+_KEYS = ("MB.", "EF.")
+_CELLS = [SweepCell(policy="baseline", model_keys=_KEYS, scale=0.1)]
+
+
+class TestCacheKey:
+    def test_key_is_stable(self):
+        soc = SoCConfig()
+        cell = SweepCell(policy="moca", model_keys=_KEYS, scale=0.25)
+        assert cell_cache_key(cell, soc) == cell_cache_key(cell, soc)
+
+    def test_key_tracks_cell_fields(self):
+        soc = SoCConfig()
+        a = SweepCell(policy="moca", model_keys=_KEYS, scale=0.25)
+        b = SweepCell(policy="moca", model_keys=_KEYS, scale=0.5)
+        c = SweepCell(policy="aurora", model_keys=_KEYS, scale=0.25)
+        d = SweepCell(policy="moca", model_keys=_KEYS, scale=0.25,
+                      cache_bytes=4 * MiB)
+        keys = {cell_cache_key(x, soc) for x in (a, b, c, d)}
+        assert len(keys) == 4
+
+    def test_key_tracks_soc(self):
+        cell = SweepCell(policy="baseline", model_keys=_KEYS)
+        assert cell_cache_key(cell, SoCConfig()) != \
+            cell_cache_key(cell, SoCConfig().with_cache_bytes(8 * MiB))
+
+
+class TestPersistentCache:
+    def test_warm_rerun_hits_cache_and_is_byte_identical(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path))
+        cold = run_sweep(_CELLS, max_workers=1)
+        assert last_sweep_stats()["cached_cells"] == 0
+        warm = run_sweep(_CELLS, max_workers=1)
+        stats = last_sweep_stats()
+        assert stats["cached_cells"] == 1
+        assert json.dumps(cold[0].metric_summary(), sort_keys=True) == \
+            json.dumps(warm[0].metric_summary(), sort_keys=True)
+        # The full metrics survive the round trip, not just the summary.
+        assert [r.latency_s for r in warm[0].metrics.records] == \
+            [r.latency_s for r in cold[0].metrics.records]
+        assert warm[0].scheduler_stats == cold[0].scheduler_stats
+
+    def test_no_cache_flag_bypasses_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path))
+        run_sweep(_CELLS, max_workers=1, use_cache=False)
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_empty_env_disables_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", "")
+        assert default_cache_dir() is None
+        results = run_sweep(_CELLS, max_workers=1)
+        assert results[0].metrics.num_inferences > 0
+
+    def test_corrupt_entry_recomputes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path))
+        first = run_sweep(_CELLS, max_workers=1)
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("{not json")
+        again = run_sweep(_CELLS, max_workers=1)
+        assert last_sweep_stats()["cached_cells"] == 0
+        assert again[0].metric_summary() == first[0].metric_summary()
+
+    def test_legacy_engine_env_bypasses_cache(self, tmp_path,
+                                              monkeypatch):
+        """Cached entries hold kernel-loop results; a legacy-oracle run
+        must simulate, not deserialize."""
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path))
+        cached = run_sweep(_CELLS, max_workers=1)
+        monkeypatch.setenv("REPRO_LEGACY_ENGINE", "1")
+        legacy = run_sweep(_CELLS, max_workers=1)
+        assert last_sweep_stats()["cached_cells"] == 0
+        # ... and the two loops agree, as everywhere else.
+        assert legacy[0].metric_summary() == cached[0].metric_summary()
+
+    def test_clear_sweep_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path))
+        run_sweep(_CELLS, max_workers=1)
+        assert clear_sweep_cache() == 1
+        assert list(tmp_path.glob("*.json")) == []
