@@ -1,0 +1,77 @@
+"""CI guard: fail if CaMDN allocator ops/sec regressed vs. the committed
+baseline.
+
+Compares a fresh ``BENCH_allocator.json`` (produced by
+``bench_allocator.py``) against ``benchmarks/BENCH_allocator.baseline.json``.
+A scenario fails when its begin+finish ops/sec drops more than the
+tolerance (default 30 %) below the baseline value.
+
+Absolute ops/sec varies across runner hardware, so the committed baseline
+should be refreshed when the fleet changes; tune with ``--tolerance`` or
+the ``REPRO_BENCH_TOLERANCE`` environment variable (fraction, e.g.
+``0.5`` to allow a 50 % drop on slow shared runners).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_allocator.py
+    python benchmarks/check_allocator_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "BENCH_allocator.baseline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", default="BENCH_allocator.json")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.30")),
+        help="allowed fractional ops/sec drop (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    current = json.loads(Path(args.current).read_text())["scenarios"]
+    baseline = json.loads(Path(args.baseline).read_text())["scenarios"]
+
+    failures = []
+    for scenario, base_entry in sorted(baseline.items()):
+        cur_entry = current.get(scenario)
+        if cur_entry is None:
+            failures.append(f"{scenario}: missing from current run")
+            continue
+        base_rate = base_entry["ops_per_s"]
+        cur_rate = cur_entry["ops_per_s"]
+        floor = (1.0 - args.tolerance) * base_rate
+        status = "ok" if cur_rate >= floor else "REGRESSED"
+        print(
+            f"{scenario:<12} baseline {base_rate:>12,.0f} ops/s   "
+            f"current {cur_rate:>12,.0f} ops/s   floor "
+            f"{floor:>12,.0f}   {status}"
+        )
+        if cur_rate < floor:
+            failures.append(
+                f"{scenario}: {cur_rate:,.0f} ops/s < floor "
+                f"{floor:,.0f} (baseline {base_rate:,.0f})"
+            )
+    if failures:
+        print("\nallocator throughput regression detected:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nallocator throughput within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,13 +16,31 @@ the block footprint, and otherwise picks the largest LWM candidate fitting
 the prediction.  Timeout thresholds are 20 % of the profiled layer (or
 block) latency; every timeout downgrades the request to the next-smaller
 candidate (Figure 6 right).
+
+Since PR 2 made the event loop itself cheap, this module *is* the hot
+path of the CaMDN policies, so the paper's global arrays are stored
+literally: flat parallel lists (``Tnext``/``Pnext``/``Palloc``) in task
+registration order, mirroring the structure-of-arrays design of
+:mod:`repro.sim.kernel`.  A running ``sum(Palloc)`` makes
+:meth:`DynamicCacheAllocator.idle_pages` O(1), ``predAvailPages`` is a
+tight scan over the flat arrays, and candidate walks go through the
+precomputed :class:`~repro.core.mct.MCTGeometry` ``bisect`` tables
+instead of recomputing ``pages_needed`` per comparison.  Because every
+selection input (candidate pages, layer latency, lookahead fraction) is
+fixed per MCT, the resulting :class:`AllocationDecision` objects are
+immutable and memoized on the geometry — steady-state ``select`` builds
+no objects at all.  :class:`TaskState` stays the public per-task view;
+its ``palloc``/``tnext``/``pnext`` attributes are properties that write
+through to the arrays, so external mutation (tests, diagnostics) can
+never desynchronize the aggregates.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
 from .mct import MappingCandidate, MappingCandidateTable, ModelMappingFile
@@ -32,16 +50,63 @@ from .mct import MappingCandidate, MappingCandidateTable, ModelMappingFile
 LOOKAHEAD_FRACTION = 0.2
 
 
-@dataclass
 class TaskState:
-    """Per-task allocation bookkeeping (Algorithm 1's global arrays)."""
+    """Per-task allocation bookkeeping (Algorithm 1's global arrays).
 
-    task_id: str
-    mapping_file: ModelMappingFile
-    palloc: int = 0
-    tnext: float = math.inf
-    pnext: int = 0
-    lbm_block: Optional[Tuple[int, int]] = None
+    A view over one slot of the allocator's flat ``Tnext``/``Pnext``/
+    ``Palloc`` arrays: reads and writes go straight to the arrays (and
+    keep the running ``sum(Palloc)`` aggregate exact), so this object can
+    be handed out freely without copying state.
+    """
+
+    __slots__ = ("task_id", "mapping_file", "lbm_block", "mcts", "geoms",
+                 "heads", "block_est", "ests", "timeouts", "_alloc",
+                 "_slot")
+
+    def __init__(self, task_id: str, mapping_file: ModelMappingFile,
+                 alloc: "DynamicCacheAllocator", slot: int) -> None:
+        self.task_id = task_id
+        self.mapping_file = mapping_file
+        #: Active LBM block as (start, end), or ``None``.
+        self.lbm_block: Optional[Tuple[int, int]] = None
+        #: Direct references into the (shared) mapping file's lazy
+        #: tables: per-layer MCTs, geometries at the allocator's page
+        #: size, block-head flags and block latencies — the per-layer hot
+        #: path is list indexing, not method calls or dict probes.
+        self.mcts = mapping_file.mcts
+        self.geoms = mapping_file.layer_geometries(alloc.page_bytes)
+        self.heads = mapping_file.block_head_flags()
+        self.block_est = mapping_file.block_latencies()
+        self.ests = mapping_file.scaled_latencies(1.0)
+        self.timeouts = mapping_file.scaled_latencies(LOOKAHEAD_FRACTION)
+        self._alloc = alloc
+        self._slot = slot
+
+    @property
+    def palloc(self) -> int:
+        return self._alloc._palloc[self._slot]
+
+    @palloc.setter
+    def palloc(self, pages: int) -> None:
+        alloc = self._alloc
+        alloc._palloc_sum += pages - alloc._palloc[self._slot]
+        alloc._palloc[self._slot] = pages
+
+    @property
+    def tnext(self) -> float:
+        return self._alloc._tnext[self._slot]
+
+    @tnext.setter
+    def tnext(self, t: float) -> None:
+        self._alloc._tnext[self._slot] = t
+
+    @property
+    def pnext(self) -> int:
+        return self._alloc._pnext[self._slot]
+
+    @pnext.setter
+    def pnext(self, pages: int) -> None:
+        self._alloc._pnext[self._slot] = pages
 
     def has_enabled_lbm(self, layer_index: int) -> bool:
         """``hasEnabledLBM`` (line 7): LBM is active for this layer's
@@ -49,6 +114,13 @@ class TaskState:
         return (
             self.lbm_block is not None
             and self.lbm_block[0] <= layer_index < self.lbm_block[1]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskState(task_id={self.task_id!r}, palloc={self.palloc}, "
+            f"tnext={self.tnext}, pnext={self.pnext}, "
+            f"lbm_block={self.lbm_block})"
         )
 
 
@@ -79,7 +151,16 @@ class DynamicCacheAllocator:
             raise SimulationError("page geometry must be positive")
         self.page_bytes = page_bytes
         self.total_pages = total_pages
-        self._tasks: Dict[str, TaskState] = {}
+        # Flat SoA predictor arrays in registration order, plus the
+        # per-slot TaskState views and the id -> slot index.
+        self._ids: List[str] = []
+        self._states: List[TaskState] = []
+        self._pos: Dict[str, int] = {}
+        self._palloc: List[int] = []
+        self._tnext: List[float] = []
+        self._pnext: List[int] = []
+        #: Running ``sum(Palloc)`` (kept exact by the palloc setter).
+        self._palloc_sum: int = 0
 
     # ------------------------------------------------------------------
     # Task lifecycle
@@ -87,26 +168,43 @@ class DynamicCacheAllocator:
 
     def register_task(self, task_id: str,
                       mapping_file: ModelMappingFile) -> TaskState:
-        if task_id in self._tasks:
+        if task_id in self._pos:
             raise SimulationError(f"{task_id} already registered")
-        state = TaskState(task_id=task_id, mapping_file=mapping_file)
-        self._tasks[task_id] = state
+        slot = len(self._ids)
+        state = TaskState(task_id, mapping_file, self, slot)
+        self._pos[task_id] = slot
+        self._ids.append(task_id)
+        self._states.append(state)
+        self._palloc.append(0)
+        self._tnext.append(math.inf)
+        self._pnext.append(0)
         return state
 
     def unregister_task(self, task_id: str) -> None:
-        if task_id not in self._tasks:
+        slot = self._pos.pop(task_id, None)
+        if slot is None:
             raise SimulationError(f"{task_id} is not registered")
-        del self._tasks[task_id]
+        self._palloc_sum -= self._palloc[slot]
+        del self._ids[slot]
+        del self._states[slot]
+        del self._palloc[slot]
+        del self._tnext[slot]
+        del self._pnext[slot]
+        # Compact: later slots shift down by one (registration order is
+        # preserved, mirroring the legacy insertion-ordered dict).
+        for j in range(slot, len(self._ids)):
+            self._pos[self._ids[j]] = j
+            self._states[j]._slot = j
 
     def task(self, task_id: str) -> TaskState:
-        state = self._tasks.get(task_id)
-        if state is None:
+        slot = self._pos.get(task_id)
+        if slot is None:
             raise SimulationError(f"{task_id} is not registered")
-        return state
+        return self._states[slot]
 
     @property
     def tasks(self) -> Dict[str, TaskState]:
-        return dict(self._tasks)
+        return dict(zip(self._ids, self._states))
 
     # ------------------------------------------------------------------
     # Algorithm 1
@@ -114,86 +212,161 @@ class DynamicCacheAllocator:
 
     def idle_pages(self) -> int:
         """Pages not allocated to any registered task."""
-        return self.total_pages - sum(
-            t.palloc for t in self._tasks.values()
-        )
+        return self.total_pages - self._palloc_sum
 
     def pred_avail_pages(self, t_ahead: float, tcur: str) -> int:
         """``predAvailPages`` (lines 1-6)."""
-        p_ahead = self.idle_pages()
-        for task_id, state in self._tasks.items():
-            if task_id == tcur:
-                continue
-            if state.tnext < t_ahead:
-                p_ahead += state.palloc - state.pnext
+        return self._pred_avail(t_ahead, self._pos.get(tcur, -1))
+
+    def _pred_avail(self, t_ahead: float, skip: int) -> int:
+        """``predAvailPages`` over the flat arrays, excluding slot
+        ``skip``.  Sums every task's predicted free, then compensates the
+        excluded slot — cheaper than an index test per iteration, and
+        identical integer arithmetic (addition is commutative on ints).
+        """
+        p_ahead = self.total_pages - self._palloc_sum
+        palloc = self._palloc
+        pnext = self._pnext
+        tnext = self._tnext
+        for t, pa, pn in zip(tnext, palloc, pnext):
+            if t < t_ahead:
+                p_ahead += pa - pn
+        if 0 <= skip < len(palloc) and tnext[skip] < t_ahead:
+            p_ahead -= palloc[skip] - pnext[skip]
         return p_ahead
 
     def select(self, tcur: str, layer_index: int,
                now: float) -> AllocationDecision:
         """Lines 7-22: pick the mapping candidate for ``tcur``'s layer."""
-        state = self.task(tcur)
-        mct = state.mapping_file.mct_for(layer_index)
+        return self.select_prepared(self.task(tcur), layer_index, now)
 
-        # Lines 7-9: LBM already enabled for this block.
-        if state.has_enabled_lbm(layer_index) and mct.lbm is not None:
-            return AllocationDecision(
-                candidate=mct.lbm,
-                pages_needed=mct.lbm.pages_needed(self.page_bytes),
-                timeout_s=math.inf,
-            )
+    def select_prepared(self, state: TaskState, layer_index: int,
+                        now: float) -> AllocationDecision:
+        """:meth:`select` for a task already resolved to its state."""
+        if not 0 <= layer_index < len(state.geoms):
+            state.mapping_file.mct_for(layer_index)  # raises MappingError
+        geom = state.geoms[layer_index]
+        cache = geom.decision_cache
+        lbm_pages = geom.lbm_pages
 
-        # Lines 10-15: try to enable LBM at a block head.
-        if state.mapping_file.is_block_head(layer_index) and \
-                mct.lbm is not None:
-            block_est = state.mapping_file.block_est_latency_s(layer_index)
-            t_ahead = now + block_est * LOOKAHEAD_FRACTION
-            p_ahead = self.pred_avail_pages(t_ahead, tcur) + state.palloc
-            lbm_pages = mct.lbm.pages_needed(self.page_bytes)
-            if lbm_pages < p_ahead:
-                return AllocationDecision(
-                    candidate=mct.lbm,
-                    pages_needed=lbm_pages,
-                    timeout_s=block_est * LOOKAHEAD_FRACTION,
-                    enables_lbm=True,
-                )
+        if lbm_pages is not None:
+            # Lines 7-9: LBM already enabled for this block.
+            block = state.lbm_block
+            if block is not None and \
+                    block[0] <= layer_index < block[1]:
+                decision = cache.get("lbm_sticky")
+                if decision is None:
+                    decision = AllocationDecision(
+                        candidate=state.mcts[layer_index].lbm,
+                        pages_needed=lbm_pages,
+                        timeout_s=math.inf,
+                    )
+                    cache["lbm_sticky"] = decision
+                return decision
+
+            # Lines 10-15: try to enable LBM at a block head.
+            if state.heads[layer_index]:
+                timeout = state.block_est[layer_index] * \
+                    LOOKAHEAD_FRACTION
+                slot = state._slot
+                p_ahead = self._pred_avail(now + timeout, slot) + \
+                    self._palloc[slot]
+                if lbm_pages < p_ahead:
+                    key = ("lbm_head", timeout)
+                    decision = cache.get(key)
+                    if decision is None:
+                        decision = AllocationDecision(
+                            candidate=state.mcts[layer_index].lbm,
+                            pages_needed=lbm_pages,
+                            timeout_s=timeout,
+                            enables_lbm=True,
+                        )
+                        cache[key] = decision
+                    return decision
 
         # Lines 16-22: largest LWM candidate within the prediction.
-        t_ahead = now + mct.est_latency_s * LOOKAHEAD_FRACTION
-        p_ahead = self.pred_avail_pages(t_ahead, tcur) + state.palloc
-        best = mct.lwm[0]
-        for candidate in mct.lwm:
-            pages = candidate.pages_needed(self.page_bytes)
-            if best.pages_needed(self.page_bytes) < pages <= p_ahead:
-                best = candidate
-        return AllocationDecision(
-            candidate=best,
-            pages_needed=best.pages_needed(self.page_bytes),
-            timeout_s=mct.est_latency_s * LOOKAHEAD_FRACTION,
-        )
+        timeout = state.timeouts[layer_index]
+        if geom.single_level:
+            # Every candidate needs the same page count, so the winner is
+            # independent of the availability prediction (it is always
+            # ``lwm[0]``): skip the ``predAvailPages`` scan.  The cached
+            # decision is revalidated against this task's timeout table
+            # (decision caches are shared across mapping files only via
+            # the file memo, but the check costs one compare).
+            decision = cache.get("lwm0")
+            if decision is None or decision.timeout_s != timeout:
+                decision = AllocationDecision(
+                    candidate=state.mcts[layer_index].lwm[0],
+                    pages_needed=geom.lwm_pages[0],
+                    timeout_s=timeout,
+                )
+                cache["lwm0"] = decision
+            return decision
+        slot = state._slot
+        p_ahead = self._pred_avail(now + timeout, slot) + \
+            self._palloc[slot]
+        i = geom.select_index(p_ahead)
+        key = ("lwm", i, timeout)
+        decision = cache.get(key)
+        if decision is None:
+            decision = AllocationDecision(
+                candidate=state.mcts[layer_index].lwm[i],
+                pages_needed=geom.lwm_pages[i],
+                timeout_s=timeout,
+            )
+            cache[key] = decision
+        return decision
 
     def downgrade(self, tcur: str, layer_index: int,
                   decision: AllocationDecision
                   ) -> Optional[AllocationDecision]:
         """Timeout path: next-smaller candidate, or ``None`` when already
         at the zero-page fallback (which always succeeds)."""
-        state = self.task(tcur)
-        mct = state.mapping_file.mct_for(layer_index)
+        return self.downgrade_prepared(self.task(tcur), layer_index,
+                                       decision)
+
+    def downgrade_prepared(self, state: TaskState, layer_index: int,
+                           decision: AllocationDecision
+                           ) -> Optional[AllocationDecision]:
+        """:meth:`downgrade` for a task already resolved to its state.
+
+        Downgraded decisions are memoized on the geometry like selection
+        results (keyed by candidate index and carried timeout): repeated
+        timeout storms reuse one immutable object per step, which also
+        keeps the grant memos keyed on decision identity bounded.
+        """
+        if not 0 <= layer_index < len(state.mcts):
+            state.mapping_file.mct_for(layer_index)  # raises MappingError
+        mct = state.mcts[layer_index]
+        geom = state.geoms[layer_index]
+        cache = geom.decision_cache
         if decision.candidate.kind == "LBM":
             # Dropping out of LBM: fall back to the best-fitting LWM.
-            lwm_decision = AllocationDecision(
-                candidate=mct.lwm[-1],
-                pages_needed=mct.lwm[-1].pages_needed(self.page_bytes),
+            key = ("dg", len(geom.lwm_pages) - 1, decision.timeout_s)
+            downgraded = cache.get(key)
+            if downgraded is None:
+                downgraded = AllocationDecision(
+                    candidate=mct.lwm[-1],
+                    pages_needed=geom.lwm_pages[-1],
+                    timeout_s=decision.timeout_s,
+                )
+                cache[key] = downgraded
+            return downgraded
+        i = geom.next_smaller_index(
+            decision.candidate.pages_needed(self.page_bytes)
+        )
+        if i < 0:
+            return None
+        key = ("dg", i, decision.timeout_s)
+        downgraded = cache.get(key)
+        if downgraded is None:
+            downgraded = AllocationDecision(
+                candidate=mct.lwm[i],
+                pages_needed=geom.lwm_pages[i],
                 timeout_s=decision.timeout_s,
             )
-            return lwm_decision
-        smaller = mct.smaller_than(decision.candidate, self.page_bytes)
-        if smaller is None:
-            return None
-        return AllocationDecision(
-            candidate=smaller,
-            pages_needed=smaller.pages_needed(self.page_bytes),
-            timeout_s=decision.timeout_s,
-        )
+            cache[key] = downgraded
+        return downgraded
 
     # ------------------------------------------------------------------
     # Bookkeeping at layer boundaries
@@ -202,8 +375,16 @@ class DynamicCacheAllocator:
     def commit(self, tcur: str, decision: AllocationDecision,
                layer_index: int) -> None:
         """Record a successful page grant for ``tcur``."""
-        state = self.task(tcur)
-        state.palloc = decision.pages_needed
+        self.commit_prepared(self.task(tcur), decision, layer_index)
+
+    def commit_prepared(self, state: TaskState,
+                        decision: AllocationDecision,
+                        layer_index: int) -> None:
+        """:meth:`commit` for a task already resolved to its state."""
+        slot = state._slot
+        pages = decision.pages_needed
+        self._palloc_sum += pages - self._palloc[slot]
+        self._palloc[slot] = pages
         if decision.enables_lbm:
             state.lbm_block = state.mapping_file.block_of(layer_index)
 
@@ -217,44 +398,67 @@ class DynamicCacheAllocator:
         an enabled block, otherwise the largest LWM candidate not exceeding
         the current allocation (tasks tend to stay at their usage level).
         """
-        state = self.task(tcur)
-        mf = state.mapping_file
+        self.end_layer_prepared(self.task(tcur), layer_index, now)
+
+    def end_layer_prepared(self, state: TaskState, layer_index: int,
+                           now: float) -> None:
+        """:meth:`end_layer` for a task already resolved to its state."""
+        slot = state._slot
+        ests = state.ests
+        block = state.lbm_block
         next_index = layer_index + 1
-        if next_index >= len(mf.mcts):
+        if next_index >= len(ests):
             # Last layer: everything frees at completion.
-            state.tnext = now + mf.mcts[layer_index].est_latency_s
-            state.pnext = 0
-            if state.lbm_block and layer_index >= state.lbm_block[1] - 1:
+            self._tnext[slot] = now + state.mcts[layer_index].est_latency_s
+            self._pnext[slot] = 0
+            if block and layer_index >= block[1] - 1:
                 state.lbm_block = None
             return
-        next_mct = mf.mct_for(next_index)
-        state.tnext = now + next_mct.est_latency_s
-        if state.has_enabled_lbm(next_index) and next_mct.lbm is not None:
-            state.pnext = next_mct.lbm.pages_needed(self.page_bytes)
+        self._tnext[slot] = now + ests[next_index]
+        geom = state.geoms[next_index]
+        if block is not None and geom.lbm_pages is not None and \
+                block[0] <= next_index < block[1]:
+            self._pnext[slot] = geom.lbm_pages
+        elif geom.single_level:
+            unique = geom.unique_pages
+            self._pnext[slot] = unique[0] if unique and \
+                unique[0] <= self._palloc[slot] else 0
         else:
-            fitting = [
-                c.pages_needed(self.page_bytes)
-                for c in next_mct.lwm
-                if c.pages_needed(self.page_bytes) <= state.palloc
-            ]
-            state.pnext = max(fitting) if fitting else 0
-        if state.lbm_block and layer_index >= state.lbm_block[1] - 1:
+            # Inlined MCTGeometry.max_pages_at_most (hot path).
+            unique = geom.unique_pages
+            k = bisect_right(unique, self._palloc[slot]) - 1
+            self._pnext[slot] = unique[k] if k >= 0 else 0
+        if block and layer_index >= block[1] - 1:
             state.lbm_block = None
 
     def finish_task(self, tcur: str, now: float) -> None:
         """Mark a completed inference: all pages become reclaimable."""
-        state = self.task(tcur)
-        state.palloc = 0
-        state.pnext = 0
-        state.tnext = math.inf
-        state.lbm_block = None
+        slot = self._pos.get(tcur)
+        if slot is None:
+            raise SimulationError(f"{tcur} is not registered")
+        self._palloc_sum -= self._palloc[slot]
+        self._palloc[slot] = 0
+        self._pnext[slot] = 0
+        self._tnext[slot] = math.inf
+        self._states[slot].lbm_block = None
 
     # ------------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Total allocated pages never exceed the NPU subspace."""
-        total = sum(t.palloc for t in self._tasks.values())
+        """Total allocated pages never exceed the NPU subspace, and the
+        running aggregate agrees with the array it summarizes."""
+        total = sum(self._palloc)
+        if total != self._palloc_sum:
+            raise SimulationError(
+                f"palloc aggregate {self._palloc_sum} != array sum {total}"
+            )
         if total > self.total_pages:
             raise SimulationError(
                 f"allocated {total} pages > {self.total_pages} available"
             )
+        for task_id, slot in self._pos.items():
+            if self._ids[slot] != task_id or \
+                    self._states[slot]._slot != slot:
+                raise SimulationError(
+                    f"{task_id}: SoA slot index out of sync"
+                )

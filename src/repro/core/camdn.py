@@ -59,6 +59,7 @@ class CaMDNSystem:
             raise SimulationError(f"unknown CaMDN mode {mode!r}")
         self.soc = soc
         self.mode = mode
+        self._hw_only = mode == "hw_only"
         self.mapper = mapper or LayerMapper(soc)
         self.regions = RegionManager(soc.cache)
         self.allocator = DynamicCacheAllocator(
@@ -66,6 +67,20 @@ class CaMDNSystem:
             total_pages=soc.cache.num_pages,
         )
         self._graphs: Dict[str, ModelGraph] = {}
+        #: task_id -> (allocator TaskState, region): the layer protocol
+        #: resolves a task once here instead of per-subsystem dict walks.
+        self._ctx: Dict[str, tuple] = {}
+        #: id(decision) -> (decision, LayerGrant) memos.  A decision
+        #: fully determines both grant outcomes (the denied grant's wait
+        #: timeout is the decision's own), and the allocator memoizes
+        #: decisions per MCT, so steady state reuses a handful of grant
+        #: objects instead of building one per layer.  The decision is
+        #: held in the value to pin its id.
+        self._granted_memo: Dict[int, tuple] = {}
+        self._denied_memo: Dict[int, tuple] = {}
+        #: HW-only static share ``total_pages // active_tasks``, kept
+        #: current by admit/retire instead of being re-divided per layer.
+        self._share = self.allocator.total_pages
 
     # ------------------------------------------------------------------
     # Task lifecycle
@@ -75,9 +90,13 @@ class CaMDNSystem:
                    graph: ModelGraph) -> ModelMappingFile:
         """Register a task and ensure its offline mapping exists."""
         mapping_file = self.mapper.map_model(graph)
-        self.allocator.register_task(task_id, mapping_file)
-        self.regions.create_region(task_id, 0)
+        state = self.allocator.register_task(task_id, mapping_file)
+        region = self.regions.create_region(task_id, 0)
         self._graphs[task_id] = graph
+        self._ctx[task_id] = (state, region)
+        self._share = self.allocator.total_pages // max(
+            len(self._graphs), 1
+        )
         return mapping_file
 
     def retire_task(self, task_id: str, now: float) -> None:
@@ -86,6 +105,10 @@ class CaMDNSystem:
         self.allocator.unregister_task(task_id)
         self.regions.destroy_region(task_id)
         del self._graphs[task_id]
+        del self._ctx[task_id]
+        self._share = self.allocator.total_pages // max(
+            len(self._graphs), 1
+        )
 
     @property
     def active_tasks(self) -> int:
@@ -98,11 +121,28 @@ class CaMDNSystem:
     def begin_layer(self, task_id: str, layer_index: int,
                     now: float) -> LayerGrant:
         """Select a candidate and try to grant its pages."""
-        if self.mode == "hw_only":
-            decision = self._hw_only_decision(task_id, layer_index, now)
+        ctx = self._ctx.get(task_id)
+        if ctx is None:
+            # Registered on the allocator but never admitted (no
+            # region): selection proceeds, the grant is always denied —
+            # the pre-context code converted the missing-region resize
+            # failure into a denied grant.  Unknown tasks raise here.
+            state = self.allocator.task(task_id)
+            if self._hw_only:
+                decision = self._hw_only_decision(state, layer_index)
+            else:
+                decision = self.allocator.select_prepared(
+                    state, layer_index, now
+                )
+            return self._denied(decision)
+        state, region = ctx
+        if self._hw_only:
+            decision = self._hw_only_decision(state, layer_index)
         else:
-            decision = self.allocator.select(task_id, layer_index, now)
-        return self._try_grant(task_id, layer_index, decision)
+            decision = self.allocator.select_prepared(
+                state, layer_index, now
+            )
+        return self._try_grant(state, region, layer_index, decision)
 
     def retry_layer(self, task_id: str, layer_index: int,
                     grant: LayerGrant) -> LayerGrant:
@@ -111,73 +151,131 @@ class CaMDNSystem:
         The zero-page fallback always succeeds, so repeated retries
         terminate.
         """
-        decision = self.allocator.downgrade(
-            task_id, layer_index, grant.decision
+        ctx = self._ctx.get(task_id)
+        if ctx is None:
+            state = self.allocator.task(task_id)  # raises if unknown
+            decision = self.allocator.downgrade_prepared(
+                state, layer_index, grant.decision
+            )
+            if decision is None:
+                raise SimulationError(
+                    f"{task_id}: zero-page candidate failed to be granted"
+                )
+            return self._denied(decision)
+        state, region = ctx
+        decision = self.allocator.downgrade_prepared(
+            state, layer_index, grant.decision
         )
         if decision is None:
             raise SimulationError(
                 f"{task_id}: zero-page candidate failed to be granted"
             )
-        return self._try_grant(task_id, layer_index, decision)
+        return self._try_grant(state, region, layer_index, decision)
 
     def finish_layer(self, task_id: str, layer_index: int,
                      now: float) -> None:
         """Layer boundary: update the prediction arrays."""
-        self.allocator.end_layer(task_id, layer_index, now)
+        ctx = self._ctx.get(task_id)
+        if ctx is None:
+            # end_layer needs no region; raises for unknown tasks.
+            self.allocator.end_layer(task_id, layer_index, now)
+            return
+        self.allocator.end_layer_prepared(ctx[0], layer_index, now)
 
     # ------------------------------------------------------------------
 
-    def _try_grant(self, task_id: str, layer_index: int,
+    def _try_grant(self, state, region, layer_index: int,
                    decision: AllocationDecision) -> LayerGrant:
-        region = self.regions.region_of(task_id)
-        current = region.num_pages if region else 0
-        needed_delta = decision.pages_needed - current
-        if needed_delta > self.regions.free_pages:
-            return LayerGrant(
-                decision=decision,
-                granted=False,
-                wait_timeout_s=decision.timeout_s,
-            )
-        try:
-            self.regions.resize_region(task_id, decision.pages_needed)
-        except PageAllocationError:
-            return LayerGrant(
-                decision=decision,
-                granted=False,
-                wait_timeout_s=decision.timeout_s,
-            )
-        self.allocator.commit(task_id, decision, layer_index)
-        return LayerGrant(decision=decision, granted=True)
+        needed = decision.pages_needed
+        if needed != len(region.pcpns):
+            if needed - len(region.pcpns) > self.regions.free_pages:
+                return self._denied(decision)
+            try:
+                self.regions._resize(region, needed)
+            except PageAllocationError:
+                return self._denied(decision)
+        # Inlined allocator.commit_prepared (hot path); the arithmetic is
+        # skipped when the allocation is unchanged (the common case for
+        # consecutive layers at the same usage level).
+        alloc = self.allocator
+        slot = state._slot
+        if alloc._palloc[slot] != needed:
+            alloc._palloc_sum += needed - alloc._palloc[slot]
+            alloc._palloc[slot] = needed
+        if decision.enables_lbm:
+            state.lbm_block = state.mapping_file.block_of(layer_index)
+        entry = self._granted_memo.get(id(decision))
+        if entry is None or entry[0] is not decision:
+            entry = (decision, LayerGrant(decision=decision, granted=True))
+            self._granted_memo[id(decision)] = entry
+        return entry[1]
 
-    def _hw_only_decision(self, task_id: str, layer_index: int,
-                          now: float) -> AllocationDecision:
+    def _denied(self, decision: AllocationDecision) -> LayerGrant:
+        entry = self._denied_memo.get(id(decision))
+        if entry is None or entry[0] is not decision:
+            entry = (decision, LayerGrant(
+                decision=decision,
+                granted=False,
+                wait_timeout_s=decision.timeout_s,
+            ))
+            self._denied_memo[id(decision)] = entry
+        return entry[1]
+
+    def _hw_only_decision(self, state,
+                          layer_index: int) -> AllocationDecision:
         """CaMDN(HW-only): equal static split, no prediction.
 
         Each active task gets ``total_pages / active_tasks`` pages; the
         largest candidate fitting that static share is used, preferring LBM
-        when it fits.
+        when it fits.  Decisions are memoized on the MCT geometry keyed
+        by the share (and, for LBM, whether the grant enables the block),
+        so steady-state selection is a pair of dict probes.
         """
-        state = self.allocator.task(task_id)
-        mct = state.mapping_file.mct_for(layer_index)
-        share = self.allocator.total_pages // max(self.active_tasks, 1)
-        page_bytes = self.soc.cache.page_bytes
-        if mct.lbm is not None and \
-                mct.lbm.pages_needed(page_bytes) <= share:
-            return AllocationDecision(
-                candidate=mct.lbm,
-                pages_needed=mct.lbm.pages_needed(page_bytes),
-                timeout_s=0.0,
-                enables_lbm=not state.has_enabled_lbm(layer_index),
+        if not 0 <= layer_index < len(state.geoms):
+            state.mapping_file.mct_for(layer_index)  # raises MappingError
+        geom = state.geoms[layer_index]
+        cache = geom.decision_cache
+        lbm_pages = geom.lbm_pages
+        if lbm_pages is None and geom.trivial:
+            # One candidate, no LBM: the walk always lands on index 0.
+            decision = cache.get(0)
+            if decision is None:
+                decision = AllocationDecision(
+                    candidate=state.mcts[layer_index].lwm[0],
+                    pages_needed=geom.lwm_pages[0],
+                    timeout_s=0.0,
+                )
+                cache[0] = decision
+            return decision
+        share = self._share
+        if lbm_pages is not None and lbm_pages <= share:
+            block = state.lbm_block
+            enables = block is None or not (
+                block[0] <= layer_index < block[1]
             )
-        best = mct.lwm[0]
-        for candidate in mct.lwm:
-            if candidate.pages_needed(page_bytes) <= share:
-                best = candidate
-        return AllocationDecision(
-            candidate=best,
-            pages_needed=best.pages_needed(page_bytes),
-            timeout_s=0.0,
-        )
+            key = "hw_lbm_on" if enables else "hw_lbm_keep"
+            decision = cache.get(key)
+            if decision is None:
+                decision = AllocationDecision(
+                    candidate=state.mcts[layer_index].lbm,
+                    pages_needed=lbm_pages,
+                    timeout_s=0.0,
+                    enables_lbm=enables,
+                )
+                cache[key] = decision
+            return decision
+        i = geom.last_fitting_index(share)
+        # Bare int keys cannot collide with the allocator's str/tuple
+        # keys in the shared decision cache.
+        decision = cache.get(i)
+        if decision is None:
+            decision = AllocationDecision(
+                candidate=state.mcts[layer_index].lwm[i],
+                pages_needed=geom.lwm_pages[i],
+                timeout_s=0.0,
+            )
+            cache[i] = decision
+        return decision
 
     # ------------------------------------------------------------------
 

@@ -62,6 +62,16 @@ class CachePageTable:
         self.cache = cache
         self.max_entries = cache.num_pages
         self._table: Dict[int, int] = {}
+        # Decode constants, precomputed once: CPT entries are installed
+        # and translated on the allocator's per-layer resize path, so
+        # the per-call config attribute walks are hoisted here.
+        self._page_bytes = cache.page_bytes
+        self._line_bytes = cache.line_bytes
+        self._lines_per_page = cache.page_bytes // cache.line_bytes
+        self._num_slices = cache.num_slices
+        self._sets_per_slice = cache.sets_per_slice
+        self._npu_ways = cache.npu_ways
+        self._way_base = cache.num_ways - cache.npu_ways
 
     # ------------------------------------------------------------------
     # Table management
@@ -83,8 +93,13 @@ class CachePageTable:
         Raises:
             CPTError: vcpn/pcpn out of range or vcpn already valid.
         """
-        self._check_vcpn(vcpn)
-        if not 0 <= pcpn < self.cache.num_pages:
+        # Range checks inlined (_check_vcpn) — one entry is installed
+        # per delta page of every region grow.
+        if not 0 <= vcpn < self.max_entries:
+            raise CPTError(
+                f"vcpn {vcpn} out of range [0, {self.max_entries})"
+            )
+        if not 0 <= pcpn < self.max_entries:
             raise CPTError(f"pcpn {pcpn} out of range")
         if vcpn in self._table:
             raise CPTError(f"vcpn {vcpn} already mapped")
@@ -92,10 +107,14 @@ class CachePageTable:
 
     def unmap(self, vcpn: int) -> int:
         """Invalidate entry ``vcpn``; returns the released pcpn."""
-        self._check_vcpn(vcpn)
-        if vcpn not in self._table:
+        if not 0 <= vcpn < self.max_entries:
+            raise CPTError(
+                f"vcpn {vcpn} out of range [0, {self.max_entries})"
+            )
+        pcpn = self._table.pop(vcpn, None)
+        if pcpn is None:
             raise CPTError(f"vcpn {vcpn} is not mapped")
-        return self._table.pop(vcpn)
+        return pcpn
 
     def remap_all(self, pcpns: List[int]) -> None:
         """Replace the whole table: vcpn ``i`` maps to ``pcpns[i]``.
@@ -133,8 +152,7 @@ class CachePageTable:
         """
         if vcaddr < 0:
             raise CacheAddressError(f"negative vcaddr {vcaddr:#x}")
-        page_bytes = self.cache.page_bytes
-        vcpn, page_offset = divmod(vcaddr, page_bytes)
+        vcpn, page_offset = divmod(vcaddr, self._page_bytes)
         if vcpn >= self.max_entries:
             raise CacheAddressError(
                 f"vcaddr {vcaddr:#x} beyond virtual space"
@@ -153,24 +171,23 @@ class CachePageTable:
         slice, the next bits the set, the high bits the way — matching
         Figure 5(b) (byte offset lowest, then slice, set, way).
         """
-        cache = self.cache
-        if not 0 <= page_offset < cache.page_bytes:
+        if not 0 <= page_offset < self._page_bytes:
             raise CacheAddressError(f"page offset {page_offset} out of range")
-        line_bytes = cache.line_bytes
-        lines_per_page = cache.page_bytes // line_bytes
-        line_global = pcpn * lines_per_page + page_offset // line_bytes
+        line_bytes = self._line_bytes
+        line_global = pcpn * self._lines_per_page + \
+            page_offset // line_bytes
         byte_offset = page_offset % line_bytes
 
-        slice_index = line_global % cache.num_slices
-        per_slice = line_global // cache.num_slices
-        set_index = per_slice % cache.sets_per_slice
-        way_local = per_slice // cache.sets_per_slice
-        if way_local >= cache.npu_ways:
+        slice_index = line_global % self._num_slices
+        per_slice = line_global // self._num_slices
+        set_index = per_slice % self._sets_per_slice
+        way_local = per_slice // self._sets_per_slice
+        if way_local >= self._npu_ways:
             raise CacheAddressError(
                 f"pcpn {pcpn} decodes beyond the NPU subspace ways"
             )
         # NPU ways occupy the high way indices (see WayMask).
-        way_index = cache.num_ways - cache.npu_ways + way_local
+        way_index = self._way_base + way_local
         return PhysicalCacheAddress(
             pcpn=pcpn,
             slice_index=slice_index,

@@ -6,11 +6,24 @@ plus one layer-block mapping (LBM) candidate.  Candidates are stored in a
 compact format — a loop table (permutation + factors) and a cache map table
 (how tensors land in vcaddr space) — instead of unrolled NPU instructions,
 so storing many candidates per layer stays cheap.
+
+Algorithm 1 runs against every MCT at the beginning of every layer of
+every task, so each MCT lazily builds an :class:`MCTGeometry` — the
+page-granular view of its candidates at one page size (``Pneed`` per
+candidate, distinct page counts sorted for ``bisect``, the LBM
+footprint).  The geometry turns the allocator's candidate walks into
+O(log |LWM|) lookups while reproducing the exact semantics of the
+original linear scans (first-of-max on selection, last-below on
+downgrade), so allocation decisions are bit-identical.  Geometries are
+cached on the MCT keyed by page size; an MCT's ``lwm``/``lbm`` must not
+be mutated after its first geometry is built (call
+:meth:`MappingCandidateTable.invalidate_geometry` if a test must).
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -117,6 +130,116 @@ class MappingCandidate:
         return math.ceil(self.cache_bytes / page_bytes)
 
 
+class MCTGeometry:
+    """Page-granular view of one MCT at one page size.
+
+    Precomputed once per (MCT, ``page_bytes``) so Algorithm 1's candidate
+    walks become array lookups.  All index methods reproduce the exact
+    pick order of the original linear scans, including on LWM lists that
+    are not sorted by page need (legal for hand-built test MCTs):
+
+    * :meth:`select_index` — earliest candidate achieving the largest
+      page count ``<= budget`` (falling back to ``lwm[0]``), matching the
+      selection loop of Algorithm 1 lines 16-22;
+    * :meth:`last_fitting_index` — last candidate with pages
+      ``<= budget`` (the HW-only static-split walk);
+    * :meth:`next_smaller_index` — last candidate with pages strictly
+      below a target (the timeout downgrade walk).
+
+    ``decision_cache`` is an opaque scratch dict for higher layers (the
+    dynamic allocator memoizes immutable per-candidate decision objects
+    there); this module never reads it.
+    """
+
+    __slots__ = (
+        "page_bytes", "lwm_pages", "lbm_pages", "unique_pages",
+        "first_of_unique", "last_of_unique", "is_sorted", "single_level",
+        "trivial", "decision_cache",
+    )
+
+    def __init__(self, mct: "MappingCandidateTable",
+                 page_bytes: int) -> None:
+        if page_bytes <= 0:
+            raise MappingError("page_bytes must be positive")
+        self.page_bytes = page_bytes
+        self.lwm_pages: Tuple[int, ...] = tuple(
+            c.pages_needed(page_bytes) for c in mct.lwm
+        )
+        self.lbm_pages: Optional[int] = (
+            mct.lbm.pages_needed(page_bytes)
+            if mct.lbm is not None else None
+        )
+        first: Dict[int, int] = {}
+        last: Dict[int, int] = {}
+        for i, pages in enumerate(self.lwm_pages):
+            if pages not in first:
+                first[pages] = i
+            last[pages] = i
+        self.unique_pages: List[int] = sorted(first)
+        self.first_of_unique: List[int] = [
+            first[p] for p in self.unique_pages
+        ]
+        self.last_of_unique: List[int] = [
+            last[p] for p in self.unique_pages
+        ]
+        self.is_sorted: bool = all(
+            a <= b for a, b in zip(self.lwm_pages, self.lwm_pages[1:])
+        )
+        #: Every LWM candidate needs the same page count (true for
+        #: streaming pool/element-wise layers, which have one zero-cache
+        #: candidate): selection is independent of the page budget, so
+        #: the allocator can skip ``predAvailPages`` entirely.
+        self.single_level: bool = len(self.unique_pages) <= 1
+        #: Exactly one LWM candidate: every walk returns index 0.
+        self.trivial: bool = len(self.lwm_pages) == 1
+        self.decision_cache: Dict = {}
+
+    # ------------------------------------------------------------------
+    # Candidate lookups (exact replicas of the original linear scans)
+    # ------------------------------------------------------------------
+
+    def select_index(self, budget: int) -> int:
+        """Index of the selection-loop winner for a page ``budget``.
+
+        The original scan starts from ``lwm[0]`` and only moves to a
+        candidate needing *strictly more* pages, so a value no larger
+        than ``lwm[0]``'s own need can never win — the fallback stays
+        index 0 even when smaller candidates fit (relevant only for
+        unsorted hand-built MCTs; validated MCTs lead with zero pages).
+        """
+        k = bisect_right(self.unique_pages, budget) - 1
+        if k < 0 or self.unique_pages[k] <= self.lwm_pages[0]:
+            return 0
+        return self.first_of_unique[k]
+
+    def last_fitting_index(self, budget: int) -> int:
+        """Index of the HW-only walk winner for a page ``budget``."""
+        if self.is_sorted:
+            k = bisect_right(self.lwm_pages, budget) - 1
+            return k if k >= 0 else 0
+        k = bisect_right(self.unique_pages, budget) - 1
+        if k < 0:
+            return 0
+        return max(self.last_of_unique[: k + 1])
+
+    def next_smaller_index(self, target_pages: int) -> int:
+        """Index of the last candidate strictly below ``target_pages``
+        (``-1`` when none exists — the zero-page floor)."""
+        if self.is_sorted:
+            return bisect_left(self.lwm_pages, target_pages) - 1
+        best = -1
+        for i, pages in enumerate(self.lwm_pages):
+            if pages < target_pages:
+                best = i
+        return best
+
+    def max_pages_at_most(self, budget: int) -> int:
+        """Largest candidate page count ``<= budget`` (0 when none) —
+        the ``Pnext`` prediction of Algorithm 1's end-of-layer update."""
+        k = bisect_right(self.unique_pages, budget) - 1
+        return self.unique_pages[k] if k >= 0 else 0
+
+
 @dataclass
 class MappingCandidateTable:
     """All candidates of one layer.
@@ -137,6 +260,27 @@ class MappingCandidateTable:
     lwm: List[MappingCandidate] = field(default_factory=list)
     lbm: Optional[MappingCandidate] = None
     est_latency_s: float = 0.0
+    #: Lazily-built geometries keyed by page size; never serialized.
+    _geometry: Dict[int, MCTGeometry] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def geometry(self, page_bytes: int) -> MCTGeometry:
+        """The (cached) page-granular view at ``page_bytes``.
+
+        The candidate lists must not change after the first call; tests
+        that rebuild ``lwm``/``lbm`` in place must call
+        :meth:`invalidate_geometry`.
+        """
+        geom = self._geometry.get(page_bytes)
+        if geom is None:
+            geom = MCTGeometry(self, page_bytes)
+            self._geometry[page_bytes] = geom
+        return geom
+
+    def invalidate_geometry(self) -> None:
+        """Drop cached geometries after an in-place candidate edit."""
+        self._geometry.clear()
 
     def validate(self, page_bytes: int) -> None:
         """Check MCT invariants used by Algorithm 1's candidate walk."""
@@ -159,13 +303,11 @@ class MappingCandidateTable:
                      page_bytes: int) -> Optional[MappingCandidate]:
         """Next-smaller candidate used on timeout (Figure 6 right: every
         timeout downgrades to the candidate needing fewer pages)."""
-        target = candidate.pages_needed(page_bytes)
-        smaller = [
-            c for c in self.lwm if c.pages_needed(page_bytes) < target
-        ]
-        if not smaller:
+        geom = self.geometry(page_bytes)
+        i = geom.next_smaller_index(candidate.pages_needed(page_bytes))
+        if i < 0:
             return None
-        return smaller[-1]
+        return self.lwm[i]
 
 
 @dataclass
@@ -177,12 +319,128 @@ class ModelMappingFile:
         usage_levels: the cache-usage levels (bytes) the mapper targeted.
         mcts: one MCT per layer, in execution order.
         blocks: LBM layer blocks as (start, end) index pairs.
+
+    The block lookup tables (layer -> block, per-layer block latency) are
+    built lazily on first use and assume ``blocks`` and the MCTs'
+    ``est_latency_s`` are final by then — true for mapper- and
+    serializer-produced files; tests that mutate them afterwards must
+    call :meth:`invalidate_caches`.
     """
 
     model_name: str
     usage_levels: Tuple[int, ...]
     mcts: List[MappingCandidateTable]
     blocks: List[Tuple[int, int]] = field(default_factory=list)
+    #: layer -> containing block table; ``None`` until first use.
+    _layer_blocks: Optional[List[Optional[Tuple[int, int]]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: layer -> ``layerBlock.Test`` table; ``None`` until first use.
+    _block_est: Optional[List[float]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: page_bytes -> per-layer geometry tuple; built on first use.
+    _layer_geoms: Dict[int, Tuple[MCTGeometry, ...]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _head_flags: Optional[Tuple[bool, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _block_lat: Optional[Tuple[float, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: factor -> per-layer ``est_latency_s * factor`` tuples (the
+    #: allocator caches its timeout horizon here; factor 1.0 is the raw
+    #: latency table).
+    _scaled_lat: Dict[float, Tuple[float, ...]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def invalidate_caches(self) -> None:
+        """Drop the lazy block tables (after mutating blocks/latencies)."""
+        self._layer_blocks = None
+        self._block_est = None
+        self._head_flags = None
+        self._block_lat = None
+        self._scaled_lat.clear()
+        self._layer_geoms.clear()
+        for mct in self.mcts:
+            mct.invalidate_geometry()
+
+    def scaled_latencies(self, factor: float) -> Tuple[float, ...]:
+        """Per-layer ``est_latency_s * factor`` (cached per factor)."""
+        table = self._scaled_lat.get(factor)
+        if table is None:
+            if factor == 1.0:
+                table = tuple(m.est_latency_s for m in self.mcts)
+            else:
+                table = tuple(
+                    m.est_latency_s * factor for m in self.mcts
+                )
+            self._scaled_lat[factor] = table
+        return table
+
+    def layer_geometries(self, page_bytes: int) -> Tuple[MCTGeometry, ...]:
+        """Per-layer geometries at ``page_bytes``, built once per file.
+
+        Mapping files are memoized process-wide, so every task of the
+        same model shares this tuple: the allocator indexes it per layer
+        instead of probing each MCT's geometry cache.
+        """
+        geoms = self._layer_geoms.get(page_bytes)
+        if geoms is None:
+            geoms = tuple(
+                mct.geometry(page_bytes) for mct in self.mcts
+            )
+            self._layer_geoms[page_bytes] = geoms
+        return geoms
+
+    def _layer_block_table(self) -> List[Optional[Tuple[int, int]]]:
+        table = self._layer_blocks
+        if table is None:
+            table = [None] * len(self.mcts)
+            for start, end in self.blocks:
+                block = (start, end)
+                for i in range(start, min(end, len(table))):
+                    table[i] = block
+            self._layer_blocks = table
+        return table
+
+    def _block_est_table(self) -> List[float]:
+        table = self._block_est
+        if table is None:
+            blocks = self._layer_block_table()
+            table = []
+            for i, mct in enumerate(self.mcts):
+                block = blocks[i]
+                if block is None:
+                    table.append(mct.est_latency_s)
+                else:
+                    table.append(sum(
+                        self.mcts[j].est_latency_s
+                        for j in range(block[0], block[1])
+                    ))
+            self._block_est = table
+        return table
+
+    def block_head_flags(self) -> Tuple[bool, ...]:
+        """Per-layer ``is_block_head`` flags (cached)."""
+        flags = self._head_flags
+        if flags is None:
+            flags = tuple(
+                block is not None and block[0] == i
+                for i, block in enumerate(self._layer_block_table())
+            )
+            self._head_flags = flags
+        return flags
+
+    def block_latencies(self) -> Tuple[float, ...]:
+        """Per-layer ``layerBlock.Test`` values (cached table)."""
+        lat = self._block_lat
+        if lat is None:
+            lat = tuple(self._block_est_table())
+            self._block_lat = lat
+        return lat
 
     def mct_for(self, layer_index: int) -> MappingCandidateTable:
         if not 0 <= layer_index < len(self.mcts):
@@ -193,10 +451,14 @@ class ModelMappingFile:
 
     def block_of(self, layer_index: int) -> Optional[Tuple[int, int]]:
         """The (start, end) block containing ``layer_index``."""
-        for start, end in self.blocks:
-            if start <= layer_index < end:
-                return (start, end)
-        return None
+        if not 0 <= layer_index < len(self.mcts):
+            # Out-of-table layers are never inside a block (preserves the
+            # pre-table behavior of scanning the block list directly).
+            for start, end in self.blocks:
+                if start <= layer_index < end:
+                    return (start, end)
+            return None
+        return self._layer_block_table()[layer_index]
 
     def is_block_head(self, layer_index: int) -> bool:
         """Is this layer the head of its LBM block (Algorithm 1 line 10)?"""
@@ -206,12 +468,7 @@ class ModelMappingFile:
     def block_est_latency_s(self, layer_index: int) -> float:
         """Profiled latency of the whole block containing ``layer_index``
         (``layerBlock.Test`` in Algorithm 1)."""
-        block = self.block_of(layer_index)
-        if block is None:
-            return self.mcts[layer_index].est_latency_s
-        return sum(
-            self.mcts[i].est_latency_s for i in range(block[0], block[1])
-        )
+        return self._block_est_table()[layer_index]
 
     def total_dram_bytes(self, level_bytes: int) -> float:
         """Whole-model DRAM traffic if every layer ran its largest LWM

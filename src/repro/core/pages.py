@@ -8,12 +8,25 @@ Physical cache pages are identified by *physical cache page number*
 (``pcpn``), numbered 0..N-1 across the whole NPU subspace.  Consecutive
 lines inside a page interleave across slices (Figure 5(b)), which the CPT
 handles; the allocator itself only tracks ownership.
+
+Ownership is tracked twice, and the two views are kept consistent on
+every grant and free (``check_invariants`` asserts it):
+
+* per-owner **sorted pcpn lists** — grants take the lowest free pages
+  (already ascending) and merge in O(pages); frees splice sorted victim
+  runs back into the free list in O(pages) instead of re-sorting it;
+* a **pcpn -> owner reverse map** making :meth:`CachePageAllocator.owner_of`
+  O(1) instead of a scan over every owner's page set.
+
+Both views exist because the dynamic allocation algorithm resizes some
+region at nearly every layer of every task: this module's operations are
+on the per-layer critical path of the CaMDN policies.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from ..errors import PageAllocationError
 
@@ -30,6 +43,25 @@ class PageRange:
         return len(self.pcpns)
 
 
+def _merge_sorted(a: List[int], b: List[int]) -> List[int]:
+    """Merge two ascending lists (no duplicates across them)."""
+    if not a:
+        return list(b)
+    if not b:
+        return list(a)
+    # Common fast paths: one list entirely before the other.
+    if a[-1] < b[0]:
+        return a + b
+    if b[-1] < a[0]:
+        return b + a
+    # Interleaved runs: concatenating and sorting lets Timsort merge the
+    # two detected runs at C speed (galloping), far faster than an
+    # element-wise Python merge loop.
+    out = a + b
+    out.sort()
+    return out
+
+
 class CachePageAllocator:
     """Free-list allocator over the NPU subspace's physical cache pages.
 
@@ -42,8 +74,13 @@ class CachePageAllocator:
         if num_pages <= 0:
             raise PageAllocationError("allocator needs at least one page")
         self.num_pages = num_pages
+        #: Free pcpns, always ascending: grants pop from the front,
+        #: frees merge sorted runs back in.
         self._free: List[int] = list(range(num_pages))
-        self._owner_pages: Dict[str, Set[int]] = {}
+        #: Per-owner held pcpns, always ascending.
+        self._owner_pages: Dict[str, List[int]] = {}
+        #: pcpn -> owning model (``None`` while free).
+        self._page_owner: List[Optional[str]] = [None] * num_pages
 
     @property
     def free_pages(self) -> int:
@@ -53,7 +90,7 @@ class CachePageAllocator:
     @property
     def used_pages(self) -> int:
         """Number of pages owned by some model."""
-        return self.num_pages - self.free_pages
+        return self.num_pages - len(self._free)
 
     def owners(self) -> List[str]:
         """All owners currently holding at least one page."""
@@ -61,22 +98,22 @@ class CachePageAllocator:
 
     def pages_of(self, owner: str) -> List[int]:
         """Sorted pcpns held by ``owner`` (empty list if none)."""
-        return sorted(self._owner_pages.get(owner, ()))
+        return list(self._owner_pages.get(owner, ()))
 
     def owner_of(self, pcpn: int) -> Optional[str]:
         """Owner of page ``pcpn`` or ``None`` if free."""
         self._check_pcpn(pcpn)
-        for owner, pages in self._owner_pages.items():
-            if pcpn in pages:
-                return owner
-        return None
+        return self._page_owner[pcpn]
 
     def can_allocate(self, num_pages: int) -> bool:
         """Would an allocation of ``num_pages`` succeed right now?"""
-        return num_pages <= self.free_pages
+        return num_pages <= len(self._free)
 
     def allocate(self, owner: str, num_pages: int) -> PageRange:
         """Grant ``num_pages`` free pages to ``owner``.
+
+        Grants always take the lowest-numbered free pages, so grant order
+        is a pure function of the preceding allocate/release sequence.
 
         Raises:
             PageAllocationError: not enough free pages.  Callers (the
@@ -85,15 +122,25 @@ class CachePageAllocator:
         """
         if num_pages < 0:
             raise PageAllocationError("cannot allocate a negative count")
-        if num_pages > self.free_pages:
+        free = self._free
+        if num_pages > len(free):
             raise PageAllocationError(
                 f"{owner}: requested {num_pages} pages, "
-                f"only {self.free_pages} free"
+                f"only {len(free)} free"
             )
-        granted = tuple(self._free[:num_pages])
-        del self._free[:num_pages]
-        self._owner_pages.setdefault(owner, set()).update(granted)
-        return PageRange(owner=owner, pcpns=granted)
+        granted = free[:num_pages]
+        del free[:num_pages]
+        page_owner = self._page_owner
+        for pcpn in granted:
+            page_owner[pcpn] = owner
+        held = self._owner_pages.get(owner)
+        if held is None:
+            self._owner_pages[owner] = granted
+        elif not held or (granted and held[-1] < granted[0]):
+            held.extend(granted)
+        else:
+            self._owner_pages[owner] = _merge_sorted(held, granted)
+        return PageRange(owner=owner, pcpns=tuple(granted))
 
     def release(self, owner: str, pcpns: Optional[List[int]] = None) -> int:
         """Return pages to the free list.
@@ -109,19 +156,37 @@ class CachePageAllocator:
         Raises:
             PageAllocationError: a listed page is not owned by ``owner``.
         """
-        held = self._owner_pages.get(owner, set())
+        held = self._owner_pages.get(owner)
         if pcpns is None:
-            pcpns = sorted(held)
-        for pcpn in pcpns:
-            if pcpn not in held:
+            victims = list(held) if held else []
+        else:
+            page_owner = self._page_owner
+            for pcpn in pcpns:
+                self._check_pcpn(pcpn)
+                if page_owner[pcpn] != owner:
+                    raise PageAllocationError(
+                        f"{owner} does not own page {pcpn}"
+                    )
+            victims = sorted(set(pcpns))
+            if len(victims) != len(pcpns):
+                # A duplicate entry would double-free below.
                 raise PageAllocationError(
-                    f"{owner} does not own page {pcpn}"
+                    f"{owner}: duplicate pages in release list"
                 )
-        for pcpn in pcpns:
-            held.remove(pcpn)
-            self._free.append(pcpn)
-        self._free.sort()
-        return len(pcpns)
+        if not victims:
+            return 0
+        page_owner = self._page_owner
+        for pcpn in victims:
+            page_owner[pcpn] = None
+        if len(victims) == len(held):
+            held.clear()
+        else:
+            victim_set = set(victims)
+            self._owner_pages[owner] = [
+                p for p in held if p not in victim_set
+            ]
+        self._free = _merge_sorted(self._free, victims)
+        return len(victims)
 
     def resize_owner(self, owner: str, target_pages: int) -> int:
         """Grow or shrink ``owner`` to exactly ``target_pages`` pages.
@@ -132,13 +197,12 @@ class CachePageAllocator:
         """
         if target_pages < 0:
             raise PageAllocationError("target_pages cannot be negative")
-        current = len(self._owner_pages.get(owner, ()))
-        delta = target_pages - current
+        held = self._owner_pages.get(owner, ())
+        delta = target_pages - len(held)
         if delta > 0:
             self.allocate(owner, delta)
         elif delta < 0:
-            victims = self.pages_of(owner)[delta:]
-            self.release(owner, victims)
+            self.release(owner, held[delta:])
         return delta
 
     def _check_pcpn(self, pcpn: int) -> None:
@@ -148,16 +212,35 @@ class CachePageAllocator:
             )
 
     def check_invariants(self) -> None:
-        """Assert exclusivity and conservation; used by property tests."""
-        seen: Set[int] = set(self._free)
+        """Assert exclusivity, conservation and reverse-map consistency;
+        used by property tests."""
+        seen = set(self._free)
         if len(seen) != len(self._free):
             raise PageAllocationError("duplicate pages in free list")
+        if self._free != sorted(seen):
+            raise PageAllocationError("free list not sorted")
+        for pcpn in self._free:
+            if self._page_owner[pcpn] is not None:
+                raise PageAllocationError(
+                    f"free page {pcpn} has owner "
+                    f"{self._page_owner[pcpn]!r} in the reverse map"
+                )
         for owner, pages in self._owner_pages.items():
-            overlap = seen & pages
+            overlap = seen.intersection(pages)
             if overlap:
                 raise PageAllocationError(
                     f"pages {sorted(overlap)} double-owned ({owner})"
                 )
-            seen |= pages
+            if list(pages) != sorted(set(pages)):
+                raise PageAllocationError(
+                    f"{owner}: held pages not sorted/unique"
+                )
+            for pcpn in pages:
+                if self._page_owner[pcpn] != owner:
+                    raise PageAllocationError(
+                        f"page {pcpn} owned by {owner} but reverse map "
+                        f"says {self._page_owner[pcpn]!r}"
+                    )
+            seen |= set(pages)
         if seen != set(range(self.num_pages)):
             raise PageAllocationError("page conservation violated")

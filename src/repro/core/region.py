@@ -88,9 +88,11 @@ class RegionManager:
     def resize_region(self, task_id: str, target_pages: int) -> int:
         """Grow/shrink ``task_id``'s region to ``target_pages`` pages.
 
-        Returns the signed page delta.  Growth appends new virtual pages
-        (existing vcpn->pcpn mappings — and therefore cached data — are
-        preserved); shrinkage drops the highest vcpns first.
+        Returns the signed page delta.  The resize is delta-based: only
+        the page difference is granted or released, and only the affected
+        CPT entries change.  Growth appends new virtual pages (existing
+        vcpn->pcpn mappings — and therefore cached data — are preserved);
+        shrinkage drops the highest vcpns first.
 
         Raises:
             PageAllocationError: unknown task or not enough free pages to
@@ -99,18 +101,26 @@ class RegionManager:
         region = self._regions.get(task_id)
         if region is None:
             raise PageAllocationError(f"{task_id} has no region")
-        delta = target_pages - region.num_pages
+        return self._resize(region, target_pages)
+
+    def _resize(self, region: ModelRegion, target_pages: int) -> int:
+        """Delta-resize a region already resolved from its task id."""
+        pcpns = region.pcpns
+        current = len(pcpns)
+        delta = target_pages - current
         if delta > 0:
-            grant = self.allocator.allocate(task_id, delta)
-            for pcpn in grant.pcpns:
-                region.cpt.map(region.num_pages, pcpn)
-                region.pcpns.append(pcpn)
+            grant = self.allocator.allocate(region.task_id, delta)
+            cpt_map = region.cpt.map
+            for vcpn, pcpn in enumerate(grant.pcpns, start=current):
+                cpt_map(vcpn, pcpn)
+            pcpns.extend(grant.pcpns)
         elif delta < 0:
-            victims = region.pcpns[delta:]
-            for vcpn in range(target_pages, region.num_pages):
-                region.cpt.unmap(vcpn)
-            del region.pcpns[delta:]
-            self.allocator.release(task_id, victims)
+            victims = pcpns[delta:]
+            cpt_unmap = region.cpt.unmap
+            for vcpn in range(target_pages, current):
+                cpt_unmap(vcpn)
+            del pcpns[delta:]
+            self.allocator.release(region.task_id, victims)
         return delta
 
     def destroy_region(self, task_id: str) -> int:

@@ -13,6 +13,14 @@ forces fresh simulation (CI uses this so the engine is always
 exercised).  Experiments without a cell grid (fig3, table3) ignore both
 flags.
 
+``--profile FILE`` wraps each experiment in :mod:`cProfile` and dumps
+the stats to ``FILE`` (pstats format; load with
+``python -m pstats FILE`` or ``snakeviz``), so the next hot-path hunt
+starts from data instead of guesses.  Profiling forces ``--jobs 1`` and
+``--no-cache`` — a process pool would scatter the samples across
+workers, and cache hits would profile JSON loading instead of the
+engine.
+
 After each experiment the runner prints an engine-observability line:
 cells simulated vs. served from cache, events processed, and the
 events/sec throughput of the fresh simulations.
@@ -113,20 +121,50 @@ def main(argv=None) -> int:
         action="store_true",
         help="bypass the persistent sweep-result cache (always simulate)",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        default=None,
+        help="cProfile the experiment hot path and dump pstats to FILE "
+             "(implies --jobs 1 and --no-cache)",
+    )
     args = parser.parse_args(argv)
+
+    profiler = None
+    jobs = args.jobs
+    use_cache = not args.no_cache
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        jobs = 1
+        use_cache = False
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     for name in names:
         start = time.time()
         reset_sweep_stats()
-        print(EXPERIMENTS[name](args.scale, args.jobs,
-                                not args.no_cache))
+        if profiler is not None:
+            profiler.enable()
+        output = EXPERIMENTS[name](args.scale, jobs, use_cache)
+        if profiler is not None:
+            profiler.disable()
+        print(output)
         stats_line = _engine_stats_line()
         if stats_line:
             print(stats_line)
         print(f"  [{name} regenerated in {time.time() - start:.1f}s]")
         print()
+    if profiler is not None:
+        import pstats
+
+        profiler.dump_stats(args.profile)
+        top = pstats.Stats(profiler)
+        top.sort_stats("cumulative")
+        print(f"profile written to {args.profile} "
+              f"(load with `python -m pstats {args.profile}`); top 10:")
+        top.print_stats(10)
     return 0
 
 

@@ -49,6 +49,12 @@ class SchedulerPolicy(abc.ABC):
     #: steady-interval fast-forward.
     dynamic_rates = True
 
+    #: The policy's bandwidth shares are strictly positive by
+    #: construction (e.g. a proportional split with a positive floor).
+    #: The engine then skips its per-event zero-bandwidth audit — purely
+    #: a dropped assertion, never a behavior change.
+    positive_shares = False
+
     def __init__(self) -> None:
         self.soc: Optional[SoCConfig] = None
         self.systolic: Optional[SystolicModel] = None

@@ -33,6 +33,9 @@ class CaMDNSchedulerBase(SchedulerPolicy):
     #: CaMDN system mode; overridden by subclasses.
     mode = "full"
 
+    #: Both share policies floor every tenant's share above zero.
+    positive_shares = True
+
     def __init__(self, qos_mode: bool = False, urgency: float = 3.0,
                  floor: float = 0.02,
                  usage_levels: Optional[tuple] = None,
@@ -44,7 +47,14 @@ class CaMDNSchedulerBase(SchedulerPolicy):
         self.usage_levels = usage_levels
         self.lbm_occupancy_fraction = lbm_occupancy_fraction
         self.system: Optional[CaMDNSystem] = None
-        self._grants: Dict[str, LayerGrant] = {}
+        #: id(candidate) -> (candidate, {cores: LayerWork}).  A granted
+        #: candidate fully determines its LayerWork (model layer ->
+        #: compute cycles, candidate -> DRAM bytes, cores -> multicast
+        #: factor), and the allocator memoizes decisions per MCT, so the
+        #: same few candidates recur every inference of a stream.  The
+        #: candidate is held in the value so the id key can never be
+        #: reused by a new object while the entry lives.
+        self._work_cache: Dict[int, tuple] = {}
         self._timeouts = 0
         self._lbm_layers = 0
 
@@ -63,9 +73,22 @@ class CaMDNSchedulerBase(SchedulerPolicy):
                     self.lbm_occupancy_fraction
             mapper = LayerMapper(soc, **kwargs)
         self.system = CaMDNSystem(soc, mode=self.mode, mapper=mapper)
-        self._grants = {}
+        self._work_cache = {}
         self._timeouts = 0
         self._lbm_layers = 0
+        self._freq_hz = soc.npu.frequency_hz
+        #: n -> (base, remaining) demand-share constants (exact floats
+        #: of DemandProportionalPolicy.allocate_list for that n).
+        self._share_consts: Dict[int, tuple] = {}
+        # Bound hot-path methods: the per-layer chain runs twice per
+        # simulated event, so the attribute walks are resolved once.
+        self._alloc_end = self.system.allocator.end_layer_prepared
+        self._alloc_select = self.system.allocator.select_prepared
+        self._sys_try = self.system._try_grant
+        self._sys_hw = (
+            self.system._hw_only_decision
+            if self.system._hw_only else None
+        )
 
     # ------------------------------------------------------------------
     # Core allocation (AuRORA-compatible in QoS mode)
@@ -87,58 +110,143 @@ class CaMDNSchedulerBase(SchedulerPolicy):
 
     def on_task_start(self, instance: TaskInstance, now: float) -> None:
         self.system.admit_task(instance.instance_id, instance.graph)
+        # Pin the resolved (state, region) context on the instance: the
+        # per-layer hooks read a slot attribute instead of hashing the
+        # instance id into the context dict twice per simulated event.
+        instance.sched_ctx = self.system._ctx[instance.instance_id]
 
     def begin_layer(self, instance: TaskInstance, now: float
                     ) -> Tuple[Optional[LayerWork], float]:
-        grant = self.system.begin_layer(
-            instance.instance_id, instance.layer_index, now
-        )
+        # Flattened CaMDNSystem.begin_layer: the context pinned at task
+        # start leads straight into the allocator — this chain runs
+        # twice per simulated event, so the facade wrappers are bypassed.
+        ctx = instance.sched_ctx
+        if ctx is None:
+            grant = self.system.begin_layer(  # raises "not registered"
+                instance.instance_id, instance.layer_index, now
+            )
+            return self._grant_to_work(instance, grant)
+        state, region = ctx
+        layer_index = instance.layer_index
+        hw = self._sys_hw
+        if hw is not None:
+            decision = hw(state, layer_index)
+        else:
+            decision = self._alloc_select(state, layer_index, now)
+        grant = self._sys_try(state, region, layer_index, decision)
         return self._grant_to_work(instance, grant)
 
     def poll_layer(self, instance: TaskInstance, now: float
                    ) -> Tuple[Optional[LayerWork], float]:
         # Re-select with fresh predictions; pages may have been freed.
-        grant = self.system.begin_layer(
-            instance.instance_id, instance.layer_index, now
-        )
+        return self.begin_layer(instance, now)
+
+    def advance_layer(self, instance: TaskInstance, now: float
+                      ) -> Tuple[Optional[LayerWork], float]:
+        """Fused engine hook: end-of-layer bookkeeping plus next-layer
+        selection in one call (resolves the task context once).  Must
+        behave exactly like ``on_layer_end`` -> ``layer_index += 1`` ->
+        ``begin_layer``; the engine only calls it when the next layer
+        exists."""
+        ctx = instance.sched_ctx
+        if ctx is None:
+            # Defensive fallback to the split protocol (raises there).
+            self.on_layer_end(instance, now)
+            instance.layer_index += 1
+            return self.begin_layer(instance, now)
+        state, region = ctx
+        layer_index = instance.layer_index
+        self._alloc_end(state, layer_index, now)
+        layer_index += 1
+        instance.layer_index = layer_index
+        hw = self._sys_hw
+        if hw is not None:
+            decision = hw(state, layer_index)
+        else:
+            decision = self._alloc_select(state, layer_index, now)
+        grant = self._sys_try(state, region, layer_index, decision)
+        # Inlined granted fast path of _grant_to_work (this chain runs
+        # twice per simulated event).
+        instance.sched_scratch = grant
+        if grant.granted:
+            candidate = grant.decision.candidate
+            entry = self._work_cache.get(id(candidate))
+            if entry is None or entry[0] is not candidate:
+                entry = self._work_entry(candidate)
+            if entry[2]:
+                self._lbm_layers += 1
+            pair = entry[1].get(instance.cores)
+            if pair is not None:
+                return pair
+            return self._build_work(instance, candidate, entry)
         return self._grant_to_work(instance, grant)
 
     def timeout_layer(self, instance: TaskInstance, now: float
                       ) -> Tuple[Optional[LayerWork], float]:
         self._timeouts += 1
-        last = self._grants[instance.instance_id]
+        last = instance.sched_scratch
         grant = self.system.retry_layer(
             instance.instance_id, instance.layer_index, last
         )
         return self._grant_to_work(instance, grant)
 
     def on_layer_end(self, instance: TaskInstance, now: float) -> None:
-        self.system.finish_layer(
-            instance.instance_id, instance.layer_index, now
+        ctx = instance.sched_ctx
+        if ctx is None:
+            self.system.finish_layer(         # raises "not registered"
+                instance.instance_id, instance.layer_index, now
+            )
+            return
+        self.system.allocator.end_layer_prepared(
+            ctx[0], instance.layer_index, now
         )
 
     def on_task_end(self, instance: TaskInstance, now: float) -> None:
         self.system.retire_task(instance.instance_id, now)
-        self._grants.pop(instance.instance_id, None)
+        instance.sched_scratch = None
+        instance.sched_ctx = None
 
     # ------------------------------------------------------------------
 
+    def _work_entry(self, candidate) -> tuple:
+        """The candidate's ``(candidate, {cores: (work, 0.0)}, is_lbm)``
+        work-cache entry (created on first sight)."""
+        entry = self._work_cache.get(id(candidate))
+        if entry is None or entry[0] is not candidate:
+            entry = (candidate, {}, candidate.kind == "LBM")
+            self._work_cache[id(candidate)] = entry
+        return entry
+
     def _grant_to_work(self, instance: TaskInstance, grant: LayerGrant
                        ) -> Tuple[Optional[LayerWork], float]:
-        self._grants[instance.instance_id] = grant
+        instance.sched_scratch = grant
         if not grant.granted:
             timeout = grant.wait_timeout_s
             if math.isinf(timeout):
                 # Defensive: never hand the engine an unbounded wait.
+                # The registered mapping file is the same memoized object
+                # map_model() would return, without rebuilding its key.
+                mf = self.system.allocator.task(
+                    instance.instance_id
+                ).mapping_file
                 timeout = max(
-                    self.system.mapper.map_model(instance.graph)
-                    .mcts[instance.layer_index].est_latency_s * 0.2,
+                    mf.mcts[instance.layer_index].est_latency_s * 0.2,
                     1e-6,
                 )
             return None, timeout
         candidate = grant.decision.candidate
-        if candidate.kind == "LBM":
+        entry = self._work_entry(candidate)
+        if entry[2]:
             self._lbm_layers += 1
+        pair = entry[1].get(instance.cores)
+        if pair is None:
+            pair = self._build_work(instance, candidate, entry)
+        return pair
+
+    def _build_work(self, instance: TaskInstance, candidate,
+                    entry: tuple) -> Tuple[LayerWork, float]:
+        """Build and cache the ``(LayerWork, 0.0)`` pair for a granted
+        candidate on this instance's core count."""
         dram = candidate.dram_bytes
         if instance.cores > 1:
             # Multicast combines the per-core identical reads.
@@ -148,7 +256,9 @@ class CaMDNSchedulerBase(SchedulerPolicy):
             compute_cycles=self.compute_cycles(instance),
             dram_bytes=dram,
         )
-        return work, 0.0
+        pair = (work, 0.0)
+        entry[1][instance.cores] = pair
+        return pair
 
     # ------------------------------------------------------------------
 
@@ -190,15 +300,40 @@ class CaMDNSchedulerBase(SchedulerPolicy):
         rem_dram: Sequence[float],
         now: float,
     ) -> Optional[List[float]]:
-        """Positional fast path mirroring :meth:`bandwidth_shares`."""
+        """Positional fast path mirroring :meth:`bandwidth_shares`.
+
+        The non-QoS branch inlines
+        :meth:`~repro.memory.bwalloc.DemandProportionalPolicy.allocate_list`
+        with the exact same expressions in the exact same order (demands
+        are always positive here, so its non-negative fast path is the
+        only reachable one), fusing the demand and share computations
+        that run once per simulated event.
+        """
         if not insts:
             return []
-        freq = self.soc.npu.frequency_hz
+        freq = self._freq_hz
         demands = [
-            max(rem_d, 1.0) / max(rem_c / freq, 1e-9)
+            (rem_d if rem_d > 1.0 else 1.0)
+            / (t if (t := rem_c / freq) > 1e-9 else 1e-9)
             for rem_c, rem_d in zip(rem_compute, rem_dram)
         ]
         if not self.qos_mode:
+            n = len(demands)
+            consts = self._share_consts.get(n)
+            if consts is None:
+                floor = self._demand_policy.floor
+                floor_total = floor * n if floor * n < 1 else 0.0
+                consts = (
+                    floor if floor_total else 0.0,
+                    1.0 - floor_total,
+                )
+                self._share_consts[n] = consts
+            base, remaining = consts
+            total = sum(demands)
+            if total > 0:
+                return [
+                    base + remaining * (d / total) for d in demands
+                ]
             return self._demand_policy.allocate_list(demands)
         slack_of = self.slack_of
         est_of = self.est_isolated_latency_s

@@ -131,6 +131,12 @@ class MultiTenantEngine:
         self.now = 0.0
         self.events_processed = 0
         self._dynamic_rates = scheduler.dynamic_rates
+        # Optional fused end+begin scheduler hook (see
+        # _process_completions); policies without it use the split path.
+        self._advance_layer = getattr(scheduler, "advance_layer", None)
+        self._shares_fn = scheduler.bandwidth_shares_list
+        self._positive_shares = getattr(scheduler, "positive_shares",
+                                        False)
         self._queued: List[TaskInstance] = []
         self._active: Dict[str, TaskInstance] = {}
         self._free_cores = soc.num_npu_cores
@@ -276,9 +282,7 @@ class MultiTenantEngine:
             return
         scheduler = self.scheduler
         rem_c, rem_d = kernel.rem_views()
-        shares = scheduler.bandwidth_shares_list(
-            insts, rem_c, rem_d, self.now
-        )
+        shares = self._shares_fn(insts, rem_c, rem_d, self.now)
         if shares is None:
             # Dict-path fallback: sync fluid state so the policy sees
             # current remaining work, then look shares up by id.
@@ -289,7 +293,7 @@ class MultiTenantEngine:
                       for inst in insts]
         total_bw = self._total_bw
         rate_c = [self._freq] * n
-        if min(shares) <= 0:
+        if not self._positive_shares and min(shares) <= 0:
             for i in range(n):
                 if shares[i] <= 0 and rem_d[i] > 0:
                     raise SimulationError(
@@ -365,13 +369,27 @@ class MultiTenantEngine:
         # Sync fluid state while positions are valid, then snapshot by
         # reference: handling a completion can reshape the kernel (task
         # finish, page wait), invalidating positions.
-        kernel.sync_positions(finished_pos)
-        finished = [kernel.insts[i] for i in finished_pos]
+        finished = kernel.take_finished(finished_pos)
+        advance = self._advance_layer
         for inst in finished:
             if trace is not None:
                 trace.end(inst.instance_id, now,
                           dram_bytes=inst.work.dram_bytes)
-            inst.account_layer()
+            # Inlined TaskInstance.account_layer (hot path; a completed
+            # layer always has work installed).
+            work = inst.work
+            inst.dram_bytes_total += work.dram_bytes
+            inst.hit_bytes_total += work.hit_bytes
+            inst.access_bytes_total += work.access_bytes
+            inst.layers_executed += 1
+            if advance is not None and \
+                    inst.layer_index + 1 < len(inst.graph.layers):
+                # Fused end-of-layer + next-layer selection: one
+                # scheduler call per completion (identical semantics to
+                # on_layer_end -> layer_index += 1 -> begin_layer).
+                work, timeout = advance(inst, now)
+                self._apply_grant(inst, work, timeout)
+                continue
             scheduler.on_layer_end(inst, now)
             inst.layer_index += 1
             if inst.layer_index >= len(inst.graph.layers):
@@ -425,13 +443,18 @@ class MultiTenantEngine:
                 self.trace.begin(iid, SpanKind.WAIT_PAGES,
                                  inst.layer_index, self.now)
         else:
-            inst.begin_work(work)
+            # Inlined TaskInstance.begin_work (hot path).
+            inst.work = work
+            inst.rem_compute_cycles = work.compute_cycles
+            inst.rem_dram_bytes = work.dram_bytes
+            inst.state = InstanceState.RUNNING
             inst.wake_time = math.inf
             if self._waiting_set and \
                     self._waiting_set.pop(iid, None) is not None:
                 self._wait_seq.pop(iid, None)
-            if iid in kernel.pos:
-                kernel.set_work(inst)
+            pos = kernel.pos.get(iid)
+            if pos is not None:
+                kernel.set_work(inst, pos)
                 # Work-change notification, inlined: only share policies
                 # that track task progress care (see
                 # _notify_work_change).

@@ -114,9 +114,13 @@ class RunningKernel:
         for j in range(i, len(self.insts)):
             self.pos[self.insts[j].instance_id] = j
 
-    def set_work(self, inst: "TaskInstance") -> None:
-        """Refresh an instance's remaining work after ``begin_work``."""
-        i = self.pos[inst.instance_id]
+    def set_work(self, inst: "TaskInstance",
+                 pos: Optional[int] = None) -> None:
+        """Refresh an instance's remaining work after ``begin_work``.
+
+        ``pos`` skips the position lookup when the caller already has it.
+        """
+        i = self.pos[inst.instance_id] if pos is None else pos
         self.rem_c[i] = inst.rem_compute_cycles
         self.rem_d[i] = inst.rem_dram_bytes
         if self._use_np:
@@ -133,6 +137,29 @@ class RunningKernel:
             self._select_backend()
         else:
             self._use_np = False
+
+    def take_finished(self, positions: List[int]) -> List["TaskInstance"]:
+        """Write the given positions' fluid state back and return their
+        instances (fused :meth:`sync_positions` + snapshot; positions
+        must be current, i.e. pre-mutation)."""
+        insts = self.insts
+        out = []
+        append = out.append
+        if self._use_np:
+            arr_c, arr_d = self._arr_c, self._arr_d
+            for i in positions:
+                inst = insts[i]
+                inst.rem_compute_cycles = float(arr_c[i])
+                inst.rem_dram_bytes = float(arr_d[i])
+                append(inst)
+            return out
+        rem_c, rem_d = self.rem_c, self.rem_d
+        for i in positions:
+            inst = insts[i]
+            inst.rem_compute_cycles = rem_c[i]
+            inst.rem_dram_bytes = rem_d[i]
+            append(inst)
+        return out
 
     def sync_positions(self, positions: List[int]) -> None:
         """Write the given positions' fluid state back to their
@@ -196,10 +223,11 @@ class RunningKernel:
         dt = float("inf")
         rem_c, rem_d = self.rem_c, self.rem_d
         rate_c, rate_d = self.rate_c, self.rate_d
-        n = len(rem_c)
-        for i in range(n):
-            t_c = rem_c[i] / rate_c[i]
-            t_d = rem_d[i] / rate_d[i]
+        # zip iteration: one tuple unpack per instance instead of four
+        # list indexings (same arithmetic, same order).
+        for c, rc, d, rd in zip(rem_c, rate_c, rem_d, rate_d):
+            t_c = c / rc
+            t_d = d / rd
             t = t_c if t_c >= t_d else t_d
             if t < dt:
                 dt = t
@@ -210,17 +238,20 @@ class RunningKernel:
         if dt < 0:
             raise SimulationError(f"negative time step {dt}")
         finished: List[int] = []
-        for i in range(n):
-            c = rem_c[i] - dt * rate_c[i]
+        append = finished.append
+        for i, (c0, rc, d0, rd) in enumerate(
+            zip(rem_c, rate_c, rem_d, rate_d)
+        ):
+            c = c0 - dt * rc
             if c < 0.0:
                 c = 0.0
             rem_c[i] = c
-            d = rem_d[i] - dt * rate_d[i]
+            d = d0 - dt * rd
             if d < 0.0:
                 d = 0.0
             rem_d[i] = d
             if c <= _FINISH_EPS and d <= _FINISH_EPS:
-                finished.append(i)
+                append(i)
         return dt, finished
 
     def advance(self, dt: float) -> List[int]:

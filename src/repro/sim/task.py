@@ -84,6 +84,11 @@ class TaskInstance:
     hit_bytes_total: float = 0.0
     access_bytes_total: float = 0.0
     layers_executed: int = 0
+    #: Policy-private scratch slots (e.g. the CaMDN schedulers keep the
+    #: last LayerGrant and the task's resolved allocator context here);
+    #: the engine never reads them.
+    sched_scratch: Optional[object] = None
+    sched_ctx: Optional[object] = None
 
     @property
     def num_layers(self) -> int:

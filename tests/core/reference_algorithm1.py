@@ -1,0 +1,222 @@
+"""Frozen pre-refactor reference implementation of Algorithm 1.
+
+This is a verbatim copy of the PR 2 ``DynamicCacheAllocator`` — the
+straightforward dict-walk / ``math.ceil``-loop implementation — kept as
+the equivalence oracle for the incremental SoA allocator.  The property
+tests in ``test_allocator_equivalence.py`` drive both implementations
+through identical random traces and assert identical decisions and
+predictor arrays.  (Imported without a package prefix: pytest puts this
+directory on ``sys.path`` because ``tests/`` is not a package.)
+
+Do not optimize or "fix" this module: its value is being the slow,
+obviously-correct transcription of the paper's pseudocode.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.allocator import LOOKAHEAD_FRACTION
+from repro.core.mct import MappingCandidate, ModelMappingFile
+from repro.errors import SimulationError
+
+
+@dataclass
+class RefTaskState:
+    task_id: str
+    mapping_file: ModelMappingFile
+    palloc: int = 0
+    tnext: float = math.inf
+    pnext: int = 0
+    lbm_block: Optional[Tuple[int, int]] = None
+
+    def has_enabled_lbm(self, layer_index: int) -> bool:
+        return (
+            self.lbm_block is not None
+            and self.lbm_block[0] <= layer_index < self.lbm_block[1]
+        )
+
+
+@dataclass(frozen=True)
+class RefDecision:
+    candidate: MappingCandidate
+    pages_needed: int
+    timeout_s: float
+    enables_lbm: bool = False
+
+
+def _block_of(mf: ModelMappingFile,
+              layer_index: int) -> Optional[Tuple[int, int]]:
+    for start, end in mf.blocks:
+        if start <= layer_index < end:
+            return (start, end)
+    return None
+
+
+def _is_block_head(mf: ModelMappingFile, layer_index: int) -> bool:
+    block = _block_of(mf, layer_index)
+    return block is not None and block[0] == layer_index
+
+
+def _block_est_latency_s(mf: ModelMappingFile, layer_index: int) -> float:
+    block = _block_of(mf, layer_index)
+    if block is None:
+        return mf.mcts[layer_index].est_latency_s
+    return sum(
+        mf.mcts[i].est_latency_s for i in range(block[0], block[1])
+    )
+
+
+def _smaller_than(mct, candidate: MappingCandidate,
+                  page_bytes: int) -> Optional[MappingCandidate]:
+    target = candidate.pages_needed(page_bytes)
+    smaller = [
+        c for c in mct.lwm if c.pages_needed(page_bytes) < target
+    ]
+    if not smaller:
+        return None
+    return smaller[-1]
+
+
+class ReferenceAllocator:
+    """The pre-refactor dict-based Algorithm 1, kept bit-for-bit."""
+
+    def __init__(self, page_bytes: int, total_pages: int) -> None:
+        if page_bytes <= 0 or total_pages <= 0:
+            raise SimulationError("page geometry must be positive")
+        self.page_bytes = page_bytes
+        self.total_pages = total_pages
+        self._tasks: Dict[str, RefTaskState] = {}
+
+    def register_task(self, task_id: str,
+                      mapping_file: ModelMappingFile) -> RefTaskState:
+        if task_id in self._tasks:
+            raise SimulationError(f"{task_id} already registered")
+        state = RefTaskState(task_id=task_id, mapping_file=mapping_file)
+        self._tasks[task_id] = state
+        return state
+
+    def unregister_task(self, task_id: str) -> None:
+        if task_id not in self._tasks:
+            raise SimulationError(f"{task_id} is not registered")
+        del self._tasks[task_id]
+
+    def task(self, task_id: str) -> RefTaskState:
+        state = self._tasks.get(task_id)
+        if state is None:
+            raise SimulationError(f"{task_id} is not registered")
+        return state
+
+    def idle_pages(self) -> int:
+        return self.total_pages - sum(
+            t.palloc for t in self._tasks.values()
+        )
+
+    def pred_avail_pages(self, t_ahead: float, tcur: str) -> int:
+        p_ahead = self.idle_pages()
+        for task_id, state in self._tasks.items():
+            if task_id == tcur:
+                continue
+            if state.tnext < t_ahead:
+                p_ahead += state.palloc - state.pnext
+        return p_ahead
+
+    def select(self, tcur: str, layer_index: int,
+               now: float) -> RefDecision:
+        state = self.task(tcur)
+        mct = state.mapping_file.mct_for(layer_index)
+
+        if state.has_enabled_lbm(layer_index) and mct.lbm is not None:
+            return RefDecision(
+                candidate=mct.lbm,
+                pages_needed=mct.lbm.pages_needed(self.page_bytes),
+                timeout_s=math.inf,
+            )
+
+        if _is_block_head(state.mapping_file, layer_index) and \
+                mct.lbm is not None:
+            block_est = _block_est_latency_s(
+                state.mapping_file, layer_index
+            )
+            t_ahead = now + block_est * LOOKAHEAD_FRACTION
+            p_ahead = self.pred_avail_pages(t_ahead, tcur) + state.palloc
+            lbm_pages = mct.lbm.pages_needed(self.page_bytes)
+            if lbm_pages < p_ahead:
+                return RefDecision(
+                    candidate=mct.lbm,
+                    pages_needed=lbm_pages,
+                    timeout_s=block_est * LOOKAHEAD_FRACTION,
+                    enables_lbm=True,
+                )
+
+        t_ahead = now + mct.est_latency_s * LOOKAHEAD_FRACTION
+        p_ahead = self.pred_avail_pages(t_ahead, tcur) + state.palloc
+        best = mct.lwm[0]
+        for candidate in mct.lwm:
+            pages = candidate.pages_needed(self.page_bytes)
+            if best.pages_needed(self.page_bytes) < pages <= p_ahead:
+                best = candidate
+        return RefDecision(
+            candidate=best,
+            pages_needed=best.pages_needed(self.page_bytes),
+            timeout_s=mct.est_latency_s * LOOKAHEAD_FRACTION,
+        )
+
+    def downgrade(self, tcur: str, layer_index: int,
+                  decision: RefDecision) -> Optional[RefDecision]:
+        state = self.task(tcur)
+        mct = state.mapping_file.mct_for(layer_index)
+        if decision.candidate.kind == "LBM":
+            return RefDecision(
+                candidate=mct.lwm[-1],
+                pages_needed=mct.lwm[-1].pages_needed(self.page_bytes),
+                timeout_s=decision.timeout_s,
+            )
+        smaller = _smaller_than(mct, decision.candidate, self.page_bytes)
+        if smaller is None:
+            return None
+        return RefDecision(
+            candidate=smaller,
+            pages_needed=smaller.pages_needed(self.page_bytes),
+            timeout_s=decision.timeout_s,
+        )
+
+    def commit(self, tcur: str, decision: RefDecision,
+               layer_index: int) -> None:
+        state = self.task(tcur)
+        state.palloc = decision.pages_needed
+        if decision.enables_lbm:
+            state.lbm_block = _block_of(state.mapping_file, layer_index)
+
+    def end_layer(self, tcur: str, layer_index: int, now: float) -> None:
+        state = self.task(tcur)
+        mf = state.mapping_file
+        next_index = layer_index + 1
+        if next_index >= len(mf.mcts):
+            state.tnext = now + mf.mcts[layer_index].est_latency_s
+            state.pnext = 0
+            if state.lbm_block and layer_index >= state.lbm_block[1] - 1:
+                state.lbm_block = None
+            return
+        next_mct = mf.mct_for(next_index)
+        state.tnext = now + next_mct.est_latency_s
+        if state.has_enabled_lbm(next_index) and next_mct.lbm is not None:
+            state.pnext = next_mct.lbm.pages_needed(self.page_bytes)
+        else:
+            fitting = [
+                c.pages_needed(self.page_bytes)
+                for c in next_mct.lwm
+                if c.pages_needed(self.page_bytes) <= state.palloc
+            ]
+            state.pnext = max(fitting) if fitting else 0
+        if state.lbm_block and layer_index >= state.lbm_block[1] - 1:
+            state.lbm_block = None
+
+    def finish_task(self, tcur: str, now: float) -> None:
+        state = self.task(tcur)
+        state.palloc = 0
+        state.pnext = 0
+        state.tnext = math.inf
+        state.lbm_block = None

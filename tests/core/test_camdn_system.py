@@ -125,3 +125,28 @@ class TestFullVsHWOnly:
         static_grant = static.begin_layer("t0", 2, now=0.0)
         assert grant.decision.pages_needed >= \
             static_grant.decision.pages_needed
+
+
+class TestRegionlessTasks:
+    """Tasks registered on the allocator directly (never admitted) have
+    no region: the layer protocol must degrade to denied grants, not
+    crash (the pre-context code converted the missing-region resize
+    failure into a denied grant)."""
+
+    def test_begin_layer_without_region_is_denied(self, soc):
+        system = CaMDNSystem(soc, mode="full")
+        mf = system.mapper.map_model(build_model("MB."))
+        system.allocator.register_task("ghost-region", mf)
+        grant = system.begin_layer("ghost-region", 0, now=0.0)
+        assert not grant.granted
+
+    def test_retry_and_finish_without_region(self, soc):
+        system = CaMDNSystem(soc, mode="full")
+        mf = system.mapper.map_model(build_model("MB."))
+        system.allocator.register_task("ghost-region", mf)
+        grant = system.begin_layer("ghost-region", 0, now=0.0)
+        while grant.decision.pages_needed:
+            grant = system.retry_layer("ghost-region", 0, grant)
+        assert not grant.granted  # even zero pages: no region to grant
+        system.finish_layer("ghost-region", 0, now=0.001)
+        assert system.allocator.task("ghost-region").pnext >= 0
