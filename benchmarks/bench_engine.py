@@ -1,11 +1,12 @@
-"""Engine microbenchmark: events/sec of the kernel vs. the legacy loop.
+"""Engine microbenchmark: events/sec of the kernel event loop.
 
-A scheduler-free measurement of the event loop itself: a synthetic
+A scheduler-light measurement of the event loop itself: a synthetic
 8-stream workload of fixed-cost layers is driven through the engine under
 two synthetic policies (a static-rate equal split and a dynamic-rate
-demand split) plus the five paper policies, each on both the kernel loop
-and the legacy per-instance scan loop.  Summary metrics are asserted
-byte-identical between the loops before any number is reported.
+demand split) plus the five paper policies.  Every configuration is run
+twice and the summary metrics are asserted byte-identical before any
+number is reported (the committed reference suite pins absolute values;
+this guards in-run determinism).
 
 Emits ``BENCH_engine.json``::
 
@@ -13,9 +14,7 @@ Emits ``BENCH_engine.json``::
       "meta": {...},
       "policies": {
         "<name>": {
-          "kernel": {"events": N, "wall_s": t, "events_per_s": r},
-          "legacy": {...},
-          "speedup": r_kernel / r_legacy
+          "kernel": {"events": N, "wall_s": t, "events_per_s": r}
         }, ...
       }
     }
@@ -145,11 +144,11 @@ def _build_workload(graph: Optional[ModelGraph]) -> ClosedLoopWorkload:
     workload = ClosedLoopWorkload(spec)
     for stream_id in workload.streams:
         workload._graphs[stream_id] = graph
+        workload._rt[stream_id].graph = graph
     return workload
 
 
-def _run_once(policy_name: str, legacy: bool,
-              graph: Optional[ModelGraph]) -> "MultiTenantEngine":
+def _run_once(policy_name: str, graph: Optional[ModelGraph]):
     soc = SoCConfig()
     if policy_name == "synthetic-static":
         scheduler = StaticSynthetic()
@@ -158,42 +157,36 @@ def _run_once(policy_name: str, legacy: bool,
     else:
         prepare_workload(policy_name, REAL_KEYS, soc)
         scheduler = make_scheduler(policy_name)
-    engine = MultiTenantEngine(soc, scheduler, _build_workload(graph),
-                               legacy_loop=legacy)
+    engine = MultiTenantEngine(soc, scheduler, _build_workload(graph))
     return engine.run()
 
 
 def bench_policy(policy_name: str, repeats: int = 3) -> Dict:
-    """Best-of-N kernel and legacy runs; asserts byte-identity."""
+    """Best-of-N kernel runs; asserts run-to-run byte-identity."""
     graph = synthetic_graph() if policy_name.startswith("synthetic") \
         else None
-    sides = {}
-    summaries = {}
-    for legacy in (False, True):
-        best = None
-        result = None
-        for _ in range(repeats if not legacy else max(repeats - 1, 1)):
-            start = time.perf_counter()
-            result = _run_once(policy_name, legacy, graph)
-            wall = time.perf_counter() - start
-            if best is None or wall < best:
-                best = wall
-        side = "legacy" if legacy else "kernel"
-        sides[side] = {
+    best = None
+    result = None
+    summaries = set()
+    for _ in range(max(repeats, 2)):
+        start = time.perf_counter()
+        result = _run_once(policy_name, graph)
+        wall = time.perf_counter() - start
+        summaries.add(
+            json.dumps(result.metric_summary(), sort_keys=True)
+        )
+        if best is None or wall < best:
+            best = wall
+    if len(summaries) != 1:
+        raise AssertionError(
+            f"{policy_name}: repeated engine runs diverge"
+        )
+    return {
+        "kernel": {
             "events": result.events_processed,
             "wall_s": best,
             "events_per_s": result.events_processed / best,
-        }
-        summaries[side] = json.dumps(result.metric_summary(),
-                                     sort_keys=True)
-    if summaries["kernel"] != summaries["legacy"]:
-        raise AssertionError(
-            f"{policy_name}: kernel and legacy loops diverge"
-        )
-    return {
-        **sides,
-        "speedup": sides["kernel"]["events_per_s"]
-        / sides["legacy"]["events_per_s"],
+        },
     }
 
 
@@ -219,8 +212,7 @@ def main(argv=None) -> int:
         report["policies"][name] = entry
         print(
             f"{name:<18} kernel {entry['kernel']['events_per_s']:>12,.0f}"
-            f" ev/s   legacy {entry['legacy']['events_per_s']:>12,.0f}"
-            f" ev/s   speedup {entry['speedup']:.2f}x"
+            f" ev/s  ({entry['kernel']['events']:,} events)"
         )
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=1, sort_keys=True)

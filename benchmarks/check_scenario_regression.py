@@ -1,0 +1,78 @@
+"""CI guard: fail if scenario-engine events/sec regressed vs. the
+committed baseline.
+
+Compares a fresh ``BENCH_scenario.json`` (produced by
+``bench_scenario.py``) against
+``benchmarks/BENCH_scenario.baseline.json``.  A cell fails when its
+events/sec drops more than the tolerance (default 30 %) below the
+baseline value.
+
+Absolute events/sec varies across runner hardware, so the committed
+baseline should be refreshed when the fleet changes; tune with
+``--tolerance`` or the ``REPRO_BENCH_TOLERANCE`` environment variable
+(fraction, e.g. ``0.5`` to allow a 50 % drop on slow shared runners).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scenario.py
+    python benchmarks/check_scenario_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "BENCH_scenario.baseline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", default="BENCH_scenario.json")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.30")),
+        help="allowed fractional events/sec drop (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    current = json.loads(Path(args.current).read_text())["policies"]
+    baseline = json.loads(Path(args.baseline).read_text())["policies"]
+
+    failures = []
+    for cell, base_entry in sorted(baseline.items()):
+        cur_entry = current.get(cell)
+        if cur_entry is None:
+            failures.append(f"{cell}: missing from current run")
+            continue
+        base_rate = base_entry["kernel"]["events_per_s"]
+        cur_rate = cur_entry["kernel"]["events_per_s"]
+        floor = (1.0 - args.tolerance) * base_rate
+        status = "ok" if cur_rate >= floor else "REGRESSED"
+        print(
+            f"{cell:<26} baseline {base_rate:>12,.0f} ev/s   "
+            f"current {cur_rate:>12,.0f} ev/s   floor "
+            f"{floor:>12,.0f}   {status}"
+        )
+        if cur_rate < floor:
+            failures.append(
+                f"{cell}: {cur_rate:,.0f} ev/s < floor {floor:,.0f} "
+                f"(baseline {base_rate:,.0f})"
+            )
+    if failures:
+        print("\nscenario throughput regression detected:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nscenario throughput within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

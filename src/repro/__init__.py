@@ -51,13 +51,20 @@ from .errors import ReproError
 from .models import build_model, load_benchmark_suite
 from .schedulers import make_scheduler
 from .sim import (
+    ArrivalProcess,
     ClosedLoopWorkload,
     MultiTenantEngine,
+    ScenarioSpec,
+    ScenarioWorkload,
     SimulationResult,
+    StreamSpec,
     WorkloadSpec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "KiB",
@@ -75,6 +82,14 @@ __all__ = [
     "make_scheduler",
     "WorkloadSpec",
     "ClosedLoopWorkload",
+    "ArrivalProcess",
+    "StreamSpec",
+    "ScenarioSpec",
+    "ScenarioWorkload",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "simulate_scenario",
     "MultiTenantEngine",
     "SimulationResult",
     "PreparedModel",
@@ -115,12 +130,10 @@ def simulate(
     Returns:
         The :class:`~repro.sim.engine.SimulationResult` with metrics.
     """
-    soc = soc or SoCConfig()
-    # Warm (or hit) the process-wide prepared-workload cache: repeated
-    # simulate() calls over the same (policy, models, SoC) reuse solved
-    # mappings, layer cycles and access segments instead of re-deriving
-    # them inside the engine run.
-    prepare_workload(policy, model_keys, soc)
+    # Route through the unified run_scenario pipeline (lazy import: the
+    # experiments package imports this module for __version__).
+    from .experiments.common import run_scenario
+
     spec = WorkloadSpec(
         model_keys=list(model_keys),
         inferences_per_stream=inferences_per_stream,
@@ -128,8 +141,33 @@ def simulate(
         qos_scale=qos_scale,
         duration_s=duration_s,
         warmup_s=warmup_s,
+    ).to_scenario()
+    return run_scenario(
+        spec, soc, make_scheduler(policy, **policy_kwargs)
     )
-    workload = ClosedLoopWorkload(spec)
-    scheduler = make_scheduler(policy, **policy_kwargs)
-    engine = MultiTenantEngine(soc, scheduler, workload)
-    return engine.run()
+
+
+def simulate_scenario(
+    policy: str,
+    scenario: "ScenarioSpec | str",
+    soc: Optional[SoCConfig] = None,
+    **policy_kwargs,
+) -> SimulationResult:
+    """Run one declarative scenario end to end.
+
+    Args:
+        policy: scheduler name (see :func:`simulate`).
+        scenario: a :class:`ScenarioSpec` or a registered scenario name
+            (see :func:`scenario_names`).
+        soc: hardware configuration (defaults to paper Table II).
+        **policy_kwargs: forwarded to the scheduler constructor.
+
+    Returns:
+        The :class:`~repro.sim.engine.SimulationResult` with metrics,
+        including the scenario-level ``summary()`` keys
+        (``avg_queue_delay_ms``, ``offered_load_ratio``,
+        ``cancelled_inferences``).
+    """
+    from .experiments.common import run_scenario
+
+    return run_scenario(scenario, soc, policy, **policy_kwargs)

@@ -40,7 +40,10 @@ SCHEMA_VERSION = 1
 
 #: Schema of serialized simulation results (sweep-cache entries); bump
 #: whenever :class:`SimulationResult` / metrics records change shape.
-RESULT_SCHEMA_VERSION = 1
+#: v2: scenario-era results (offered/cancelled inference counts and the
+#: offered-load ratio) — v1 entries predate the scenario subsystem and
+#: are never deserialized.
+RESULT_SCHEMA_VERSION = 2
 
 
 def _candidate_to_dict(candidate: MappingCandidate) -> dict:
@@ -151,6 +154,24 @@ def save_mapping_file(mapping_file: ModelMappingFile,
         json.dumps(mapping_file_to_dict(mapping_file), indent=1)
     )
     return path
+
+
+def scenario_spec_to_dict(spec) -> dict:
+    """Canonical JSON-ready form of a
+    :class:`~repro.sim.scenario.ScenarioSpec` (exact float round-trip;
+    part of the sweep cell cache key)."""
+    return spec.to_dict()
+
+
+def scenario_spec_from_dict(data: dict):
+    """Inverse of :func:`scenario_spec_to_dict`.
+
+    Raises:
+        WorkloadError: the payload is not a supported scenario schema.
+    """
+    from ..sim.scenario import ScenarioSpec
+
+    return ScenarioSpec.from_dict(data)
 
 
 def stable_content_hash(payload: dict) -> str:
@@ -273,6 +294,9 @@ def simulation_result_to_dict(result: "SimulationResult") -> dict:
         "scheduler_stats": dict(result.scheduler_stats),
         "wall_time_s": result.wall_time_s,
         "events_processed": result.events_processed,
+        "offered_inferences": result.offered_inferences,
+        "cancelled_inferences": result.cancelled_inferences,
+        "offered_load_ratio": result.offered_load_ratio,
         "records": [
             [getattr(rec, f) for f in _RECORD_FIELDS]
             for rec in result.metrics.records
@@ -307,6 +331,9 @@ def simulation_result_from_dict(data: dict) -> "SimulationResult":
         scheduler_stats=dict(data["scheduler_stats"]),
         wall_time_s=data["wall_time_s"],
         events_processed=data["events_processed"],
+        offered_inferences=data["offered_inferences"],
+        cancelled_inferences=data["cancelled_inferences"],
+        offered_load_ratio=data["offered_load_ratio"],
     )
 
 

@@ -25,9 +25,8 @@ from typing import List, Sequence, Tuple
 from ..config import CacheConfig, SoCConfig
 from ..models.zoo import BENCHMARK_MODELS, build_model
 from ..schedulers.camdn_full import CaMDNFullScheduler
-from ..sim.engine import MultiTenantEngine
-from ..sim.workload import ClosedLoopWorkload, WorkloadSpec
-from .common import ExperimentScale
+from ..sim.workload import WorkloadSpec
+from .common import ExperimentScale, run_scenario
 
 #: 16-tenant workload used by all ablations.
 _WORKLOAD = tuple(BENCHMARK_MODELS) * 2
@@ -52,11 +51,8 @@ def _run_camdn(soc: SoCConfig, scale: ExperimentScale,
         model_keys=list(model_keys),
         duration_s=scale.duration_s,
         warmup_s=scale.warmup_s,
-    )
-    engine = MultiTenantEngine(
-        soc, scheduler or CaMDNFullScheduler(), ClosedLoopWorkload(spec)
-    )
-    result = engine.run()
+    ).to_scenario()
+    result = run_scenario(spec, soc, scheduler or CaMDNFullScheduler())
     return (
         result.metrics.macro_avg_latency_s() * 1e3,
         result.metrics.macro_avg_dram_bytes() / 1e6,

@@ -1,16 +1,27 @@
-"""Shared experiment plumbing: scaling knobs and isolated-latency probes."""
+"""Shared experiment plumbing: the unified ``run_scenario`` pipeline,
+scaling knobs and isolated-latency probes.
+
+Every experiment harness — the fig2/7/8/9 sweeps, the ablations, the
+churn harness, benchmarks and the ``simulate()`` convenience API — funnels
+through :func:`run_scenario`: one place that prepares the workload
+bundle, builds the scheduler and drives the engine over a declarative
+:class:`~repro.sim.scenario.ScenarioSpec`.
+"""
 
 from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
 from ..config import SoCConfig
 from ..core.prepared import prepare_workload
+from ..errors import WorkloadError
 from ..schedulers import make_scheduler
+from ..schedulers.base import SchedulerPolicy
 from ..sim.engine import MultiTenantEngine, SimulationResult
-from ..sim.workload import ClosedLoopWorkload, WorkloadSpec
+from ..sim.scenario import ScenarioSpec, get_scenario
+from ..sim.workload import ScenarioWorkload, WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -20,22 +31,98 @@ class ExperimentScale:
     ``scale=1.0`` reproduces the full measurement windows; smaller values
     shrink the simulated steady-state window proportionally (benchmarks use
     ~0.25 so pytest-benchmark iterations stay cheap).
+
+    Attributes:
+        scale: window multiplier, in (0, 4].
+        base_duration_s: full-scale window end.
+        base_warmup_s: full-scale measurement start; must precede the
+            window end or the measurement window would be silently empty
+            (rejected with :class:`~repro.errors.WorkloadError`).
     """
 
     scale: float = 1.0
+    base_duration_s: float = 0.4
+    base_warmup_s: float = 0.08
 
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 4.0:
             raise ValueError("scale must be in (0, 4]")
+        if self.base_duration_s <= 0:
+            raise WorkloadError("duration must be positive")
+        if not 0 <= self.base_warmup_s < self.base_duration_s:
+            raise WorkloadError(
+                f"warmup_s ({self.warmup_s}) must precede duration_s "
+                f"({self.duration_s}); the measurement window would be "
+                f"empty"
+            )
 
     @property
     def duration_s(self) -> float:
         """Steady-state window length."""
-        return 0.4 * self.scale
+        return self.base_duration_s * self.scale
 
     @property
     def warmup_s(self) -> float:
-        return 0.08 * self.scale
+        return self.base_warmup_s * self.scale
+
+
+def run_scenario(
+    spec: Union[ScenarioSpec, str],
+    soc: Optional[SoCConfig] = None,
+    policy: Union[str, SchedulerPolicy] = "baseline",
+    *,
+    qos_mode: bool = False,
+    trace=None,
+    kernel_backend: Optional[str] = None,
+    **policy_kwargs,
+) -> SimulationResult:
+    """Simulate one scenario under one policy (the single entry point).
+
+    Args:
+        spec: a :class:`~repro.sim.scenario.ScenarioSpec`, or the name of
+            a registered scenario.
+        soc: hardware configuration (defaults to paper Table II).
+        policy: scheduler name (``"baseline"``, ``"moca"``, ``"aurora"``,
+            ``"camdn-hw"``, ``"camdn-full"``) or a ready-built policy
+            instance.
+        qos_mode: enable the AuRORA-style QoS integration on CaMDN
+            policies (ignored on other policy names, matching the
+            Figure 9 setup; rejected when ``policy`` is an instance —
+            configure the instance directly).
+        trace: optional :class:`~repro.sim.trace.TraceRecorder`.
+        kernel_backend: force the engine kernel backend
+            (``"numpy"`` / ``"list"``).
+        **policy_kwargs: forwarded to the scheduler constructor when
+            ``policy`` is a name.
+
+    Returns:
+        The :class:`~repro.sim.engine.SimulationResult` with metrics.
+    """
+    if isinstance(spec, str):
+        spec = get_scenario(spec)
+    soc = soc or SoCConfig()
+    if isinstance(policy, SchedulerPolicy):
+        if qos_mode or policy_kwargs:
+            raise ValueError(
+                "qos_mode / policy kwargs only apply when the policy is "
+                "given by name; configure the instance directly instead"
+            )
+        scheduler = policy
+        policy_name = policy.name
+    else:
+        policy_name = policy
+        if qos_mode and policy_name.startswith("camdn"):
+            policy_kwargs["qos_mode"] = True
+        scheduler = make_scheduler(policy_name, **policy_kwargs)
+    # Warm (or hit) the process-wide prepared-workload cache: repeated
+    # runs over the same (policy, models, SoC) reuse solved mappings,
+    # layer cycles and access segments instead of re-deriving them
+    # inside the engine run.
+    prepare_workload(policy_name, spec.model_keys, soc)
+    workload = ScenarioWorkload(spec)
+    engine = MultiTenantEngine(soc, scheduler, workload, trace=trace,
+                               kernel_backend=kernel_backend)
+    return engine.run()
 
 
 def run_policy(
@@ -45,29 +132,20 @@ def run_policy(
     scale: ExperimentScale,
     qos_scale: float = float("inf"),
     qos_mode: bool = False,
-    legacy_loop: Optional[bool] = None,
 ) -> SimulationResult:
-    """Simulate one (policy, workload) cell.
+    """Simulate one (policy, closed-loop workload) cell.
 
-    ``legacy_loop`` selects the engine's pre-kernel scan loop (the
-    equivalence oracle used by tests and ``bench_engine.py``); the
-    default (``None``) follows the ``REPRO_LEGACY_ENGINE`` environment
-    variable.
+    Compatibility wrapper: lowers the legacy steady-state
+    :class:`~repro.sim.workload.WorkloadSpec` shape to its scenario and
+    routes through :func:`run_scenario`.
     """
-    kwargs = {}
-    if qos_mode and policy_name.startswith("camdn"):
-        kwargs["qos_mode"] = True
-    prepare_workload(policy_name, model_keys, soc)
-    scheduler = make_scheduler(policy_name, **kwargs)
     spec = WorkloadSpec(
         model_keys=list(model_keys),
         duration_s=scale.duration_s,
         warmup_s=scale.warmup_s,
         qos_scale=qos_scale,
-    )
-    workload = ClosedLoopWorkload(spec)
-    return MultiTenantEngine(soc, scheduler, workload,
-                             legacy_loop=legacy_loop).run()
+    ).to_scenario()
+    return run_scenario(spec, soc, policy_name, qos_mode=qos_mode)
 
 
 @functools.lru_cache(maxsize=None)

@@ -1,0 +1,125 @@
+"""Dynamic-tenancy churn experiment (beyond the paper's figures).
+
+The paper evaluates fixed tenant sets; this harness exercises the regime
+its adaptive allocator is actually motivated by — tenants joining and
+leaving without coordination.  The ``churn-eight`` registry scenario runs
+four resident closed-loop tenants plus four churning tenants with
+staggered ``join_s``/``leave_s`` lifecycles across all five policies,
+measuring how each policy's latency, deadline compliance and cache
+behaviour respond to mid-run departures (whose pages CaMDN reclaims and
+re-grants to survivors) and admissions (which shrink everyone's share).
+
+Deadlines use the paper's QoS-M level (``qos_scale=1.0``) so churn-driven
+violations are visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.scenario import ScenarioSpec, get_scenario
+from .sweep import SweepCell, run_sweep
+
+#: Policies compared, in presentation order.
+CHURN_POLICIES: Tuple[str, ...] = (
+    "baseline", "moca", "aurora", "camdn-hw", "camdn-full"
+)
+
+#: Registry scenario driving the comparison.
+CHURN_SCENARIO_NAME = "churn-eight"
+
+
+@dataclass(frozen=True)
+class ChurnRow:
+    """One policy's behaviour under the churn scenario."""
+
+    policy: str
+    inferences: int
+    avg_latency_ms: float
+    p99_latency_ms: float
+    qos_violations: int
+    avg_queue_delay_ms: float
+    offered_load_ratio: float
+    cancelled_inferences: int
+    tenant_admits: int
+    tenant_retires: int
+
+
+def churn_scenario(scale: float = 1.0) -> ScenarioSpec:
+    """The churn scenario at the requested window scale, with QoS-M
+    deadlines on every stream."""
+    spec = get_scenario(CHURN_SCENARIO_NAME).scaled(scale)
+    return ScenarioSpec(
+        streams=tuple(replace(s, qos_scale=1.0) for s in spec.streams),
+        duration_s=spec.duration_s,
+        warmup_s=spec.warmup_s,
+    )
+
+
+def run_churn(scale: float = 1.0,
+              policies: Sequence[str] = CHURN_POLICIES,
+              jobs: Optional[int] = None,
+              use_cache: bool = True) -> List[ChurnRow]:
+    """Run the churn scenario across policies (one sweep cell each)."""
+    spec = churn_scenario(scale)
+    cells = [
+        SweepCell.from_scenario(policy, spec, qos_mode=True)
+        for policy in policies
+    ]
+    results = run_sweep(cells, max_workers=jobs, use_cache=use_cache)
+    rows: List[ChurnRow] = []
+    for policy, result in zip(policies, results):
+        summary = result.summary()
+        rows.append(
+            ChurnRow(
+                policy=policy,
+                inferences=int(summary["inferences"]),
+                avg_latency_ms=summary["avg_latency_ms"],
+                p99_latency_ms=summary["p99_latency_ms"],
+                qos_violations=int(summary["qos_violations"]),
+                avg_queue_delay_ms=summary["avg_queue_delay_ms"],
+                offered_load_ratio=summary["offered_load_ratio"],
+                cancelled_inferences=int(
+                    summary["cancelled_inferences"]
+                ),
+                tenant_admits=int(
+                    result.scheduler_stats.get("tenant_admits", 0)
+                ),
+                tenant_retires=int(
+                    result.scheduler_stats.get("tenant_retires", 0)
+                ),
+            )
+        )
+    return rows
+
+
+def format_churn(rows: Sequence[ChurnRow]) -> str:
+    lines = [
+        "Churn — dynamic tenancy (4 resident + 4 churning tenants, "
+        "QoS-M deadlines)",
+        f"  {'policy':<12}{'inf':>5}{'avg ms':>8}{'p99 ms':>8}"
+        f"{'QoS viol':>9}{'queue ms':>9}{'load':>6}{'cancel':>7}"
+        f"{'adm/ret':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row.policy:<12}{row.inferences:>5}"
+            f"{row.avg_latency_ms:>8.2f}{row.p99_latency_ms:>8.2f}"
+            f"{row.qos_violations:>9}{row.avg_queue_delay_ms:>9.3f}"
+            f"{row.offered_load_ratio:>6.2f}"
+            f"{row.cancelled_inferences:>7}"
+            f"{row.tenant_admits:>4}/{row.tenant_retires:<3}"
+        )
+    if rows:
+        by_policy = {r.policy: r for r in rows}
+        full = by_policy.get("camdn-full")
+        base = by_policy.get("baseline")
+        if full and base and full.avg_latency_ms > 0:
+            lines.append(
+                f"  camdn-full vs baseline under churn: "
+                f"{base.avg_latency_ms / full.avg_latency_ms:.2f}x avg "
+                f"latency, {base.qos_violations} -> "
+                f"{full.qos_violations} QoS violations"
+            )
+    return "\n".join(lines)

@@ -33,11 +33,13 @@ import sys
 import time
 from typing import Callable, Dict, Optional
 
+from ..sim.scenario import scenario_registry
 from .fig2_motivation import format_fig2, run_fig2
 from .fig3_reuse import format_fig3, run_fig3
 from .fig7_speedup import format_fig7, run_fig7
 from .fig8_scaling import format_fig8, run_fig8
 from .fig9_qos import format_fig9, run_fig9
+from .fig_churn import format_churn, run_churn
 from .sweep import last_sweep_stats, reset_sweep_stats
 from .table3_area import format_table3, run_table3
 
@@ -70,6 +72,11 @@ def _table3(scale: float, jobs: Optional[int], use_cache: bool) -> str:
     return format_table3(run_table3())
 
 
+def _churn(scale: float, jobs: Optional[int], use_cache: bool) -> str:
+    return format_churn(run_churn(scale=scale, jobs=jobs,
+                                  use_cache=use_cache))
+
+
 EXPERIMENTS: Dict[str, Callable[[float, Optional[int], bool], str]] = {
     "fig2": _fig2,
     "fig3": _fig3,
@@ -77,7 +84,26 @@ EXPERIMENTS: Dict[str, Callable[[float, Optional[int], bool], str]] = {
     "fig8": _fig8,
     "fig9": _fig9,
     "table3": _table3,
+    "churn": _churn,
 }
+
+
+def format_scenario_list() -> str:
+    """The named-scenario registry as a table."""
+    lines = ["Registered scenarios (--list-scenarios):"]
+    for name, (spec, description) in sorted(
+        scenario_registry().items()
+    ):
+        window = (
+            f"{spec.duration_s * 1e3:.0f} ms window"
+            if spec.duration_s is not None else "count mode"
+        )
+        dynamics = "dynamic" if spec.has_dynamics else "static"
+        lines.append(
+            f"  {name:<16} {spec.num_streams:>2} streams  {window:<14} "
+            f"{dynamics:<8} {description}"
+        )
+    return "\n".join(lines)
 
 
 def _engine_stats_line() -> str:
@@ -101,8 +127,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which experiment to run",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the named-scenario registry and exit",
     )
     parser.add_argument(
         "--scale",
@@ -129,6 +161,13 @@ def main(argv=None) -> int:
              "(implies --jobs 1 and --no-cache)",
     )
     args = parser.parse_args(argv)
+
+    if args.list_scenarios:
+        print(format_scenario_list())
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment name (or --list-scenarios) is "
+                     "required")
 
     profiler = None
     jobs = args.jobs

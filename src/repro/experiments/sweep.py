@@ -1,9 +1,12 @@
 """Parallel experiment sweep runner with a persistent result cache.
 
 Experiment harnesses and benchmarks run grids of independent simulation
-cells — one per ``(policy, model mix, QoS level, SoC variant)`` point.
-Cells share no mutable state (each builds its own scheduler, workload and
-engine), so they parallelize perfectly across processes.
+cells — one per ``(policy, scenario, QoS level, SoC variant)`` point,
+where the scenario is either a classic closed-loop model mix or an
+explicit declarative :class:`~repro.sim.scenario.ScenarioSpec` (dynamic
+tenancy, open-loop arrivals).  Cells share no mutable state (each builds
+its own scheduler, workload and engine), so they parallelize perfectly
+across processes.
 
 :func:`run_sweep` executes a list of :class:`SweepCell` descriptions and
 returns one :class:`~repro.sim.engine.SimulationResult` per cell, in cell
@@ -50,6 +53,7 @@ from ..core.mapper.solver import SubspaceSolver
 from ..core.serialize import (
     atomic_write_text,
     resolve_cache_dir,
+    scenario_spec_to_dict,
     simulation_result_from_dict,
     simulation_result_to_dict,
     soc_config_to_dict,
@@ -58,42 +62,74 @@ from ..core.serialize import (
 )
 from ..errors import WorkloadError
 from ..sim.engine import SimulationResult
-from ..sim.workload import random_model_mix
-from .common import ExperimentScale, run_policy
+from ..sim.scenario import ScenarioSpec
+from ..sim.workload import WorkloadSpec, random_model_mix
+from .common import ExperimentScale, run_scenario
 
 #: Environment override for the persistent cell cache location; an empty
 #: value disables the cache entirely.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
+
+#: Cache-key schema of sweep cells.  v2: the key hashes the cell's fully
+#: resolved :class:`~repro.sim.scenario.ScenarioSpec`, so entries written
+#: before the scenario subsystem (or under a different lowering) can
+#: never be served for a scenario cell.
+SWEEP_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
 class SweepCell:
     """One independent simulation cell of an experiment grid.
 
+    A cell is either the classic closed-loop shape (``model_keys`` plus
+    the steady-state window knobs) or an explicit declarative scenario
+    (``scenario``); both resolve to one
+    :class:`~repro.sim.scenario.ScenarioSpec` via
+    :meth:`resolve_scenario`, which is what actually runs — and what the
+    persistent cache key hashes.
+
     Attributes:
         policy: scheduler name (``"baseline"``, ``"moca"``, ``"aurora"``,
             ``"camdn-hw"``, ``"camdn-full"``).
-        model_keys: one Table I abbreviation per co-located stream.
+        model_keys: one Table I abbreviation per co-located stream
+            (closed-loop cells; empty when ``scenario`` is given).
         qos_scale: latency-target multiplier (``inf`` disables deadlines).
         qos_mode: enable the AuRORA-style QoS integration on CaMDN.
-        scale: measurement-window scale (see :class:`ExperimentScale`).
+        scale: measurement-window scale (see :class:`ExperimentScale`;
+            scenario cells scale through
+            :meth:`~repro.sim.scenario.ScenarioSpec.scaled`).
         cache_bytes: overrides the sweep SoC's shared-cache capacity for
             this cell (``None`` keeps the sweep default).
         seed: seed used when the cell is built from a random model mix
             (recorded so the cell is self-describing and reproducible).
+        scenario: explicit scenario for this cell (dynamic tenancy,
+            open-loop arrivals); mutually exclusive with ``model_keys``.
     """
 
     policy: str
-    model_keys: Tuple[str, ...]
+    model_keys: Tuple[str, ...] = ()
     qos_scale: float = math.inf
     qos_mode: bool = False
     scale: float = 1.0
     cache_bytes: Optional[int] = None
     seed: int = field(default=2025)
+    scenario: Optional[ScenarioSpec] = None
 
     def __post_init__(self) -> None:
-        if not self.model_keys:
-            raise WorkloadError("sweep cell needs at least one stream")
+        if self.scenario is None and not self.model_keys:
+            raise WorkloadError(
+                "sweep cell needs model_keys or a scenario"
+            )
+        if self.scenario is not None and self.model_keys:
+            raise WorkloadError(
+                "sweep cell takes model_keys or a scenario, not both"
+            )
+        if self.scenario is not None and not math.isinf(self.qos_scale):
+            raise WorkloadError(
+                "scenario cells carry QoS per stream (StreamSpec."
+                "qos_scale); the cell-level qos_scale only applies to "
+                "model_keys cells"
+            )
 
     @classmethod
     def random_mix(cls, policy: str, num_streams: int,
@@ -107,8 +143,31 @@ class SweepCell:
             **kwargs,
         )
 
+    @classmethod
+    def from_scenario(cls, policy: str, scenario: ScenarioSpec,
+                      **kwargs) -> "SweepCell":
+        """Build a cell over an explicit declarative scenario."""
+        return cls(policy=policy, scenario=scenario, **kwargs)
+
+    def resolve_scenario(self) -> ScenarioSpec:
+        """The fully resolved scenario this cell simulates."""
+        if self.scenario is not None:
+            return self.scenario.scaled(self.scale)
+        scale = ExperimentScale(scale=self.scale)
+        return WorkloadSpec(
+            model_keys=list(self.model_keys),
+            duration_s=scale.duration_s,
+            warmup_s=scale.warmup_s,
+            qos_scale=self.qos_scale,
+        ).to_scenario()
+
     def to_dict(self) -> dict:
-        """Canonical JSON-ready form (part of the cache key)."""
+        """Canonical JSON-ready form (part of the cache key).
+
+        The scenario itself is not embedded here: :func:`cell_cache_key`
+        hashes the cell's *resolved* scenario alongside this dict, which
+        already captures the arrival dynamics exactly once.
+        """
         return {
             "policy": self.policy,
             "model_keys": list(self.model_keys),
@@ -135,11 +194,17 @@ def cell_cache_key(cell: SweepCell, soc: SoCConfig) -> str:
     Salted with the package version *and* a digest of the package's own
     source files, so any code edit — versioned or not — invalidates
     every cached result instead of silently replaying stale simulations.
+    The key also hashes the cell's fully resolved scenario (arrival
+    processes, tenancy timeline, per-stream QoS), so two cells that
+    differ only in arrival dynamics can never share an entry, and
+    pre-scenario cache entries (schema v1) are unreachable.
     """
     return stable_content_hash({
+        "sweep_schema_version": SWEEP_SCHEMA_VERSION,
         "repro_version": __version__,
         "source_salt": source_content_salt(),
         "cell": cell.to_dict(),
+        "scenario": scenario_spec_to_dict(cell.resolve_scenario()),
         "soc": soc_config_to_dict(soc),
     })
 
@@ -195,17 +260,17 @@ def reset_sweep_stats() -> None:
 
 
 def _run_cell(args: tuple) -> SimulationResult:
-    """Execute one cell (top-level so it pickles for worker processes)."""
+    """Execute one cell (top-level so it pickles for worker processes).
+
+    The cell's scenario is resolved from the spec alone (seeded arrival
+    randomness included), so a cell simulates identically in-process or
+    on any pool worker.
+    """
     cell, soc = args
     if cell.cache_bytes is not None:
         soc = soc.with_cache_bytes(cell.cache_bytes)
-    return run_policy(
-        soc,
-        cell.policy,
-        cell.model_keys,
-        ExperimentScale(scale=cell.scale),
-        qos_scale=cell.qos_scale,
-        qos_mode=cell.qos_mode,
+    return run_scenario(
+        cell.resolve_scenario(), soc, cell.policy, qos_mode=cell.qos_mode
     )
 
 
@@ -244,10 +309,7 @@ def run_sweep(
 
     cache_path: Optional[Path] = None
     keys: List[Optional[str]] = [None] * len(cells)
-    # Legacy-oracle runs must actually execute the legacy loop: cached
-    # entries hold kernel-loop results, so serving them would validate
-    # nothing.
-    if use_cache and not os.environ.get("REPRO_LEGACY_ENGINE"):
+    if use_cache:
         cache_path = cache_dir or default_cache_dir()
     if cache_path is not None:
         for i, cell in enumerate(cells):

@@ -83,6 +83,24 @@ class SchedulerPolicy(abc.ABC):
             self._prepared[graph.name] = prepared
         return prepared
 
+    def on_tenant_admit(self, stream_id: str, graph: ModelGraph,
+                        now: float) -> None:
+        """A tenant (stream) joined the scenario.
+
+        Fired once per stream before its first inference dispatches —
+        at engine start for the initial tenant set, and mid-run for
+        tenants with a ``join_s`` in dynamic-tenancy scenarios.  The
+        default is a no-op; policies use it to warm per-model state
+        (prepared artifacts, mapping files) off the inference hot path.
+        """
+
+    def on_tenant_retire(self, stream_id: str, now: float) -> None:
+        """A tenant left the scenario (scheduled departure or natural
+        exhaustion).  Any in-flight inference has already been ended or
+        cancelled through the per-task hooks, so per-task resources
+        (cache pages, regions) are released before this fires.  The
+        default is a no-op."""
+
     def cores_for(self, instance: TaskInstance, free_cores: int) -> int:
         """Cores granted to an arriving inference (default: one)."""
         return 1

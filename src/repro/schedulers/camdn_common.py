@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import SoCConfig
 from ..core.camdn import CaMDNSystem, LayerGrant
+from ..errors import SimulationError
 from ..memory.bwalloc import DemandProportionalPolicy, SlackWeightedPolicy
 from ..sim.task import LayerWork, TaskInstance
 from .base import SchedulerPolicy
@@ -57,9 +58,13 @@ class CaMDNSchedulerBase(SchedulerPolicy):
         self._work_cache: Dict[int, tuple] = {}
         self._timeouts = 0
         self._lbm_layers = 0
+        self._tenant_admits = 0
+        self._tenant_retires = 0
 
     def attach(self, soc: SoCConfig) -> None:
         super().attach(soc)
+        self._tenant_admits = 0
+        self._tenant_retires = 0
         mapper = None
         if self.usage_levels is not None or \
                 self.lbm_occupancy_fraction is not None:
@@ -107,6 +112,27 @@ class CaMDNSchedulerBase(SchedulerPolicy):
     # ------------------------------------------------------------------
     # Layer protocol
     # ------------------------------------------------------------------
+
+    def on_tenant_admit(self, stream_id: str, graph, now: float) -> None:
+        """Run (or reuse) the model's offline mapping at admission time,
+        so a tenant joining mid-run pays the mapping cost here rather
+        than inside its first inference's ``begin_layer`` chain."""
+        self.system.mapper.map_model(graph)
+        self._tenant_admits += 1
+
+    def on_tenant_retire(self, stream_id: str, now: float) -> None:
+        """Departure audit: the tenant's in-flight inference (if any) was
+        already ended or cancelled through :meth:`on_task_end`, so no
+        allocator task, region or pages may remain under its stream id.
+        A leak here means churn left cache pages orphaned."""
+        self._tenant_retires += 1
+        prefix = f"{stream_id}#"
+        for task_id in self.system.allocator.tasks:
+            if task_id.startswith(prefix):
+                raise SimulationError(
+                    f"tenant {stream_id} retired with allocator state "
+                    f"still registered for {task_id}"
+                )
 
     def on_task_start(self, instance: TaskInstance, now: float) -> None:
         self.system.admit_task(instance.instance_id, instance.graph)
@@ -346,4 +372,6 @@ class CaMDNSchedulerBase(SchedulerPolicy):
         return {
             "timeouts": float(self._timeouts),
             "lbm_layers": float(self._lbm_layers),
+            "tenant_admits": float(self._tenant_admits),
+            "tenant_retires": float(self._tenant_retires),
         }

@@ -41,10 +41,35 @@ class MoCAScheduler(SharedCacheBaseline):
         # throttle degenerates to halving every demand, which cancels
         # out of the proportional allocation (see bandwidth_shares_list).
         self._finite_qos_active = 0
+        # Admitted tenants whose model carries a latency target.
+        self._deadline_tenants = 0
 
     def attach(self, soc) -> None:
         super().attach(soc)
         self._finite_qos_active = 0
+        self._deadline_tenants = 0
+
+    # ------------------------------------------------------------------
+    # Tenant lifecycle: MoCA's slack throttle only matters for tenants
+    # whose models carry a latency target, so track that census alongside
+    # the baseline's prepared-artifact warm-up.
+    # ------------------------------------------------------------------
+
+    def on_tenant_admit(self, stream_id: str, graph, now: float) -> None:
+        super().on_tenant_admit(stream_id, graph, now)
+        if graph.qos_target_ms:
+            self._deadline_tenants += 1
+
+    def on_tenant_retire(self, stream_id: str, now: float) -> None:
+        graph = self._tenants.get(stream_id)
+        super().on_tenant_retire(stream_id, now)
+        if graph is not None and graph.qos_target_ms:
+            self._deadline_tenants -= 1
+
+    def stats(self):
+        stats = super().stats()
+        stats["deadline_tenants"] = float(self._deadline_tenants)
+        return stats
 
     def on_task_start(self, instance: TaskInstance, now: float) -> None:
         super().on_task_start(instance, now)

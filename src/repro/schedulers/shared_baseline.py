@@ -52,12 +52,41 @@ class SharedCacheBaseline(SchedulerPolicy):
         # factor, core count); the same layers recur once per inference,
         # so the engine's steady state is served from this memo.
         self._work_memo: Dict[tuple, LayerWork] = {}
+        #: Tenants currently admitted (dynamic-tenancy bookkeeping).
+        self._tenants: Dict[str, ModelGraph] = {}
+        self._tenant_admits = 0
+        self._tenant_retires = 0
 
     def attach(self, soc: SoCConfig) -> None:
         super().attach(soc)
         self._cache_model = TransparentCacheModel(soc.cache.total_bytes)
         self._active_ids = set()
         self._work_memo = {}
+        self._tenants = {}
+        self._tenant_admits = 0
+        self._tenant_retires = 0
+
+    # ------------------------------------------------------------------
+    # Tenant lifecycle (dynamic tenancy)
+    # ------------------------------------------------------------------
+
+    def on_tenant_admit(self, stream_id: str, graph: ModelGraph,
+                        now: float) -> None:
+        """Warm the model's prepared artifacts (segments, layer cycles)
+        off the inference hot path and register the tenant."""
+        self._tenants[stream_id] = graph
+        self._tenant_admits += 1
+        self.prepared_for(graph)
+
+    def on_tenant_retire(self, stream_id: str, now: float) -> None:
+        self._tenants.pop(stream_id, None)
+        self._tenant_retires += 1
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "tenant_admits": float(self._tenant_admits),
+            "tenant_retires": float(self._tenant_retires),
+        }
 
     # ------------------------------------------------------------------
 

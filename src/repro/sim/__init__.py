@@ -2,7 +2,21 @@
 
 from .task import InstanceState, LayerWork, TaskInstance
 from .engine import MultiTenantEngine, SimulationResult
-from .workload import ClosedLoopWorkload, WorkloadSpec, random_model_mix
+from .scenario import (
+    ArrivalProcess,
+    ScenarioSpec,
+    StreamSpec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    scenario_registry,
+)
+from .workload import (
+    ClosedLoopWorkload,
+    ScenarioWorkload,
+    WorkloadSpec,
+    random_model_mix,
+)
 from .metrics import InstanceRecord, MetricsCollector, ModelSummary
 from .qos import QoSReport, fairness, sla_rate, system_throughput
 
@@ -12,7 +26,15 @@ __all__ = [
     "TaskInstance",
     "MultiTenantEngine",
     "SimulationResult",
+    "ArrivalProcess",
+    "StreamSpec",
+    "ScenarioSpec",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "scenario_registry",
     "ClosedLoopWorkload",
+    "ScenarioWorkload",
     "WorkloadSpec",
     "random_model_mix",
     "InstanceRecord",

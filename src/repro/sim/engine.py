@@ -1,13 +1,16 @@
 """Fluid discrete-event multi-tenant engine.
 
-The engine advances a set of closed-loop inference streams over shared NPU
-cores and shared DRAM bandwidth.  Every running instance executes one layer
-at a time; a layer holds two fluid work quantities (compute cycles and DRAM
-bytes) that drain at rates set by the core clock and the policy's bandwidth
-shares.  A layer completes when both streams drain (double-buffered
-compute/DMA overlap).  Events are layer completions, page-wait wakeups and
-core handoffs; rates are recomputed after every event, which makes the
-simulation exact for piecewise-constant shares.
+The engine advances a set of inference streams over shared NPU cores and
+shared DRAM bandwidth.  Every running instance executes one layer at a
+time; a layer holds two fluid work quantities (compute cycles and DRAM
+bytes) that drain at rates set by the core clock and the policy's
+bandwidth shares.  A layer completes when both streams drain
+(double-buffered compute/DMA overlap).  Events are layer completions,
+page-wait wakeups, core handoffs and **scenario timeline events** —
+tenant admissions, open-loop arrivals and tenant departures scheduled by
+the :class:`~repro.sim.workload.ScenarioWorkload`.  Rates are recomputed
+after every event, which makes the simulation exact for
+piecewise-constant shares.
 
 The event loop runs on a structure-of-arrays kernel
 (:class:`~repro.sim.kernel.RunningKernel`): remaining compute/DRAM work and
@@ -19,31 +22,36 @@ events where a waiter is actually due.  Rate recomputation is driven by
 explicit invalidation notifications at the exact state transitions that
 can change shares — membership changes always invalidate; layer-work
 changes only invalidate policies whose shares track task progress
-(:attr:`SchedulerPolicy.dynamic_rates`) — replacing the coarse dirty flag
-that previously forced a share recomputation after every grant.
+(:attr:`SchedulerPolicy.dynamic_rates`).
 
-When the policy's rates are static and no waiter or queued task can
-intervene, the loop drops into a **steady-interval fast-forward**
-(:meth:`MultiTenantEngine._fast_forward`): the run of consecutive layer
-completions is executed in a tight kernel-only loop that skips rate
-recomputation, wait-heap peeks and dispatch checks entirely.  Each
-piecewise-constant interval is still stepped individually — exactness (and
-bit-identity with the legacy scan loop) requires draining every interval
-with the same arithmetic — so the fast-forward elides bookkeeping, never
-events.
+When the policy's rates are static and no waiter, queued task or pending
+timeline event can intervene, the loop drops into a **steady-interval
+fast-forward** (:meth:`MultiTenantEngine._fast_forward`): the run of
+consecutive layer completions is executed in a tight kernel-only loop
+that skips rate recomputation, wait-heap peeks and dispatch checks
+entirely.  Each piecewise-constant interval is still stepped individually
+— exactness requires draining every interval with the same arithmetic —
+so the fast-forward elides bookkeeping, never events.
 
-The pre-kernel per-instance scan loop is retained for one release behind
-``legacy_loop=True`` (or ``REPRO_LEGACY_ENGINE=1``) as an equivalence
-oracle: both loops must produce byte-identical summary metrics.
+Dynamic tenancy: a tenant that joins mid-run is admitted through the
+scheduler's :meth:`~repro.schedulers.base.SchedulerPolicy.on_tenant_admit`
+hook before its first inference dispatches; a tenant that leaves is
+retired preemptively — an in-flight inference is aborted, its cores are
+returned, and the scheduler's per-task end hook releases its cache pages
+and region (so CaMDN's region resizing is exercised by churn) before
+:meth:`~repro.schedulers.base.SchedulerPolicy.on_tenant_retire` fires.
 
 This substrate replaces the paper's in-house cycle-accurate simulator on
-DRAMsim3; see DESIGN.md for the substitution argument.
+DRAMsim3; see DESIGN.md for the substitution argument.  The pre-kernel
+per-instance scan loop that shipped one release behind (``legacy_loop``)
+has been removed; kernel-loop equivalence is pinned by the committed
+20-scenario reference summaries (``tests/data/
+metric_summary_reference.json``).
 """
 
 from __future__ import annotations
 
 import math
-import os
 import time
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
@@ -58,13 +66,13 @@ if TYPE_CHECKING:  # circular at runtime: schedulers.base uses sim.task
     from ..schedulers.base import SchedulerPolicy
     from .trace import TraceRecorder
 from .task import InstanceState, TaskInstance
-from .workload import ClosedLoopWorkload
+from .workload import ScenarioWorkload
 
 #: Hard cap on engine iterations; generous versus any real experiment and
 #: purely a runaway guard.
 _MAX_EVENTS = 5_000_000
 
-#: Tolerance for "a waiter is due" checks (matches the legacy loop).
+#: Tolerance for "a waiter / timeline event is due" checks.
 _WAKE_EPS = 1e-12
 
 
@@ -80,6 +88,17 @@ class SimulationResult:
     wall_time_s: float = 0.0
     #: Number of engine events processed (deterministic per scenario).
     events_processed: int = 0
+    #: Inferences offered by the scenario (dispatched, backlogged or
+    #: dropped by departures) — the open-loop demand side.
+    offered_inferences: int = 0
+    #: Inferences aborted by preemptive tenant departures (in flight or
+    #: still queued for a core).
+    cancelled_inferences: int = 0
+    #: Offered arrival rate over the offer window divided by the
+    #: completion rate over the full simulated time.  ~1.0 for
+    #: closed-loop scenarios; > 1 when open-loop load outruns service
+    #: (queues grow and the drain stretches past the window).
+    offered_load_ratio: float = 1.0
 
     @property
     def events_per_s(self) -> float:
@@ -90,6 +109,11 @@ class SimulationResult:
 
     def summary(self) -> Dict[str, float]:
         summary = self.metric_summary()
+        summary["avg_queue_delay_ms"] = \
+            self.metrics.avg_queue_delay_s() * 1e3 \
+            if self.metrics.records else 0.0
+        summary["offered_load_ratio"] = self.offered_load_ratio
+        summary["cancelled_inferences"] = self.cancelled_inferences
         summary["wall_time_s"] = self.wall_time_s
         summary["events_processed"] = self.events_processed
         return summary
@@ -99,7 +123,9 @@ class SimulationResult:
 
         This is the byte-identity surface: two engines (or backends, or
         cache layers) agree iff their ``metric_summary()`` dicts are
-        byte-identical under ``json.dumps``.
+        byte-identical under ``json.dumps``.  Scenario-level additions
+        (queueing delay, offered load) live in :meth:`summary` so the
+        frozen closed-loop references stay valid.
         """
         return {
             "sim_time_s": self.sim_time_s,
@@ -113,23 +139,21 @@ class SimulationResult:
 
 
 class MultiTenantEngine:
-    """Simulates a workload under one scheduling policy."""
+    """Simulates one scenario under one scheduling policy."""
 
     def __init__(self, soc: SoCConfig, scheduler: "SchedulerPolicy",
-                 workload: ClosedLoopWorkload,
+                 workload: ScenarioWorkload,
                  trace: Optional["TraceRecorder"] = None,
-                 legacy_loop: Optional[bool] = None,
                  kernel_backend: Optional[str] = None) -> None:
-        if legacy_loop is None:
-            legacy_loop = bool(os.environ.get("REPRO_LEGACY_ENGINE"))
         self.soc = soc
         self.scheduler = scheduler
         self.workload = workload
         self.metrics = MetricsCollector()
         self.trace = trace
-        self.legacy_loop = legacy_loop
         self.now = 0.0
         self.events_processed = 0
+        self.cancelled = 0
+        self._completed = 0
         self._dynamic_rates = scheduler.dynamic_rates
         # Optional fused end+begin scheduler hook (see
         # _process_completions); policies without it use the split path.
@@ -139,6 +163,8 @@ class MultiTenantEngine:
                                         False)
         self._queued: List[TaskInstance] = []
         self._active: Dict[str, TaskInstance] = {}
+        #: stream_id -> in-flight instance id (dynamic-tenancy lookups).
+        self._stream_active: Dict[str, str] = {}
         self._free_cores = soc.num_npu_cores
         self._core_grant: Dict[str, int] = {}
         # SoC constants and per-width uniform efficiencies, cached off
@@ -146,9 +172,13 @@ class MultiTenantEngine:
         self._total_bw = soc.dram.total_bandwidth_bytes_per_s
         self._freq = soc.npu.frequency_hz
         self._uniform_eff: Dict[int, Optional[float]] = {}
-        # SoA kernel over the RUNNING set (kernel loop).
+        # SoA kernel over the RUNNING set.
         self._kernel = RunningKernel(force_backend=kernel_backend)
         self._rates_valid = False
+        # Scenario timeline: once the workload's scheduled events drain,
+        # the flag keeps the hot loop at one boolean test per event
+        # (pure closed-loop scenarios drain it at t=0).
+        self._timeline_done = False
         # WAITING_PAGES instances, insertion-ordered (grant-retry order is
         # observable policy state, so iteration order must be stable).
         self._waiting_set: Dict[str, TaskInstance] = {}
@@ -157,23 +187,20 @@ class MultiTenantEngine:
         self._wait_heap: List[Tuple[float, int, TaskInstance]] = []
         self._wait_seq: Dict[str, int] = {}
         self._next_seq = 0
-        # Legacy-loop bookkeeping (pre-kernel engine).
-        self._running_set: Dict[str, TaskInstance] = {}
-        self._rates_cache: Dict[str, tuple] = {}
-        self._rates_dirty = True
 
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
-        """Execute the workload to completion."""
+        """Execute the scenario to completion."""
         start = time.perf_counter()
         self.scheduler.attach(self.soc)
         self._dynamic_rates = self.scheduler.dynamic_rates
-        self._queued.extend(self.workload.initial_instances())
-        if self.legacy_loop:
-            self._legacy_run_loop()
-        else:
-            self._kernel_run_loop()
+        self._process_timeline(initial=True)
+        self._kernel_run_loop()
+        # Balanced tenancy hooks: retire anything still admitted (e.g. a
+        # stream whose leave time lies beyond the last completion).
+        for stream_id in self.workload.unfinished_streams():
+            self.scheduler.on_tenant_retire(stream_id, self.now)
         return SimulationResult(
             scheduler_name=self.scheduler.name,
             sim_time_s=self.now,
@@ -181,7 +208,34 @@ class MultiTenantEngine:
             scheduler_stats=self.scheduler.stats(),
             wall_time_s=time.perf_counter() - start,
             events_processed=self.events_processed,
+            offered_inferences=self.workload.offered_inferences,
+            cancelled_inferences=self.cancelled,
+            offered_load_ratio=self._offered_load_ratio(),
         )
+
+    def _offered_load_ratio(self) -> float:
+        """Offered rate over the offer window vs completion rate over the
+        whole run (see :attr:`SimulationResult.offered_load_ratio`).
+
+        Closed-loop scenarios are self-clocked — arrivals exist only
+        because completions happened — so their ratio is definitionally
+        1.0.  With open-loop streams, the offer window is the scenario
+        window (or, in count mode, the span over which arrivals were
+        actually offered), making the ratio > 1 exactly when offered
+        load outruns service capacity.
+        """
+        workload = self.workload
+        if not workload.has_open_loop:
+            return 1.0
+        offered = workload.offered_inferences
+        duration = workload.scenario.duration_s
+        offer_window = duration if duration is not None \
+            else workload.last_offer_s
+        if offer_window <= 0 or self._completed <= 0 or self.now <= 0:
+            return 1.0
+        offered_rate = offered / offer_window
+        completion_rate = self._completed / self.now
+        return offered_rate / completion_rate
 
     # ------------------------------------------------------------------
     # Kernel event loop
@@ -191,14 +245,25 @@ class MultiTenantEngine:
         self._dispatch_queued()
         dynamic = self._dynamic_rates
         kernel = self._kernel
-        while self._active or self._queued:
+        workload = self.workload
+        while self._active or self._queued or not self._timeline_done:
             if self.events_processed >= _MAX_EVENTS:
                 raise SimulationError(
                     "event cap exceeded; runaway simulation"
                 )
             if not self._rates_valid:
                 self._recompute_rates()
-            if not dynamic and not self._wait_heap and not self._queued:
+            timeline_s = math.inf
+            if not self._timeline_done:
+                timeline_s = workload.next_timeline_s()
+                if math.isinf(timeline_s):
+                    self._timeline_done = True
+                    if not self._active and not self._queued:
+                        break
+            if (
+                not dynamic and not self._wait_heap and not self._queued
+                and math.isinf(timeline_s)
+            ):
                 if self._fast_forward():
                     # Finish the interrupted event's remaining phases:
                     # a completion may have queued a successor stream or
@@ -215,6 +280,10 @@ class MultiTenantEngine:
                     wait_dt = wake - self.now
                     if wait_dt < 0.0:
                         wait_dt = 0.0
+            if timeline_s - self.now < wait_dt:
+                wait_dt = timeline_s - self.now
+                if wait_dt < 0.0:
+                    wait_dt = 0.0
             dt, finished = kernel.step(wait_dt)
             if math.isinf(dt):
                 raise SimulationError(
@@ -228,6 +297,8 @@ class MultiTenantEngine:
                 self._process_completions(finished)
             if self._wait_heap:
                 self._process_timeouts()
+            if not self._timeline_done:
+                self._process_timeline()
             if self._queued:
                 self._dispatch_queued()
 
@@ -236,12 +307,13 @@ class MultiTenantEngine:
 
         Preconditions (checked by the caller): rates are valid and cannot
         drift between events (``dynamic_rates`` is False), no instance is
-        waiting for pages, and nothing is queued — so until a membership
-        change every event is a layer completion of a running instance.
-        The run of consecutive completions is executed in a tight loop
-        over the kernel alone; rate recomputation, wait-heap peeks and
-        dispatch checks are skipped until a grant or task finish breaks
-        the steady interval.  Returns True if any events were processed.
+        waiting for pages, nothing is queued, and the scenario timeline is
+        exhausted — so until a membership change every event is a layer
+        completion of a running instance.  The run of consecutive
+        completions is executed in a tight loop over the kernel alone;
+        rate recomputation, wait-heap peeks and dispatch checks are
+        skipped until a grant or task finish breaks the steady interval.
+        Returns True if any events were processed.
         """
         kernel = self._kernel
         step = kernel.step
@@ -269,9 +341,7 @@ class MultiTenantEngine:
 
         The DRAM rate is clamped to >= 1e-6 bytes/s here — once, at the
         single place rates are produced — so the min-dt search and the
-        fluid advance always use the same (finite-progress) rate.  The
-        legacy loop clamped only in the dt search, so a near-zero share
-        could yield a finite dt with no matching progress.
+        fluid advance always use the same (finite-progress) rate.
         """
         kernel = self._kernel
         insts = kernel.insts
@@ -332,8 +402,7 @@ class MultiTenantEngine:
     def _notify_work_change(self, inst: TaskInstance) -> None:
         """A running instance started a new layer.  Only policies whose
         shares track task progress care; membership-only policies keep
-        their cached rates — this is the precise notification that
-        replaces the legacy loop's coarse dirty flag."""
+        their cached rates."""
         if self.scheduler.dynamic_rates:
             self._rates_valid = False
 
@@ -358,7 +427,83 @@ class MultiTenantEngine:
         return math.inf
 
     # ------------------------------------------------------------------
-    # Event handling (kernel loop)
+    # Scenario timeline (admissions, open-loop arrivals, departures)
+    # ------------------------------------------------------------------
+
+    def _process_timeline(self, initial: bool = False) -> None:
+        """Admit tenants, deliver scheduled arrivals and retire departing
+        tenants whose timeline events are due."""
+        workload = self.workload
+        if not initial and \
+                workload.next_timeline_s() - self.now > _WAKE_EPS:
+            return
+        batch = workload.pop_due(self.now)
+        scheduler = self.scheduler
+        for stream_id in batch.admits:
+            scheduler.on_tenant_admit(
+                stream_id, workload.graph_of(stream_id), self.now
+            )
+        if batch.instances:
+            self._enqueue(batch.instances)
+        for stream_id in batch.leaves:
+            self._retire_stream(stream_id)
+        self._flush_retired()
+
+    def _enqueue(self, instances: List[TaskInstance]) -> None:
+        for inst in instances:
+            self._stream_active[inst.stream_id] = inst.instance_id
+            self._queued.append(inst)
+
+    def _retire_stream(self, stream_id: str) -> None:
+        """Preemptive departure: abort the in-flight inference (if any),
+        release its cores and cache state, then fire the tenant hook."""
+        iid = self._stream_active.pop(stream_id, None)
+        if iid is not None:
+            inst = self._active.get(iid)
+            if inst is not None:
+                self._cancel_instance(inst)
+            else:
+                # Still queued for a core: withdraw it (the scheduler
+                # never saw it, so no task-end hook) but count the
+                # cancellation — it was offered and will never complete,
+                # keeping offered == completed + cancelled + dropped.
+                before = len(self._queued)
+                self._queued = [
+                    q for q in self._queued if q.instance_id != iid
+                ]
+                self.cancelled += before - len(self._queued)
+        self.scheduler.on_tenant_retire(stream_id, self.now)
+
+    def _cancel_instance(self, inst: TaskInstance) -> None:
+        """Abort an admitted instance mid-inference.
+
+        The scheduler's task-end hook runs so per-task state (cache
+        pages, regions, demand bookkeeping) is released exactly as on a
+        normal completion; the instance is not recorded in metrics.
+        """
+        iid = inst.instance_id
+        inst.state = InstanceState.CANCELLED
+        inst.finish_time = self.now
+        self.scheduler.on_task_end(inst, self.now)
+        self._free_cores += self._core_grant.pop(iid)
+        del self._active[iid]
+        if iid in self._kernel.pos:
+            self._kernel.remove(inst)
+        self._waiting_set.pop(iid, None)
+        self._wait_seq.pop(iid, None)
+        self.cancelled += 1
+        self._notify_membership_change()
+        if self._waiting_set:
+            self._poll_waiting()
+
+    def _flush_retired(self) -> None:
+        """Fire tenant-retire hooks for naturally-finished streams."""
+        for stream_id in self.workload.take_retired():
+            self._stream_active.pop(stream_id, None)
+            self.scheduler.on_tenant_retire(stream_id, self.now)
+
+    # ------------------------------------------------------------------
+    # Event handling
     # ------------------------------------------------------------------
 
     def _process_completions(self, finished_pos: List[int]) -> None:
@@ -411,11 +556,17 @@ class MultiTenantEngine:
         self._waiting_set.pop(inst.instance_id, None)
         self._wait_seq.pop(inst.instance_id, None)
         self._notify_membership_change()
+        self._completed += 1
         if not self.workload.is_warmup(inst):
             self.metrics.record(inst)
-        next_inst = self.workload.next_instance(inst.stream_id, self.now)
+        stream_id = inst.stream_id
+        next_inst = self.workload.next_instance(stream_id, self.now)
         if next_inst is not None:
+            self._stream_active[stream_id] = next_inst.instance_id
             self._queued.append(next_inst)
+        else:
+            self._stream_active.pop(stream_id, None)
+            self._flush_retired()
 
     def _begin_layer(self, inst: TaskInstance) -> None:
         work, timeout = self.scheduler.begin_layer(inst, self.now)
@@ -501,179 +652,6 @@ class MultiTenantEngine:
                 self._active[inst.instance_id] = inst
                 self.scheduler.on_task_start(inst, self.now)
                 self._begin_layer(inst)
-            else:
-                still_queued.append(inst)
-        self._queued = still_queued
-
-    # ------------------------------------------------------------------
-    # Legacy per-instance scan loop (pre-kernel engine)
-    #
-    # Kept verbatim for one release as the equivalence oracle for the
-    # kernel loop; selected with ``legacy_loop=True`` or the
-    # ``REPRO_LEGACY_ENGINE=1`` environment variable.  Do not optimize.
-    # ------------------------------------------------------------------
-
-    def _legacy_run_loop(self) -> None:
-        self._legacy_dispatch_queued()
-        for _ in range(_MAX_EVENTS):
-            if not self._active and not self._queued:
-                break
-            rates = self._legacy_rates()
-            dt = self._legacy_next_event_dt(rates)
-            if math.isinf(dt):
-                raise SimulationError(
-                    "deadlock: active instances but no future event"
-                )
-            self._legacy_advance(dt, rates)
-            self.events_processed += 1
-            self._legacy_process_completions()
-            self._legacy_process_timeouts()
-            self._legacy_dispatch_queued()
-        else:
-            raise SimulationError("event cap exceeded; runaway simulation")
-
-    def _legacy_rates(self) -> Dict[str, tuple]:
-        """(compute_rate cycles/s, dram_rate bytes/s) per running task."""
-        if not self._rates_dirty:
-            return self._rates_cache
-        running = self._running_set
-        shares = self.scheduler.bandwidth_shares(running, self.now)
-        total_bw = self.soc.dram.total_bandwidth_bytes_per_s
-        freq = self.soc.npu.frequency_hz
-        rates: Dict[str, tuple] = {}
-        num_running = len(running)
-        for iid, inst in running.items():
-            share = shares.get(iid, 0.0)
-            if share <= 0 and inst.rem_dram_bytes > 0:
-                raise SimulationError(
-                    f"{iid} has pending DRAM work but zero bandwidth"
-                )
-            efficiency = self.scheduler.dram_efficiency(inst, num_running)
-            rates[iid] = (freq, total_bw * share * efficiency)
-        self._rates_cache = rates
-        self._rates_dirty = False
-        return rates
-
-    def _legacy_next_event_dt(self, rates: Dict[str, tuple]) -> float:
-        dt = math.inf
-        for iid, inst in self._running_set.items():
-            compute_rate, dram_rate = rates[iid]
-            dt = min(
-                dt,
-                inst.time_to_finish_layer(
-                    compute_rate, max(dram_rate, 1e-6)
-                ),
-            )
-        now = self.now
-        for inst in self._waiting_set.values():
-            dt = min(dt, max(inst.wake_time - now, 0.0))
-        return dt
-
-    def _legacy_advance(self, dt: float,
-                        rates: Dict[str, tuple]) -> None:
-        if dt < 0:
-            raise SimulationError(f"negative time step {dt}")
-        for iid, inst in self._running_set.items():
-            compute_rate, dram_rate = rates[iid]
-            inst.advance(dt, compute_rate, dram_rate)
-        self.now += dt
-        if self._running_set and self.scheduler.dynamic_rates:
-            self._rates_dirty = True
-
-    def _legacy_process_completions(self) -> None:
-        finished_layers = [
-            inst for inst in self._running_set.values()
-            if inst.layer_finished()
-        ]
-        pages_freed = False
-        for inst in finished_layers:
-            if self.trace is not None:
-                self.trace.end(inst.instance_id, self.now,
-                               dram_bytes=inst.work.dram_bytes)
-            inst.account_layer()
-            self.scheduler.on_layer_end(inst, self.now)
-            inst.layer_index += 1
-            pages_freed = True
-            if inst.done_all_layers:
-                self._legacy_finish_instance(inst)
-            else:
-                self._legacy_begin_layer(inst)
-        if pages_freed:
-            self._legacy_poll_waiting()
-
-    def _legacy_finish_instance(self, inst: TaskInstance) -> None:
-        inst.state = InstanceState.DONE
-        inst.finish_time = self.now
-        self.scheduler.on_task_end(inst, self.now)
-        self._free_cores += self._core_grant.pop(inst.instance_id)
-        del self._active[inst.instance_id]
-        self._running_set.pop(inst.instance_id, None)
-        self._waiting_set.pop(inst.instance_id, None)
-        self._rates_dirty = True
-        if not self.workload.is_warmup(inst):
-            self.metrics.record(inst)
-        next_inst = self.workload.next_instance(inst.stream_id, self.now)
-        if next_inst is not None:
-            self._queued.append(next_inst)
-
-    def _legacy_begin_layer(self, inst: TaskInstance) -> None:
-        work, timeout = self.scheduler.begin_layer(inst, self.now)
-        self._legacy_apply_grant(inst, work, timeout)
-
-    def _legacy_apply_grant(self, inst: TaskInstance, work,
-                            timeout: float) -> None:
-        self._rates_dirty = True
-        if work is None:
-            inst.state = InstanceState.WAITING_PAGES
-            if math.isinf(timeout):
-                raise SimulationError(
-                    f"{inst.instance_id}: ungranted wait with no timeout"
-                )
-            inst.wake_time = self.now + max(timeout, 0.0)
-            self._running_set.pop(inst.instance_id, None)
-            self._waiting_set[inst.instance_id] = inst
-            if self.trace is not None:
-                from .trace import SpanKind
-
-                self.trace.begin(inst.instance_id, SpanKind.WAIT_PAGES,
-                                 inst.layer_index, self.now)
-        else:
-            inst.begin_work(work)
-            inst.wake_time = math.inf
-            self._waiting_set.pop(inst.instance_id, None)
-            self._running_set[inst.instance_id] = inst
-            if inst.start_time is None:
-                inst.start_time = self.now
-            if self.trace is not None:
-                from .trace import SpanKind
-
-                self.trace.begin(inst.instance_id, SpanKind.LAYER,
-                                 inst.layer_index, self.now)
-
-    def _legacy_poll_waiting(self) -> None:
-        for inst in list(self._waiting_set.values()):
-            work, timeout = self.scheduler.poll_layer(inst, self.now)
-            if work is not None:
-                self._legacy_apply_grant(inst, work, timeout)
-
-    def _legacy_process_timeouts(self) -> None:
-        for inst in list(self._waiting_set.values()):
-            if inst.wake_time - self.now > _WAKE_EPS:
-                continue
-            work, timeout = self.scheduler.timeout_layer(inst, self.now)
-            self._legacy_apply_grant(inst, work, timeout)
-
-    def _legacy_dispatch_queued(self) -> None:
-        still_queued: List[TaskInstance] = []
-        for inst in self._queued:
-            cores = self.scheduler.cores_for(inst, self._free_cores)
-            if 0 < cores <= self._free_cores:
-                self._free_cores -= cores
-                inst.cores = cores
-                self._core_grant[inst.instance_id] = cores
-                self._active[inst.instance_id] = inst
-                self.scheduler.on_task_start(inst, self.now)
-                self._legacy_begin_layer(inst)
             else:
                 still_queued.append(inst)
         self._queued = still_queued

@@ -19,17 +19,18 @@ results:
   whenever numpy is unavailable), where per-call numpy overhead would
   exceed the loop it replaces.
 
-Bit-identity between the backends — and with the legacy per-instance scan
-loop — holds because every operation is element-wise IEEE-754 double
-arithmetic in the same expression shape, and the only reduction is a
-``min``, which is exact in any order.  Order-sensitive reductions (the
-bandwidth-share normalizations) stay in policy code and always see values
-in insertion order.
+Bit-identity between the backends — and with the scalar reference
+semantics on :class:`~repro.sim.task.TaskInstance` — holds because every
+operation is element-wise IEEE-754 double arithmetic in the same
+expression shape, and the only reduction is a ``min``, which is exact in
+any order.  Order-sensitive reductions (the bandwidth-share
+normalizations) stay in policy code and always see values in insertion
+order.
 
 Insertion order is load-bearing: completion processing and bandwidth-share
-normalization must observe instances in the same order as the legacy
-engine's insertion-ordered running dict, so positions are compacted (never
-reused out of order) on every membership change.
+normalization must observe instances in insertion order (the frozen
+reference summaries were captured under that order), so positions are
+compacted (never reused out of order) on every membership change.
 """
 
 from __future__ import annotations

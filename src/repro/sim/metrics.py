@@ -94,6 +94,14 @@ class MetricsCollector:
             raise SimulationError("no measured inferences")
         return sum(r.dram_bytes for r in self.records) / len(self.records)
 
+    def avg_queue_delay_s(self) -> float:
+        """Mean dispatch-to-start delay (time an inference waited for a
+        core or, open-loop, behind its stream's previous inference)."""
+        if not self.records:
+            raise SimulationError("no measured inferences")
+        return sum(r.start_time - r.arrival_time for r in self.records) \
+            / len(self.records)
+
     def p99_latency_s(self) -> float:
         """99th-percentile dispatch-to-finish latency (tail metric).
 

@@ -1,0 +1,546 @@
+"""Declarative multi-tenant scenarios: arrival processes and tenancy.
+
+The paper's experiments pin one workload shape — a fixed tenant set of
+closed-loop streams, all present from t=0 — but the headline claim is
+adaptive cache management for *dynamic* multi-DNN workloads.  This module
+makes the workload axis declarative so arrival dynamics are first-class
+experiment inputs:
+
+* :class:`ArrivalProcess` — how one stream's inferences arrive: the
+  closed loop of the paper, open-loop periodic dispatch, a seeded Poisson
+  process, or a bursty on/off pattern.
+* :class:`StreamSpec` — one tenant: model, QoS class, arrival process,
+  count quota, and a ``join_s``/``leave_s`` lifecycle so tenants can
+  enter and leave mid-run without coordination (the asynchronous
+  multiple-access regime of the conflict-avoiding-code literature).
+* :class:`ScenarioSpec` — the full scenario: tenant set plus measurement
+  window.  Specs serialize to canonical JSON with exact float round-trip
+  (see :mod:`repro.core.serialize`), so they can key on-disk caches.
+
+A process-wide registry maps names to curated scenarios
+(:func:`register_scenario` / :func:`get_scenario` /
+:func:`scenario_names`); ``python -m repro.experiments.runner
+--list-scenarios`` prints it.
+
+Every spec is a frozen dataclass: hashable, comparable, and safe to share
+across threads and worker processes.  Seeded randomness (Poisson
+arrivals) is derived purely from the spec, so a scenario simulates
+identically under any ``--jobs`` setting.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+
+#: Serialization schema of scenario specs; bump on field changes.
+SCENARIO_SCHEMA_VERSION = 1
+
+#: Arrival-process kinds.
+CLOSED_LOOP = "closed-loop"
+PERIODIC = "periodic"
+POISSON = "poisson"
+BURSTY = "bursty"
+
+_KINDS = (CLOSED_LOOP, PERIODIC, POISSON, BURSTY)
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """How one stream's inferences arrive.
+
+    Attributes:
+        kind: ``"closed-loop"`` (next inference dispatched the instant the
+            previous completes — the paper's setup), ``"periodic"`` (open
+            loop, one arrival every ``period_s``), ``"poisson"`` (open
+            loop, exponential inter-arrivals at ``rate_hz``, seeded), or
+            ``"bursty"`` (open loop: ``on_s`` seconds of periodic
+            arrivals, then ``off_s`` seconds of silence, repeating).
+        period_s: inter-arrival period (periodic / bursty).
+        rate_hz: mean arrival rate (poisson).
+        phase_s: offset of the first arrival after the stream joins
+            (periodic / bursty; staggers otherwise-identical streams).
+        on_s / off_s: burst window lengths (bursty).
+        seed: Poisson RNG seed.  The effective seed is salted with the
+            stream's index, so identical processes on different streams
+            draw independent (but reproducible) arrival times.
+
+    Open-loop arrivals are *offered* regardless of service progress: if a
+    stream's previous inference is still in flight, the new arrival waits
+    in the stream's FIFO and its queueing delay counts toward latency.
+    """
+
+    kind: str = CLOSED_LOOP
+    period_s: Optional[float] = None
+    rate_hz: Optional[float] = None
+    phase_s: float = 0.0
+    on_s: Optional[float] = None
+    off_s: Optional[float] = None
+    seed: int = 2025
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise WorkloadError(
+                f"unknown arrival kind {self.kind!r}; known: {_KINDS}"
+            )
+        if self.kind in (PERIODIC, BURSTY):
+            if self.period_s is None or self.period_s <= 0:
+                raise WorkloadError(f"{self.kind} needs period_s > 0")
+        if self.kind == POISSON:
+            if self.rate_hz is None or self.rate_hz <= 0:
+                raise WorkloadError("poisson needs rate_hz > 0")
+        if self.kind == BURSTY:
+            if self.on_s is None or self.on_s <= 0:
+                raise WorkloadError("bursty needs on_s > 0")
+            if self.off_s is None or self.off_s < 0:
+                raise WorkloadError("bursty needs off_s >= 0")
+        if self.phase_s < 0:
+            raise WorkloadError("phase_s cannot be negative")
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def closed_loop(cls) -> "ArrivalProcess":
+        """The paper's dispatch rule (completion-coupled arrivals)."""
+        return cls(kind=CLOSED_LOOP)
+
+    @classmethod
+    def periodic(cls, period_s: float,
+                 phase_s: float = 0.0) -> "ArrivalProcess":
+        """Open-loop fixed-rate arrivals."""
+        return cls(kind=PERIODIC, period_s=period_s, phase_s=phase_s)
+
+    @classmethod
+    def poisson(cls, rate_hz: float, seed: int = 2025) -> "ArrivalProcess":
+        """Open-loop memoryless arrivals at ``rate_hz`` (seeded)."""
+        return cls(kind=POISSON, rate_hz=rate_hz, seed=seed)
+
+    @classmethod
+    def bursty(cls, period_s: float, on_s: float, off_s: float,
+               phase_s: float = 0.0) -> "ArrivalProcess":
+        """Open-loop on/off arrivals: ``on_s`` of periodic dispatch at
+        ``period_s``, then ``off_s`` of silence, repeating."""
+        return cls(kind=BURSTY, period_s=period_s, on_s=on_s,
+                   off_s=off_s, phase_s=phase_s)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_open_loop(self) -> bool:
+        return self.kind != CLOSED_LOOP
+
+    def arrival_times(self, stream_index: int, start_s: float,
+                      end_s: float) -> Iterator[float]:
+        """Absolute arrival times in ``[start_s, end_s)``.
+
+        Pure function of ``(self, stream_index, start_s, end_s)``; the
+        Poisson stream seeds a private RNG from ``(seed, stream_index)``
+        via string seeding (SHA-512 based, stable across processes and
+        ``PYTHONHASHSEED`` values).
+        """
+        if self.kind == CLOSED_LOOP:
+            return
+        if self.kind == PERIODIC:
+            t = start_s + self.phase_s
+            while t < end_s:
+                yield t
+                t += self.period_s
+            return
+        if self.kind == POISSON:
+            rng = random.Random(f"poisson:{self.seed}:{stream_index}")
+            t = start_s
+            while True:
+                t += rng.expovariate(self.rate_hz)
+                if t >= end_s:
+                    return
+                yield t
+        # BURSTY: periodic arrivals inside [k*(on+off), k*(on+off)+on).
+        cycle = self.on_s + self.off_s
+        t = start_s + self.phase_s
+        while t < end_s:
+            offset = (t - start_s) % cycle if cycle > 0 else 0.0
+            if offset < self.on_s:
+                yield t
+                t += self.period_s
+            else:
+                # Skip to the start of the next on-window.
+                t += cycle - offset
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form (exact float round-trip)."""
+        return {
+            "kind": self.kind,
+            "period_s": self.period_s,
+            "rate_hz": self.rate_hz,
+            "phase_s": self.phase_s,
+            "on_s": self.on_s,
+            "off_s": self.off_s,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArrivalProcess":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One tenant of a scenario.
+
+    Attributes:
+        model: Table I model abbreviation (or zoo model name).
+        arrival: the stream's arrival process.
+        qos_scale: per-stream latency-target multiplier (``inf`` disables
+            deadlines; 0.8 / 1.0 / 1.2 are the paper's QoS-H/M/L).
+        join_s: simulated time the tenant enters the system.
+        leave_s: time the tenant leaves (``None`` = stays to the end).
+            Departure is preemptive: an in-flight inference is aborted
+            and its cores and cache pages are released immediately.
+        inferences: measured count quota (count-mode scenarios).  Open-
+            loop streams stop offering arrivals once the quota (plus
+            warmup) is reached.
+        warmup_inferences: leading inferences excluded from metrics in
+            count mode (steady-state scenarios use the window instead).
+    """
+
+    model: str
+    arrival: ArrivalProcess = field(default_factory=ArrivalProcess)
+    qos_scale: float = math.inf
+    join_s: float = 0.0
+    leave_s: Optional[float] = None
+    inferences: Optional[int] = None
+    warmup_inferences: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.model:
+            raise WorkloadError("stream needs a model key")
+        if self.join_s < 0:
+            raise WorkloadError("join_s cannot be negative")
+        if self.leave_s is not None and self.leave_s <= self.join_s:
+            raise WorkloadError("leave_s must be after join_s")
+        if self.inferences is not None and self.inferences <= 0:
+            raise WorkloadError("inferences must be positive when set")
+        if self.warmup_inferences < 0:
+            raise WorkloadError("warmup cannot be negative")
+
+    @property
+    def quota(self) -> Optional[int]:
+        """Total dispatch cap (measured + warmup), or ``None``."""
+        if self.inferences is None:
+            return None
+        return self.inferences + self.warmup_inferences
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "arrival": self.arrival.to_dict(),
+            "qos_scale": self.qos_scale,
+            "join_s": self.join_s,
+            "leave_s": self.leave_s,
+            "inferences": self.inferences,
+            "warmup_inferences": self.warmup_inferences,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamSpec":
+        data = dict(data)
+        data["arrival"] = ArrivalProcess.from_dict(data["arrival"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete multi-tenant scenario.
+
+    Attributes:
+        streams: the tenant set (one :class:`StreamSpec` each).
+        duration_s: steady-state measurement window end.  ``None``
+            selects count mode, where every stream needs an
+            ``inferences`` quota.
+        warmup_s: measurement start inside the window (steady-state).
+    """
+
+    streams: Tuple[StreamSpec, ...]
+    duration_s: Optional[float] = None
+    warmup_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.streams:
+            raise WorkloadError("scenario needs at least one stream")
+        object.__setattr__(self, "streams", tuple(self.streams))
+        if self.duration_s is not None:
+            if self.duration_s <= 0:
+                raise WorkloadError("duration must be positive")
+            if not 0 <= self.warmup_s < self.duration_s:
+                raise WorkloadError("warmup must precede the window end")
+        else:
+            for i, stream in enumerate(self.streams):
+                if stream.quota is None:
+                    raise WorkloadError(
+                        f"stream {i} ({stream.model}): count-mode "
+                        f"scenarios need an inferences quota per stream"
+                    )
+        for i, stream in enumerate(self.streams):
+            if self.duration_s is not None and \
+                    stream.join_s >= self.duration_s:
+                raise WorkloadError(
+                    f"stream {i} ({stream.model}): joins at "
+                    f"{stream.join_s} s, after the window ends"
+                )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_streams(self) -> int:
+        return len(self.streams)
+
+    @property
+    def model_keys(self) -> Tuple[str, ...]:
+        """One model key per stream, in stream order."""
+        return tuple(s.model for s in self.streams)
+
+    @property
+    def has_dynamics(self) -> bool:
+        """True when the scenario needs the engine's timeline (open-loop
+        arrivals or mid-run joins/leaves)."""
+        return any(
+            s.arrival.is_open_loop or s.join_s > 0 or s.leave_s is not None
+            for s in self.streams
+        )
+
+    def scaled(self, factor: float) -> "ScenarioSpec":
+        """Scale the measurement window (and tenant join/leave times) by
+        ``factor``, leaving arrival processes untouched.
+
+        This mirrors :class:`~repro.experiments.common.ExperimentScale`:
+        a smaller factor shrinks the simulated window (fewer samples at
+        the same offered load), keeping churn events proportionally
+        placed inside it.
+        """
+        if factor <= 0:
+            raise WorkloadError("scale factor must be positive")
+        if factor == 1.0:
+            return self
+        streams = tuple(
+            replace(
+                s,
+                join_s=s.join_s * factor,
+                leave_s=None if s.leave_s is None else s.leave_s * factor,
+            )
+            for s in self.streams
+        )
+        return ScenarioSpec(
+            streams=streams,
+            duration_s=(
+                None if self.duration_s is None
+                else self.duration_s * factor
+            ),
+            warmup_s=self.warmup_s * factor,
+        )
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form; round-trips exactly through
+        :meth:`from_dict` (float reprs are exact, ``inf`` survives)."""
+        return {
+            "scenario_schema_version": SCENARIO_SCHEMA_VERSION,
+            "streams": [s.to_dict() for s in self.streams],
+            "duration_s": self.duration_s,
+            "warmup_s": self.warmup_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        version = data.get("scenario_schema_version")
+        if version != SCENARIO_SCHEMA_VERSION:
+            raise WorkloadError(
+                f"unsupported scenario schema {version!r} "
+                f"(expected {SCENARIO_SCHEMA_VERSION})"
+            )
+        return cls(
+            streams=tuple(
+                StreamSpec.from_dict(s) for s in data["streams"]
+            ),
+            duration_s=data["duration_s"],
+            warmup_s=data["warmup_s"],
+        )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def closed_loop(cls, model_keys: Sequence[str],
+                    duration_s: Optional[float] = None,
+                    warmup_s: float = 0.0,
+                    inferences: Optional[int] = 3,
+                    warmup_inferences: int = 0,
+                    qos_scale: float = math.inf) -> "ScenarioSpec":
+        """The paper's workload shape as a scenario (one closed-loop
+        stream per model key, all present from t=0)."""
+        if duration_s is not None:
+            inferences = None
+            warmup_inferences = 0
+        return cls(
+            streams=tuple(
+                StreamSpec(
+                    model=key,
+                    qos_scale=qos_scale,
+                    inferences=inferences,
+                    warmup_inferences=warmup_inferences,
+                )
+                for key in model_keys
+            ),
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+        )
+
+
+# ----------------------------------------------------------------------
+# Named scenario registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Tuple[ScenarioSpec, str]] = {}
+
+
+def register_scenario(name: str, spec: ScenarioSpec,
+                      description: str = "") -> ScenarioSpec:
+    """Register (or replace) a named scenario; returns the spec."""
+    if not name:
+        raise WorkloadError("scenario name cannot be empty")
+    _REGISTRY[name] = (spec, description)
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look a named scenario up.
+
+    Raises:
+        WorkloadError: the name is not registered.
+    """
+    try:
+        return _REGISTRY[name][0]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown scenario {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def scenario_registry() -> Dict[str, Tuple[ScenarioSpec, str]]:
+    """Snapshot of the registry: ``name -> (spec, description)``."""
+    return dict(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    """Curated scenarios covering every arrival process and churn."""
+    vision = ("RS.", "MB.", "EF.", "VT.")
+    suite = ("RS.", "MB.", "EF.", "VT.", "BE.", "GN.", "WV.", "PP.")
+
+    register_scenario(
+        "steady-quad",
+        ScenarioSpec.closed_loop(vision, duration_s=0.4, warmup_s=0.08),
+        "4 closed-loop vision tenants, steady-state window",
+    )
+    register_scenario(
+        "steady-eight",
+        ScenarioSpec.closed_loop(suite, duration_s=0.4, warmup_s=0.08),
+        "all 8 benchmark models closed-loop, steady-state window",
+    )
+    register_scenario(
+        "periodic-eight",
+        ScenarioSpec(
+            streams=tuple(
+                StreamSpec(
+                    model=key,
+                    arrival=ArrivalProcess.periodic(
+                        period_s=0.012, phase_s=0.0015 * i
+                    ),
+                )
+                for i, key in enumerate(suite)
+            ),
+            duration_s=0.4,
+            warmup_s=0.08,
+        ),
+        "8 open-loop periodic tenants with staggered phases",
+    )
+    register_scenario(
+        "poisson-eight",
+        ScenarioSpec(
+            streams=tuple(
+                StreamSpec(
+                    model=key,
+                    arrival=ArrivalProcess.poisson(rate_hz=80.0,
+                                                   seed=2025 + i),
+                )
+                for i, key in enumerate(suite)
+            ),
+            duration_s=0.4,
+            warmup_s=0.08,
+        ),
+        "8 seeded-Poisson tenants at 80 Hz each",
+    )
+    register_scenario(
+        "bursty-quad",
+        ScenarioSpec(
+            streams=tuple(
+                StreamSpec(
+                    model=key,
+                    arrival=ArrivalProcess.bursty(
+                        period_s=0.004, on_s=0.06, off_s=0.06,
+                        phase_s=0.03 * i,
+                    ),
+                )
+                for i, key in enumerate(vision)
+            ),
+            duration_s=0.4,
+            warmup_s=0.08,
+        ),
+        "4 bursty on/off tenants with interleaved bursts",
+    )
+    # Churn: half the tenants are permanent closed-loop residents, half
+    # join and leave mid-run, overlapping so departures free pages while
+    # survivors can grow into them.
+    churn_streams = [
+        StreamSpec(model=key) for key in vision
+    ] + [
+        StreamSpec(
+            model=key,
+            join_s=0.04 + 0.05 * i,
+            leave_s=0.22 + 0.05 * i,
+        )
+        for i, key in enumerate(("BE.", "GN.", "WV.", "PP."))
+    ]
+    register_scenario(
+        "churn-eight",
+        ScenarioSpec(
+            streams=tuple(churn_streams), duration_s=0.4, warmup_s=0.08
+        ),
+        "4 resident + 4 churning tenants (staggered join/leave)",
+    )
+    register_scenario(
+        "churn-heavy",
+        ScenarioSpec(
+            streams=tuple(
+                StreamSpec(
+                    model=key,
+                    join_s=0.03 * i,
+                    leave_s=0.03 * i + 0.16,
+                )
+                for i, key in enumerate(suite)
+            ),
+            duration_s=0.4,
+            warmup_s=0.0,
+        ),
+        "8 tenants all churning (rolling join/leave waves)",
+    )
+
+
+_register_builtins()

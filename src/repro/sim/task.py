@@ -18,6 +18,7 @@ class InstanceState(enum.Enum):
     WAITING_PAGES = "waiting"    # holds a core, waiting for cache pages
     RUNNING = "running"          # executing its current layer
     DONE = "done"
+    CANCELLED = "cancelled"      # aborted by a preemptive tenant departure
 
 
 @dataclass
@@ -60,8 +61,8 @@ class TaskInstance:
     synchronized back before any scheduler hook observes the instance and
     when it leaves the running set, so policy code always reads current
     values.  The methods below remain the scalar reference semantics
-    (used by the legacy scan loop and the unit tests); the kernel's batch
-    operations are bit-identical to them.
+    (used by the unit tests); the kernel's batch operations are
+    bit-identical to them.
     """
 
     instance_id: str

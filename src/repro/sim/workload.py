@@ -1,26 +1,54 @@
 """Multi-tenant workload generation.
 
+Two layers live here:
+
+* :class:`WorkloadSpec` — the original closed-loop workload description,
+  kept as a thin compatibility wrapper.  It lowers to a
+  :class:`~repro.sim.scenario.ScenarioSpec` via :meth:`to_scenario`;
+  the lowered scenario reproduces the pre-scenario engine behaviour
+  byte-for-byte (pinned by the committed 20-scenario reference suite).
+* :class:`ScenarioWorkload` — the runtime that drives any
+  :class:`~repro.sim.scenario.ScenarioSpec` through the engine: it owns
+  the time-ordered timeline of scheduled events (tenant joins, open-loop
+  arrivals, tenant leaves), the per-stream FIFO backlogs that serialize
+  open-loop arrivals behind an in-flight inference, and the measurement-
+  window bookkeeping.
+
 The paper's experiments "randomly dispatch each model task to one NPU as
-soon as it finishes its current task", i.e. every tenant is a closed-loop
-stream: the next inference of a stream is dispatched the instant the
-previous one completes, keeping all NPUs busy and cache contention maximal.
+soon as it finishes its current task" — that closed-loop shape is the
+``ArrivalProcess.closed_loop()`` default; open-loop and churn scenarios
+generalize it (see :mod:`repro.sim.scenario`).
 """
 
 from __future__ import annotations
 
+import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections import deque
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Deque, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..errors import WorkloadError
 from ..models.graph import ModelGraph
 from ..models.zoo import BENCHMARK_MODELS, build_model
+from .scenario import ScenarioSpec, StreamSpec
 from .task import TaskInstance
+
+#: Timeline event priorities at equal timestamps: a joining tenant is
+#: admitted before arrivals fire, and departures are processed last (a
+#: completion at the same instant is handled by the engine first).
+_JOIN, _ARRIVAL, _LEAVE = 0, 1, 2
+
+#: Tolerance for "a timeline event is due" checks (mirrors the engine's
+#: wait-heap epsilon; ``now`` accumulates float error against exact
+#: event timestamps).
+_DUE_EPS = 1e-12
 
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Description of one multi-tenant workload.
+    """Description of one closed-loop multi-tenant workload.
 
     Two measurement modes:
 
@@ -33,6 +61,10 @@ class WorkloadSpec:
       measured.  This keeps all tenants active across the measured window
       (a fixed per-stream quota would let short models drain early and hand
       their bandwidth to the stragglers, biasing tail latencies down).
+
+    This class is the legacy façade over the declarative scenario model:
+    :meth:`to_scenario` lowers it to one closed-loop
+    :class:`~repro.sim.scenario.StreamSpec` per model key.
 
     Attributes:
         model_keys: one entry per co-located stream (model abbreviations;
@@ -74,6 +106,31 @@ class WorkloadSpec:
             self.inferences_per_stream + self.warmup_inferences
         )
 
+    def to_scenario(self) -> ScenarioSpec:
+        """Lower to the equivalent declarative scenario.
+
+        Steady-state mode drops the per-stream count quota (the window
+        bounds dispatch), exactly like the pre-scenario engine did.
+        """
+        count_mode = self.duration_s is None
+        return ScenarioSpec(
+            streams=tuple(
+                StreamSpec(
+                    model=key,
+                    qos_scale=self.qos_scale,
+                    inferences=(
+                        self.inferences_per_stream if count_mode else None
+                    ),
+                    warmup_inferences=(
+                        self.warmup_inferences if count_mode else 0
+                    ),
+                )
+                for key in self.model_keys
+            ),
+            duration_s=self.duration_s,
+            warmup_s=self.warmup_s,
+        )
+
 
 def random_model_mix(num_streams: int,
                      seed: int = 2025) -> List[str]:
@@ -91,50 +148,230 @@ def random_model_mix(num_streams: int,
     return keys
 
 
-@dataclass
-class ClosedLoopWorkload:
-    """Closed-loop stream manager driven by the engine.
+class TimelineBatch(NamedTuple):
+    """Due timeline events popped by :meth:`ScenarioWorkload.pop_due`."""
 
-    Each stream dispatches its next inference when the previous finishes;
-    the workload signals completion once every stream has run its measured
-    inference quota.
+    admits: List[str]
+    instances: List[TaskInstance]
+    leaves: List[str]
+
+
+class _StreamState:
+    """Mutable per-stream runtime (private to :class:`ScenarioWorkload`)."""
+
+    __slots__ = (
+        "spec", "stream_id", "index", "graph", "dispatched", "generated",
+        "busy", "joined", "left", "finished", "backlog", "arrivals",
+    )
+
+    def __init__(self, spec: StreamSpec, stream_id: str, index: int,
+                 graph: ModelGraph) -> None:
+        self.spec = spec
+        self.stream_id = stream_id
+        self.index = index
+        self.graph = graph
+        self.dispatched = 0      # instances spawned (serial counter)
+        self.generated = 0       # open-loop arrivals offered
+        self.busy = False        # an inference is in flight / enqueued
+        self.joined = False
+        self.left = False
+        self.finished = False
+        self.backlog: Deque[float] = deque()
+        self.arrivals = None     # open-loop arrival-time iterator
+
+
+class ScenarioWorkload:
+    """Runtime driving one :class:`ScenarioSpec` through the engine.
+
+    The engine interacts through five methods:
+
+    * :meth:`pop_due` — admissions, scheduled arrivals and departures due
+      at (or before) the current simulated time, in timeline order.
+    * :meth:`next_timeline_s` — earliest pending scheduled event (``inf``
+      when the timeline is exhausted; pure closed-loop scenarios exhaust
+      it at t=0, so the engine's hot loop never pays for it).
+    * :meth:`next_instance` — completion-coupled dispatch: the stream's
+      next closed-loop inference, or its earliest backlogged open-loop
+      arrival.
+    * :meth:`is_warmup` — measurement-window membership of an instance.
+    * :meth:`take_retired` — streams that finished naturally since the
+      last call (quota exhausted / window closed / arrivals drained), so
+      the engine can fire the scheduler's tenant-retire hook.
     """
 
-    spec: WorkloadSpec
-    _graphs: Dict[str, ModelGraph] = field(default_factory=dict)
-    _dispatched: Dict[str, int] = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
+    def __init__(self, scenario: ScenarioSpec) -> None:
+        self.scenario = scenario
         self.streams: List[str] = [
-            f"{key}@{i}" for i, key in enumerate(self.spec.model_keys)
+            f"{s.model}@{i}" for i, s in enumerate(scenario.streams)
         ]
-        for stream_id, key in zip(self.streams, self.spec.model_keys):
-            self._graphs[stream_id] = build_model(key)
-            self._dispatched[stream_id] = 0
+        self._graphs: Dict[str, ModelGraph] = {}
+        self._rt: Dict[str, _StreamState] = {}
+        self._by_index: List[_StreamState] = []
+        self._heap: List[Tuple[float, int, int]] = []
+        self._retired: List[str] = []
+        self._replay_batch: Optional[TimelineBatch] = None
+        self._offered = 0
+        self._dropped = 0
+        self._last_offer_s = 0.0
+        self.has_open_loop = any(
+            s.arrival.is_open_loop for s in scenario.streams
+        )
+        duration = scenario.duration_s
+        for i, (stream_id, spec) in enumerate(
+            zip(self.streams, scenario.streams)
+        ):
+            graph = build_model(spec.model)
+            self._graphs[stream_id] = graph
+            rt = _StreamState(spec, stream_id, i, graph)
+            self._rt[stream_id] = rt
+            self._by_index.append(rt)
+            heappush(self._heap, (spec.join_s, _JOIN, i))
+            if spec.leave_s is not None:
+                heappush(self._heap, (spec.leave_s, _LEAVE, i))
+            if spec.arrival.is_open_loop:
+                end = duration if duration is not None else math.inf
+                if spec.leave_s is not None:
+                    end = min(end, spec.leave_s)
+                rt.arrivals = spec.arrival.arrival_times(
+                    i, spec.join_s, end
+                )
+
+    # ------------------------------------------------------------------
+    # Engine-facing accessors
+    # ------------------------------------------------------------------
 
     def graph_of(self, stream_id: str) -> ModelGraph:
         return self._graphs[stream_id]
 
+    @property
+    def offered_inferences(self) -> int:
+        """Arrivals offered so far (dispatched + backlogged + dropped)."""
+        return self._offered
+
+    @property
+    def dropped_inferences(self) -> int:
+        """Backlogged arrivals discarded by tenant departures."""
+        return self._dropped
+
+    @property
+    def last_offer_s(self) -> float:
+        """Time of the latest offered arrival (count-mode offer window)."""
+        return self._last_offer_s
+
     def initial_instances(self) -> List[TaskInstance]:
-        """First inference of every stream, dispatched at t=0."""
-        return [
-            self._spawn(stream_id, now=0.0) for stream_id in self.streams
-        ]
+        """First inferences due at t=0 (compatibility accessor).
+
+        The popped batch is cached for replay, so an engine run started
+        afterwards still receives these instances — calling this before
+        ``engine.run()`` (the pre-scenario inspection pattern) must not
+        silently empty the simulation.
+        """
+        batch = self.pop_due(0.0)
+        self._replay_batch = batch
+        return batch.instances
+
+    def next_timeline_s(self) -> float:
+        """Earliest live scheduled event time (``inf`` when exhausted)."""
+        heap = self._heap
+        while heap:
+            t, prio, index = heap[0]
+            rt = self._by_index[index]
+            if rt.finished or rt.left:
+                heappop(heap)       # stale: stream already gone
+                continue
+            return t
+        return math.inf
+
+    def has_pending(self) -> bool:
+        """True while scheduled events remain (joins/arrivals/leaves)."""
+        return not math.isinf(self.next_timeline_s())
+
+    def pop_due(self, now: float) -> TimelineBatch:
+        """Process every scheduled event with ``time <= now`` (within the
+        engine's epsilon) and return the resulting batch."""
+        admits: List[str] = []
+        instances: List[TaskInstance] = []
+        leaves: List[str] = []
+        if self._replay_batch is not None:
+            # A prior initial_instances() call already popped the t=0
+            # events; hand its batch to this (engine) pop instead of
+            # dropping it.
+            cached, self._replay_batch = self._replay_batch, None
+            admits.extend(cached.admits)
+            instances.extend(cached.instances)
+            leaves.extend(cached.leaves)
+        heap = self._heap
+        while heap and heap[0][0] - now <= _DUE_EPS:
+            t, prio, index = heappop(heap)
+            rt = self._by_index[index]
+            if rt.finished or rt.left:
+                continue
+            if prio == _JOIN:
+                rt.joined = True
+                admits.append(rt.stream_id)
+                if rt.spec.arrival.is_open_loop:
+                    # Prime the first arrival; the while condition picks
+                    # it up in this same batch if it is already due.
+                    self._push_next_arrival(rt)
+                else:
+                    instances.append(self._spawn(rt, t))
+            elif prio == _ARRIVAL:
+                self._offered += 1
+                rt.generated += 1
+                if t > self._last_offer_s:
+                    self._last_offer_s = t
+                if rt.busy:
+                    rt.backlog.append(t)
+                else:
+                    instances.append(self._spawn(rt, t, arrival_time=t))
+                self._push_next_arrival(rt)
+            else:  # _LEAVE
+                rt.left = True
+                rt.finished = True
+                self._dropped += len(rt.backlog)
+                rt.backlog.clear()
+                leaves.append(rt.stream_id)
+        return TimelineBatch(admits, instances, leaves)
 
     def next_instance(self, stream_id: str,
                       now: float) -> Optional[TaskInstance]:
-        """Dispatch the stream's next inference, or ``None`` if the stream
-        is done (quota exhausted / window closed)."""
-        if self.spec.duration_s is not None:
-            if now >= self.spec.duration_s:
-                return None
-            return self._spawn(stream_id, now)
-        quota = (
-            self.spec.inferences_per_stream + self.spec.warmup_inferences
-        )
-        if self._dispatched[stream_id] >= quota:
+        """Completion-coupled dispatch for ``stream_id``.
+
+        Closed-loop streams dispatch their next inference (quota and
+        window permitting); open-loop streams drain their arrival
+        backlog.  Returns ``None`` when the stream has nothing to run —
+        if it can never run again, it is queued for tenant retirement
+        (see :meth:`take_retired`).
+        """
+        rt = self._rt[stream_id]
+        spec = rt.spec
+        if rt.left:
+            rt.busy = False
             return None
-        return self._spawn(stream_id, now)
+        if spec.arrival.is_open_loop:
+            if rt.backlog:
+                t = rt.backlog.popleft()
+                return self._spawn(rt, now, arrival_time=t)
+            rt.busy = False
+            if self._open_loop_drained(rt):
+                self._finish(rt)
+            return None
+        if spec.leave_s is not None and now >= spec.leave_s:
+            rt.busy = False
+            self._finish(rt)
+            return None
+        duration = self.scenario.duration_s
+        if duration is not None:
+            if now >= duration:
+                rt.busy = False
+                self._finish(rt)
+                return None
+            return self._spawn(rt, now)
+        if rt.dispatched >= spec.quota:
+            rt.busy = False
+            self._finish(rt)
+            return None
+        return self._spawn(rt, now)
 
     def is_warmup(self, instance: TaskInstance) -> bool:
         """Instances outside the measurement window are excluded.
@@ -146,27 +383,99 @@ class ClosedLoopWorkload:
         always complete (streams stop dispatching after the window and the
         engine drains), so no measured latency is truncated.
         """
-        if self.spec.duration_s is not None:
+        if self.scenario.duration_s is not None:
             in_window = (
-                self.spec.warmup_s <= instance.arrival_time
-                < self.spec.duration_s
+                self.scenario.warmup_s <= instance.arrival_time
+                < self.scenario.duration_s
             )
             return not in_window
         serial = int(instance.instance_id.rsplit("#", 1)[1])
-        return serial < self.spec.warmup_inferences
+        rt = self._rt[instance.stream_id]
+        return serial < rt.spec.warmup_inferences
 
-    def _spawn(self, stream_id: str, now: float) -> TaskInstance:
-        graph = self._graphs[stream_id]
-        serial = self._dispatched[stream_id]
-        self._dispatched[stream_id] += 1
+    def take_retired(self) -> List[str]:
+        """Streams that finished naturally since the last call."""
+        if not self._retired:
+            return []
+        retired = self._retired
+        self._retired = []
+        return retired
+
+    def unfinished_streams(self) -> List[str]:
+        """Joined streams not yet finished (end-of-run retire sweep)."""
+        return [
+            rt.stream_id for rt in self._by_index
+            if rt.joined and not rt.finished
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _open_loop_drained(self, rt: _StreamState) -> bool:
+        """No backlog, no future arrivals: the stream can never run."""
+        if rt.backlog:
+            return False
+        spec = rt.spec
+        if spec.quota is not None and rt.generated >= spec.quota:
+            return True
+        # Future arrivals exist iff an ARRIVAL entry is still pending for
+        # this stream (there is at most one; _push_next_arrival keeps it
+        # primed while the generator yields).
+        return all(
+            not (prio == _ARRIVAL and index == rt.index)
+            for _, prio, index in self._heap
+        )
+
+    def _push_next_arrival(self, rt: _StreamState) -> None:
+        spec = rt.spec
+        if rt.arrivals is None or rt.left:
+            return
+        if spec.quota is not None and rt.generated >= spec.quota:
+            rt.arrivals = None
+            return
+        try:
+            t = next(rt.arrivals)
+        except StopIteration:
+            rt.arrivals = None
+            return
+        heappush(self._heap, (t, _ARRIVAL, rt.index))
+
+    def _finish(self, rt: _StreamState) -> None:
+        if not rt.finished and rt.joined:
+            rt.finished = True
+            self._retired.append(rt.stream_id)
+
+    def _spawn(self, rt: _StreamState, now: float,
+               arrival_time: Optional[float] = None) -> TaskInstance:
+        # Open-loop arrivals are counted as offered when they are
+        # generated (they may be backlogged or dropped before spawning);
+        # closed-loop dispatches are offered at spawn time.
+        if not rt.spec.arrival.is_open_loop:
+            self._offered += 1
+        graph = rt.graph
+        serial = rt.dispatched
+        rt.dispatched += 1
+        rt.busy = True
         qos_s = (
-            graph.qos_target_ms * 1e-3 * self.spec.qos_scale
+            graph.qos_target_ms * 1e-3 * rt.spec.qos_scale
             if graph.qos_target_ms else float("inf")
         )
         return TaskInstance(
-            instance_id=f"{stream_id}#{serial}",
-            stream_id=stream_id,
+            instance_id=f"{rt.stream_id}#{serial}",
+            stream_id=rt.stream_id,
             graph=graph,
-            arrival_time=now,
+            arrival_time=now if arrival_time is None else arrival_time,
             qos_target_s=qos_s,
         )
+
+
+class ClosedLoopWorkload(ScenarioWorkload):
+    """Closed-loop stream manager driven by the engine.
+
+    Compatibility façade: lowers a :class:`WorkloadSpec` to its scenario
+    and runs it through :class:`ScenarioWorkload` (behaviour is
+    byte-identical to the pre-scenario implementation).
+    """
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        super().__init__(spec.to_scenario())
+        self.spec = spec

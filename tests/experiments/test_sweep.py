@@ -7,10 +7,25 @@ import pytest
 from repro.config import MiB
 from repro.errors import WorkloadError
 from repro.experiments.sweep import SweepCell, run_sweep
+from repro.sim.scenario import ArrivalProcess, ScenarioSpec, StreamSpec
 
 pytestmark = pytest.mark.experiment
 
 _KEYS = ("MB.", "EF.")
+
+
+def _poisson_spec(rate_hz: float = 150.0) -> ScenarioSpec:
+    return ScenarioSpec(
+        streams=tuple(
+            StreamSpec(
+                model=key,
+                arrival=ArrivalProcess.poisson(rate_hz=rate_hz,
+                                               seed=11 + i),
+            )
+            for i, key in enumerate(_KEYS)
+        ),
+        duration_s=0.05,
+    )
 
 
 class TestSweepCell:
@@ -101,3 +116,62 @@ class TestRunSweep:
             [r.scheduler_name for r in serial]
         assert [r.metric_summary() for r in pooled] == \
             [r.metric_summary() for r in serial]
+
+
+class TestScenarioCells:
+    def test_cell_rejects_both_keys_and_scenario(self):
+        with pytest.raises(WorkloadError):
+            SweepCell(policy="baseline", model_keys=_KEYS,
+                      scenario=_poisson_spec())
+        with pytest.raises(WorkloadError):
+            SweepCell(policy="baseline")
+
+    def test_cell_rejects_qos_scale_on_scenario(self):
+        """Per-stream QoS lives in the spec; a cell-level qos_scale on a
+        scenario cell would be silently ignored, so it is rejected."""
+        with pytest.raises(WorkloadError):
+            SweepCell.from_scenario("camdn-full", _poisson_spec(),
+                                    qos_scale=0.8)
+
+    def test_scenario_cell_runs_open_loop(self):
+        (result,) = run_sweep(
+            [SweepCell.from_scenario("camdn-full", _poisson_spec())],
+            max_workers=1, use_cache=False,
+        )
+        assert result.offered_inferences > 0
+        assert result.metrics.num_inferences > 0
+        assert "avg_queue_delay_ms" in result.summary()
+
+    def test_seeded_poisson_deterministic_across_jobs(self):
+        """A Poisson scenario simulates byte-identically whether cells
+        run in-process or on pool workers (arrival randomness derives
+        from the spec alone, never from process state)."""
+        cells = [
+            SweepCell.from_scenario(policy, _poisson_spec())
+            for policy in ("baseline", "camdn-full")
+        ]
+        serial = run_sweep(cells, max_workers=1, use_cache=False)
+        pooled = run_sweep(cells, max_workers=2, use_cache=False)
+        assert [r.metric_summary() for r in serial] == \
+            [r.metric_summary() for r in pooled]
+        assert [
+            [rec.arrival_time for rec in r.metrics.records]
+            for r in serial
+        ] == [
+            [rec.arrival_time for rec in r.metrics.records]
+            for r in pooled
+        ]
+
+    def test_scenario_cell_cache_roundtrip(self, tmp_path, monkeypatch):
+        """Scenario results (offered/cancelled/load-ratio fields
+        included) survive the persistent cache byte-identically."""
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path))
+        cells = [SweepCell.from_scenario("camdn-full", _poisson_spec())]
+        (cold,) = run_sweep(cells, max_workers=1)
+        (warm,) = run_sweep(cells, max_workers=1)
+        assert warm.metric_summary() == cold.metric_summary()
+        warm_summary, cold_summary = warm.summary(), cold.summary()
+        warm_summary.pop("wall_time_s"), cold_summary.pop("wall_time_s")
+        assert warm_summary == cold_summary
+        assert warm.offered_inferences == cold.offered_inferences
+        assert warm.offered_load_ratio == cold.offered_load_ratio

@@ -41,6 +41,53 @@ class TestCacheKey:
         assert cell_cache_key(cell, SoCConfig()) != \
             cell_cache_key(cell, SoCConfig().with_cache_bytes(8 * MiB))
 
+    def test_key_tracks_arrival_process(self):
+        """Two scenario cells differing only in the arrival process must
+        hash to different cache entries (regression for the scenario-era
+        schema bump: arrival dynamics are part of the cell identity)."""
+        from repro.sim.scenario import (
+            ArrivalProcess,
+            ScenarioSpec,
+            StreamSpec,
+        )
+
+        soc = SoCConfig()
+
+        def spec(arrival):
+            return ScenarioSpec(
+                streams=tuple(
+                    StreamSpec(model=key, arrival=arrival)
+                    for key in _KEYS
+                ),
+                duration_s=0.1,
+            )
+
+        closed = SweepCell.from_scenario(
+            "camdn-full", spec(ArrivalProcess.closed_loop())
+        )
+        poisson = SweepCell.from_scenario(
+            "camdn-full", spec(ArrivalProcess.poisson(rate_hz=100.0))
+        )
+        reseeded = SweepCell.from_scenario(
+            "camdn-full",
+            spec(ArrivalProcess.poisson(rate_hz=100.0, seed=7)),
+        )
+        keys = {cell_cache_key(c, soc)
+                for c in (closed, poisson, reseeded)}
+        assert len(keys) == 3
+
+    def test_closed_loop_cell_and_scenario_cell_hash_differently(self):
+        """A legacy closed-loop cell and the equivalent explicit-scenario
+        cell are distinct cache identities (the cell fields differ even
+        though the resolved scenarios coincide)."""
+        soc = SoCConfig()
+        legacy = SweepCell(policy="baseline", model_keys=_KEYS, scale=0.1)
+        explicit = SweepCell.from_scenario(
+            "baseline", legacy.resolve_scenario()
+        )
+        assert legacy.resolve_scenario() == explicit.resolve_scenario()
+        assert cell_cache_key(legacy, soc) != cell_cache_key(explicit, soc)
+
 
 class TestPersistentCache:
     def test_warm_rerun_hits_cache_and_is_byte_identical(
@@ -77,18 +124,6 @@ class TestPersistentCache:
         again = run_sweep(_CELLS, max_workers=1)
         assert last_sweep_stats()["cached_cells"] == 0
         assert again[0].metric_summary() == first[0].metric_summary()
-
-    def test_legacy_engine_env_bypasses_cache(self, tmp_path,
-                                              monkeypatch):
-        """Cached entries hold kernel-loop results; a legacy-oracle run
-        must simulate, not deserialize."""
-        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path))
-        cached = run_sweep(_CELLS, max_workers=1)
-        monkeypatch.setenv("REPRO_LEGACY_ENGINE", "1")
-        legacy = run_sweep(_CELLS, max_workers=1)
-        assert last_sweep_stats()["cached_cells"] == 0
-        # ... and the two loops agree, as everywhere else.
-        assert legacy[0].metric_summary() == cached[0].metric_summary()
 
     def test_clear_sweep_cache(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path))

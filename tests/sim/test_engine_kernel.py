@@ -1,16 +1,22 @@
-"""Kernel-loop equivalence, backends, fast-forward and clamp tests.
+"""Kernel-loop reference equivalence, backends, fast-forward and clamp
+tests.
 
-The structure-of-arrays kernel loop must be byte-identical to the legacy
-per-instance scan loop (kept for one release behind ``legacy_loop=True``)
-on every policy, and the numpy / pure-Python kernel backends must agree
-bit-for-bit with each other.
+The structure-of-arrays kernel loop is pinned against the committed
+20-scenario reference summaries (``tests/data/
+metric_summary_reference.json``, captured on the pre-refactor engine);
+the numpy / pure-Python kernel backends must additionally agree
+bit-for-bit with each other.  The legacy per-instance scan loop that
+served as the in-process oracle for one release has been removed — the
+frozen reference JSON is the oracle now.
 """
 
 import json
 import math
+from pathlib import Path
 
 import pytest
 
+from repro import simulate
 from repro.config import SoCConfig
 from repro.schedulers import make_scheduler
 from repro.schedulers.base import SchedulerPolicy
@@ -25,8 +31,12 @@ POLICIES = ["baseline", "moca", "aurora", "camdn-hw", "camdn-full"]
 #: under deadlines) and both dynamic- and static-rate policies.
 KEYS = ("RS.", "MB.", "EF.", "BE.")
 
+REFERENCE_PATH = (
+    Path(__file__).parent.parent / "data" / "metric_summary_reference.json"
+)
 
-def _run(policy_name, *, legacy=False, backend=None, keys=KEYS,
+
+def _run(policy_name, *, backend=None, keys=KEYS,
          qos_scale=float("inf"), inferences=2):
     spec = WorkloadSpec(
         model_keys=list(keys),
@@ -38,7 +48,6 @@ def _run(policy_name, *, legacy=False, backend=None, keys=KEYS,
         SoCConfig(),
         make_scheduler(policy_name),
         ClosedLoopWorkload(spec),
-        legacy_loop=legacy,
         kernel_backend=backend,
     )
     return engine.run()
@@ -48,34 +57,26 @@ def _metrics_json(result) -> str:
     return json.dumps(result.metric_summary(), sort_keys=True)
 
 
-class TestKernelLegacyEquivalence:
-    @pytest.mark.parametrize("policy", POLICIES)
-    def test_summaries_byte_identical(self, policy):
-        kernel = _run(policy)
-        legacy = _run(policy, legacy=True)
-        assert _metrics_json(kernel) == _metrics_json(legacy)
+class TestReferenceEquivalence:
+    """Spot checks against the frozen pre-refactor reference (the full
+    20-scenario x 5-policy sweep runs in the slow tier, see
+    ``test_reference_summaries.py``)."""
 
     @pytest.mark.parametrize("policy", POLICIES)
-    def test_summaries_byte_identical_under_deadlines(self, policy):
-        kernel = _run(policy, qos_scale=1.0)
-        legacy = _run(policy, legacy=True, qos_scale=1.0)
-        assert _metrics_json(kernel) == _metrics_json(legacy)
-
-    def test_event_counts_match(self):
-        kernel = _run("camdn-full")
-        legacy = _run("camdn-full", legacy=True)
-        assert kernel.events_processed == legacy.events_processed
-
-    def test_env_var_selects_legacy(self, monkeypatch):
-        monkeypatch.setenv("REPRO_LEGACY_ENGINE", "1")
-        spec = WorkloadSpec(model_keys=["MB."],
-                            inferences_per_stream=1,
-                            warmup_inferences=0)
-        engine = MultiTenantEngine(
-            SoCConfig(), make_scheduler("baseline"),
-            ClosedLoopWorkload(spec),
+    def test_pair_scenario_matches_reference(self, policy):
+        reference = json.loads(REFERENCE_PATH.read_text())
+        fresh = simulate(policy, ["RS.", "MB."], inferences_per_stream=2)
+        assert _metrics_json(fresh) == json.dumps(
+            reference["pair-rs-mb"][policy], sort_keys=True
         )
-        assert engine.legacy_loop
+
+    def test_steady_state_matches_reference(self):
+        reference = json.loads(REFERENCE_PATH.read_text())
+        fresh = simulate("camdn-full", ["RS.", "MB.", "EF.", "VT."],
+                         duration_s=0.03)
+        assert _metrics_json(fresh) == json.dumps(
+            reference["steady-quad"]["camdn-full"], sort_keys=True
+        )
 
 
 class TestKernelBackends:
@@ -139,11 +140,11 @@ class FixedShareScheduler(SchedulerPolicy):
 class TestRateClampConsistency:
     """Regression for the dt/advance clamp mismatch (ISSUE 2 satellite).
 
-    The legacy loop clamped the DRAM rate to >= 1e-6 only in the min-dt
-    search while advancing at the raw rate, so a near-zero share produced
-    a finite dt with no matching progress — the run crawled toward the
-    event cap.  The kernel clamps once, at rate installation, so dt and
-    progress always agree.
+    The pre-kernel loop clamped the DRAM rate to >= 1e-6 only in the
+    min-dt search while advancing at the raw rate, so a near-zero share
+    produced a finite dt with no matching progress — the run crawled
+    toward the event cap.  The kernel clamps once, at rate installation,
+    so dt and progress always agree.
     """
 
     def test_near_zero_share_completes_consistently(self):
@@ -164,13 +165,11 @@ class TestRateClampConsistency:
                                                   rel=0.01)
 
     def test_normal_shares_unaffected_by_clamp(self):
-        """The clamp floor is unreachable for real policies: rates are
-        identical with and without it (legacy vs kernel equivalence on
-        the shipped policies already proves this byte-for-byte)."""
+        """The clamp floor is unreachable for real policies: the kernel
+        backends agree bit-for-bit, and the frozen reference pins the
+        absolute values."""
         result = _run("baseline", keys=("MB.",), inferences=1)
-        legacy = _run("baseline", legacy=True, keys=("MB.",),
-                      inferences=1)
-        assert _metrics_json(result) == _metrics_json(legacy)
+        assert result.metrics.num_inferences == 1
 
 
 class TestRuntimeObservability:
@@ -184,23 +183,35 @@ class TestRuntimeObservability:
     def test_metric_summary_excludes_runtime_keys(self):
         result = _run("baseline", keys=("MB.",), inferences=1)
         metric = result.metric_summary()
-        assert "wall_time_s" not in metric
-        assert "events_processed" not in metric
-        # summary() is metric_summary() plus the runtime keys.
+        runtime_keys = ("wall_time_s", "events_processed",
+                        "avg_queue_delay_ms", "offered_load_ratio",
+                        "cancelled_inferences")
+        for key in runtime_keys:
+            assert key not in metric
+        # summary() is metric_summary() plus the runtime/scenario keys.
         full = result.summary()
         assert {k: v for k, v in full.items()
-                if k not in ("wall_time_s", "events_processed")} == metric
+                if k not in runtime_keys} == metric
+
+    def test_closed_loop_offered_load_is_balanced(self):
+        result = _run("baseline", keys=("MB.", "MB."), inferences=2)
+        assert result.offered_inferences == 4
+        assert result.cancelled_inferences == 0
+        assert result.offered_load_ratio == pytest.approx(1.0)
 
 
 class TestFastForward:
     def test_static_policy_uses_fast_forward(self):
         """A static-rate policy with no waiters must produce the same
-        events and metrics whether or not the fast-forward loop is
-        taken; the legacy comparison covers semantics, this covers the
-        fast-forward bookkeeping (dispatch of successor inferences)."""
+        metrics whether or not the fast-forward loop is taken; the
+        reference suite covers absolute values, this covers the
+        fast-forward bookkeeping (dispatch of successor inferences) by
+        cross-checking the two kernel backends, which enter the
+        fast-forward with different batch widths."""
+        pytest.importorskip("numpy")
         result = _run("baseline", keys=("MB.", "MB."), inferences=3)
-        legacy = _run("baseline", legacy=True, keys=("MB.", "MB."),
-                      inferences=3)
+        forced_numpy = _run("baseline", backend="numpy",
+                            keys=("MB.", "MB."), inferences=3)
         assert result.metrics.num_inferences == 6
-        assert _metrics_json(result) == _metrics_json(legacy)
-        assert result.events_processed == legacy.events_processed
+        assert _metrics_json(result) == _metrics_json(forced_numpy)
+        assert result.events_processed == forced_numpy.events_processed
