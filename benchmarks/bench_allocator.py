@@ -34,7 +34,7 @@ import json
 import platform
 import sys
 import time
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.config import SoCConfig
 from repro.core.camdn import CaMDNSystem

@@ -40,6 +40,7 @@ from repro.models.graph import ModelGraph
 from repro.models.layers import LayerKind, LayerSpec
 from repro.schedulers import make_scheduler
 from repro.schedulers.base import SchedulerPolicy
+from repro.sim import native
 from repro.sim.engine import MultiTenantEngine
 from repro.sim.task import LayerWork
 from repro.sim.workload import ClosedLoopWorkload, WorkloadSpec
@@ -148,7 +149,8 @@ def _build_workload(graph: Optional[ModelGraph]) -> ClosedLoopWorkload:
     return workload
 
 
-def _run_once(policy_name: str, graph: Optional[ModelGraph]):
+def _run_once(policy_name: str, graph: Optional[ModelGraph],
+              use_native: Optional[bool] = None):
     soc = SoCConfig()
     if policy_name == "synthetic-static":
         scheduler = StaticSynthetic()
@@ -157,11 +159,13 @@ def _run_once(policy_name: str, graph: Optional[ModelGraph]):
     else:
         prepare_workload(policy_name, REAL_KEYS, soc)
         scheduler = make_scheduler(policy_name)
-    engine = MultiTenantEngine(soc, scheduler, _build_workload(graph))
+    engine = MultiTenantEngine(soc, scheduler, _build_workload(graph),
+                               use_native=use_native)
     return engine.run()
 
 
-def bench_policy(policy_name: str, repeats: int = 3) -> Dict:
+def bench_policy(policy_name: str, repeats: int = 3,
+                 use_native: Optional[bool] = None) -> Dict:
     """Best-of-N kernel runs; asserts run-to-run byte-identity."""
     graph = synthetic_graph() if policy_name.startswith("synthetic") \
         else None
@@ -170,7 +174,7 @@ def bench_policy(policy_name: str, repeats: int = 3) -> Dict:
     summaries = set()
     for _ in range(max(repeats, 2)):
         start = time.perf_counter()
-        result = _run_once(policy_name, graph)
+        result = _run_once(policy_name, graph, use_native=use_native)
         wall = time.perf_counter() - start
         summaries.add(
             json.dumps(result.metric_summary(), sort_keys=True)
@@ -196,19 +200,30 @@ def main(argv=None) -> int:
                         help="output JSON path")
     parser.add_argument("--repeats", type=int, default=3,
                         help="runs per configuration (best is kept)")
+    parser.add_argument("--no-native", action="store_true",
+                        help="force the pure-Python step paths "
+                             "(A/B against the fused native kernel)")
     args = parser.parse_args(argv)
 
+    use_native = False if args.no_native else None
+    if args.no_native:
+        native_note = "disabled by --no-native"
+    else:
+        native.fused_step()          # trigger the load outside timing
+        native_note = native.native_status()
     policies = ("synthetic-static", "synthetic-dynamic") + REAL_POLICIES
     report = {
         "meta": {
             "streams": NUM_STREAMS,
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "native": native_note,
         },
         "policies": {},
     }
     for name in policies:
-        entry = bench_policy(name, repeats=args.repeats)
+        entry = bench_policy(name, repeats=args.repeats,
+                             use_native=use_native)
         report["policies"][name] = entry
         print(
             f"{name:<18} kernel {entry['kernel']['events_per_s']:>12,.0f}"

@@ -1,0 +1,79 @@
+"""Combine the bench campaign outputs into one trajectory document.
+
+The nightly workflow runs every benchmark (engine, scenario, allocator)
+and uploads a single ``BENCH_trajectory.json`` so the perf table in
+ROADMAP.md has a longitudinal data source: each artifact is one dated
+point with the commit it measured.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+    PYTHONPATH=src python benchmarks/bench_scenario.py
+    PYTHONPATH=src python benchmarks/bench_allocator.py
+    python benchmarks/collect_trajectory.py --out BENCH_trajectory.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+from check_regression import MANIFEST
+
+
+def _git_head() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+            cwd=Path(__file__).parent,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_trajectory.json")
+    parser.add_argument(
+        "--current-dir", default=".",
+        help="directory holding the fresh BENCH_*.json outputs",
+    )
+    args = parser.parse_args(argv)
+
+    current_dir = Path(args.current_dir)
+    doc = {
+        "meta": {
+            "captured_utc": datetime.datetime.now(
+                datetime.timezone.utc
+            ).isoformat(timespec="seconds"),
+            "commit": _git_head(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "benches": {},
+    }
+    missing = []
+    for name, spec in MANIFEST.items():
+        path = current_dir / spec.current
+        if not path.exists():
+            missing.append(f"{name}: {path}")
+            continue
+        doc["benches"][name] = json.loads(path.read_text())
+    if missing:
+        print("missing bench outputs:", file=sys.stderr)
+        for entry in missing:
+            print(f"  - {entry}", file=sys.stderr)
+        return 1
+    Path(args.out).write_text(json.dumps(doc, indent=1, sort_keys=True))
+    print(f"wrote {args.out} ({len(doc['benches'])} benches)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,6 @@ from typing import List, Sequence
 
 from ..errors import SimulationError
 from ..models.graph import ModelGraph
-from ..models.layers import LayerSpec
 
 
 @dataclass(frozen=True)

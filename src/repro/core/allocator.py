@@ -43,7 +43,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
-from .mct import MappingCandidate, MappingCandidateTable, ModelMappingFile
+from .mct import MappingCandidate, ModelMappingFile
 
 #: Fraction of the profiled latency used as the wait-ahead horizon and
 #: timeout threshold (``Test * 0.2`` in Algorithm 1 lines 11 and 16).

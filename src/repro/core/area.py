@@ -24,11 +24,10 @@ counts) for the ablation benchmarks.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from ..config import CacheConfig, NPUConfig, SoCConfig
+from ..config import SoCConfig
 
 #: 45 nm single-port SRAM density for small scratchpad-style macros
 #: (um^2 per bit), calibrated to 6302k um^2 for a 256 KiB scratchpad.

@@ -21,9 +21,8 @@ Two modes:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from ..config import SoCConfig
 from ..errors import PageAllocationError, SimulationError

@@ -18,9 +18,8 @@ the generated DRAM traffic equals the closed form exactly.
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..errors import MappingError
 from .mapper.dram_model import TilingChoice

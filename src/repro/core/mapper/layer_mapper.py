@@ -10,7 +10,6 @@ the role of the paper's profiling pass.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import ClassVar, Dict, List, Optional, Tuple

@@ -55,6 +55,13 @@ class AuRORAScheduler(MoCAScheduler):
             return min(_MAX_CORES, free_cores)
         return 1
 
+    def rate_kernel(self):
+        """Never fusable: slack weighting applies even when every slack
+        is the no-deadline 1.0 (the exponential weight scales demands
+        before normalization, which is not float-identical to the plain
+        demand-proportional split MoCA degenerates to)."""
+        return None
+
     def bandwidth_shares(self, running: Dict[str, TaskInstance],
                          now: float) -> Dict[str, float]:
         if not running:

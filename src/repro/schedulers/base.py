@@ -55,6 +55,14 @@ class SchedulerPolicy(abc.ABC):
     #: a dropped assertion, never a behavior change.
     positive_shares = False
 
+    #: Monotone counter bumped (via :meth:`bump_rate_epoch`) whenever
+    #: the *rule* that produces this policy's shares changes shape —
+    #: e.g. MoCA's slack throttle waking up when the first
+    #: finite-deadline task arrives.  The engine re-consults
+    #: :meth:`rate_kernel` on every epoch change, so fused batches span
+    #: exactly the events between rule changes.
+    rate_epoch = 0
+
     def __init__(self) -> None:
         self.soc: Optional[SoCConfig] = None
         self.systolic: Optional[SystolicModel] = None
@@ -177,6 +185,31 @@ class SchedulerPolicy(abc.ABC):
             return {}
         share = 1.0 / len(running)
         return {instance_id: share for instance_id in running}
+
+    def bump_rate_epoch(self) -> None:
+        """Advance :attr:`rate_epoch` (the share rule changed shape)."""
+        self.rate_epoch += 1
+
+    def rate_kernel(self) -> Optional[tuple]:
+        """Declarative description of the share rule, when expressible.
+
+        A policy whose :meth:`bandwidth_shares_list` currently reduces
+        to a closed form the engine can fuse with the kernel step may
+        return a spec tuple; ``None`` (the default) keeps the split
+        recompute/step path.  Supported specs:
+
+        * ``("demand_prop", floor)`` — demand-proportional shares with a
+          starvation floor: ``demand = max(rem_dram, 1) /
+          max(rem_compute / freq, 1e-9)``, shares floored per
+          :class:`~repro.memory.bwalloc.DemandProportionalPolicy`, and a
+          uniform DRAM efficiency (:meth:`uniform_dram_efficiency` must
+          not return ``None``).
+
+        The returned spec must hold until the policy bumps
+        :attr:`rate_epoch`; the fused implementations are bit-identical
+        to the split path, so the spec is purely a speedup contract.
+        """
+        return None
 
     def bandwidth_shares_list(
         self,

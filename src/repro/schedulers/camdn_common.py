@@ -296,6 +296,14 @@ class CaMDNSchedulerBase(SchedulerPolicy):
                                 ) -> Optional[float]:
         return CAMDN_DRAM_EFFICIENCY
 
+    def rate_kernel(self) -> Optional[tuple]:
+        """Non-QoS mode is plain demand-proportional over the remaining
+        work, which the engine can fuse with the kernel step; QoS mode
+        (slack-weighted, time-dependent) is not expressible."""
+        if self.qos_mode:
+            return None
+        return ("demand_prop", self._demand_policy.floor)
+
     def bandwidth_shares(self, running: Dict[str, TaskInstance],
                          now: float) -> Dict[str, float]:
         """Demand-proportional shares by default (bandwidth allocation is

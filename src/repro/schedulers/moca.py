@@ -75,11 +75,17 @@ class MoCAScheduler(SharedCacheBaseline):
         super().on_task_start(instance, now)
         if not math.isinf(instance.qos_target_s):
             self._finite_qos_active += 1
+            if self._finite_qos_active == 1:
+                # The slack throttle just woke up: the share rule is no
+                # longer plain demand-proportional.
+                self.bump_rate_epoch()
 
     def on_task_end(self, instance: TaskInstance, now: float) -> None:
         super().on_task_end(instance, now)
         if not math.isinf(instance.qos_target_s):
             self._finite_qos_active -= 1
+            if self._finite_qos_active == 0:
+                self.bump_rate_epoch()
 
     def dram_efficiency(self, instance: TaskInstance,
                         num_running: int) -> float:
@@ -94,6 +100,16 @@ class MoCAScheduler(SharedCacheBaseline):
         )
 
     # ------------------------------------------------------------------
+
+    def rate_kernel(self):
+        """With no finite-deadline task active, the slack throttle
+        cancels out of the proportional allocation (see
+        :meth:`bandwidth_shares_list`) and the rule is plain
+        demand-proportional, which the engine can fuse.  The epoch bumps
+        in the task hooks re-trigger resolution at each transition."""
+        if self._finite_qos_active:
+            return None
+        return ("demand_prop", self._policy.floor)
 
     def _demand(self, instance: TaskInstance) -> float:
         """Bytes/s the instance could consume: remaining layer DRAM work

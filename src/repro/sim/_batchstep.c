@@ -1,0 +1,312 @@
+/* Fused per-event stepping kernel for the fluid engine's batch loop.
+ *
+ * One call performs what the Python hot path spreads over several
+ * functions per event: recompute the demand-proportional bandwidth
+ * rates from the remaining-work arrays (mode DEMAND_PROP), find the
+ * next event time (min over per-instance completion times, clamped by
+ * the wakeup/timeline boundary), drain the fluid work, and report the
+ * finished positions.
+ *
+ * Bit-identity contract
+ * ---------------------
+ * Every arithmetic expression below transcribes the exact shape and
+ * evaluation order of the Python reference path:
+ *
+ *   demand   = (rem_d if rem_d > 1.0 else 1.0)
+ *              / (t if (t := rem_c / freq) > 1e-9 else 1e-9)
+ *   total    = sum(demands)                    # left-to-right
+ *   share    = base + remaining * (demand / total)
+ *   rate_d   = r if (r := total_bw * share * eff) > 1e-6 else 1e-6
+ *   t_i      = max(rem_c / rate_c, rem_d / rate_d)
+ *   dt       = min(t_i, wait_dt)
+ *   rem'     = max(rem - dt * rate, 0.0)
+ *   finished = rem_c' <= 1e-9 and rem_d' <= 1e-9
+ *
+ * (see CaMDNSchedulerBase.bandwidth_shares_list,
+ * MultiTenantEngine._recompute_rates and RunningKernel.step).  All
+ * operations are IEEE-754 binary64 with correctly-rounded results, so
+ * compiling without FP contraction (-ffp-contract=off) and without
+ * value-changing optimisations makes the C results identical to
+ * CPython's on any conforming host.  The only reduction besides the
+ * left-to-right demand total is the event-time min, which is exact in
+ * any order.
+ *
+ * The function is deliberately conservative: any input it is not
+ * certain about (a non-float list item, a non-positive demand total)
+ * returns None, telling the engine to take the pure-Python path for
+ * that event.  The Python and C paths are interchangeable mid-run.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <math.h>
+
+#define MODE_STATIC 0
+#define MODE_DEMAND_PROP 1
+
+/* Stack buffers cover every realistic running-set width; wider sets
+ * take one heap allocation per call. */
+#define STACK_WIDTH 96
+
+#define FINISH_EPS 1e-9
+
+static int
+read_doubles(PyObject *list, double *out, Py_ssize_t n)
+{
+    Py_ssize_t i;
+    for (i = 0; i < n; i++) {
+        PyObject *item = PyList_GET_ITEM(list, i);
+        if (!PyFloat_CheckExact(item)) {
+            return -1;
+        }
+        out[i] = PyFloat_AS_DOUBLE(item);
+    }
+    return 0;
+}
+
+/* fused_step(rem_c, rem_d, rate_c, rate_d, wait_dt, mode,
+ *            freq, total_bw, eff, floor)
+ *   -> (dt, finished_list_or_None) | None
+ *
+ * rem_c/rem_d are updated in place.  rate_c/rate_d are read only in
+ * MODE_STATIC; MODE_DEMAND_PROP derives rates from the remaining work
+ * (compute rate == freq for every instance) and does not write them
+ * back — the Python engine recomputes rates whenever it leaves the
+ * fused path, so the lists never leak stale values.
+ *
+ * Returns None when the inputs fall outside the fast path (non-float
+ * items, non-positive demand total); the caller then runs the exact
+ * Python equivalent for this event.  dt may be +inf (nothing running,
+ * nobody waking: the caller reports the deadlock) or negative (the
+ * caller raises, mirroring RunningKernel.step).
+ */
+static PyObject *
+fused_step(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *rem_c_l, *rem_d_l, *rate_c_l, *rate_d_l;
+    double wait_dt, freq, total_bw, eff, fl;
+    long mode;
+    double stack_buf[5 * STACK_WIDTH];
+    double *buf = stack_buf;
+    double *c, *d, *rc, *rd, *dem;
+    double dt, total;
+    Py_ssize_t n, i;
+    PyObject *finished = NULL, *result;
+
+    if (nargs != 10) {
+        PyErr_SetString(PyExc_TypeError,
+                        "fused_step expects exactly 10 arguments");
+        return NULL;
+    }
+    rem_c_l = args[0];
+    rem_d_l = args[1];
+    rate_c_l = args[2];
+    rate_d_l = args[3];
+    if (!PyList_CheckExact(rem_c_l) || !PyList_CheckExact(rem_d_l) ||
+        !PyList_CheckExact(rate_c_l) || !PyList_CheckExact(rate_d_l)) {
+        Py_RETURN_NONE;
+    }
+    wait_dt = PyFloat_AsDouble(args[4]);
+    if (wait_dt == -1.0 && PyErr_Occurred()) {
+        return NULL;
+    }
+    mode = PyLong_AsLong(args[5]);
+    if (mode == -1 && PyErr_Occurred()) {
+        return NULL;
+    }
+    freq = PyFloat_AsDouble(args[6]);
+    total_bw = PyFloat_AsDouble(args[7]);
+    eff = PyFloat_AsDouble(args[8]);
+    fl = PyFloat_AsDouble(args[9]);
+    if (PyErr_Occurred()) {
+        return NULL;
+    }
+
+    n = PyList_GET_SIZE(rem_c_l);
+    if (PyList_GET_SIZE(rem_d_l) != n ||
+        (mode == MODE_STATIC &&
+         (PyList_GET_SIZE(rate_c_l) != n ||
+          PyList_GET_SIZE(rate_d_l) != n))) {
+        Py_RETURN_NONE;
+    }
+    if (n > STACK_WIDTH) {
+        buf = PyMem_Malloc((size_t)(5 * n) * sizeof(double));
+        if (buf == NULL) {
+            return PyErr_NoMemory();
+        }
+    }
+    c = buf;
+    d = buf + n;
+    rc = buf + 2 * n;
+    rd = buf + 3 * n;
+    dem = buf + 4 * n;
+
+    if (read_doubles(rem_c_l, c, n) < 0 ||
+        read_doubles(rem_d_l, d, n) < 0) {
+        goto bail_none;
+    }
+
+    if (mode == MODE_DEMAND_PROP) {
+        /* Demands and their left-to-right total
+         * (CaMDNSchedulerBase.bandwidth_shares_list /
+         * MoCAScheduler.bandwidth_shares_list, no-deadline branch). */
+        total = 0.0;
+        for (i = 0; i < n; i++) {
+            double t = c[i] / freq;
+            double den = t > 1e-9 ? t : 1e-9;
+            double num = d[i] > 1.0 ? d[i] : 1.0;
+            double demand = num / den;
+            dem[i] = demand;
+            total += demand;
+        }
+        if (n > 0 && !(total > 0.0)) {
+            /* Unreachable with positive work, but the Python fallback
+             * (DemandProportionalPolicy.allocate_list) owns this case. */
+            goto bail_none;
+        }
+        {
+            /* Share constants (DemandProportionalPolicy.allocate_list:
+             * floor_total, base, remaining — same floats for any n). */
+            double floor_total = fl * (double)n;
+            double base, remaining;
+            if (!(floor_total < 1.0)) {
+                floor_total = 0.0;
+            }
+            base = floor_total != 0.0 ? fl : 0.0;
+            remaining = 1.0 - floor_total;
+            for (i = 0; i < n; i++) {
+                /* share, then the engine's rate install:
+                 * r = total_bw * share * eff, clamped above 1e-6. */
+                double share = base + remaining * (dem[i] / total);
+                double r = total_bw * share * eff;
+                rc[i] = freq;
+                rd[i] = r > 1e-6 ? r : 1e-6;
+            }
+        }
+    }
+    else {
+        if (read_doubles(rate_c_l, rc, n) < 0 ||
+            read_doubles(rate_d_l, rd, n) < 0) {
+            goto bail_none;
+        }
+    }
+
+    /* Min event time (RunningKernel.step list backend). */
+    dt = Py_HUGE_VAL;
+    for (i = 0; i < n; i++) {
+        double t_c = c[i] / rc[i];
+        double t_d = d[i] / rd[i];
+        double t = t_c >= t_d ? t_c : t_d;
+        if (t < dt) {
+            dt = t;
+        }
+    }
+    if (wait_dt < dt) {
+        dt = wait_dt;
+    }
+    if (dt == Py_HUGE_VAL || dt < 0.0) {
+        /* inf: idle/deadlock; negative: corrupt state.  Both are the
+         * caller's to report; no state was touched. */
+        if (buf != stack_buf) {
+            PyMem_Free(buf);
+        }
+        return Py_BuildValue("(dO)", dt, Py_None);
+    }
+
+    /* Advance and completion scan (RunningKernel.advance). */
+    for (i = 0; i < n; i++) {
+        double nc = c[i] - dt * rc[i];
+        double nd;
+        if (nc < 0.0) {
+            nc = 0.0;
+        }
+        nd = d[i] - dt * rd[i];
+        if (nd < 0.0) {
+            nd = 0.0;
+        }
+        c[i] = nc;
+        d[i] = nd;
+        if (nc <= FINISH_EPS && nd <= FINISH_EPS) {
+            if (finished == NULL) {
+                finished = PyList_New(0);
+                if (finished == NULL) {
+                    goto bail_err;
+                }
+            }
+            {
+                PyObject *pos = PyLong_FromSsize_t(i);
+                int rcode;
+                if (pos == NULL) {
+                    goto bail_err;
+                }
+                rcode = PyList_Append(finished, pos);
+                Py_DECREF(pos);
+                if (rcode < 0) {
+                    goto bail_err;
+                }
+            }
+        }
+    }
+
+    /* Write the drained work back (the lists stay authoritative). */
+    for (i = 0; i < n; i++) {
+        PyObject *fc = PyFloat_FromDouble(c[i]);
+        PyObject *fd;
+        if (fc == NULL) {
+            goto bail_err;
+        }
+        PyList_SetItem(rem_c_l, i, fc);
+        fd = PyFloat_FromDouble(d[i]);
+        if (fd == NULL) {
+            goto bail_err;
+        }
+        PyList_SetItem(rem_d_l, i, fd);
+    }
+
+    if (finished == NULL) {
+        result = Py_BuildValue("(dO)", dt, Py_None);
+    }
+    else {
+        result = Py_BuildValue("(dO)", dt, finished);
+    }
+    Py_XDECREF(finished);
+    if (buf != stack_buf) {
+        PyMem_Free(buf);
+    }
+    return result;
+
+bail_none:
+    if (buf != stack_buf) {
+        PyMem_Free(buf);
+    }
+    Py_RETURN_NONE;
+
+bail_err:
+    Py_XDECREF(finished);
+    if (buf != stack_buf) {
+        PyMem_Free(buf);
+    }
+    return NULL;
+}
+
+static PyMethodDef batchstep_methods[] = {
+    {"fused_step", (PyCFunction)(void (*)(void))fused_step,
+     METH_FASTCALL,
+     "Fused rates-recompute + min-dt + advance for one engine event."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef batchstep_module = {
+    PyModuleDef_HEAD_INIT,
+    "_batchstep",
+    "Native fused-step kernel for the fluid engine batch loop.",
+    -1,
+    batchstep_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__batchstep(void)
+{
+    return PyModule_Create(&batchstep_module);
+}

@@ -24,14 +24,23 @@ can change shares — membership changes always invalidate; layer-work
 changes only invalidate policies whose shares track task progress
 (:attr:`SchedulerPolicy.dynamic_rates`).
 
-When the policy's rates are static and no waiter, queued task or pending
-timeline event can intervene, the loop drops into a **steady-interval
-fast-forward** (:meth:`MultiTenantEngine._fast_forward`): the run of
-consecutive layer completions is executed in a tight kernel-only loop
-that skips rate recomputation, wait-heap peeks and dispatch checks
-entirely.  Each piecewise-constant interval is still stepped individually
-— exactness requires draining every interval with the same arithmetic —
-so the fast-forward elides bookkeeping, never events.
+The event loop is a **batched multi-event stepper**
+(:meth:`MultiTenantEngine._batch_run`): one Python-level entry processes
+a whole run of events in a tight loop, leaving only when the outer loop
+genuinely has work to do (a wakeup or timeline event is due, a task is
+queued for dispatch, or the policy's rate rule changed epoch).  Inside
+the batch, each event is one fused call — rate recomputation, min-dt
+search, fluid advance and completion scan in a single step — through
+the native kernel (:mod:`repro.sim.native`, a small C extension
+compiled on demand) when the policy declares a fusable rate rule
+(:meth:`~repro.schedulers.base.SchedulerPolicy.rate_kernel`), and
+through :meth:`RunningKernel.step` otherwise.  Static-rate policies ride
+the same batch loop (the former special-cased fast-forward); their rates
+are simply not recomputed until invalidated.  Each piecewise-constant
+interval is still stepped individually — exactness requires draining
+every interval with the same arithmetic — so batching elides
+bookkeeping, never events, and every fused path is bit-identical to the
+split Python path by construction.
 
 Dynamic tenancy: a tenant that joins mid-run is admitted through the
 scheduler's :meth:`~repro.schedulers.base.SchedulerPolicy.on_tenant_admit`
@@ -59,6 +68,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..config import SoCConfig
 from ..errors import SimulationError
+from . import native
 from .kernel import RunningKernel
 from .metrics import MetricsCollector
 
@@ -144,7 +154,8 @@ class MultiTenantEngine:
     def __init__(self, soc: SoCConfig, scheduler: "SchedulerPolicy",
                  workload: ScenarioWorkload,
                  trace: Optional["TraceRecorder"] = None,
-                 kernel_backend: Optional[str] = None) -> None:
+                 kernel_backend: Optional[str] = None,
+                 use_native: Optional[bool] = None) -> None:
         self.soc = soc
         self.scheduler = scheduler
         self.workload = workload
@@ -168,12 +179,25 @@ class MultiTenantEngine:
         self._free_cores = soc.num_npu_cores
         self._core_grant: Dict[str, int] = {}
         # SoC constants and per-width uniform efficiencies, cached off
-        # the per-event rate path.
-        self._total_bw = soc.dram.total_bandwidth_bytes_per_s
-        self._freq = soc.npu.frequency_hz
+        # the per-event rate path.  Coerced to float so the native fused
+        # step sees binary64 operands (int-valued configs divide to the
+        # same quotients either way).
+        self._total_bw = float(soc.dram.total_bandwidth_bytes_per_s)
+        self._freq = float(soc.npu.frequency_hz)
         self._uniform_eff: Dict[int, Optional[float]] = {}
         # SoA kernel over the RUNNING set.
         self._kernel = RunningKernel(force_backend=kernel_backend)
+        # Native fused stepper (None: pure-Python paths).  An explicit
+        # kernel backend means a test is pinning the step arithmetic to
+        # one implementation, so the fused path stands down.
+        self._native = None
+        if use_native is not False and kernel_backend is None:
+            self._native = native.fused_step()
+        # Fused rate mode, resolved from the policy's rate_kernel() per
+        # rate epoch (see _resolve_rate_mode).
+        self._mode_demand = False
+        self._mode_floor = 0.0
+        self._rate_epoch_seen = 0
         self._rates_valid = False
         # Scenario timeline: once the workload's scheduled events drain,
         # the flag keeps the hot loop at one boolean test per event
@@ -195,6 +219,7 @@ class MultiTenantEngine:
         start = time.perf_counter()
         self.scheduler.attach(self.soc)
         self._dynamic_rates = self.scheduler.dynamic_rates
+        self._resolve_rate_mode()
         self._process_timeline(initial=True)
         self._kernel_run_loop()
         # Balanced tenancy hooks: retire anything still admitted (e.g. a
@@ -243,58 +268,15 @@ class MultiTenantEngine:
 
     def _kernel_run_loop(self) -> None:
         self._dispatch_queued()
-        dynamic = self._dynamic_rates
-        kernel = self._kernel
-        workload = self.workload
         while self._active or self._queued or not self._timeline_done:
             if self.events_processed >= _MAX_EVENTS:
                 raise SimulationError(
                     "event cap exceeded; runaway simulation"
                 )
-            if not self._rates_valid:
-                self._recompute_rates()
-            timeline_s = math.inf
-            if not self._timeline_done:
-                timeline_s = workload.next_timeline_s()
-                if math.isinf(timeline_s):
-                    self._timeline_done = True
-                    if not self._active and not self._queued:
-                        break
-            if (
-                not dynamic and not self._wait_heap and not self._queued
-                and math.isinf(timeline_s)
-            ):
-                if self._fast_forward():
-                    # Finish the interrupted event's remaining phases:
-                    # a completion may have queued a successor stream or
-                    # parked an instance on the wait heap.
-                    if self._wait_heap:
-                        self._process_timeouts()
-                    if self._queued:
-                        self._dispatch_queued()
-                    continue
-            wait_dt = math.inf
-            if self._wait_heap:
-                wake = self._peek_wake_time()
-                if not math.isinf(wake):
-                    wait_dt = wake - self.now
-                    if wait_dt < 0.0:
-                        wait_dt = 0.0
-            if timeline_s - self.now < wait_dt:
-                wait_dt = timeline_s - self.now
-                if wait_dt < 0.0:
-                    wait_dt = 0.0
-            dt, finished = kernel.step(wait_dt)
-            if math.isinf(dt):
-                raise SimulationError(
-                    "deadlock: active instances but no future event"
-                )
-            self.now += dt
-            if dynamic and kernel.insts:
-                self._rates_valid = False
-            self.events_processed += 1
-            if finished:
-                self._process_completions(finished)
+            self._batch_run()
+            # The batch returned because this event's remaining phases
+            # need the slow machinery: due wakeups/timeline events, a
+            # queued dispatch, or a rate-mode change.
             if self._wait_heap:
                 self._process_timeouts()
             if not self._timeline_done:
@@ -302,39 +284,149 @@ class MultiTenantEngine:
             if self._queued:
                 self._dispatch_queued()
 
-    def _fast_forward(self) -> bool:
-        """Steady-interval fast-forward for static-rate policies.
+    def _resolve_rate_mode(self) -> None:
+        """Cache the policy's fusable rate rule for the current epoch.
 
-        Preconditions (checked by the caller): rates are valid and cannot
-        drift between events (``dynamic_rates`` is False), no instance is
-        waiting for pages, nothing is queued, and the scenario timeline is
-        exhausted — so until a membership change every event is a layer
-        completion of a running instance.  The run of consecutive
-        completions is executed in a tight loop over the kernel alone;
-        rate recomputation, wait-heap peeks and dispatch checks are
-        skipped until a grant or task finish breaks the steady interval.
-        Returns True if any events were processed.
+        A policy advertising ``("demand_prop", floor)`` gets the fused
+        recompute+step path (native when compiled, pure Python
+        otherwise); anything else keeps the split
+        ``_recompute_rates`` + ``kernel.step`` pair.  Re-resolved
+        whenever the policy bumps
+        :attr:`~repro.schedulers.base.SchedulerPolicy.rate_epoch`.
+        """
+        scheduler = self.scheduler
+        self._rate_epoch_seen = scheduler.rate_epoch
+        self._mode_demand = False
+        self._mode_floor = 0.0
+        if self._kernel._force_backend is not None:
+            # A pinned kernel backend means the test wants that exact
+            # step implementation: keep the split path.
+            return
+        spec = scheduler.rate_kernel()
+        if spec is not None and spec[0] == "demand_prop":
+            self._mode_demand = True
+            self._mode_floor = float(spec[1])
+
+    def _batch_run(self) -> None:
+        """Process a run of events without leaving this frame.
+
+        One iteration performs exactly the per-event sequence of the
+        classic loop — rates, boundary clamp, step, completions — and
+        returns as soon as any post-event phase (timeout, timeline,
+        dispatch, epoch change) must run, leaving that work to the
+        caller.  When the policy declares a fusable rate rule, the
+        rates-recompute and the kernel step collapse into one fused call
+        per event (native C when available); otherwise the split Python
+        pair runs inside the same loop.  All paths are bit-identical.
         """
         kernel = self._kernel
+        insts = kernel.insts
+        workload = self.workload
+        scheduler = self.scheduler
+        if scheduler.rate_epoch != self._rate_epoch_seen:
+            # A dispatch/tenant hook outside the batch changed the rate
+            # rule (e.g. MoCA's first finite-deadline task arrived).
+            self._resolve_rate_mode()
         step = kernel.step
-        processed = False
-        while (
-            self._rates_valid
-            and not self._wait_heap
-            and not self._queued
-            and self.events_processed < _MAX_EVENTS
-        ):
-            dt, finished = step(math.inf)
+        native_step = self._native
+        fused_py = kernel.fused_step_demand
+        uniform_eff = self._uniform_eff
+        freq = self._freq
+        total_bw = self._total_bw
+        dynamic = self._dynamic_rates
+        wait_heap = self._wait_heap
+        epoch = self._rate_epoch_seen
+        mode_demand = self._mode_demand
+        floor = self._mode_floor
+        n_eff = -1
+        eff = 0.0
+        while True:
+            wait_dt = math.inf
+            if wait_heap:
+                wake = self._peek_wake_time()
+                if not math.isinf(wake):
+                    wait_dt = wake - self.now
+                    if wait_dt < 0.0:
+                        wait_dt = 0.0
+            if not self._timeline_done:
+                timeline_s = workload.next_timeline_s()
+                if math.isinf(timeline_s):
+                    self._timeline_done = True
+                    if not self._active and not self._queued:
+                        return
+                elif timeline_s - self.now < wait_dt:
+                    wait_dt = timeline_s - self.now
+                    if wait_dt < 0.0:
+                        wait_dt = 0.0
+            res = None
+            if mode_demand:
+                n = len(insts)
+                if n != n_eff:
+                    try:
+                        eff = uniform_eff[n]
+                    except KeyError:
+                        eff = scheduler.uniform_dram_efficiency(n)
+                        uniform_eff[n] = eff
+                    if eff is None:
+                        # Per-instance efficiencies: not fusable after
+                        # all; drop to the split path for this run.
+                        self._mode_demand = mode_demand = False
+                    n_eff = n
+                if mode_demand and n:
+                    if kernel._use_np:
+                        kernel._materialize()
+                    if native_step is not None:
+                        res = native_step(
+                            kernel.rem_c, kernel.rem_d,
+                            kernel.rate_c, kernel.rate_d,
+                            wait_dt, 1, freq, total_bw, eff, floor,
+                        )
+                    else:
+                        res = fused_py(wait_dt, freq, total_bw, eff,
+                                       floor)
+            elif native_step is not None and self._rates_valid \
+                    and not kernel._use_np:
+                res = native_step(
+                    kernel.rem_c, kernel.rem_d,
+                    kernel.rate_c, kernel.rate_d,
+                    wait_dt, 0, freq, total_bw, 1.0, 0.0,
+                )
+            if res is None:
+                # Split path: the exact pre-batch per-event machinery
+                # (also the fallback for inputs outside the fused
+                # fast-path shape).
+                if not self._rates_valid:
+                    self._recompute_rates()
+                dt, finished = step(wait_dt)
+            else:
+                dt, finished = res
             if math.isinf(dt):
-                break
+                raise SimulationError(
+                    "deadlock: active instances but no future event"
+                )
+            if dt < 0:
+                raise SimulationError(f"negative time step {dt}")
             self.now += dt
+            if dynamic and insts:
+                self._rates_valid = False
             self.events_processed += 1
-            processed = True
             if finished:
                 self._process_completions(finished)
+                if scheduler.rate_epoch != epoch:
+                    self._resolve_rate_mode()
+                    return
+                if self._queued:
+                    return
+            if wait_heap and \
+                    self._peek_wake_time() - self.now <= _WAKE_EPS:
+                return
+            if not self._timeline_done and \
+                    workload.next_timeline_s() - self.now <= _WAKE_EPS:
+                return
             if not self._active:
-                break
-        return processed
+                return
+            if self.events_processed >= _MAX_EVENTS:
+                return
 
     def _recompute_rates(self) -> None:
         """Install per-position rates from the policy's shares.

@@ -255,6 +255,76 @@ class RunningKernel:
                 append(i)
         return dt, finished
 
+    def fused_step_demand(self, wait_dt: float, freq: float,
+                          total_bw: float, eff: float, floor: float):
+        """Fused demand-proportional event step (pure-Python twin of the
+        native ``_batchstep.fused_step`` in mode ``DEMAND_PROP``).
+
+        Recomputes the demand-proportional DRAM rates from the remaining
+        work, finds the next event time and drains the fluid work, in
+        one pass structure — every expression transcribes the exact
+        shape of ``CaMDNSchedulerBase.bandwidth_shares_list`` (non-QoS
+        branch), ``MultiTenantEngine._recompute_rates`` and
+        :meth:`step`, so the results are bit-identical to the split
+        path.  The compute rate of every instance is ``freq``.
+
+        Returns ``(dt, finished_positions_or_None)``; ``None`` (the
+        whole call) means the inputs fall outside the fast-path shape
+        (non-positive demand total) and the caller must run the split
+        path for this event.  ``dt`` may be ``inf`` (idle/deadlock) or
+        negative (corrupt state) — both are returned untouched, state
+        unmodified, for the caller to report.
+        """
+        if self._use_np:
+            self._materialize()
+        rem_c, rem_d = self.rem_c, self.rem_d
+        n = len(rem_c)
+        demands = [
+            (d if d > 1.0 else 1.0)
+            / (t if (t := c / freq) > 1e-9 else 1e-9)
+            for c, d in zip(rem_c, rem_d)
+        ]
+        total = sum(demands)
+        if n and not total > 0.0:
+            return None
+        floor_total = floor * n if floor * n < 1 else 0.0
+        base = floor if floor_total else 0.0
+        remaining = 1.0 - floor_total
+        dt = float("inf")
+        rate_d: List[float] = []
+        append_rate = rate_d.append
+        for c, d, demand in zip(rem_c, rem_d, demands):
+            s = base + remaining * (demand / total)
+            r = total_bw * s * eff
+            if not r > 1e-6:
+                r = 1e-6
+            append_rate(r)
+            t_c = c / freq
+            t_d = d / r
+            t = t_c if t_c >= t_d else t_d
+            if t < dt:
+                dt = t
+        if wait_dt < dt:
+            dt = wait_dt
+        if dt == float("inf") or dt < 0:
+            return dt, None
+        finished: Optional[List[int]] = None
+        for i in range(n):
+            c = rem_c[i] - dt * freq
+            if c < 0.0:
+                c = 0.0
+            rem_c[i] = c
+            d = rem_d[i] - dt * rate_d[i]
+            if d < 0.0:
+                d = 0.0
+            rem_d[i] = d
+            if c <= _FINISH_EPS and d <= _FINISH_EPS:
+                if finished is None:
+                    finished = [i]
+                else:
+                    finished.append(i)
+        return dt, finished
+
     def advance(self, dt: float) -> List[int]:
         """Drain ``dt`` seconds of fluid work; return finished positions.
 

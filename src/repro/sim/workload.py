@@ -208,6 +208,11 @@ class ScenarioWorkload:
         self._rt: Dict[str, _StreamState] = {}
         self._by_index: List[_StreamState] = []
         self._heap: List[Tuple[float, int, int]] = []
+        #: Cached earliest live timeline event time (None: recompute).
+        #: The engine's batch loop peeks the timeline up to twice per
+        #: event, so the heap-top validation is memoized and invalidated
+        #: at every mutation (pops, new arrivals, stream finishes).
+        self._timeline_next: Optional[float] = None
         self._retired: List[str] = []
         self._replay_batch: Optional[TimelineBatch] = None
         self._offered = 0
@@ -272,6 +277,9 @@ class ScenarioWorkload:
 
     def next_timeline_s(self) -> float:
         """Earliest live scheduled event time (``inf`` when exhausted)."""
+        t = self._timeline_next
+        if t is not None:
+            return t
         heap = self._heap
         while heap:
             t, prio, index = heap[0]
@@ -279,7 +287,9 @@ class ScenarioWorkload:
             if rt.finished or rt.left:
                 heappop(heap)       # stale: stream already gone
                 continue
+            self._timeline_next = t
             return t
+        self._timeline_next = math.inf
         return math.inf
 
     def has_pending(self) -> bool:
@@ -331,6 +341,7 @@ class ScenarioWorkload:
                 self._dropped += len(rt.backlog)
                 rt.backlog.clear()
                 leaves.append(rt.stream_id)
+        self._timeline_next = None
         return TimelineBatch(admits, instances, leaves)
 
     def next_instance(self, stream_id: str,
@@ -438,10 +449,14 @@ class ScenarioWorkload:
             rt.arrivals = None
             return
         heappush(self._heap, (t, _ARRIVAL, rt.index))
+        self._timeline_next = None
 
     def _finish(self, rt: _StreamState) -> None:
         if not rt.finished and rt.joined:
             rt.finished = True
+            # The stream's pending heap entries (if any) just went
+            # stale; a cached peek may now point at a dead event.
+            self._timeline_next = None
             self._retired.append(rt.stream_id)
 
     def _spawn(self, rt: _StreamState, now: float,

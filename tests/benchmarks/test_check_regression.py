@@ -1,0 +1,240 @@
+"""Unit tests for the manifest-driven benchmark regression checker."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = (
+    Path(__file__).parent.parent.parent
+    / "benchmarks" / "check_regression.py"
+)
+_spec = importlib.util.spec_from_file_location(
+    "check_regression", _MODULE_PATH
+)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def _engine_doc(rates):
+    return {
+        "meta": {"streams": 8},
+        "policies": {
+            name: {"kernel": {"events_per_s": rate, "events": 1000,
+                              "wall_s": 1000 / rate}}
+            for name, rate in rates.items()
+        },
+    }
+
+
+def _write(path: Path, doc) -> None:
+    path.write_text(json.dumps(doc))
+
+
+@pytest.fixture()
+def bench_dirs(tmp_path):
+    current = tmp_path / "current"
+    baseline = tmp_path / "baseline"
+    current.mkdir()
+    baseline.mkdir()
+    return current, baseline
+
+
+class TestToleranceResolution:
+    def test_cli_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "0.5")
+        assert check_regression.resolve_tolerance(0.1) == 0.1
+
+    def test_env_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "0.65")
+        assert check_regression.resolve_tolerance(None) == 0.65
+
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_TOLERANCE", raising=False)
+        assert check_regression.resolve_tolerance(None) == \
+            check_regression.DEFAULT_TOLERANCE
+
+    def test_malformed_env_exits(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "half")
+        with pytest.raises(SystemExit):
+            check_regression.resolve_tolerance(None)
+
+
+class TestCheckBench:
+    def test_within_tolerance_passes(self, bench_dirs):
+        current, baseline = bench_dirs
+        _write(current / "BENCH_engine.json",
+               _engine_doc({"camdn-full": 90.0}))
+        _write(baseline / "BENCH_engine.baseline.json",
+               _engine_doc({"camdn-full": 100.0}))
+        failures = check_regression.check_bench(
+            "engine", 0.30, current_dir=current, baseline_dir=baseline
+        )
+        assert failures == []
+
+    def test_rate_exactly_at_floor_passes(self, bench_dirs):
+        current, baseline = bench_dirs
+        base = 123_456.0
+        tolerance = 0.30
+        floor = (1.0 - tolerance) * base
+        _write(current / "BENCH_engine.json",
+               _engine_doc({"camdn-full": floor}))
+        _write(baseline / "BENCH_engine.baseline.json",
+               _engine_doc({"camdn-full": base}))
+        failures = check_regression.check_bench(
+            "engine", tolerance,
+            current_dir=current, baseline_dir=baseline,
+        )
+        assert failures == []
+
+    def test_rate_below_floor_fails(self, bench_dirs):
+        current, baseline = bench_dirs
+        _write(current / "BENCH_engine.json",
+               _engine_doc({"camdn-full": 69.9}))
+        _write(baseline / "BENCH_engine.baseline.json",
+               _engine_doc({"camdn-full": 100.0}))
+        failures = check_regression.check_bench(
+            "engine", 0.30, current_dir=current, baseline_dir=baseline
+        )
+        assert len(failures) == 1
+        assert "camdn-full" in failures[0]
+
+    def test_deeper_tolerance_admits_same_drop(self, bench_dirs):
+        current, baseline = bench_dirs
+        _write(current / "BENCH_engine.json",
+               _engine_doc({"camdn-full": 55.0}))
+        _write(baseline / "BENCH_engine.baseline.json",
+               _engine_doc({"camdn-full": 100.0}))
+        assert check_regression.check_bench(
+            "engine", 0.50, current_dir=current, baseline_dir=baseline
+        ) == []
+        assert check_regression.check_bench(
+            "engine", 0.30, current_dir=current, baseline_dir=baseline
+        ) != []
+
+    def test_row_missing_from_current_fails(self, bench_dirs):
+        current, baseline = bench_dirs
+        _write(current / "BENCH_engine.json", _engine_doc({}))
+        _write(baseline / "BENCH_engine.baseline.json",
+               _engine_doc({"moca": 100.0}))
+        failures = check_regression.check_bench(
+            "engine", 0.30, current_dir=current, baseline_dir=baseline
+        )
+        assert failures == ["engine/moca: missing from current run"]
+
+    def test_extra_current_rows_are_ignored(self, bench_dirs):
+        # A new policy without a committed baseline row must not fail
+        # the gate (the baseline is refreshed in the same PR normally).
+        current, baseline = bench_dirs
+        _write(current / "BENCH_engine.json",
+               _engine_doc({"moca": 100.0, "brand-new": 1.0}))
+        _write(baseline / "BENCH_engine.baseline.json",
+               _engine_doc({"moca": 100.0}))
+        assert check_regression.check_bench(
+            "engine", 0.30, current_dir=current, baseline_dir=baseline
+        ) == []
+
+
+class TestBadInputs:
+    def test_absent_current_output_exits(self, bench_dirs):
+        current, baseline = bench_dirs
+        _write(baseline / "BENCH_engine.baseline.json",
+               _engine_doc({"moca": 100.0}))
+        with pytest.raises(SystemExit, match="current file missing"):
+            check_regression.check_bench(
+                "engine", 0.30,
+                current_dir=current, baseline_dir=baseline,
+            )
+
+    def test_absent_baseline_exits(self, bench_dirs):
+        current, baseline = bench_dirs
+        _write(current / "BENCH_engine.json",
+               _engine_doc({"moca": 100.0}))
+        with pytest.raises(SystemExit, match="baseline file missing"):
+            check_regression.check_bench(
+                "engine", 0.30,
+                current_dir=current, baseline_dir=baseline,
+            )
+
+    def test_malformed_baseline_json_exits(self, bench_dirs):
+        current, baseline = bench_dirs
+        _write(current / "BENCH_engine.json",
+               _engine_doc({"moca": 100.0}))
+        (baseline / "BENCH_engine.baseline.json").write_text("{nope")
+        with pytest.raises(SystemExit, match="malformed"):
+            check_regression.check_bench(
+                "engine", 0.30,
+                current_dir=current, baseline_dir=baseline,
+            )
+
+    def test_missing_section_exits(self, bench_dirs):
+        current, baseline = bench_dirs
+        _write(current / "BENCH_engine.json", {"meta": {}})
+        _write(baseline / "BENCH_engine.baseline.json",
+               _engine_doc({"moca": 100.0}))
+        with pytest.raises(SystemExit, match="section"):
+            check_regression.check_bench(
+                "engine", 0.30,
+                current_dir=current, baseline_dir=baseline,
+            )
+
+    def test_unknown_bench_name_exits(self, bench_dirs):
+        current, baseline = bench_dirs
+        with pytest.raises(SystemExit, match="unknown bench"):
+            check_regression.check_bench(
+                "frobnicator", 0.30,
+                current_dir=current, baseline_dir=baseline,
+            )
+
+    def test_malformed_rate_entry_fails_row(self, bench_dirs):
+        current, baseline = bench_dirs
+        _write(current / "BENCH_engine.json",
+               {"policies": {"moca": {"kernel": {}}}})
+        _write(baseline / "BENCH_engine.baseline.json",
+               _engine_doc({"moca": 100.0}))
+        failures = check_regression.check_bench(
+            "engine", 0.30, current_dir=current, baseline_dir=baseline
+        )
+        assert failures == ["engine/moca: malformed rate entry"]
+
+
+class TestMain:
+    def test_manifest_covers_all_three_benches(self):
+        assert set(check_regression.MANIFEST) == \
+            {"engine", "scenario", "allocator"}
+        for spec in check_regression.MANIFEST.values():
+            baseline = (
+                Path(check_regression.BASELINE_DIR) / spec.baseline
+            )
+            assert baseline.exists(), baseline
+
+    def test_main_green_run(self, bench_dirs, capsys):
+        current, baseline = bench_dirs
+        _write(current / "BENCH_engine.json",
+               _engine_doc({"moca": 100.0}))
+        _write(baseline / "BENCH_engine.baseline.json",
+               _engine_doc({"moca": 100.0}))
+        code = check_regression.main([
+            "engine",
+            "--current-dir", str(current),
+            "--baseline-dir", str(baseline),
+            "--tolerance", "0.3",
+        ])
+        assert code == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_main_regression_is_nonzero(self, bench_dirs, capsys):
+        current, baseline = bench_dirs
+        _write(current / "BENCH_engine.json",
+               _engine_doc({"moca": 10.0}))
+        _write(baseline / "BENCH_engine.baseline.json",
+               _engine_doc({"moca": 100.0}))
+        code = check_regression.main([
+            "engine",
+            "--current-dir", str(current),
+            "--baseline-dir", str(baseline),
+            "--tolerance", "0.3",
+        ])
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out

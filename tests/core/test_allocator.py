@@ -7,7 +7,6 @@ import pytest
 from repro.config import KiB
 from repro.core.allocator import (
     LOOKAHEAD_FRACTION,
-    AllocationDecision,
     DynamicCacheAllocator,
 )
 from repro.core.mct import (

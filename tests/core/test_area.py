@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import KiB, MiB, CacheConfig, NPUConfig, SoCConfig
+from repro.config import KiB, MiB, NPUConfig, SoCConfig
 from repro.core.area import AreaModel, area_breakdown_table
 
 

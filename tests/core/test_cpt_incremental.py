@@ -7,7 +7,6 @@ identical translations for every mapped byte, identical mapped vcpn
 sets, and identical physical grant order.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import KiB, CacheConfig

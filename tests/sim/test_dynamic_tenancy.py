@@ -2,7 +2,6 @@
 join/leave, page reclamation under churn, and allocator invariants
 across randomized churn traces."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

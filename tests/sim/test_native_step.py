@@ -1,0 +1,220 @@
+"""Native fused-step equivalence and loader behaviour.
+
+The batch loop's three step implementations — native C fused step,
+pure-Python fused step (:meth:`RunningKernel.fused_step_demand`) and the
+classic split ``_recompute_rates`` + ``kernel.step`` pair — must be
+bit-identical; the committed reference suite pins the default path and
+these tests pin the cross-path agreement, including MoCA's mid-run rate
+epoch transitions.
+"""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.config import SoCConfig
+from repro.schedulers import make_scheduler
+from repro.sim import native
+from repro.sim.engine import MultiTenantEngine
+from repro.sim.kernel import RunningKernel
+from repro.sim.scenario import ArrivalProcess, ScenarioSpec, StreamSpec
+from repro.sim.workload import (
+    ClosedLoopWorkload,
+    ScenarioWorkload,
+    WorkloadSpec,
+)
+
+POLICIES = ("baseline", "moca", "aurora", "camdn-hw", "camdn-full")
+
+NATIVE = native.fused_step()
+
+needs_native = pytest.mark.skipif(
+    NATIVE is None,
+    reason=f"native fused step unavailable: {native.native_status()}",
+)
+
+
+def _metrics_json(result) -> str:
+    return json.dumps(result.metric_summary(), sort_keys=True)
+
+
+def _run(policy_name, *, use_native=None, backend=None,
+         keys=("RS.", "MB.", "EF.", "BE."), qos_scale=float("inf"),
+         inferences=2):
+    spec = WorkloadSpec(
+        model_keys=list(keys),
+        inferences_per_stream=inferences,
+        warmup_inferences=0,
+        qos_scale=qos_scale,
+    )
+    engine = MultiTenantEngine(
+        SoCConfig(),
+        make_scheduler(policy_name),
+        ClosedLoopWorkload(spec),
+        kernel_backend=backend,
+        use_native=use_native,
+    )
+    return engine.run()
+
+
+class TestLoader:
+    def test_status_reports_outcome(self):
+        status = native.native_status()
+        assert status
+        if NATIVE is not None:
+            assert status.startswith("loaded")
+
+    def test_env_kill_switch(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        native.reset_for_tests()
+        try:
+            assert native.fused_step() is None
+            assert "REPRO_NATIVE" in native.native_status()
+        finally:
+            monkeypatch.delenv("REPRO_NATIVE")
+            native.reset_for_tests()
+            native.fused_step()
+
+    def test_engine_runs_without_native(self):
+        result = _run("camdn-full", use_native=False)
+        assert result.metrics.num_inferences == 8
+
+
+@needs_native
+class TestFusedStepBitIdentity:
+    """The C step against its documented pure-Python twin."""
+
+    def _kernel_with(self, rem_c, rem_d):
+        kernel = RunningKernel(force_backend="list")
+        # Install the fluid state directly: fused_step_demand only reads
+        # the rem arrays (compute rate == freq by contract).
+        kernel.rem_c = list(rem_c)
+        kernel.rem_d = list(rem_d)
+        kernel.insts = [None] * len(rem_c)
+        return kernel
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomized_state_agrees(self, seed):
+        rng = random.Random(seed)
+        for _ in range(200):
+            n = rng.choice((0, 1, 2, 3, 8, 24, 100))
+            rem_c = [rng.uniform(0.0, 5e4) for _ in range(n)]
+            rem_d = [rng.uniform(0.0, 1e5) for _ in range(n)]
+            wait_dt = rng.choice(
+                (math.inf, rng.uniform(0.0, 1e-4), 0.0)
+            )
+            freq, bw = 1e9, 102.4e9
+            eff = rng.choice((0.92, 0.775))
+            floor = 0.02
+            c_rem_c, c_rem_d = list(rem_c), list(rem_d)
+            res_c = NATIVE(c_rem_c, c_rem_d, [], [], wait_dt, 1,
+                           freq, bw, eff, floor)
+            kernel = self._kernel_with(rem_c, rem_d)
+            res_py = kernel.fused_step_demand(wait_dt, freq, bw, eff,
+                                              floor)
+            if res_c is None:
+                assert res_py is None
+                continue
+            dt_c, fin_c = res_c
+            dt_py, fin_py = res_py
+            assert repr(dt_c) == repr(dt_py)
+            assert (fin_c or None) == (fin_py or None)
+            assert [x.hex() for x in c_rem_c] == \
+                [x.hex() for x in kernel.rem_c]
+            assert [x.hex() for x in c_rem_d] == \
+                [x.hex() for x in kernel.rem_d]
+
+    def test_static_mode_matches_kernel_step(self):
+        rng = random.Random(99)
+        for _ in range(200):
+            n = rng.choice((1, 2, 8, 30))
+            rem_c = [rng.uniform(0.0, 5e4) for _ in range(n)]
+            rem_d = [rng.uniform(0.0, 1e5) for _ in range(n)]
+            rate_c = [1e9] * n
+            rate_d = [max(rng.uniform(0.0, 2e10), 1e-6)
+                      for _ in range(n)]
+            wait_dt = rng.choice((math.inf, rng.uniform(0.0, 1e-4)))
+            c_rem_c, c_rem_d = list(rem_c), list(rem_d)
+            res_c = NATIVE(c_rem_c, c_rem_d, rate_c, rate_d, wait_dt,
+                           0, 1e9, 102.4e9, 1.0, 0.0)
+            kernel = RunningKernel(force_backend="list")
+            kernel.rem_c = list(rem_c)
+            kernel.rem_d = list(rem_d)
+            kernel.rate_c = list(rate_c)
+            kernel.rate_d = list(rate_d)
+            kernel.insts = [None] * n
+            dt_py, fin_py = kernel.step(wait_dt)
+            dt_c, fin_c = res_c
+            assert repr(dt_c) == repr(dt_py)
+            assert (fin_c or []) == fin_py
+            if not math.isinf(dt_c):
+                assert [x.hex() for x in c_rem_c] == \
+                    [x.hex() for x in kernel.rem_c]
+                assert [x.hex() for x in c_rem_d] == \
+                    [x.hex() for x in kernel.rem_d]
+
+    def test_non_float_items_fall_back(self):
+        assert NATIVE([1, 2.0], [2.0, 3.0], [], [], math.inf, 1,
+                      1e9, 1e9, 0.9, 0.02) is None
+
+
+class TestEngineCrossPathIdentity:
+    """Engine runs must agree across native / python-fused / split."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_native_vs_python_fused(self, policy):
+        with_native = _run(policy, use_native=None)
+        without = _run(policy, use_native=False)
+        assert _metrics_json(with_native) == _metrics_json(without)
+        assert with_native.events_processed == without.events_processed
+
+    @pytest.mark.parametrize("policy", ("camdn-full", "moca"))
+    def test_python_fused_vs_split(self, policy):
+        # A pinned kernel backend disables the fused path entirely, so
+        # this compares the python fused step to the classic
+        # _recompute_rates + kernel.step pair.
+        fused = _run(policy, use_native=False)
+        split = _run(policy, backend="list")
+        assert _metrics_json(fused) == _metrics_json(split)
+        assert fused.events_processed == split.events_processed
+
+    @pytest.mark.parametrize("policy", ("moca", "camdn-full", "aurora"))
+    def test_qos_workload_agrees(self, policy):
+        # Finite deadlines: MoCA's slack throttle wakes up (rate_kernel
+        # None for the whole run), aurora multi-core grants engage.
+        with_native = _run(policy, use_native=None, qos_scale=1.0)
+        without = _run(policy, use_native=False, qos_scale=1.0)
+        assert _metrics_json(with_native) == _metrics_json(without)
+
+    def test_moca_mid_run_epoch_transition(self):
+        # One deadline-carrying stream finishes early, flipping MoCA's
+        # rule back to plain demand-proportional mid-run: the fused
+        # batch must resume exactly where the split path would.
+        spec = ScenarioSpec(
+            streams=(
+                StreamSpec(model="RS.", qos_scale=1.0, inferences=1,
+                           arrival=ArrivalProcess.closed_loop()),
+                StreamSpec(model="MB.", inferences=4,
+                           arrival=ArrivalProcess.closed_loop()),
+                StreamSpec(model="EF.", inferences=4,
+                           arrival=ArrivalProcess.closed_loop()),
+            ),
+        )
+
+        def run(use_native):
+            scheduler = make_scheduler("moca")
+            engine = MultiTenantEngine(
+                SoCConfig(), scheduler, ScenarioWorkload(spec),
+                use_native=use_native,
+            )
+            result = engine.run()
+            # The rule changed twice: deadline task started, then ended.
+            assert scheduler.rate_epoch == 2
+            return result
+
+        with_native = run(None)
+        without = run(False)
+        assert _metrics_json(with_native) == _metrics_json(without)
+        assert with_native.events_processed == without.events_processed
