@@ -53,6 +53,8 @@ from .schedulers import make_scheduler
 from .sim import (
     ArrivalProcess,
     ClosedLoopWorkload,
+    EventTrace,
+    EventTraceRecorder,
     MultiTenantEngine,
     ScenarioSpec,
     ScenarioWorkload,
@@ -64,7 +66,7 @@ from .sim import (
     scenario_names,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "KiB",
@@ -86,6 +88,8 @@ __all__ = [
     "StreamSpec",
     "ScenarioSpec",
     "ScenarioWorkload",
+    "EventTrace",
+    "EventTraceRecorder",
     "get_scenario",
     "register_scenario",
     "scenario_names",

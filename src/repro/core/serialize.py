@@ -43,7 +43,8 @@ SCHEMA_VERSION = 1
 #: v2: scenario-era results (offered/cancelled inference counts and the
 #: offered-load ratio) — v1 entries predate the scenario subsystem and
 #: are never deserialized.
-RESULT_SCHEMA_VERSION = 2
+#: v3: conservation-law accounting (completed/dropped inference counts).
+RESULT_SCHEMA_VERSION = 3
 
 
 def _candidate_to_dict(candidate: MappingCandidate) -> dict:
@@ -174,6 +175,40 @@ def scenario_spec_from_dict(data: dict):
     return ScenarioSpec.from_dict(data)
 
 
+def event_trace_to_dict(trace) -> dict:
+    """Canonical JSON-ready form of a
+    :class:`~repro.sim.trace.EventTrace` (versioned, content-hashed;
+    exact float round-trip)."""
+    return trace.to_dict()
+
+
+def event_trace_from_dict(data: dict):
+    """Inverse of :func:`event_trace_to_dict`.
+
+    Raises:
+        WorkloadError: the payload is not a supported (intact) trace.
+    """
+    from ..sim.trace import EventTrace
+
+    return EventTrace.from_dict(data)
+
+
+def save_event_trace(trace, path: Union[str, Path]) -> Path:
+    """Write an event trace as JSON; returns the path written."""
+    return trace.save(path)
+
+
+def load_event_trace(path: Union[str, Path]):
+    """Read a JSON event-trace file (validating schema and hash).
+
+    Raises:
+        WorkloadError: the file is unreadable or not a supported trace.
+    """
+    from ..sim.trace import EventTrace
+
+    return EventTrace.load(path)
+
+
 def stable_content_hash(payload: dict) -> str:
     """SHA-256 over canonical JSON (sorted keys, exact float reprs).
 
@@ -296,6 +331,8 @@ def simulation_result_to_dict(result: "SimulationResult") -> dict:
         "events_processed": result.events_processed,
         "offered_inferences": result.offered_inferences,
         "cancelled_inferences": result.cancelled_inferences,
+        "completed_inferences": result.completed_inferences,
+        "dropped_inferences": result.dropped_inferences,
         "offered_load_ratio": result.offered_load_ratio,
         "records": [
             [getattr(rec, f) for f in _RECORD_FIELDS]
@@ -333,6 +370,8 @@ def simulation_result_from_dict(data: dict) -> "SimulationResult":
         events_processed=data["events_processed"],
         offered_inferences=data["offered_inferences"],
         cancelled_inferences=data["cancelled_inferences"],
+        completed_inferences=data["completed_inferences"],
+        dropped_inferences=data["dropped_inferences"],
         offered_load_ratio=data["offered_load_ratio"],
     )
 

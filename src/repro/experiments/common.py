@@ -21,6 +21,7 @@ from ..schedulers import make_scheduler
 from ..schedulers.base import SchedulerPolicy
 from ..sim.engine import MultiTenantEngine, SimulationResult
 from ..sim.scenario import ScenarioSpec, get_scenario
+from ..sim.trace import EventTraceRecorder
 from ..sim.workload import ScenarioWorkload, WorkloadSpec
 
 
@@ -74,6 +75,7 @@ def run_scenario(
     qos_mode: bool = False,
     trace=None,
     kernel_backend: Optional[str] = None,
+    capture_trace: bool = False,
     **policy_kwargs,
 ) -> SimulationResult:
     """Simulate one scenario under one policy (the single entry point).
@@ -92,6 +94,10 @@ def run_scenario(
         trace: optional :class:`~repro.sim.trace.TraceRecorder`.
         kernel_backend: force the engine kernel backend
             (``"numpy"`` / ``"list"``).
+        capture_trace: record every scenario/engine event and attach the
+            finished :class:`~repro.sim.trace.EventTrace` to the result
+            (``result.event_trace``); the capture is pure observation,
+            so metrics are unchanged.
         **policy_kwargs: forwarded to the scheduler constructor when
             ``policy`` is a name.
 
@@ -119,10 +125,15 @@ def run_scenario(
     # layer cycles and access segments instead of re-deriving them
     # inside the engine run.
     prepare_workload(policy_name, spec.model_keys, soc)
-    workload = ScenarioWorkload(spec)
+    recorder = EventTraceRecorder() if capture_trace else None
+    workload = ScenarioWorkload(spec, recorder=recorder)
     engine = MultiTenantEngine(soc, scheduler, workload, trace=trace,
-                               kernel_backend=kernel_backend)
-    return engine.run()
+                               kernel_backend=kernel_backend,
+                               event_recorder=recorder)
+    result = engine.run()
+    if recorder is not None:
+        result.event_trace = recorder.finish(spec, policy_name)
+    return result
 
 
 def run_policy(

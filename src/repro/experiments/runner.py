@@ -4,6 +4,9 @@ Usage::
 
     python -m repro.experiments.runner fig2 [--scale 0.5] [--jobs 4]
     python -m repro.experiments.runner all --no-cache
+    python -m repro.experiments.runner --scenario poisson-eight \\
+        --policy camdn-full --capture-trace run.trace.json
+    python -m repro.experiments.runner --replay-trace run.trace.json
 
 ``--jobs`` fans the experiment's independent simulation cells out over a
 process pool (see :mod:`repro.experiments.sweep`); the default picks one
@@ -12,6 +15,13 @@ result cache when an identical cell was simulated before; ``--no-cache``
 forces fresh simulation (CI uses this so the engine is always
 exercised).  Experiments without a cell grid (fig3, table3) ignore both
 flags.
+
+``--scenario NAME --capture-trace FILE`` runs one registered scenario
+under ``--policy`` (default ``camdn-full``) and writes the versioned,
+content-hashed event trace (see :mod:`repro.sim.trace`);
+``--replay-trace FILE`` re-feeds a captured trace as a scenario —
+under the same policy and SoC the replay reproduces the captured run's
+``metric_summary()`` byte-identically.
 
 ``--profile FILE`` wraps each experiment in :mod:`cProfile` and dumps
 the stats to ``FILE`` (pstats format; load with
@@ -106,6 +116,46 @@ def format_scenario_list() -> str:
     return "\n".join(lines)
 
 
+def _run_capture(scenario_name: str, policy: str, scale: float,
+                 trace_path: str) -> int:
+    """Run one registered scenario and write its event trace."""
+    import json
+
+    from ..sim.scenario import get_scenario
+    from .common import run_scenario
+
+    spec = get_scenario(scenario_name).scaled(scale)
+    result = run_scenario(spec, policy=policy, capture_trace=True)
+    trace = result.event_trace
+    path = trace.save(trace_path)
+    print(json.dumps(result.metric_summary(), sort_keys=True))
+    print(
+        f"  [captured {len(trace.events)} events "
+        f"({trace.count('arrival')} arrivals, "
+        f"{trace.count('completion')} completions) -> {path}; "
+        f"content hash {trace.content_hash[:12]}]"
+    )
+    return 0
+
+
+def _run_replay(trace_path: str, policy: Optional[str]) -> int:
+    """Re-run a captured trace as a replay scenario."""
+    import json
+
+    from ..sim.trace import EventTrace
+    from .common import run_scenario
+
+    trace = EventTrace.load(trace_path)
+    replay_policy = policy or trace.policy
+    result = run_scenario(trace.replay_scenario(), policy=replay_policy)
+    print(json.dumps(result.metric_summary(), sort_keys=True))
+    print(
+        f"  [replayed {trace_path} ({len(trace.events)} events, "
+        f"policy {replay_policy}; captured under {trace.policy})]"
+    )
+    return 0
+
+
 def _engine_stats_line() -> str:
     """Observability footer from the last sweep (empty if no sweep ran)."""
     stats = last_sweep_stats()
@@ -137,6 +187,32 @@ def main(argv=None) -> int:
         help="print the named-scenario registry and exit",
     )
     parser.add_argument(
+        "--scenario",
+        metavar="NAME",
+        default=None,
+        help="registered scenario to run standalone "
+             "(with --capture-trace)",
+    )
+    parser.add_argument(
+        "--policy",
+        metavar="NAME",
+        default=None,
+        help="scheduling policy for --scenario / --replay-trace "
+             "(default: camdn-full, or the captured policy on replay)",
+    )
+    parser.add_argument(
+        "--capture-trace",
+        metavar="FILE",
+        default=None,
+        help="write the run's event trace (requires --scenario)",
+    )
+    parser.add_argument(
+        "--replay-trace",
+        metavar="FILE",
+        default=None,
+        help="re-run a captured event trace as a replay scenario",
+    )
+    parser.add_argument(
         "--scale",
         type=float,
         default=1.0,
@@ -165,9 +241,20 @@ def main(argv=None) -> int:
     if args.list_scenarios:
         print(format_scenario_list())
         return 0
+    if args.replay_trace is not None:
+        return _run_replay(args.replay_trace, args.policy)
+    if args.scenario is not None:
+        if args.capture_trace is None:
+            parser.error("--scenario requires --capture-trace FILE")
+        return _run_capture(
+            args.scenario, args.policy or "camdn-full", args.scale,
+            args.capture_trace,
+        )
+    if args.capture_trace is not None:
+        parser.error("--capture-trace requires --scenario NAME")
     if args.experiment is None:
-        parser.error("an experiment name (or --list-scenarios) is "
-                     "required")
+        parser.error("an experiment name (or --list-scenarios, "
+                     "--scenario, --replay-trace) is required")
 
     profiler = None
     jobs = args.jobs

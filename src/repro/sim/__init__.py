@@ -11,6 +11,12 @@ from .scenario import (
     scenario_names,
     scenario_registry,
 )
+from .trace import (
+    EventTrace,
+    EventTraceRecorder,
+    TraceEvent,
+    TraceRecorder,
+)
 from .workload import (
     ClosedLoopWorkload,
     ScenarioWorkload,
@@ -33,6 +39,10 @@ __all__ = [
     "register_scenario",
     "scenario_names",
     "scenario_registry",
+    "EventTrace",
+    "EventTraceRecorder",
+    "TraceEvent",
+    "TraceRecorder",
     "ClosedLoopWorkload",
     "ScenarioWorkload",
     "WorkloadSpec",

@@ -61,6 +61,7 @@ metric_summary_reference.json``).
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
@@ -74,7 +75,7 @@ from .metrics import MetricsCollector
 
 if TYPE_CHECKING:  # circular at runtime: schedulers.base uses sim.task
     from ..schedulers.base import SchedulerPolicy
-    from .trace import TraceRecorder
+    from .trace import EventTrace, EventTraceRecorder, TraceRecorder
 from .task import InstanceState, TaskInstance
 from .workload import ScenarioWorkload
 
@@ -104,11 +105,21 @@ class SimulationResult:
     #: Inferences aborted by preemptive tenant departures (in flight or
     #: still queued for a core).
     cancelled_inferences: int = 0
+    #: Inferences that ran all layers to the end (warmup included, so
+    #: this can exceed ``metrics.num_inferences``).
+    completed_inferences: int = 0
+    #: Backlogged open-loop arrivals discarded by tenant departures.
+    dropped_inferences: int = 0
     #: Offered arrival rate over the offer window divided by the
     #: completion rate over the full simulated time.  ~1.0 for
     #: closed-loop scenarios; > 1 when open-loop load outruns service
     #: (queues grow and the drain stretches past the window).
     offered_load_ratio: float = 1.0
+    #: Event capture of the run (``run_scenario(capture_trace=True)``);
+    #: excluded from serialization — traces persist via their own format.
+    event_trace: Optional["EventTrace"] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def events_per_s(self) -> float:
@@ -124,9 +135,36 @@ class SimulationResult:
             if self.metrics.records else 0.0
         summary["offered_load_ratio"] = self.offered_load_ratio
         summary["cancelled_inferences"] = self.cancelled_inferences
+        summary["dropped_inferences"] = self.dropped_inferences
         summary["wall_time_s"] = self.wall_time_s
         summary["events_processed"] = self.events_processed
         return summary
+
+    def check_conservation(self) -> None:
+        """Inference conservation: every offered arrival is accounted
+        for exactly once.
+
+        The engine drains before :meth:`MultiTenantEngine.run` returns
+        (nothing stays in flight), so at rest the law reads
+        ``offered == completed + cancelled + dropped``.  Violations mean
+        lost or double-counted work — the invariant the scenario fuzzer
+        leans on.
+
+        Raises:
+            SimulationError: the books don't balance.
+        """
+        accounted = (
+            self.completed_inferences + self.cancelled_inferences
+            + self.dropped_inferences
+        )
+        if self.offered_inferences != accounted:
+            raise SimulationError(
+                f"inference conservation violated: offered "
+                f"{self.offered_inferences} != completed "
+                f"{self.completed_inferences} + cancelled "
+                f"{self.cancelled_inferences} + dropped "
+                f"{self.dropped_inferences} (= {accounted})"
+            )
 
     def metric_summary(self) -> Dict[str, float]:
         """Simulated-outcome metrics only (no wall-clock keys).
@@ -155,12 +193,17 @@ class MultiTenantEngine:
                  workload: ScenarioWorkload,
                  trace: Optional["TraceRecorder"] = None,
                  kernel_backend: Optional[str] = None,
-                 use_native: Optional[bool] = None) -> None:
+                 use_native: Optional[bool] = None,
+                 event_recorder: Optional["EventTraceRecorder"] = None,
+                 ) -> None:
         self.soc = soc
         self.scheduler = scheduler
         self.workload = workload
         self.metrics = MetricsCollector()
         self.trace = trace
+        # Event-trace capture (dispatch / completion / cancel events;
+        # the workload records the scenario-timeline kinds).
+        self.event_recorder = event_recorder
         self.now = 0.0
         self.events_processed = 0
         self.cancelled = 0
@@ -226,7 +269,7 @@ class MultiTenantEngine:
         # stream whose leave time lies beyond the last completion).
         for stream_id in self.workload.unfinished_streams():
             self.scheduler.on_tenant_retire(stream_id, self.now)
-        return SimulationResult(
+        result = SimulationResult(
             scheduler_name=self.scheduler.name,
             sim_time_s=self.now,
             metrics=self.metrics,
@@ -235,8 +278,15 @@ class MultiTenantEngine:
             events_processed=self.events_processed,
             offered_inferences=self.workload.offered_inferences,
             cancelled_inferences=self.cancelled,
+            completed_inferences=self._completed,
+            dropped_inferences=self.workload.dropped_inferences,
             offered_load_ratio=self._offered_load_ratio(),
         )
+        # Cheap always-on accounting check (a handful of integer adds);
+        # REPRO_CHECK_CONSERVATION=0 opts out.
+        if os.environ.get("REPRO_CHECK_CONSERVATION", "1") != "0":
+            result.check_conservation()
+        return result
 
     def _offered_load_ratio(self) -> float:
         """Offered rate over the offer window vs completion rate over the
@@ -563,7 +613,12 @@ class MultiTenantEngine:
                 self._queued = [
                     q for q in self._queued if q.instance_id != iid
                 ]
-                self.cancelled += before - len(self._queued)
+                withdrawn = before - len(self._queued)
+                self.cancelled += withdrawn
+                if withdrawn and self.event_recorder is not None:
+                    self.event_recorder.record(
+                        "cancel", self.now, stream_id, iid
+                    )
         self.scheduler.on_tenant_retire(stream_id, self.now)
 
     def _cancel_instance(self, inst: TaskInstance) -> None:
@@ -584,6 +639,10 @@ class MultiTenantEngine:
         self._waiting_set.pop(iid, None)
         self._wait_seq.pop(iid, None)
         self.cancelled += 1
+        if self.event_recorder is not None:
+            self.event_recorder.record(
+                "cancel", self.now, inst.stream_id, iid
+            )
         self._notify_membership_change()
         if self._waiting_set:
             self._poll_waiting()
@@ -649,6 +708,11 @@ class MultiTenantEngine:
         self._wait_seq.pop(inst.instance_id, None)
         self._notify_membership_change()
         self._completed += 1
+        if self.event_recorder is not None:
+            self.event_recorder.record(
+                "completion", self.now, inst.stream_id,
+                inst.instance_id,
+            )
         if not self.workload.is_warmup(inst):
             self.metrics.record(inst)
         stream_id = inst.stream_id
@@ -742,6 +806,11 @@ class MultiTenantEngine:
                 inst.cores = cores
                 self._core_grant[inst.instance_id] = cores
                 self._active[inst.instance_id] = inst
+                if self.event_recorder is not None:
+                    self.event_recorder.record(
+                        "dispatch", self.now, inst.stream_id,
+                        inst.instance_id,
+                    )
                 self.scheduler.on_task_start(inst, self.now)
                 self._begin_layer(inst)
             else:

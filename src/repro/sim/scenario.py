@@ -8,7 +8,10 @@ experiment inputs:
 
 * :class:`ArrivalProcess` — how one stream's inferences arrive: the
   closed loop of the paper, open-loop periodic dispatch, a seeded Poisson
-  process, or a bursty on/off pattern.
+  process, a bursty on/off pattern, a Markov-modulated Poisson process,
+  a diurnal (sinusoidally modulated, optionally flash-crowd-boosted)
+  Poisson process, or the replay of a captured run's exact timeline
+  (see :mod:`repro.sim.trace`).
 * :class:`StreamSpec` — one tenant: model, QoS class, arrival process,
   count quota, and a ``join_s``/``leave_s`` lifecycle so tenants can
   enter and leave mid-run without coordination (the asynchronous
@@ -38,15 +41,21 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from ..errors import WorkloadError
 
 #: Serialization schema of scenario specs; bump on field changes.
-SCENARIO_SCHEMA_VERSION = 1
+#: v2: modulated arrivals (mmpp / diurnal) and trace replay — adds the
+#: ``rates_hz`` / ``sojourn_s`` / ``amplitude`` / ``flash_every_s`` /
+#: ``flash_width_s`` / ``flash_boost`` / ``times`` fields.
+SCENARIO_SCHEMA_VERSION = 2
 
 #: Arrival-process kinds.
 CLOSED_LOOP = "closed-loop"
 PERIODIC = "periodic"
 POISSON = "poisson"
 BURSTY = "bursty"
+MMPP = "mmpp"
+DIURNAL = "diurnal"
+REPLAY = "replay"
 
-_KINDS = (CLOSED_LOOP, PERIODIC, POISSON, BURSTY)
+_KINDS = (CLOSED_LOOP, PERIODIC, POISSON, BURSTY, MMPP, DIURNAL, REPLAY)
 
 
 @dataclass(frozen=True)
@@ -65,9 +74,31 @@ class ArrivalProcess:
         phase_s: offset of the first arrival after the stream joins
             (periodic / bursty; staggers otherwise-identical streams).
         on_s / off_s: burst window lengths (bursty).
-        seed: Poisson RNG seed.  The effective seed is salted with the
-            stream's index, so identical processes on different streams
-            draw independent (but reproducible) arrival times.
+        seed: Poisson / mmpp / diurnal RNG seed.  The effective seed is
+            salted with the stream's index, so identical processes on
+            different streams draw independent (but reproducible)
+            arrival times.
+        rates_hz: per-state arrival rates (mmpp; >= 2 states, each
+            rate >= 0 with at least one positive).
+        sojourn_s: per-state mean dwell times (mmpp; one per state,
+            each > 0).  State transitions cycle through the state list
+            with exponential sojourns, and arrivals inside a state are
+            Poisson at that state's rate — the exponential's
+            memorylessness makes discarding the arrival candidate that
+            overshoots a state boundary an exact MMPP simulation.
+        amplitude: diurnal modulation depth in [0, 1]: the rate swings
+            sinusoidally between ``rate_hz * (1 - amplitude)`` and
+            ``rate_hz * (1 + amplitude)`` over one ``period_s`` cycle.
+        flash_every_s / flash_width_s / flash_boost: optional recurring
+            flash crowds on the diurnal process: every ``flash_every_s``
+            seconds the rate is multiplied by ``flash_boost`` for
+            ``flash_width_s`` seconds (the sudden-surge regime layered
+            on the slow cycle).
+        times: explicit absolute arrival schedule (replay).  ``None`` on
+            a replay process means the source stream was
+            completion-coupled (closed loop): its realized arrival times
+            were *outputs* of the simulation, so the faithful replay
+            preserves the coupling instead of pinning the times.
 
     Open-loop arrivals are *offered* regardless of service progress: if a
     stream's previous inference is still in flight, the new arrival waits
@@ -81,23 +112,72 @@ class ArrivalProcess:
     on_s: Optional[float] = None
     off_s: Optional[float] = None
     seed: int = 2025
+    rates_hz: Optional[Tuple[float, ...]] = None
+    sojourn_s: Optional[Tuple[float, ...]] = None
+    amplitude: float = 0.0
+    flash_every_s: Optional[float] = None
+    flash_width_s: Optional[float] = None
+    flash_boost: float = 1.0
+    times: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise WorkloadError(
                 f"unknown arrival kind {self.kind!r}; known: {_KINDS}"
             )
-        if self.kind in (PERIODIC, BURSTY):
+        if self.rates_hz is not None:
+            object.__setattr__(self, "rates_hz", tuple(self.rates_hz))
+        if self.sojourn_s is not None:
+            object.__setattr__(self, "sojourn_s", tuple(self.sojourn_s))
+        if self.times is not None:
+            object.__setattr__(self, "times", tuple(self.times))
+        if self.kind in (PERIODIC, BURSTY, DIURNAL):
             if self.period_s is None or self.period_s <= 0:
                 raise WorkloadError(f"{self.kind} needs period_s > 0")
-        if self.kind == POISSON:
+        if self.kind in (POISSON, DIURNAL):
             if self.rate_hz is None or self.rate_hz <= 0:
-                raise WorkloadError("poisson needs rate_hz > 0")
+                raise WorkloadError(f"{self.kind} needs rate_hz > 0")
         if self.kind == BURSTY:
             if self.on_s is None or self.on_s <= 0:
                 raise WorkloadError("bursty needs on_s > 0")
             if self.off_s is None or self.off_s < 0:
                 raise WorkloadError("bursty needs off_s >= 0")
+        if self.kind == MMPP:
+            if self.rates_hz is None or len(self.rates_hz) < 2:
+                raise WorkloadError("mmpp needs >= 2 state rates_hz")
+            if any(r < 0 for r in self.rates_hz) or \
+                    not any(r > 0 for r in self.rates_hz):
+                raise WorkloadError(
+                    "mmpp rates_hz must be >= 0 with one positive"
+                )
+            if self.sojourn_s is None or \
+                    len(self.sojourn_s) != len(self.rates_hz):
+                raise WorkloadError(
+                    "mmpp needs one sojourn_s per state"
+                )
+            if any(s <= 0 for s in self.sojourn_s):
+                raise WorkloadError("mmpp sojourn_s must be positive")
+        if self.kind == DIURNAL:
+            if not 0.0 <= self.amplitude <= 1.0:
+                raise WorkloadError("diurnal amplitude must be in [0, 1]")
+            flash = (self.flash_every_s, self.flash_width_s)
+            if any(f is not None for f in flash):
+                if any(f is None or f <= 0 for f in flash):
+                    raise WorkloadError(
+                        "diurnal flash crowds need flash_every_s > 0 "
+                        "and flash_width_s > 0"
+                    )
+                if self.flash_boost < 1.0:
+                    raise WorkloadError(
+                        "diurnal flash_boost must be >= 1"
+                    )
+        if self.kind == REPLAY and self.times is not None:
+            if any(t < 0 for t in self.times):
+                raise WorkloadError("replay times cannot be negative")
+            if any(b < a for a, b in zip(self.times, self.times[1:])):
+                raise WorkloadError(
+                    "replay times must be non-decreasing"
+                )
         if self.phase_s < 0:
             raise WorkloadError("phase_s cannot be negative")
 
@@ -127,10 +207,57 @@ class ArrivalProcess:
         return cls(kind=BURSTY, period_s=period_s, on_s=on_s,
                    off_s=off_s, phase_s=phase_s)
 
+    @classmethod
+    def mmpp(cls, rates_hz: Sequence[float],
+             sojourn_s: Sequence[float],
+             seed: int = 2025) -> "ArrivalProcess":
+        """Markov-modulated Poisson arrivals: the stream cycles through
+        hidden states with exponential sojourns (mean ``sojourn_s[i]``),
+        offering Poisson arrivals at ``rates_hz[i]`` while in state
+        ``i`` (seeded, reproducible under any ``--jobs``)."""
+        return cls(kind=MMPP, rates_hz=tuple(rates_hz),
+                   sojourn_s=tuple(sojourn_s), seed=seed)
+
+    @classmethod
+    def diurnal(cls, rate_hz: float, period_s: float,
+                amplitude: float = 0.5, phase_s: float = 0.0,
+                flash_every_s: Optional[float] = None,
+                flash_width_s: Optional[float] = None,
+                flash_boost: float = 1.0,
+                seed: int = 2025) -> "ArrivalProcess":
+        """Diurnal / flash-crowd arrivals: a non-homogeneous Poisson
+        process whose rate swings sinusoidally around ``rate_hz`` over
+        a ``period_s`` cycle, optionally multiplied by ``flash_boost``
+        during recurring ``flash_width_s``-wide flash-crowd windows
+        (every ``flash_every_s``).  Simulated by thinning against the
+        peak rate, seeded and reproducible."""
+        return cls(kind=DIURNAL, rate_hz=rate_hz, period_s=period_s,
+                   amplitude=amplitude, phase_s=phase_s,
+                   flash_every_s=flash_every_s,
+                   flash_width_s=flash_width_s,
+                   flash_boost=flash_boost, seed=seed)
+
+    @classmethod
+    def replay(cls, times: Optional[Sequence[float]]
+               ) -> "ArrivalProcess":
+        """Replay of a captured run (see :mod:`repro.sim.trace`):
+        an explicit absolute arrival schedule for open-loop source
+        streams, or completion coupling (``times=None``) for
+        closed-loop sources."""
+        return cls(
+            kind=REPLAY,
+            times=None if times is None else tuple(times),
+        )
+
     # ------------------------------------------------------------------
 
     @property
     def is_open_loop(self) -> bool:
+        if self.kind == REPLAY:
+            # A replayed closed-loop stream stays completion-coupled:
+            # its recorded arrival times were outputs of the source
+            # simulation, not offered load.
+            return self.times is not None
         return self.kind != CLOSED_LOOP
 
     def arrival_times(self, stream_index: int, start_s: float,
@@ -143,6 +270,13 @@ class ArrivalProcess:
         ``PYTHONHASHSEED`` values).
         """
         if self.kind == CLOSED_LOOP:
+            return
+        if self.kind == REPLAY:
+            if self.times is None:
+                return
+            for t in self.times:
+                if start_s <= t < end_s:
+                    yield t
             return
         if self.kind == PERIODIC:
             t = start_s + self.phase_s
@@ -158,6 +292,12 @@ class ArrivalProcess:
                 if t >= end_s:
                     return
                 yield t
+        if self.kind == MMPP:
+            yield from self._mmpp_times(stream_index, start_s, end_s)
+            return
+        if self.kind == DIURNAL:
+            yield from self._diurnal_times(stream_index, start_s, end_s)
+            return
         # BURSTY: periodic arrivals inside [k*(on+off), k*(on+off)+on).
         cycle = self.on_s + self.off_s
         t = start_s + self.phase_s
@@ -167,8 +307,64 @@ class ArrivalProcess:
                 yield t
                 t += self.period_s
             else:
-                # Skip to the start of the next on-window.
-                t += cycle - offset
+                # Skip to the start of the next on-window.  When the
+                # offset lands within an ulp of the cycle boundary the
+                # increment rounds to zero and the loop would spin
+                # forever (fuzzer-found) — nudge one ulp instead.
+                nxt = t + (cycle - offset)
+                t = nxt if nxt > t else math.nextafter(t, math.inf)
+
+    def _mmpp_times(self, stream_index: int, start_s: float,
+                    end_s: float) -> Iterator[float]:
+        """Markov-modulated Poisson arrivals (exact via memorylessness:
+        an arrival candidate overshooting the state boundary is
+        discarded and redrawn at the new state's rate)."""
+        rng = random.Random(f"mmpp:{self.seed}:{stream_index}")
+        state = 0
+        t = start_s
+        state_end = start_s + rng.expovariate(1.0 / self.sojourn_s[0])
+        while t < end_s:
+            rate = self.rates_hz[state]
+            nxt = t + rng.expovariate(rate) if rate > 0 else math.inf
+            if nxt >= state_end:
+                t = state_end
+                state = (state + 1) % len(self.rates_hz)
+                state_end = t + rng.expovariate(
+                    1.0 / self.sojourn_s[state]
+                )
+                continue
+            if nxt >= end_s:
+                return
+            yield nxt
+            t = nxt
+
+    def _diurnal_rate(self, t: float) -> float:
+        """Instantaneous arrival rate of the diurnal process at ``t``."""
+        rate = self.rate_hz * (
+            1.0 + self.amplitude
+            * math.sin(2.0 * math.pi * (t - self.phase_s)
+                       / self.period_s)
+        )
+        if self.flash_every_s is not None and \
+                (t % self.flash_every_s) < self.flash_width_s:
+            rate *= self.flash_boost
+        return rate
+
+    def _diurnal_times(self, stream_index: int, start_s: float,
+                       end_s: float) -> Iterator[float]:
+        """Diurnal / flash-crowd arrivals via Lewis-Shedler thinning
+        against the process's peak rate."""
+        rng = random.Random(f"diurnal:{self.seed}:{stream_index}")
+        peak = self.rate_hz * (1.0 + self.amplitude)
+        if self.flash_every_s is not None:
+            peak *= self.flash_boost
+        t = start_s
+        while True:
+            t += rng.expovariate(peak)
+            if t >= end_s:
+                return
+            if rng.random() * peak <= self._diurnal_rate(t):
+                yield t
 
     def to_dict(self) -> dict:
         """Canonical JSON-ready form (exact float round-trip)."""
@@ -180,10 +376,46 @@ class ArrivalProcess:
             "on_s": self.on_s,
             "off_s": self.off_s,
             "seed": self.seed,
+            "rates_hz": (
+                None if self.rates_hz is None else list(self.rates_hz)
+            ),
+            "sojourn_s": (
+                None if self.sojourn_s is None else list(self.sojourn_s)
+            ),
+            "amplitude": self.amplitude,
+            "flash_every_s": self.flash_every_s,
+            "flash_width_s": self.flash_width_s,
+            "flash_boost": self.flash_boost,
+            "times": None if self.times is None else list(self.times),
         }
+
+    #: Field names accepted by :meth:`from_dict` (the dataclass fields).
+    _FIELDS = frozenset((
+        "kind", "period_s", "rate_hz", "phase_s", "on_s", "off_s",
+        "seed", "rates_hz", "sojourn_s", "amplitude", "flash_every_s",
+        "flash_width_s", "flash_boost", "times",
+    ))
 
     @classmethod
     def from_dict(cls, data: dict) -> "ArrivalProcess":
+        """Rebuild from :meth:`to_dict` output.
+
+        Raises:
+            WorkloadError: unknown ``kind`` or unknown field names (so a
+                mistyped or future-version process fails with a clear
+                message instead of a ``TypeError``/``KeyError``).
+        """
+        kind = data.get("kind", CLOSED_LOOP)
+        if kind not in _KINDS:
+            raise WorkloadError(
+                f"unknown arrival kind {kind!r}; known: {_KINDS}"
+            )
+        unknown = sorted(set(data) - cls._FIELDS)
+        if unknown:
+            raise WorkloadError(
+                f"unknown arrival-process fields {unknown}; "
+                f"known: {sorted(cls._FIELDS)}"
+            )
         return cls(**data)
 
 
@@ -248,6 +480,8 @@ class StreamSpec:
     @classmethod
     def from_dict(cls, data: dict) -> "StreamSpec":
         data = dict(data)
+        if "arrival" not in data:
+            raise WorkloadError("stream spec is missing 'arrival'")
         data["arrival"] = ArrivalProcess.from_dict(data["arrival"])
         return cls(**data)
 
@@ -504,6 +738,47 @@ def _register_builtins() -> None:
             warmup_s=0.08,
         ),
         "4 bursty on/off tenants with interleaved bursts",
+    )
+    register_scenario(
+        "mmpp-quad",
+        ScenarioSpec(
+            streams=tuple(
+                StreamSpec(
+                    model=key,
+                    arrival=ArrivalProcess.mmpp(
+                        rates_hz=(30.0, 240.0),
+                        sojourn_s=(0.06, 0.02),
+                        seed=2025 + i,
+                    ),
+                )
+                for i, key in enumerate(vision)
+            ),
+            duration_s=0.4,
+            warmup_s=0.08,
+        ),
+        "4 MMPP tenants alternating calm (30 Hz) and surge (240 Hz) "
+        "states",
+    )
+    register_scenario(
+        "diurnal-flash",
+        ScenarioSpec(
+            streams=tuple(
+                StreamSpec(
+                    model=key,
+                    arrival=ArrivalProcess.diurnal(
+                        rate_hz=70.0, period_s=0.2, amplitude=0.6,
+                        phase_s=0.05 * i,
+                        flash_every_s=0.13, flash_width_s=0.02,
+                        flash_boost=3.0, seed=2025 + i,
+                    ),
+                )
+                for i, key in enumerate(vision)
+            ),
+            duration_s=0.4,
+            warmup_s=0.08,
+        ),
+        "4 diurnal tenants (sinusoidal rate) with recurring 3x flash "
+        "crowds",
     )
     # Churn: half the tenants are permanent closed-loop residents, half
     # join and leave mid-run, overlapping so departures free pages while

@@ -1,18 +1,44 @@
 """Execution-timeline tracing for the multi-tenant engine.
 
-A :class:`TraceRecorder` attached to a
-:class:`~repro.sim.engine.MultiTenantEngine` collects per-layer execution
-spans (instance, layer, start, end, DRAM bytes), from which users can
-render Gantt-style timelines, compute per-model bandwidth profiles, or
-debug allocation stalls (``WAIT`` spans mark time spent waiting for cache
-pages).
+Two independent trace facilities live here:
+
+* :class:`TraceRecorder` — per-layer execution *spans* (instance, layer,
+  start, end, DRAM bytes), from which users can render Gantt-style
+  timelines, compute per-model bandwidth profiles, or debug allocation
+  stalls (``WAIT`` spans mark time spent waiting for cache pages).
+* :class:`EventTrace` — the versioned, content-hashed *event* capture
+  format: every scenario-level event of a run (tenant joins, arrivals,
+  dispatches, completions, departures, cancellations, backlog drops)
+  with exact timestamps.  An :class:`EventTraceRecorder` attached to the
+  workload and engine collects the events; the finished
+  :class:`EventTrace` serializes to canonical JSON with an embedded
+  SHA-256 content hash (exact float round-trip, like
+  :class:`~repro.sim.scenario.ScenarioSpec`), and
+  :meth:`EventTrace.replay_scenario` re-feeds the captured run as a
+  scenario whose open-loop streams replay their recorded arrival
+  schedules verbatim — reproducing ``metric_summary()`` byte-identically
+  under the same policy and SoC.
+
+Replay fidelity rests on one float-determinism argument: an open-loop
+source stream's arrival times are *inputs* (generator outputs), so
+replaying the recorded floats reproduces the source run's timeline
+boundaries exactly.  A closed-loop stream's arrival times are *outputs*
+(each dispatch is coupled to the previous completion), so its replay
+keeps the coupling (``ArrivalProcess.replay(None)``) instead of pinning
+times — re-deriving ``fl(t1 - t0)`` from recorded absolute times could
+split fluid steps differently at the ulp level.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import WorkloadError
+from .scenario import ArrivalProcess, ScenarioSpec
 
 
 class SpanKind(enum.Enum):
@@ -115,3 +141,217 @@ class TraceRecorder:
                     line[i] = char
             rows.append(f"{instance_id:<16}|{''.join(line)}|")
         return "\n".join(rows)
+
+
+# ----------------------------------------------------------------------
+# Event traces: capture and replay
+# ----------------------------------------------------------------------
+
+#: Serialization schema of event traces; bump on field changes.
+TRACE_SCHEMA_VERSION = 1
+
+#: Event kinds, in the order they occur at one timestamp.
+JOIN = "join"              # tenant admitted (scenario timeline)
+ARRIVAL = "arrival"        # inference offered (open- or closed-loop)
+DISPATCH = "dispatch"      # instance granted cores, admitted to engine
+COMPLETION = "completion"  # instance finished all layers
+DROP = "drop"              # backlogged arrival discarded by a departure
+LEAVE = "leave"            # tenant departed (scenario timeline)
+CANCEL = "cancel"          # in-flight/queued instance aborted by departure
+
+_EVENT_KINDS = (JOIN, ARRIVAL, DISPATCH, COMPLETION, DROP, LEAVE, CANCEL)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scenario-level event of an engine run."""
+
+    kind: str
+    t: float
+    stream: str
+    instance: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _EVENT_KINDS:
+            raise WorkloadError(
+                f"unknown trace-event kind {self.kind!r}; "
+                f"known: {_EVENT_KINDS}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "t": self.t,
+            "stream": self.stream,
+            "instance": self.instance,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        unknown = sorted(set(data) - {"kind", "t", "stream", "instance"})
+        if unknown:
+            raise WorkloadError(
+                f"unknown trace-event fields {unknown}"
+            )
+        return cls(**data)
+
+
+@dataclass
+class EventTraceRecorder:
+    """Collects :class:`TraceEvent` entries during a run.
+
+    Attach via ``ScenarioWorkload(spec, recorder=...)`` (joins, arrivals,
+    drops, leaves — exact scheduled timestamps) and
+    ``MultiTenantEngine(event_recorder=...)`` (dispatches, completions,
+    cancellations — engine clock).  Recording is pure observation: it
+    never perturbs the simulation.
+    """
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(self, kind: str, t: float, stream: str,
+               instance: Optional[str] = None) -> None:
+        self.events.append(TraceEvent(kind, t, stream, instance))
+
+    def finish(self, scenario: ScenarioSpec, policy: str) -> "EventTrace":
+        """Freeze the recording into an :class:`EventTrace`."""
+        return EventTrace(
+            scenario=scenario, policy=policy, events=tuple(self.events)
+        )
+
+
+@dataclass(frozen=True)
+class EventTrace:
+    """A captured run: source scenario, policy name and event list.
+
+    Serializes to canonical JSON with an embedded content hash
+    (:meth:`to_dict` / :meth:`from_dict` round-trip exactly);
+    :meth:`replay_scenario` turns the capture back into a runnable
+    :class:`~repro.sim.scenario.ScenarioSpec`.
+    """
+
+    scenario: ScenarioSpec
+    policy: str
+    events: Tuple[TraceEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical payload (sans the hash itself)."""
+        from ..core.serialize import stable_content_hash
+
+        return stable_content_hash(self._payload())
+
+    def _payload(self) -> dict:
+        return {
+            "trace_schema_version": TRACE_SCHEMA_VERSION,
+            "policy": self.policy,
+            "scenario": self.scenario.to_dict(),
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form (exact float round-trip), with the
+        content hash embedded for integrity checking on load."""
+        payload = self._payload()
+        payload["content_hash"] = self.content_hash
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EventTrace":
+        """Rebuild from :meth:`to_dict` output.
+
+        Raises:
+            WorkloadError: unsupported schema version, or the embedded
+                content hash does not match the payload (corruption).
+        """
+        version = data.get("trace_schema_version")
+        if version != TRACE_SCHEMA_VERSION:
+            raise WorkloadError(
+                f"unsupported trace schema {version!r} "
+                f"(expected {TRACE_SCHEMA_VERSION})"
+            )
+        trace = cls(
+            scenario=ScenarioSpec.from_dict(data["scenario"]),
+            policy=data["policy"],
+            events=tuple(
+                TraceEvent.from_dict(e) for e in data["events"]
+            ),
+        )
+        recorded = data.get("content_hash")
+        if recorded is not None and recorded != trace.content_hash:
+            raise WorkloadError(
+                f"trace content hash mismatch: recorded "
+                f"{recorded[:12]}…, recomputed "
+                f"{trace.content_hash[:12]}… (corrupt trace?)"
+            )
+        return trace
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the trace as JSON; returns the path written."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=1) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "EventTrace":
+        """Read a JSON trace file.
+
+        Raises:
+            WorkloadError: the file is unreadable or not a supported
+                (intact) trace.
+        """
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise WorkloadError(
+                f"cannot read trace file {path}: {exc}"
+            ) from exc
+        return cls.from_dict(data)
+
+    # -- analysis ------------------------------------------------------
+
+    def events_of(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    # -- replay --------------------------------------------------------
+
+    def replay_scenario(self) -> ScenarioSpec:
+        """The captured run as a runnable scenario.
+
+        Open-loop source streams get a ``replay`` arrival process
+        carrying their recorded arrival times verbatim (exact floats, so
+        the replayed run hits the same timeline boundaries); closed-loop
+        source streams get ``ArrivalProcess.replay(None)``, which keeps
+        the completion coupling (their arrival times were outputs of the
+        source run, not offered load).  Under the same policy and SoC
+        the replay reproduces the source ``metric_summary()``
+        byte-identically.
+        """
+        arrivals: Dict[str, List[float]] = {}
+        for event in self.events:
+            if event.kind == ARRIVAL:
+                arrivals.setdefault(event.stream, []).append(event.t)
+        streams = []
+        for i, spec in enumerate(self.scenario.streams):
+            stream_id = f"{spec.model}@{i}"
+            if spec.arrival.is_open_loop:
+                arrival = ArrivalProcess.replay(
+                    tuple(arrivals.get(stream_id, ()))
+                )
+            else:
+                arrival = ArrivalProcess.replay(None)
+            streams.append(replace(spec, arrival=arrival))
+        return ScenarioSpec(
+            streams=tuple(streams),
+            duration_s=self.scenario.duration_s,
+            warmup_s=self.scenario.warmup_s,
+        )

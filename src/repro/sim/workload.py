@@ -34,6 +34,7 @@ from ..models.graph import ModelGraph
 from ..models.zoo import BENCHMARK_MODELS, build_model
 from .scenario import ScenarioSpec, StreamSpec
 from .task import TaskInstance
+from .trace import ARRIVAL, DROP, JOIN, LEAVE, EventTraceRecorder
 
 #: Timeline event priorities at equal timestamps: a joining tenant is
 #: admitted before arrivals fire, and departures are processed last (a
@@ -199,8 +200,12 @@ class ScenarioWorkload:
       the engine can fire the scheduler's tenant-retire hook.
     """
 
-    def __init__(self, scenario: ScenarioSpec) -> None:
+    def __init__(self, scenario: ScenarioSpec,
+                 recorder: Optional[EventTraceRecorder] = None) -> None:
         self.scenario = scenario
+        #: Optional event-trace capture (joins / arrivals / drops /
+        #: leaves are recorded here, at exact scheduled timestamps).
+        self.recorder = recorder
         self.streams: List[str] = [
             f"{s.model}@{i}" for i, s in enumerate(scenario.streams)
         ]
@@ -319,6 +324,8 @@ class ScenarioWorkload:
             if prio == _JOIN:
                 rt.joined = True
                 admits.append(rt.stream_id)
+                if self.recorder is not None:
+                    self.recorder.record(JOIN, t, rt.stream_id)
                 if rt.spec.arrival.is_open_loop:
                     # Prime the first arrival; the while condition picks
                     # it up in this same batch if it is already due.
@@ -328,6 +335,8 @@ class ScenarioWorkload:
             elif prio == _ARRIVAL:
                 self._offered += 1
                 rt.generated += 1
+                if self.recorder is not None:
+                    self.recorder.record(ARRIVAL, t, rt.stream_id)
                 if t > self._last_offer_s:
                     self._last_offer_s = t
                 if rt.busy:
@@ -339,6 +348,10 @@ class ScenarioWorkload:
                 rt.left = True
                 rt.finished = True
                 self._dropped += len(rt.backlog)
+                if self.recorder is not None:
+                    for _ in rt.backlog:
+                        self.recorder.record(DROP, t, rt.stream_id)
+                    self.recorder.record(LEAVE, t, rt.stream_id)
                 rt.backlog.clear()
                 leaves.append(rt.stream_id)
         self._timeline_next = None
@@ -466,6 +479,8 @@ class ScenarioWorkload:
         # closed-loop dispatches are offered at spawn time.
         if not rt.spec.arrival.is_open_loop:
             self._offered += 1
+            if self.recorder is not None:
+                self.recorder.record(ARRIVAL, now, rt.stream_id)
         graph = rt.graph
         serial = rt.dispatched
         rt.dispatched += 1

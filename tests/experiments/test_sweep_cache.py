@@ -76,6 +76,37 @@ class TestCacheKey:
                 for c in (closed, poisson, reseeded)}
         assert len(keys) == 3
 
+    def test_replay_cell_and_source_cell_hash_differently(self):
+        """A replay scenario captured from a run and the scenario that
+        produced it are distinct cache identities: the replay pins exact
+        arrival instants while the source re-derives them, so sharing a
+        cache slot would silently serve one for the other."""
+        from repro.experiments.common import run_scenario
+        from repro.sim.scenario import (
+            ArrivalProcess,
+            ScenarioSpec,
+            StreamSpec,
+        )
+
+        soc = SoCConfig()
+        source_spec = ScenarioSpec(
+            streams=(
+                StreamSpec(model="MB.",
+                           arrival=ArrivalProcess.poisson(rate_hz=120.0)),
+            ),
+            duration_s=0.05,
+        )
+        result = run_scenario(source_spec, soc, "baseline",
+                              capture_trace=True)
+        replay_spec = result.event_trace.replay_scenario()
+        source = SweepCell.from_scenario("baseline", source_spec)
+        replay = SweepCell.from_scenario("baseline", replay_spec)
+        assert cell_cache_key(source, soc) != cell_cache_key(replay, soc)
+        # ... yet the replay reproduces the source run byte-identically.
+        replayed = run_scenario(replay_spec, soc, "baseline")
+        assert json.dumps(replayed.metric_summary(), sort_keys=True) == \
+            json.dumps(result.metric_summary(), sort_keys=True)
+
     def test_closed_loop_cell_and_scenario_cell_hash_differently(self):
         """A legacy closed-loop cell and the equivalent explicit-scenario
         cell are distinct cache identities (the cell fields differ even

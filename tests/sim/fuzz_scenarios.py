@@ -1,0 +1,161 @@
+"""Hypothesis strategies generating arbitrary valid scenario specs.
+
+The scenario fuzzer's search space: every arrival-process kind
+(closed-loop, periodic, poisson, bursty, mmpp, diurnal), both
+measurement modes (steady-state window and count quota), tenant churn
+(mid-run joins and preemptive leaves) and per-stream QoS classes —
+bounded so one generated scenario simulates in tens of milliseconds.
+
+Shared by ``test_scenario_fuzz.py`` (conservation / invariant /
+native-identity properties) and ``test_native_step.py`` (fuzzed
+cross-path cases).  Falsifying specs are dumped as JSON via
+:func:`dump_falsifying_spec` when ``REPRO_FUZZ_ARTIFACT_DIR`` is set
+(the nightly CI uploads them as artifacts).
+"""
+
+import json
+import math
+import os
+from pathlib import Path
+
+from hypothesis import strategies as st
+
+from repro.sim.scenario import ArrivalProcess, ScenarioSpec, StreamSpec
+
+#: Model pool: small enough that the prepared-workload cache stays warm
+#: across examples, varied enough to mix vision and NLP layer shapes.
+MODEL_POOL = ("RS.", "MB.", "EF.", "BE.")
+
+#: Window bounds keeping one generated run cheap (~tens of ms simulated).
+MIN_DURATION_S = 0.02
+MAX_DURATION_S = 0.06
+
+_rates = st.floats(50.0, 400.0)
+_seeds = st.integers(0, 2**16)
+
+
+@st.composite
+def _mmpp_processes(draw) -> ArrivalProcess:
+    """A valid MMPP process (one sojourn time per state)."""
+    num_states = draw(st.integers(2, 4))
+    rates = [draw(_rates) for _ in range(num_states)]
+    sojourns = [draw(st.floats(0.005, 0.04)) for _ in range(num_states)]
+    return ArrivalProcess.mmpp(rates, sojourns, seed=draw(_seeds))
+
+
+def arrival_processes() -> st.SearchStrategy:
+    """Any valid arrival process (every kind except replay, which only
+    arises from captured traces)."""
+    return st.one_of(
+        st.just(ArrivalProcess.closed_loop()),
+        st.builds(
+            ArrivalProcess.periodic,
+            period_s=st.floats(0.004, 0.02),
+            phase_s=st.floats(0.0, 0.01),
+        ),
+        st.builds(ArrivalProcess.poisson, rate_hz=_rates, seed=_seeds),
+        st.builds(
+            ArrivalProcess.bursty,
+            period_s=st.floats(0.004, 0.02),
+            on_s=st.floats(0.005, 0.03),
+            off_s=st.floats(0.0, 0.03),
+            phase_s=st.floats(0.0, 0.01),
+        ),
+        _mmpp_processes(),
+        st.builds(
+            ArrivalProcess.diurnal,
+            rate_hz=_rates,
+            period_s=st.floats(0.02, 0.1),
+            amplitude=st.floats(0.0, 1.0),
+            phase_s=st.floats(0.0, 0.02),
+            seed=_seeds,
+        ),
+        st.builds(
+            ArrivalProcess.diurnal,
+            rate_hz=_rates,
+            period_s=st.floats(0.02, 0.1),
+            amplitude=st.floats(0.0, 1.0),
+            flash_every_s=st.floats(0.01, 0.04),
+            flash_width_s=st.floats(0.002, 0.01),
+            flash_boost=st.floats(1.0, 4.0),
+            seed=_seeds,
+        ),
+    )
+
+
+@st.composite
+def stream_specs(draw, duration_s: float) -> StreamSpec:
+    """One valid tenant inside a ``duration_s`` window (possibly
+    churning: joining mid-run and/or leaving before the end)."""
+    model = draw(st.sampled_from(MODEL_POOL))
+    arrival = draw(arrival_processes())
+    join_s = draw(st.one_of(
+        st.just(0.0),
+        st.floats(0.0, duration_s * 0.6),
+    ))
+    leave_s = draw(st.one_of(
+        st.none(),
+        st.floats(join_s + 0.005, duration_s + 0.02),
+    ))
+    qos_scale = draw(st.sampled_from((math.inf, 1.0, 1.2)))
+    return StreamSpec(
+        model=model,
+        arrival=arrival,
+        qos_scale=qos_scale,
+        join_s=join_s,
+        leave_s=leave_s,
+    )
+
+
+@st.composite
+def scenario_specs(draw) -> ScenarioSpec:
+    """Any valid steady-state scenario: 1–4 tenants, any arrival mix,
+    optional churn, bounded measurement window."""
+    duration_s = draw(st.floats(MIN_DURATION_S, MAX_DURATION_S))
+    num_streams = draw(st.integers(1, 4))
+    streams = tuple(
+        draw(stream_specs(duration_s)) for _ in range(num_streams)
+    )
+    warmup_s = draw(st.one_of(
+        st.just(0.0), st.floats(0.0, duration_s * 0.4)
+    ))
+    return ScenarioSpec(
+        streams=streams, duration_s=duration_s, warmup_s=warmup_s
+    )
+
+
+@st.composite
+def count_mode_scenario_specs(draw) -> ScenarioSpec:
+    """Count-mode variant: every stream carries an inference quota, so
+    open-loop backlogs drain to a fixed total (exercises the
+    quota-truncation paths the window mode never hits)."""
+    num_streams = draw(st.integers(1, 3))
+    streams = []
+    for _ in range(num_streams):
+        streams.append(StreamSpec(
+            model=draw(st.sampled_from(MODEL_POOL)),
+            arrival=draw(arrival_processes()),
+            inferences=draw(st.integers(1, 3)),
+            warmup_inferences=draw(st.integers(0, 1)),
+        ))
+    return ScenarioSpec(streams=tuple(streams))
+
+
+def dump_falsifying_spec(spec: ScenarioSpec, policy: str,
+                         label: str) -> str:
+    """Dump a falsifying scenario as JSON for CI artifact upload.
+
+    Writes ``<label>-<policy>.json`` under ``REPRO_FUZZ_ARTIFACT_DIR``
+    (no-op when the variable is unset); returns a short description for
+    the assertion message either way.
+    """
+    payload = {"policy": policy, "scenario": spec.to_dict()}
+    artifact_dir = os.environ.get("REPRO_FUZZ_ARTIFACT_DIR")
+    note = f"policy={policy} spec={json.dumps(spec.to_dict())[:400]}"
+    if not artifact_dir:
+        return note
+    path = Path(artifact_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    out = path / f"{label}-{policy}.json"
+    out.write_text(json.dumps(payload, indent=1) + "\n")
+    return f"{note} (dumped to {out})"

@@ -185,7 +185,7 @@ class TestRuntimeObservability:
         metric = result.metric_summary()
         runtime_keys = ("wall_time_s", "events_processed",
                         "avg_queue_delay_ms", "offered_load_ratio",
-                        "cancelled_inferences")
+                        "cancelled_inferences", "dropped_inferences")
         for key in runtime_keys:
             assert key not in metric
         # summary() is metric_summary() plus the runtime/scenario keys.

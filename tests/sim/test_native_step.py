@@ -10,10 +10,17 @@ epoch transitions.
 
 import json
 import math
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, given, settings
 
+from fuzz_scenarios import (
+    count_mode_scenario_specs,
+    dump_falsifying_spec,
+    scenario_specs,
+)
 from repro.config import SoCConfig
 from repro.schedulers import make_scheduler
 from repro.sim import native
@@ -27,6 +34,13 @@ from repro.sim.workload import (
 )
 
 POLICIES = ("baseline", "moca", "aurora", "camdn-hw", "camdn-full")
+
+_fuzz_settings = settings(
+    max_examples=int(os.environ.get("REPRO_FUZZ_EXAMPLES", "10")),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.data_too_large],
+)
 
 NATIVE = native.fused_step()
 
@@ -218,3 +232,49 @@ class TestEngineCrossPathIdentity:
         without = run(False)
         assert _metrics_json(with_native) == _metrics_json(without)
         assert with_native.events_processed == without.events_processed
+
+
+class TestFuzzedCrossPathIdentity:
+    """Cross-path agreement on fuzzed scenarios.
+
+    The curated cases above pin known-tricky transitions; these drive
+    the same three step implementations over arbitrary generated specs —
+    tenant churn, every arrival kind, and open-loop backlogs that drain
+    past the window.  Budget scales with ``REPRO_FUZZ_EXAMPLES``
+    (strategies live in :mod:`fuzz_scenarios`).
+    """
+
+    def _run_spec(self, spec, policy, *, use_native=None, backend=None):
+        engine = MultiTenantEngine(
+            SoCConfig(),
+            make_scheduler(policy),
+            ScenarioWorkload(spec),
+            kernel_backend=backend,
+            use_native=use_native,
+        )
+        return engine.run()
+
+    @_fuzz_settings
+    @given(spec=scenario_specs())
+    @pytest.mark.parametrize("policy", ("camdn-full", "moca"))
+    def test_fuzzed_python_fused_vs_split(self, spec, policy):
+        fused = self._run_spec(spec, policy, use_native=False)
+        split = self._run_spec(spec, policy, backend="list")
+        assert fused.events_processed == split.events_processed
+        if fused.metrics.records:
+            assert _metrics_json(fused) == _metrics_json(split), \
+                dump_falsifying_spec(spec, policy, "fused-vs-split")
+        else:
+            assert not split.metrics.records
+
+    @_fuzz_settings
+    @given(spec=count_mode_scenario_specs())
+    @pytest.mark.parametrize("policy", ("camdn-full", "aurora"))
+    def test_fuzzed_backlog_drain_native_vs_split(self, spec, policy):
+        # Count-mode quotas force open-loop backlogs to drain fully
+        # across whichever step implementation is active.
+        with_native = self._run_spec(spec, policy, use_native=None)
+        split = self._run_spec(spec, policy, backend="list")
+        assert with_native.offered_inferences == split.offered_inferences
+        assert _metrics_json(with_native) == _metrics_json(split), \
+            dump_falsifying_spec(spec, policy, "backlog-native-vs-split")

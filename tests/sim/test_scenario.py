@@ -55,6 +55,19 @@ class TestArrivalProcess:
         for t in times:
             assert (t % 1.0) < 0.5 + 1e-9
 
+    def test_bursty_boundary_alignment_terminates(self):
+        """Fuzzer-found regression: when the off-window skip lands
+        within an ulp of the cycle boundary, the float increment used
+        to round to zero and the generator spun forever."""
+        arrival = ArrivalProcess.bursty(
+            period_s=0.015625, on_s=0.015625,
+            off_s=0.012319255088835187,
+        )
+        times = list(arrival.arrival_times(0, 0.0, 1.0))
+        assert len(times) == 36
+        assert times == sorted(times)
+        assert all(0.0 <= t < 1.0 for t in times)
+
     def test_validation(self):
         with pytest.raises(WorkloadError):
             ArrivalProcess(kind="fractal")
@@ -64,6 +77,125 @@ class TestArrivalProcess:
             ArrivalProcess.poisson(rate_hz=-1.0)
         with pytest.raises(WorkloadError):
             ArrivalProcess.bursty(period_s=0.1, on_s=0.0, off_s=0.1)
+
+
+class TestMMPPArrivals:
+    def test_deterministic_per_seed_and_stream(self):
+        arrival = ArrivalProcess.mmpp(
+            rates_hz=(50.0, 500.0), sojourn_s=(0.05, 0.02), seed=11
+        )
+        a = list(arrival.arrival_times(0, 0.0, 0.5))
+        b = list(arrival.arrival_times(0, 0.0, 0.5))
+        assert a == b
+        assert a != list(arrival.arrival_times(1, 0.0, 0.5))
+        assert all(0.0 <= t < 0.5 for t in a)
+        assert a == sorted(a)
+
+    def test_burstier_than_mean_rate_poisson(self):
+        """Modulation shows up as higher inter-arrival variance than a
+        Poisson process at the same mean rate."""
+        arrival = ArrivalProcess.mmpp(
+            rates_hz=(10.0, 1000.0), sojourn_s=(0.1, 0.1), seed=5
+        )
+        times = list(arrival.arrival_times(0, 0.0, 4.0))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        # Exponential gaps have var == mean^2; modulation inflates it.
+        assert var > 1.5 * mean * mean
+
+    def test_zero_rate_state_produces_gaps(self):
+        arrival = ArrivalProcess.mmpp(
+            rates_hz=(0.0, 800.0), sojourn_s=(0.05, 0.05), seed=3
+        )
+        times = list(arrival.arrival_times(0, 0.0, 1.0))
+        assert times  # the hot state still fires
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ArrivalProcess.mmpp(rates_hz=(), sojourn_s=())
+        with pytest.raises(WorkloadError):
+            ArrivalProcess.mmpp(rates_hz=(1.0, 2.0), sojourn_s=(0.1,))
+        with pytest.raises(WorkloadError):
+            ArrivalProcess.mmpp(rates_hz=(-1.0, 2.0),
+                                sojourn_s=(0.1, 0.1))
+        with pytest.raises(WorkloadError):
+            ArrivalProcess.mmpp(rates_hz=(1.0, 2.0),
+                                sojourn_s=(0.0, 0.1))
+
+
+class TestDiurnalArrivals:
+    def test_deterministic_per_seed_and_stream(self):
+        arrival = ArrivalProcess.diurnal(
+            rate_hz=200.0, period_s=0.2, amplitude=0.8, seed=9
+        )
+        a = list(arrival.arrival_times(0, 0.0, 0.5))
+        assert a == list(arrival.arrival_times(0, 0.0, 0.5))
+        assert a != list(arrival.arrival_times(1, 0.0, 0.5))
+        assert a == sorted(a)
+
+    def test_rate_concentrates_at_peaks(self):
+        """With full modulation, arrivals cluster in the sinusoid's
+        high-rate half-period."""
+        arrival = ArrivalProcess.diurnal(
+            rate_hz=400.0, period_s=1.0, amplitude=1.0, seed=2
+        )
+        times = list(arrival.arrival_times(0, 0.0, 1.0))
+        # Peak half-period is [0, 0.5) (sin positive), trough [0.5, 1).
+        peak = sum(1 for t in times if t < 0.5)
+        assert peak > 0.75 * len(times)
+
+    def test_flash_crowd_boosts_windows(self):
+        boosted = ArrivalProcess.diurnal(
+            rate_hz=100.0, period_s=10.0, amplitude=0.0,
+            flash_every_s=0.5, flash_width_s=0.1, flash_boost=8.0,
+            seed=4,
+        )
+        times = list(boosted.arrival_times(0, 0.0, 5.0))
+        in_flash = sum(1 for t in times if (t % 0.5) < 0.1)
+        # Flash windows cover 20 % of time but a boosted share of load.
+        assert in_flash > 0.45 * len(times)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ArrivalProcess.diurnal(rate_hz=0.0, period_s=1.0)
+        with pytest.raises(WorkloadError):
+            ArrivalProcess.diurnal(rate_hz=1.0, period_s=0.0)
+        with pytest.raises(WorkloadError):
+            ArrivalProcess.diurnal(rate_hz=1.0, period_s=1.0,
+                                   amplitude=1.5)
+        with pytest.raises(WorkloadError):
+            ArrivalProcess.diurnal(rate_hz=1.0, period_s=1.0,
+                                   flash_every_s=0.1)  # width missing
+        with pytest.raises(WorkloadError):
+            ArrivalProcess.diurnal(rate_hz=1.0, period_s=1.0,
+                                   flash_every_s=0.1, flash_width_s=0.2,
+                                   flash_boost=0.5)
+
+
+class TestReplayArrivals:
+    def test_replays_exact_times_within_window(self):
+        arrival = ArrivalProcess.replay((0.1, 0.2, 0.7))
+        assert arrival.is_open_loop
+        assert list(arrival.arrival_times(0, 0.0, 0.5)) == [0.1, 0.2]
+        assert list(arrival.arrival_times(3, 0.0, 1.0)) == \
+            [0.1, 0.2, 0.7]  # stream index is irrelevant on replay
+
+    def test_closed_loop_replay(self):
+        arrival = ArrivalProcess.replay(None)
+        assert not arrival.is_open_loop
+        assert list(arrival.arrival_times(0, 0.0, 1.0)) == []
+
+    def test_empty_replay_is_open_loop(self):
+        arrival = ArrivalProcess.replay(())
+        assert arrival.is_open_loop
+        assert list(arrival.arrival_times(0, 0.0, 1.0)) == []
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ArrivalProcess.replay((0.2, 0.1))  # not sorted
+        with pytest.raises(WorkloadError):
+            ArrivalProcess.replay((-0.1,))
 
 
 class TestSpecs:
@@ -199,6 +331,55 @@ class TestSerialization:
             WorkloadSpec(model_keys=["RS."]).to_scenario()
         )
         payload["scenario_schema_version"] = 99
+        with pytest.raises(WorkloadError):
+            scenario_spec_from_dict(payload)
+
+    def test_roundtrip_new_arrival_kinds(self):
+        spec = ScenarioSpec(
+            streams=(
+                StreamSpec(model="RS.",
+                           arrival=ArrivalProcess.mmpp(
+                               rates_hz=(30.0, 240.0),
+                               sojourn_s=(0.06, 0.02), seed=17)),
+                StreamSpec(model="MB.",
+                           arrival=ArrivalProcess.diurnal(
+                               rate_hz=70.0, period_s=0.2,
+                               amplitude=0.6, flash_every_s=0.13,
+                               flash_width_s=0.02, flash_boost=3.0)),
+                StreamSpec(model="EF.",
+                           arrival=ArrivalProcess.replay(
+                               (0.0125, 0.34375, 0.5))),
+                StreamSpec(model="BE.",
+                           arrival=ArrivalProcess.replay(None)),
+            ),
+            duration_s=0.4,
+        )
+        assert self._roundtrip(spec) == spec
+
+    def test_unknown_arrival_kind_rejected(self):
+        """A typo'd or future arrival kind must fail loudly with a
+        WorkloadError, not a KeyError (regression: from_dict used to
+        index a dispatch table directly)."""
+        payload = scenario_spec_to_dict(
+            WorkloadSpec(model_keys=["RS."]).to_scenario()
+        )
+        payload["streams"][0]["arrival"]["kind"] = "fractal"
+        with pytest.raises(WorkloadError, match="unknown arrival kind"):
+            scenario_spec_from_dict(payload)
+
+    def test_unknown_arrival_field_rejected(self):
+        payload = scenario_spec_to_dict(
+            WorkloadSpec(model_keys=["RS."]).to_scenario()
+        )
+        payload["streams"][0]["arrival"]["jitter_s"] = 0.1
+        with pytest.raises(WorkloadError):
+            scenario_spec_from_dict(payload)
+
+    def test_missing_arrival_rejected(self):
+        payload = scenario_spec_to_dict(
+            WorkloadSpec(model_keys=["RS."]).to_scenario()
+        )
+        del payload["streams"][0]["arrival"]
         with pytest.raises(WorkloadError):
             scenario_spec_from_dict(payload)
 
