@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Fault injection: running a multi-tenant SoC that is falling apart.
+
+Walks the ``degraded-soc`` registered fault schedule — a DRAM thermal
+throttle, a dead NPU core, an ECC page-retirement burst and a full
+tenant-stall window, all inside one 0.4 s run — across every policy,
+then escalates a core outage until tenants get preempted.  Throughout,
+the engine's conservation law (``offered == completed + cancelled +
+dropped``) and the cache allocator's invariants keep holding: faults
+degrade service, never correctness.
+
+Usage::
+
+    python examples/degraded_soc.py
+"""
+
+from __future__ import annotations
+
+from repro import FaultEvent, FaultSpec, get_fault_schedule
+from repro.experiments.common import run_scenario
+from repro.sim.faults import CORE_OFFLINE
+
+POLICIES = ("baseline", "moca", "aurora", "camdn-hw", "camdn-full")
+
+SCENARIO = "steady-quad"
+
+
+def conservation_ok(result) -> bool:
+    return result.offered_inferences == (
+        result.completed_inferences + result.cancelled_inferences
+        + result.dropped_inferences
+    )
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The registered degraded-soc schedule across every policy.
+    # ------------------------------------------------------------------
+    schedule = get_fault_schedule("degraded-soc")
+    print(f"degraded-soc schedule ({len(schedule.events)} fault events):")
+    for event in schedule.events:
+        window = (
+            f" for {event.duration_s * 1e3:.0f} ms"
+            if event.duration_s is not None else " (permanent)"
+        )
+        print(f"  t={event.t_s * 1e3:5.0f} ms  {event.kind}{window}")
+    print()
+
+    header = (
+        f"{'policy':<12}{'completed':>10}{'cancelled':>10}"
+        f"{'avg ms':>8}{'pages retired':>15}{'conserved':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for policy in POLICIES:
+        clean = run_scenario(SCENARIO, policy=policy)
+        faulted = run_scenario(SCENARIO, policy=policy,
+                               faults="degraded-soc")
+        summary = faulted.summary()
+        print(
+            f"{policy:<12}"
+            f"{faulted.completed_inferences:>6} "
+            f"({faulted.completed_inferences / max(clean.completed_inferences, 1):.0%})"
+            f"{faulted.cancelled_inferences:>10}"
+            f"{summary['avg_latency_ms']:>8.2f}"
+            f"{faulted.scheduler_stats.get('pages_retired', 0):>15.0f}"
+            f"{str(conservation_ok(faulted)):>11}"
+        )
+
+    # ------------------------------------------------------------------
+    # 2. Escalating core outage: preemption kicks in when the outage
+    #    exceeds the free-core headroom.
+    # ------------------------------------------------------------------
+    print("\nEscalating mid-run core outage (camdn-full, 16-core SoC):")
+    print(f"{'cores offline':>14}{'completed':>11}{'preempted':>11}")
+    for cores in (4, 8, 12, 15):
+        spec = FaultSpec(events=(
+            FaultEvent(kind=CORE_OFFLINE, t_s=0.10, duration_s=0.15,
+                       cores=cores),
+        ))
+        result = run_scenario(SCENARIO, policy="camdn-full", faults=spec)
+        assert conservation_ok(result)
+        print(
+            f"{cores:>14}{result.completed_inferences:>11}"
+            f"{result.cancelled_inferences:>11}"
+        )
+    print(
+        "\nPreempted inferences count as cancelled; closed-loop tenants"
+        "\nre-offer and queue until cores come back online."
+    )
+
+
+if __name__ == "__main__":
+    main()

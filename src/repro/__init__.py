@@ -55,18 +55,23 @@ from .sim import (
     ClosedLoopWorkload,
     EventTrace,
     EventTraceRecorder,
+    FaultEvent,
+    FaultSpec,
     MultiTenantEngine,
     ScenarioSpec,
     ScenarioWorkload,
     SimulationResult,
     StreamSpec,
     WorkloadSpec,
+    fault_schedule_names,
+    get_fault_schedule,
     get_scenario,
+    register_fault_schedule,
     register_scenario,
     scenario_names,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "KiB",
@@ -90,6 +95,11 @@ __all__ = [
     "ScenarioWorkload",
     "EventTrace",
     "EventTraceRecorder",
+    "FaultEvent",
+    "FaultSpec",
+    "fault_schedule_names",
+    "get_fault_schedule",
+    "register_fault_schedule",
     "get_scenario",
     "register_scenario",
     "scenario_names",

@@ -21,8 +21,9 @@ Two modes:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..config import SoCConfig
 from ..errors import PageAllocationError, SimulationError
@@ -112,6 +113,61 @@ class CaMDNSystem:
     @property
     def active_tasks(self) -> int:
         return len(self._graphs)
+
+    # ------------------------------------------------------------------
+    # Fault injection: ECC page retirement
+    # ------------------------------------------------------------------
+
+    def retire_pages(self, count: int, rng_key: str) -> Tuple[int, ...]:
+        """Permanently retire up to ``count`` SPM pages (ECC fault).
+
+        Victims are drawn without replacement from the non-retired
+        population by an RNG seeded with ``rng_key`` (a pure function of
+        the fault spec), so retirement is identical across engine paths
+        and worker processes.  A free victim retires directly; an owned
+        victim is evacuated through the region manager — remapped in
+        place when a free page exists, or the owner shrinks by one page
+        (the degradation path: future grants flow through the normal MCT
+        downgrade geometry against the reduced capacity).  The count is
+        clamped so at least one usable page remains.
+
+        Returns the tuple of retired pcpns.
+        """
+        page_alloc = self.regions.allocator
+        count = min(count, page_alloc.usable_pages - 1)
+        if count <= 0:
+            return ()
+        candidates = [
+            p for p in range(page_alloc.num_pages)
+            if not page_alloc.is_retired(p)
+        ]
+        rng = random.Random(rng_key)
+        victims = rng.sample(candidates, count)
+        alloc = self.allocator
+        for pcpn in victims:
+            # Ownership is resolved per victim at processing time: an
+            # earlier victim's evacuation may have granted a later
+            # victim as the replacement.
+            owner = page_alloc.owner_of(pcpn)
+            if owner is None:
+                page_alloc.retire_free(pcpn)
+                continue
+            region = self.regions.region_of(owner)
+            shrank = self.regions.retire_owned(region, pcpn)
+            if shrank:
+                # Forced shrink: sync the dynamic allocator's palloc
+                # accounting (mirrors the inlined commit in _try_grant).
+                ctx = self._ctx.get(owner)
+                if ctx is not None:
+                    slot = ctx[0]._slot
+                    alloc._palloc_sum -= 1
+                    alloc._palloc[slot] -= 1
+        # The logical capacity Algorithm 1 reasons over shrinks with the
+        # physical pool (total_pages >= palloc_sum holds: every victim
+        # was free or came out of an owner's holding).
+        alloc.total_pages -= len(victims)
+        self._share = alloc.total_pages // max(len(self._graphs), 1)
+        return tuple(victims)
 
     # ------------------------------------------------------------------
     # Layer protocol

@@ -157,13 +157,29 @@ class LayerMapper:
 
     @staticmethod
     def _load_disk(path: Optional[Path]) -> Optional[ModelMappingFile]:
-        if path is None:
+        """A persisted mapping file, or ``None`` on miss/corruption.
+
+        A present-but-unparseable entry (truncated write, corruption) is
+        logged and unlinked so the mapping re-solves and the entry is
+        rebuilt transparently.
+        """
+        if path is None or not path.exists():
             return None
         from ..serialize import load_mapping_file
 
         try:
             return load_mapping_file(path)
-        except Exception:
+        except Exception as exc:
+            import logging
+
+            logging.getLogger(__name__).warning(
+                "mapping cache entry %s corrupt (%s); invalidating and "
+                "re-solving", path.name, exc,
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
 
     @staticmethod

@@ -81,6 +81,9 @@ class CachePageAllocator:
         self._owner_pages: Dict[str, List[int]] = {}
         #: pcpn -> owning model (``None`` while free).
         self._page_owner: List[Optional[str]] = [None] * num_pages
+        #: ECC-retired pcpns: permanently out of circulation — never on
+        #: the free list, never owned, never re-issued.
+        self._retired: set = set()
 
     @property
     def free_pages(self) -> int:
@@ -90,7 +93,22 @@ class CachePageAllocator:
     @property
     def used_pages(self) -> int:
         """Number of pages owned by some model."""
-        return self.num_pages - len(self._free)
+        return self.num_pages - len(self._free) - len(self._retired)
+
+    @property
+    def retired_pages(self) -> int:
+        """Number of ECC-retired pages (permanently unusable)."""
+        return len(self._retired)
+
+    @property
+    def usable_pages(self) -> int:
+        """Pages still in circulation (free or owned)."""
+        return self.num_pages - len(self._retired)
+
+    def is_retired(self, pcpn: int) -> bool:
+        """Has ``pcpn`` been permanently retired?"""
+        self._check_pcpn(pcpn)
+        return pcpn in self._retired
 
     def owners(self) -> List[str]:
         """All owners currently holding at least one page."""
@@ -205,6 +223,56 @@ class CachePageAllocator:
             self.release(owner, held[delta:])
         return delta
 
+    def retire_free(self, pcpn: int) -> None:
+        """Permanently retire a currently-free page (ECC fault).
+
+        Retired pages leave the free list forever: :meth:`allocate` can
+        never re-issue them, and :meth:`check_invariants` accounts for
+        them separately from free and owned pages.
+
+        Raises:
+            PageAllocationError: the page is owned, or already retired.
+        """
+        self._check_pcpn(pcpn)
+        if pcpn in self._retired:
+            raise PageAllocationError(f"page {pcpn} already retired")
+        if self._page_owner[pcpn] is not None:
+            raise PageAllocationError(
+                f"page {pcpn} is owned by "
+                f"{self._page_owner[pcpn]!r}; use evacuate()"
+            )
+        self._free.remove(pcpn)
+        self._retired.add(pcpn)
+
+    def evacuate(self, owner: str, pcpn: int) -> Optional[int]:
+        """Permanently retire an *owned* page, granting a replacement.
+
+        The page leaves ``owner``'s holding and circulation in one step.
+        When a free page exists, the lowest-numbered one is granted to
+        ``owner`` as the replacement (deterministic, like
+        :meth:`allocate`) and returned; with no free page the owner
+        simply shrinks by one and ``None`` is returned — the caller
+        (region manager) must drop a virtual page.
+
+        Raises:
+            PageAllocationError: ``owner`` does not own ``pcpn``, or the
+                page is already retired.
+        """
+        self._check_pcpn(pcpn)
+        if pcpn in self._retired:
+            raise PageAllocationError(f"page {pcpn} already retired")
+        if self._page_owner[pcpn] != owner:
+            raise PageAllocationError(
+                f"{owner} does not own page {pcpn}"
+            )
+        self._page_owner[pcpn] = None
+        self._owner_pages[owner].remove(pcpn)
+        self._retired.add(pcpn)
+        if not self._free:
+            return None
+        grant = self.allocate(owner, 1)
+        return grant.pcpns[0]
+
     def _check_pcpn(self, pcpn: int) -> None:
         if not 0 <= pcpn < self.num_pages:
             raise PageAllocationError(
@@ -242,5 +310,10 @@ class CachePageAllocator:
                         f"says {self._page_owner[pcpn]!r}"
                     )
             seen |= set(pages)
-        if seen != set(range(self.num_pages)):
+        if seen & self._retired:
+            raise PageAllocationError(
+                f"retired pages {sorted(seen & self._retired)} are "
+                "free or owned"
+            )
+        if seen | self._retired != set(range(self.num_pages)):
             raise PageAllocationError("page conservation violated")

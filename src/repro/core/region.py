@@ -123,6 +123,40 @@ class RegionManager:
             self.allocator.release(region.task_id, victims)
         return delta
 
+    def retire_owned(self, region: ModelRegion, pcpn: int) -> bool:
+        """Evacuate an ECC-retired physical page out of ``region``.
+
+        With a free replacement page the backing is swapped in place
+        (the virtual page keeps its vcpn; region size is preserved);
+        with no free page the region shrinks by one page — the last
+        virtual page's backing moves into the hole and the top vcpn
+        unmaps, so the region stays virtually contiguous.
+
+        Returns:
+            True when the region shrank (the caller must sync any
+            page-count bookkeeping), False on an in-place swap.
+        """
+        vcpn = region.pcpns.index(pcpn)
+        replacement = self.allocator.evacuate(region.task_id, pcpn)
+        cpt = region.cpt
+        if replacement is not None:
+            cpt.unmap(vcpn)
+            cpt.map(vcpn, replacement)
+            region.pcpns[vcpn] = replacement
+            return False
+        last = region.num_pages - 1
+        if vcpn == last:
+            cpt.unmap(vcpn)
+            region.pcpns.pop()
+            return True
+        last_pcpn = region.pcpns[last]
+        cpt.unmap(last)
+        cpt.unmap(vcpn)
+        cpt.map(vcpn, last_pcpn)
+        region.pcpns[vcpn] = last_pcpn
+        region.pcpns.pop()
+        return True
+
     def destroy_region(self, task_id: str) -> int:
         """Release every page of ``task_id``'s region; returns page count."""
         region = self._regions.pop(task_id, None)

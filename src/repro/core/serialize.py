@@ -175,6 +175,24 @@ def scenario_spec_from_dict(data: dict):
     return ScenarioSpec.from_dict(data)
 
 
+def fault_spec_to_dict(spec) -> dict:
+    """Canonical JSON-ready form of a
+    :class:`~repro.sim.faults.FaultSpec` (versioned, exact float
+    round-trip; part of the sweep cell cache key)."""
+    return spec.to_dict()
+
+
+def fault_spec_from_dict(data: dict):
+    """Inverse of :func:`fault_spec_to_dict`.
+
+    Raises:
+        WorkloadError: the payload is not a supported fault schema.
+    """
+    from ..sim.faults import FaultSpec
+
+    return FaultSpec.from_dict(data)
+
+
 def event_trace_to_dict(trace) -> dict:
     """Canonical JSON-ready form of a
     :class:`~repro.sim.trace.EventTrace` (versioned, content-hashed;

@@ -20,6 +20,7 @@ from ..errors import WorkloadError
 from ..schedulers import make_scheduler
 from ..schedulers.base import SchedulerPolicy
 from ..sim.engine import MultiTenantEngine, SimulationResult
+from ..sim.faults import FaultSpec, get_fault_schedule
 from ..sim.scenario import ScenarioSpec, get_scenario
 from ..sim.trace import EventTraceRecorder
 from ..sim.workload import ScenarioWorkload, WorkloadSpec
@@ -76,6 +77,7 @@ def run_scenario(
     trace=None,
     kernel_backend: Optional[str] = None,
     capture_trace: bool = False,
+    faults: Union[FaultSpec, str, None] = None,
     **policy_kwargs,
 ) -> SimulationResult:
     """Simulate one scenario under one policy (the single entry point).
@@ -98,6 +100,10 @@ def run_scenario(
             finished :class:`~repro.sim.trace.EventTrace` to the result
             (``result.event_trace``); the capture is pure observation,
             so metrics are unchanged.
+        faults: optional :class:`~repro.sim.faults.FaultSpec` (or the
+            name of a registered fault schedule) injecting hardware and
+            tenant faults into the run.  ``None`` or an empty spec is
+            byte-identical to a fault-free run.
         **policy_kwargs: forwarded to the scheduler constructor when
             ``policy`` is a name.
 
@@ -106,6 +112,8 @@ def run_scenario(
     """
     if isinstance(spec, str):
         spec = get_scenario(spec)
+    if isinstance(faults, str):
+        faults = get_fault_schedule(faults)
     soc = soc or SoCConfig()
     if isinstance(policy, SchedulerPolicy):
         if qos_mode or policy_kwargs:
@@ -129,7 +137,8 @@ def run_scenario(
     workload = ScenarioWorkload(spec, recorder=recorder)
     engine = MultiTenantEngine(soc, scheduler, workload, trace=trace,
                                kernel_backend=kernel_backend,
-                               event_recorder=recorder)
+                               event_recorder=recorder,
+                               faults=faults)
     result = engine.run()
     if recorder is not None:
         result.event_trace = recorder.finish(spec, policy_name)

@@ -6,6 +6,8 @@ Usage::
     python -m repro.experiments.runner all --no-cache
     python -m repro.experiments.runner --scenario poisson-eight \\
         --policy camdn-full --capture-trace run.trace.json
+    python -m repro.experiments.runner --scenario steady-quad \\
+        --faults degraded-soc --capture-trace faulted.trace.json
     python -m repro.experiments.runner --replay-trace run.trace.json
 
 ``--jobs`` fans the experiment's independent simulation cells out over a
@@ -18,7 +20,9 @@ flags.
 
 ``--scenario NAME --capture-trace FILE`` runs one registered scenario
 under ``--policy`` (default ``camdn-full``) and writes the versioned,
-content-hashed event trace (see :mod:`repro.sim.trace`);
+content-hashed event trace (see :mod:`repro.sim.trace`); ``--faults
+NAME`` injects a registered fault schedule (``--list-faults``) into
+that run;
 ``--replay-trace FILE`` re-feeds a captured trace as a scenario —
 under the same policy and SoC the replay reproduces the captured run's
 ``metric_summary()`` byte-identically.
@@ -43,6 +47,7 @@ import sys
 import time
 from typing import Callable, Dict, Optional
 
+from ..sim.faults import fault_schedule_registry
 from ..sim.scenario import scenario_registry
 from .fig2_motivation import format_fig2, run_fig2
 from .fig3_reuse import format_fig3, run_fig3
@@ -50,7 +55,12 @@ from .fig7_speedup import format_fig7, run_fig7
 from .fig8_scaling import format_fig8, run_fig8
 from .fig9_qos import format_fig9, run_fig9
 from .fig_churn import format_churn, run_churn
-from .sweep import last_sweep_stats, reset_sweep_stats
+from .fig_resilience import format_resilience, run_resilience
+from .sweep import (
+    last_sweep_failures,
+    last_sweep_stats,
+    reset_sweep_stats,
+)
 from .table3_area import format_table3, run_table3
 
 
@@ -87,6 +97,12 @@ def _churn(scale: float, jobs: Optional[int], use_cache: bool) -> str:
                                   use_cache=use_cache))
 
 
+def _resilience(scale: float, jobs: Optional[int],
+                use_cache: bool) -> str:
+    return format_resilience(run_resilience(scale=scale, jobs=jobs,
+                                            use_cache=use_cache))
+
+
 EXPERIMENTS: Dict[str, Callable[[float, Optional[int], bool], str]] = {
     "fig2": _fig2,
     "fig3": _fig3,
@@ -95,6 +111,7 @@ EXPERIMENTS: Dict[str, Callable[[float, Optional[int], bool], str]] = {
     "fig9": _fig9,
     "table3": _table3,
     "churn": _churn,
+    "resilience": _resilience,
 }
 
 
@@ -116,16 +133,37 @@ def format_scenario_list() -> str:
     return "\n".join(lines)
 
 
+def format_fault_list() -> str:
+    """The named fault-schedule registry as a table."""
+    lines = ["Registered fault schedules (--list-faults):"]
+    for name, (spec, description) in sorted(
+        fault_schedule_registry().items()
+    ):
+        kinds = ",".join(sorted({e.kind for e in spec.events})) or "-"
+        lines.append(
+            f"  {name:<18} {len(spec.events):>2} events  "
+            f"{kinds:<48} {description}"
+        )
+    return "\n".join(lines)
+
+
 def _run_capture(scenario_name: str, policy: str, scale: float,
-                 trace_path: str) -> int:
+                 trace_path: str,
+                 faults: Optional[str] = None) -> int:
     """Run one registered scenario and write its event trace."""
     import json
 
+    from ..sim.faults import get_fault_schedule
     from ..sim.scenario import get_scenario
     from .common import run_scenario
 
     spec = get_scenario(scenario_name).scaled(scale)
-    result = run_scenario(spec, policy=policy, capture_trace=True)
+    fault_spec = (
+        get_fault_schedule(faults).scaled(scale)
+        if faults is not None else None
+    )
+    result = run_scenario(spec, policy=policy, capture_trace=True,
+                          faults=fault_spec)
     trace = result.event_trace
     path = trace.save(trace_path)
     print(json.dumps(result.metric_summary(), sort_keys=True))
@@ -168,7 +206,16 @@ def _engine_stats_line() -> str:
     )
     if stats["events_per_s"] > 0:
         line += f", {stats['events_per_s']:,.0f} events/s"
-    return line + "]"
+    line += "]"
+    failures = last_sweep_failures()
+    if failures:
+        detail = "; ".join(
+            f"cell {f['index']} ({f['policy']}): {f['error']}"
+            for f in failures
+        )
+        line += f"\n  [WARNING: {len(failures)} cell(s) failed after " \
+                f"retry — {detail}]"
+    return line
 
 
 def main(argv=None) -> int:
@@ -185,6 +232,17 @@ def main(argv=None) -> int:
         "--list-scenarios",
         action="store_true",
         help="print the named-scenario registry and exit",
+    )
+    parser.add_argument(
+        "--list-faults",
+        action="store_true",
+        help="print the named fault-schedule registry and exit",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="NAME",
+        default=None,
+        help="registered fault schedule injected into a --scenario run",
     )
     parser.add_argument(
         "--scenario",
@@ -241,6 +299,9 @@ def main(argv=None) -> int:
     if args.list_scenarios:
         print(format_scenario_list())
         return 0
+    if args.list_faults:
+        print(format_fault_list())
+        return 0
     if args.replay_trace is not None:
         return _run_replay(args.replay_trace, args.policy)
     if args.scenario is not None:
@@ -248,10 +309,12 @@ def main(argv=None) -> int:
             parser.error("--scenario requires --capture-trace FILE")
         return _run_capture(
             args.scenario, args.policy or "camdn-full", args.scale,
-            args.capture_trace,
+            args.capture_trace, faults=args.faults,
         )
     if args.capture_trace is not None:
         parser.error("--capture-trace requires --scenario NAME")
+    if args.faults is not None:
+        parser.error("--faults requires --scenario NAME")
     if args.experiment is None:
         parser.error("an experiment name (or --list-scenarios, "
                      "--scenario, --replay-trace) is required")

@@ -40,8 +40,10 @@ directly.
 from __future__ import annotations
 
 import json
+import logging
 import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -52,6 +54,7 @@ from ..config import SoCConfig
 from ..core.mapper.solver import SubspaceSolver
 from ..core.serialize import (
     atomic_write_text,
+    fault_spec_to_dict,
     resolve_cache_dir,
     scenario_spec_to_dict,
     simulation_result_from_dict,
@@ -62,9 +65,12 @@ from ..core.serialize import (
 )
 from ..errors import WorkloadError
 from ..sim.engine import SimulationResult
+from ..sim.faults import FaultSpec
 from ..sim.scenario import ScenarioSpec
 from ..sim.workload import WorkloadSpec, random_model_mix
 from .common import ExperimentScale, run_scenario
+
+_LOG = logging.getLogger(__name__)
 
 #: Environment override for the persistent cell cache location; an empty
 #: value disables the cache entirely.
@@ -73,8 +79,10 @@ CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
 #: Cache-key schema of sweep cells.  v2: the key hashes the cell's fully
 #: resolved :class:`~repro.sim.scenario.ScenarioSpec`, so entries written
 #: before the scenario subsystem (or under a different lowering) can
-#: never be served for a scenario cell.
-SWEEP_SCHEMA_VERSION = 2
+#: never be served for a scenario cell.  v3: the key hashes the cell's
+#: fault schedule, so faulted and fault-free runs of the same scenario
+#: can never share an entry.
+SWEEP_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -104,6 +112,9 @@ class SweepCell:
             (recorded so the cell is self-describing and reproducible).
         scenario: explicit scenario for this cell (dynamic tenancy,
             open-loop arrivals); mutually exclusive with ``model_keys``.
+        faults: optional :class:`~repro.sim.faults.FaultSpec` injected
+            into this cell's run (fault instants scale with ``scale``,
+            like the scenario window).
     """
 
     policy: str
@@ -114,6 +125,7 @@ class SweepCell:
     cache_bytes: Optional[int] = None
     seed: int = field(default=2025)
     scenario: Optional[ScenarioSpec] = None
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if self.scenario is None and not self.model_keys:
@@ -161,6 +173,12 @@ class SweepCell:
             qos_scale=self.qos_scale,
         ).to_scenario()
 
+    def resolve_faults(self) -> Optional[FaultSpec]:
+        """The cell's fault schedule at the cell's scale (or ``None``)."""
+        if self.faults is None:
+            return None
+        return self.faults.scaled(self.scale)
+
     def to_dict(self) -> dict:
         """Canonical JSON-ready form (part of the cache key).
 
@@ -176,6 +194,10 @@ class SweepCell:
             "scale": self.scale,
             "cache_bytes": self.cache_bytes,
             "seed": self.seed,
+            "faults": (
+                fault_spec_to_dict(self.faults)
+                if self.faults is not None else None
+            ),
         }
 
 
@@ -225,11 +247,36 @@ def clear_sweep_cache(cache_dir: Optional[Path] = None) -> int:
 
 
 def _load_cached(path: Path) -> Optional[SimulationResult]:
-    """A cached result, or ``None`` on any miss/corruption."""
+    """A cached result, or ``None`` on any miss/corruption.
+
+    A missing entry is the normal cold-cache case.  An entry that exists
+    but cannot be parsed (truncated write, disk corruption, stale bytes
+    from a crashed process) is logged, unlinked and treated as a miss —
+    the cell re-simulates and the entry is rebuilt transparently.
+    """
     try:
-        data = json.loads(path.read_text())
-        return simulation_result_from_dict(data)
-    except Exception:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        _LOG.warning("sweep cache entry %s unreadable (%s); ignoring",
+                     path.name, exc)
+        return None
+    try:
+        # Decoding inside the corruption guard: arbitrary on-disk bytes
+        # (a torn write is not guaranteed to stay valid UTF-8).
+        return simulation_result_from_dict(
+            json.loads(raw.decode("utf-8"))
+        )
+    except Exception as exc:
+        _LOG.warning(
+            "sweep cache entry %s corrupt (%s); invalidating and "
+            "re-simulating", path.name, exc,
+        )
+        try:
+            path.unlink()
+        except OSError:
+            pass
         return None
 
 
@@ -246,17 +293,34 @@ def _store_cached(path: Path, result: SimulationResult) -> None:
 #: runner surfaces these as its events/sec observability line).
 _LAST_STATS: Dict[str, float] = {}
 
+#: Per-cell failure records of the most recent run_sweep call: cells
+#: whose simulation raised twice (initial attempt plus the serial
+#: retry).  Each entry: ``{"index", "policy", "error"}``.
+_LAST_FAILURES: List[Dict[str, object]] = []
+
+#: Pause before retrying a failed cell serially in the parent, giving
+#: transient conditions (a dying worker, memory pressure) time to clear.
+RETRY_BACKOFF_S = 0.05
+
 
 def last_sweep_stats() -> Dict[str, float]:
-    """``{cells, cached_cells, events, sim_wall_s, events_per_s}`` of the
-    latest :func:`run_sweep` call (empty before the first sweep)."""
+    """``{cells, cached_cells, events, sim_wall_s, events_per_s,
+    failed_cells}`` of the latest :func:`run_sweep` call (empty before
+    the first sweep)."""
     return dict(_LAST_STATS)
+
+
+def last_sweep_failures() -> List[Dict[str, object]]:
+    """Cells of the latest sweep that failed both their initial run and
+    the serial retry (empty on a fully successful sweep)."""
+    return [dict(f) for f in _LAST_FAILURES]
 
 
 def reset_sweep_stats() -> None:
     """Clear the latest-sweep statistics (callers that need to attribute
     stats to one harness invocation reset before it runs)."""
     _LAST_STATS.clear()
+    _LAST_FAILURES.clear()
 
 
 def _run_cell(args: tuple) -> SimulationResult:
@@ -270,7 +334,8 @@ def _run_cell(args: tuple) -> SimulationResult:
     if cell.cache_bytes is not None:
         soc = soc.with_cache_bytes(cell.cache_bytes)
     return run_scenario(
-        cell.resolve_scenario(), soc, cell.policy, qos_mode=cell.qos_mode
+        cell.resolve_scenario(), soc, cell.policy,
+        qos_mode=cell.qos_mode, faults=cell.resolve_faults(),
     )
 
 
@@ -279,13 +344,22 @@ def _warm_worker(solve_memo) -> None:
     SubspaceSolver.install_solve_memo(solve_memo)
 
 
+def _attempt_cell(item: tuple
+                  ) -> Tuple[Optional[SimulationResult], Optional[str]]:
+    """Run one cell in-process, capturing any exception as a string."""
+    try:
+        return _run_cell(item), None
+    except Exception as exc:
+        return None, f"{type(exc).__name__}: {exc}"
+
+
 def run_sweep(
     cells: Sequence[SweepCell],
     soc: Optional[SoCConfig] = None,
     max_workers: Optional[int] = None,
     use_cache: bool = True,
     cache_dir: Optional[Path] = None,
-) -> List[SimulationResult]:
+) -> List[Optional[SimulationResult]]:
     """Run every cell and return results in cell order.
 
     Args:
@@ -302,6 +376,14 @@ def run_sweep(
     Each cell is simulated by a deterministic closed-loop engine run, so
     the results are identical whichever worker executes them — or whether
     they come from the cache at all.
+
+    The sweep is fault tolerant: a cell whose simulation raises — or
+    whose pool worker dies — does not abort the sweep.  The failure is
+    captured, the cell is retried once serially in the parent after a
+    short backoff, and a cell that fails twice is reported through
+    :func:`last_sweep_failures` (and the ``failed_cells`` stat) with a
+    ``None`` placeholder at its position in the returned list.  Fully
+    successful sweeps (the normal case) contain no ``None`` entries.
     """
     soc = soc or SoCConfig()
     cells = list(cells)
@@ -317,34 +399,78 @@ def run_sweep(
             results[i] = _load_cached(cache_path / f"{keys[i]}.json")
 
     misses = [i for i, r in enumerate(results) if r is None]
+    _LAST_FAILURES.clear()
     if misses:
         work = [(cells[i], soc) for i in misses]
         if max_workers is None:
             max_workers = min(len(work), os.cpu_count() or 1)
+        fresh: List[Optional[SimulationResult]]
+        errors: List[Optional[str]]
         if max_workers <= 1 or len(work) <= 1:
-            fresh = [_run_cell(item) for item in work]
+            fresh, errors = [], []
+            for item in work:
+                result, error = _attempt_cell(item)
+                fresh.append(result)
+                errors.append(error)
         else:
             with ProcessPoolExecutor(
                 max_workers=max_workers,
                 initializer=_warm_worker,
                 initargs=(SubspaceSolver.export_solve_memo(),),
             ) as pool:
-                fresh = list(pool.map(_run_cell, work))
+                # Per-cell futures (not pool.map) so one raising cell —
+                # or a worker death breaking the pool — surfaces as that
+                # cell's failure instead of aborting the whole sweep.
+                futures = [pool.submit(_run_cell, item) for item in work]
+                fresh, errors = [], []
+                for future in futures:
+                    try:
+                        fresh.append(future.result())
+                        errors.append(None)
+                    except Exception as exc:
+                        fresh.append(None)
+                        errors.append(f"{type(exc).__name__}: {exc}")
+        # One serial retry in the parent: transient failures (a worker
+        # OOM-killed, a flaky filesystem) recover; deterministic ones
+        # fail again and are reported instead of raised.
+        for j, i in enumerate(misses):
+            if fresh[j] is not None:
+                continue
+            _LOG.warning(
+                "sweep cell %d (%s) failed: %s; retrying serially",
+                i, cells[i].policy, errors[j],
+            )
+            time.sleep(RETRY_BACKOFF_S)
+            result, error = _attempt_cell(work[j])
+            if result is not None:
+                fresh[j] = result
+                continue
+            _LOG.warning("sweep cell %d (%s) failed twice: %s",
+                         i, cells[i].policy, error)
+            _LAST_FAILURES.append({
+                "index": i,
+                "policy": cells[i].policy,
+                "error": error,
+            })
         for i, result in zip(misses, fresh):
+            if result is None:
+                continue
             results[i] = result
             if cache_path is not None:
                 _store_cached(cache_path / f"{keys[i]}.json", result)
 
     final = [r for r in results if r is not None]
-    fresh_wall = sum(results[i].wall_time_s for i in misses)
-    fresh_events = sum(results[i].events_processed for i in misses)
+    done = [results[i] for i in misses if results[i] is not None]
+    fresh_wall = sum(r.wall_time_s for r in done)
+    fresh_events = sum(r.events_processed for r in done)
     _LAST_STATS.clear()
     _LAST_STATS.update({
         "cells": len(final),
-        "cached_cells": len(final) - len(misses),
+        "cached_cells": len(cells) - len(misses),
         "events": sum(r.events_processed for r in final),
         "sim_wall_s": fresh_wall,
         "events_per_s":
             fresh_events / fresh_wall if fresh_wall > 0 else 0.0,
+        "failed_cells": float(len(_LAST_FAILURES)),
     })
-    return final
+    return results

@@ -113,6 +113,30 @@ class SchedulerPolicy(abc.ABC):
         """Cores granted to an arriving inference (default: one)."""
         return 1
 
+    def on_capacity_change(self, num_cores: int, now: float) -> None:
+        """The schedulable NPU core set changed size (fault injection:
+        cores went offline or came back).
+
+        The engine has already preempted any instance whose cores
+        vanished (through :meth:`on_task_end`, like a departing tenant)
+        and invalidates every cached rate, so share-based policies
+        degrade gracefully with no action here.  The default is a
+        no-op; policies override it to track capacity-dependent state.
+        """
+
+    def on_pages_retired(self, count: int, rng_key: str,
+                         now: float) -> Tuple[int, ...]:
+        """``count`` SPM pages suffered an ECC fault (fault injection).
+
+        ``rng_key`` seeds victim selection — a pure function of the
+        fault spec, so every engine path retires the same pages.
+        Policies that model the NPU cache (CaMDN) evacuate and
+        permanently retire the victims, returning the retired pcpns;
+        policies without a cache model ignore the fault (default: no
+        pages retired).
+        """
+        return ()
+
     def on_task_start(self, instance: TaskInstance, now: float) -> None:
         """An inference acquired its core(s) and is about to map layers."""
 

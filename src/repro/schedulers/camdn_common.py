@@ -60,11 +60,13 @@ class CaMDNSchedulerBase(SchedulerPolicy):
         self._lbm_layers = 0
         self._tenant_admits = 0
         self._tenant_retires = 0
+        self._pages_retired = 0
 
     def attach(self, soc: SoCConfig) -> None:
         super().attach(soc)
         self._tenant_admits = 0
         self._tenant_retires = 0
+        self._pages_retired = 0
         mapper = None
         if self.usage_levels is not None or \
                 self.lbm_occupancy_fraction is not None:
@@ -133,6 +135,21 @@ class CaMDNSchedulerBase(SchedulerPolicy):
                     f"tenant {stream_id} retired with allocator state "
                     f"still registered for {task_id}"
                 )
+
+    def on_pages_retired(self, count: int, rng_key: str,
+                         now: float) -> Tuple[int, ...]:
+        """ECC fault: evacuate and permanently retire SPM pages.
+
+        Delegates to :meth:`CaMDNSystem.retire_pages` — owned victims
+        are remapped or shrunk out of their regions, the MCT geometry
+        then downgrades future grants against the reduced capacity
+        (graceful degradation through the existing Figure 6 loop, no
+        crash path).  The bound ``_sys_try`` hot path stays valid:
+        retirement mutates the shared allocator in place.
+        """
+        retired = self.system.retire_pages(count, rng_key)
+        self._pages_retired += len(retired)
+        return retired
 
     def on_task_start(self, instance: TaskInstance, now: float) -> None:
         self.system.admit_task(instance.instance_id, instance.graph)
@@ -382,4 +399,5 @@ class CaMDNSchedulerBase(SchedulerPolicy):
             "lbm_layers": float(self._lbm_layers),
             "tenant_admits": float(self._tenant_admits),
             "tenant_retires": float(self._tenant_retires),
+            "pages_retired": float(self._pages_retired),
         }

@@ -2,6 +2,15 @@
 
 from .task import InstanceState, LayerWork, TaskInstance
 from .engine import MultiTenantEngine, SimulationResult
+from .faults import (
+    FaultEvent,
+    FaultRuntime,
+    FaultSpec,
+    fault_schedule_names,
+    fault_schedule_registry,
+    get_fault_schedule,
+    register_fault_schedule,
+)
 from .scenario import (
     ArrivalProcess,
     ScenarioSpec,
@@ -32,6 +41,13 @@ __all__ = [
     "TaskInstance",
     "MultiTenantEngine",
     "SimulationResult",
+    "FaultEvent",
+    "FaultRuntime",
+    "FaultSpec",
+    "fault_schedule_names",
+    "fault_schedule_registry",
+    "get_fault_schedule",
+    "register_fault_schedule",
     "ArrivalProcess",
     "StreamSpec",
     "ScenarioSpec",

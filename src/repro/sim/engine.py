@@ -70,6 +70,15 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 from ..config import SoCConfig
 from ..errors import SimulationError
 from . import native
+from .faults import (
+    CORE_OFFLINE,
+    DRAM_DEGRADE,
+    ONSET,
+    PAGE_RETIRE,
+    FaultEvent,
+    FaultRuntime,
+    FaultSpec,
+)
 from .kernel import RunningKernel
 from .metrics import MetricsCollector
 
@@ -195,6 +204,7 @@ class MultiTenantEngine:
                  kernel_backend: Optional[str] = None,
                  use_native: Optional[bool] = None,
                  event_recorder: Optional["EventTraceRecorder"] = None,
+                 faults: Optional[FaultSpec] = None,
                  ) -> None:
         self.soc = soc
         self.scheduler = scheduler
@@ -246,6 +256,26 @@ class MultiTenantEngine:
         # the flag keeps the hot loop at one boolean test per event
         # (pure closed-loop scenarios drain it at t=0).
         self._timeline_done = False
+        # Fault-injection timeline (sim/faults.py).  Like the scenario
+        # timeline, an absent or drained schedule costs the hot loop one
+        # boolean test per event — fault-free runs stay byte-identical.
+        self._fault_runtime: Optional[FaultRuntime] = None
+        self._faults_done = True
+        if faults is not None and faults.events:
+            self._fault_runtime = FaultRuntime(faults)
+            self._faults_done = False
+        # Fault-window bookkeeping, keyed by event seq so overlapping
+        # windows compose and expire exactly.
+        self._base_bw = self._total_bw
+        self._bw_factors: Dict[int, float] = {}
+        self._cores_offline: Dict[int, int] = {}
+        self._offline_total = 0
+        # Watchdog budgets (see run()); REPRO_MAX_EVENTS overrides the
+        # module-level runaway cap for every run in the process.
+        self._max_events = int(
+            os.environ.get("REPRO_MAX_EVENTS", _MAX_EVENTS)
+        )
+        self._deadline: Optional[float] = None
         # WAITING_PAGES instances, insertion-ordered (grant-retry order is
         # observable policy state, so iteration order must be stable).
         self._waiting_set: Dict[str, TaskInstance] = {}
@@ -257,9 +287,26 @@ class MultiTenantEngine:
 
     # ------------------------------------------------------------------
 
-    def run(self) -> SimulationResult:
-        """Execute the scenario to completion."""
+    def run(self, max_events: Optional[int] = None,
+            max_wall_s: Optional[float] = None) -> SimulationResult:
+        """Execute the scenario to completion.
+
+        Args:
+            max_events: watchdog event budget for this run (defaults to
+                ``REPRO_MAX_EVENTS`` or the module runaway cap).
+            max_wall_s: watchdog wall-clock budget in seconds (no limit
+                when ``None``).
+
+        Exceeding either budget raises a diagnostic
+        :class:`~repro.errors.SimulationError` whose ``snapshot``
+        attribute carries the last-event engine state — a hung run
+        fails fast with enough context to reproduce it.
+        """
         start = time.perf_counter()
+        if max_events is not None:
+            self._max_events = int(max_events)
+        if max_wall_s is not None:
+            self._deadline = start + float(max_wall_s)
         self.scheduler.attach(self.soc)
         self._dynamic_rates = self.scheduler.dynamic_rates
         self._resolve_rate_mode()
@@ -318,21 +365,50 @@ class MultiTenantEngine:
 
     def _kernel_run_loop(self) -> None:
         self._dispatch_queued()
-        while self._active or self._queued or not self._timeline_done:
-            if self.events_processed >= _MAX_EVENTS:
-                raise SimulationError(
-                    "event cap exceeded; runaway simulation"
+        max_events = self._max_events
+        deadline = self._deadline
+        while self._active or self._queued or not self._timeline_done \
+                or not self._faults_done:
+            if self.events_processed >= max_events:
+                raise self._watchdog_error(
+                    f"event cap exceeded ({max_events} events); "
+                    "runaway simulation"
                 )
+            if deadline is not None and time.perf_counter() > deadline:
+                raise self._watchdog_error("wall-clock budget exceeded")
             self._batch_run()
             # The batch returned because this event's remaining phases
-            # need the slow machinery: due wakeups/timeline events, a
-            # queued dispatch, or a rate-mode change.
+            # need the slow machinery: due wakeups/timeline/fault
+            # events, a queued dispatch, or a rate-mode change.
             if self._wait_heap:
                 self._process_timeouts()
+            if not self._faults_done:
+                self._process_faults()
             if not self._timeline_done:
                 self._process_timeline()
             if self._queued:
                 self._dispatch_queued()
+
+    def _watchdog_error(self, reason: str) -> SimulationError:
+        """Build a diagnostic error carrying the last-event snapshot."""
+        snapshot = {
+            "now": self.now,
+            "events_processed": self.events_processed,
+            "active": len(self._active),
+            "queued": len(self._queued),
+            "waiting": len(self._waiting_set),
+            "free_cores": self._free_cores,
+            "next_wake_s": self._peek_wake_time(),
+            "next_timeline_s": self.workload.next_timeline_s(),
+            "next_fault_s": (
+                math.inf if self._fault_runtime is None
+                else self._fault_runtime.next_s()
+            ),
+            "active_ids": sorted(self._active)[:8],
+        }
+        err = SimulationError(f"watchdog: {reason}; snapshot: {snapshot}")
+        err.snapshot = snapshot
+        return err
 
     def _resolve_rate_mode(self) -> None:
         """Cache the policy's fusable rate rule for the current epoch.
@@ -388,6 +464,12 @@ class MultiTenantEngine:
         epoch = self._rate_epoch_seen
         mode_demand = self._mode_demand
         floor = self._mode_floor
+        max_events = self._max_events
+        # The next fault instant is constant inside a batch: actions are
+        # only consumed by _process_faults, which runs between batches.
+        fault_next = math.inf
+        if not self._faults_done:
+            fault_next = self._fault_runtime.next_s()
         n_eff = -1
         eff = 0.0
         while True:
@@ -408,6 +490,10 @@ class MultiTenantEngine:
                     wait_dt = timeline_s - self.now
                     if wait_dt < 0.0:
                         wait_dt = 0.0
+            if fault_next - self.now < wait_dt:
+                wait_dt = fault_next - self.now
+                if wait_dt < 0.0:
+                    wait_dt = 0.0
             res = None
             if mode_demand:
                 n = len(insts)
@@ -473,9 +559,11 @@ class MultiTenantEngine:
             if not self._timeline_done and \
                     workload.next_timeline_s() - self.now <= _WAKE_EPS:
                 return
+            if fault_next - self.now <= _WAKE_EPS:
+                return
             if not self._active:
                 return
-            if self.events_processed >= _MAX_EVENTS:
+            if self.events_processed >= max_events:
                 return
 
     def _recompute_rates(self) -> None:
@@ -652,6 +740,108 @@ class MultiTenantEngine:
         for stream_id in self.workload.take_retired():
             self._stream_active.pop(stream_id, None)
             self.scheduler.on_tenant_retire(stream_id, self.now)
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.sim.faults)
+    # ------------------------------------------------------------------
+
+    def _process_faults(self) -> None:
+        """Apply every fault onset/expiry due at the current instant."""
+        runtime = self._fault_runtime
+        if runtime.next_s() - self.now > _WAKE_EPS:
+            return
+        applied = False
+        for seq, phase, event in runtime.pop_due(self.now):
+            self._apply_fault(seq, phase, event)
+            applied = True
+        if runtime.exhausted:
+            self._faults_done = True
+        if applied:
+            # Any fault can reshape rates (bandwidth, membership, cache
+            # geometry): force the batch to re-resolve the rate rule and
+            # re-cache its constants (total_bw in particular).
+            self.scheduler.bump_rate_epoch()
+            self._rates_valid = False
+
+    def _apply_fault(self, seq: int, phase: int,
+                     event: FaultEvent) -> None:
+        onset = phase == ONSET
+        if self.event_recorder is not None:
+            self.event_recorder.record(
+                "fault", self.now, f"{event.kind}@{seq}",
+                "onset" if onset else "expiry",
+            )
+        kind = event.kind
+        if kind == DRAM_DEGRADE:
+            if onset:
+                self._bw_factors[seq] = event.bw_factor
+            else:
+                self._bw_factors.pop(seq, None)
+            # Overlapping windows compose multiplicatively; reduce in
+            # seq order so the product is deterministic.
+            factor = 1.0
+            for s in sorted(self._bw_factors):
+                factor *= self._bw_factors[s]
+            self._total_bw = self._base_bw * factor
+        elif kind == CORE_OFFLINE:
+            if onset:
+                applied = min(
+                    event.cores,
+                    self.soc.num_npu_cores - self._offline_total,
+                )
+                self._cores_offline[seq] = applied
+                self._offline_total += applied
+                self._free_cores -= applied
+                while self._free_cores < 0 and self._active:
+                    self._preempt_last_dispatched()
+            else:
+                applied = self._cores_offline.pop(seq, 0)
+                self._offline_total -= applied
+                self._free_cores += applied
+            self.scheduler.on_capacity_change(
+                self.soc.num_npu_cores - self._offline_total, self.now
+            )
+        elif kind == PAGE_RETIRE:
+            # Permanent: the schedule seed and event seq salt the RNG so
+            # the same pages retire on every engine path and backend.
+            rng_key = (
+                f"page-retire:{self._fault_runtime.spec.seed}:{seq}"
+            )
+            self.scheduler.on_pages_retired(event.pages, rng_key,
+                                            self.now)
+        else:  # TENANT_STALL
+            workload = self.workload
+            if onset:
+                for stream_id in self._stall_targets(event):
+                    workload.stall_stream(stream_id)
+            else:
+                for stream_id in self._stall_targets(event):
+                    self._enqueue(
+                        workload.resume_stream(stream_id, self.now)
+                    )
+                self._flush_retired()
+
+    def _stall_targets(self, event: FaultEvent) -> List[str]:
+        streams = self.workload.streams
+        if event.stream_index is None:
+            return list(streams)
+        return [streams[event.stream_index % len(streams)]]
+
+    def _preempt_last_dispatched(self) -> None:
+        """Core-offline preemption: abort the most recently dispatched
+        instance — its pages and region release through ``on_task_end``
+        exactly like a preemptive departure — then re-offer the
+        stream's next inference, which queues until capacity returns."""
+        inst = next(reversed(self._active.values()))
+        stream_id = inst.stream_id
+        self._cancel_instance(inst)
+        self._stream_active.pop(stream_id, None)
+        next_inst = self.workload.next_instance(stream_id, self.now)
+        if next_inst is not None:
+            self._stream_active[stream_id] = next_inst.instance_id
+            self._queued.append(next_inst)
+        else:
+            self._flush_retired()
 
     # ------------------------------------------------------------------
     # Event handling

@@ -1,0 +1,399 @@
+"""Declarative fault injection: hardware and tenant fault schedules.
+
+Every scenario the registry can generate assumes a perfectly healthy
+SoC; the paper's claim, though, is *adaptive* cache management — the
+machinery exists for resources changing out from under the workload.
+This module makes degraded hardware a first-class, reproducible
+experiment input, mirroring :mod:`repro.sim.scenario`'s design: frozen
+dataclasses, exact JSON round-trip, a named registry, and seeded
+randomness derived purely from the spec.
+
+* :class:`FaultEvent` — one timed fault:
+
+  - ``"dram-degrade"``: a thermal-throttle window; DRAM bandwidth is
+    multiplied by ``bw_factor`` for ``duration_s`` seconds (windows
+    compose multiplicatively while they overlap).
+  - ``"core-offline"``: ``cores`` NPU cores drop out of the schedulable
+    set for ``duration_s`` seconds.  Instances whose cores vanish are
+    preempted exactly like a departing tenant (PR 4's preemptive
+    departure): pages and regions release through ``on_task_end`` and
+    the stream re-offers its next inference for when capacity returns.
+    ``duration_s`` is mandatory — a permanent outage could leave queued
+    work undispatchable forever.
+  - ``"page-retire"``: ECC-style retirement of ``pages`` SPM pages,
+    selected by a string-seeded RNG over the non-retired population.
+    Retirement is permanent (no ``duration_s``): the allocator
+    evacuates owned pages (remap in place when a free page exists,
+    shrink the owner otherwise) and never re-issues a retired pcpn.
+  - ``"tenant-stall"``: the stream at ``stream_index`` (all streams
+    when ``None``) stops *offering* arrivals for ``duration_s``
+    seconds, then resumes.  In-flight work is not killed — a stalled
+    source, not a crashed tenant.  The index is taken modulo the
+    scenario's stream count so registry schedules compose with any
+    scenario.
+
+* :class:`FaultSpec` — an ordered fault timeline plus the seed that
+  salts per-event RNG keys (``"page-retire:{seed}:{event}"``), so a
+  schedule injects identically under any ``--jobs`` setting and on the
+  native and pure-Python engine paths alike.
+
+* :class:`FaultRuntime` — the engine-side expansion of a spec into a
+  sorted onset/expiry action list with a memoized next-instant cursor;
+  :class:`repro.sim.engine.MultiTenantEngine` folds it into the event
+  min-dt alongside the scenario timeline heap.
+
+A process-wide registry maps names to curated schedules
+(:func:`register_fault_schedule` / :func:`get_fault_schedule`);
+``python -m repro.experiments.runner --list-faults`` prints it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import WorkloadError
+
+#: Serialization schema of fault specs; bump on field changes.
+FAULT_SCHEMA_VERSION = 1
+
+#: Fault kinds.
+DRAM_DEGRADE = "dram-degrade"
+CORE_OFFLINE = "core-offline"
+PAGE_RETIRE = "page-retire"
+TENANT_STALL = "tenant-stall"
+
+_KINDS = (DRAM_DEGRADE, CORE_OFFLINE, PAGE_RETIRE, TENANT_STALL)
+
+#: FaultRuntime action phases.
+ONSET = 0
+EXPIRY = 1
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault (see the module docstring for kind semantics).
+
+    Attributes:
+        kind: one of ``dram-degrade`` / ``core-offline`` /
+            ``page-retire`` / ``tenant-stall``.
+        t_s: onset instant (simulation seconds, >= 0).
+        duration_s: window length.  Required for every windowed kind;
+            must be ``None`` for ``page-retire`` (retirement is
+            permanent).
+        bw_factor: fractional DRAM-bandwidth multiplier in (0, 1]
+            (``dram-degrade`` only).
+        cores: number of NPU cores taken offline (``core-offline``
+            only; clamped at apply time to the cores still online).
+        pages: number of SPM pages to retire (``page-retire`` only;
+            clamped at apply time so at least one usable page remains).
+        stream_index: target stream for ``tenant-stall`` (``None`` =
+            every stream; otherwise taken modulo the stream count).
+    """
+
+    kind: str
+    t_s: float
+    duration_s: Optional[float] = None
+    bw_factor: Optional[float] = None
+    cores: Optional[int] = None
+    pages: Optional[int] = None
+    stream_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise WorkloadError(
+                f"unknown fault kind {self.kind!r}; known: {_KINDS}"
+            )
+        if not (self.t_s >= 0.0):
+            raise WorkloadError(f"fault t_s must be >= 0, got {self.t_s}")
+        if self.duration_s is not None and not (self.duration_s > 0.0):
+            raise WorkloadError(
+                f"fault duration_s must be > 0, got {self.duration_s}"
+            )
+        if self.kind == DRAM_DEGRADE:
+            if self.bw_factor is None or not (0.0 < self.bw_factor <= 1.0):
+                raise WorkloadError(
+                    f"{DRAM_DEGRADE} needs bw_factor in (0, 1], "
+                    f"got {self.bw_factor}"
+                )
+            if self.duration_s is None:
+                raise WorkloadError(f"{DRAM_DEGRADE} needs duration_s")
+        elif self.kind == CORE_OFFLINE:
+            if self.cores is None or self.cores < 1:
+                raise WorkloadError(
+                    f"{CORE_OFFLINE} needs cores >= 1, got {self.cores}"
+                )
+            if self.duration_s is None:
+                raise WorkloadError(
+                    f"{CORE_OFFLINE} needs duration_s (a permanent outage "
+                    "could strand queued work forever)"
+                )
+        elif self.kind == PAGE_RETIRE:
+            if self.pages is None or self.pages < 1:
+                raise WorkloadError(
+                    f"{PAGE_RETIRE} needs pages >= 1, got {self.pages}"
+                )
+            if self.duration_s is not None:
+                raise WorkloadError(
+                    f"{PAGE_RETIRE} is permanent; duration_s must be None"
+                )
+        else:  # TENANT_STALL
+            if self.duration_s is None:
+                raise WorkloadError(f"{TENANT_STALL} needs duration_s")
+            if self.stream_index is not None and self.stream_index < 0:
+                raise WorkloadError(
+                    f"{TENANT_STALL} stream_index must be >= 0 or None, "
+                    f"got {self.stream_index}"
+                )
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "t_s": self.t_s,
+            "duration_s": self.duration_s,
+            "bw_factor": self.bw_factor,
+            "cores": self.cores,
+            "pages": self.pages,
+            "stream_index": self.stream_index,
+        }
+
+    _FIELDS = frozenset({
+        "kind", "t_s", "duration_s", "bw_factor", "cores", "pages",
+        "stream_index",
+    })
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        unknown = sorted(set(data) - cls._FIELDS)
+        if unknown:
+            raise WorkloadError(f"unknown fault-event fields: {unknown}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A fault timeline: events plus the seed salting per-event RNG.
+
+    An empty spec (no events) is semantically identical to no fault
+    injection at all — the engine's plumbing is exercised but every
+    metric is byte-identical to a fault-free run.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    seed: int = 2025
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def scaled(self, factor: float) -> "FaultSpec":
+        """Time-scale every onset and window by ``factor`` (matches
+        :meth:`ScenarioSpec.scaled`, so sweep-cell ``scale`` stretches
+        the fault timeline together with the scenario)."""
+        if factor == 1.0:
+            return self
+        return FaultSpec(
+            events=tuple(
+                replace(
+                    ev,
+                    t_s=ev.t_s * factor,
+                    duration_s=(
+                        None if ev.duration_s is None
+                        else ev.duration_s * factor
+                    ),
+                )
+                for ev in self.events
+            ),
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form; round-trips exactly through
+        :meth:`from_dict`."""
+        return {
+            "fault_schema_version": FAULT_SCHEMA_VERSION,
+            "events": [ev.to_dict() for ev in self.events],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        version = data.get("fault_schema_version")
+        if version != FAULT_SCHEMA_VERSION:
+            raise WorkloadError(
+                f"unsupported fault schema {version!r} "
+                f"(expected {FAULT_SCHEMA_VERSION})"
+            )
+        unknown = sorted(set(data) - {"fault_schema_version", "events",
+                                      "seed"})
+        if unknown:
+            raise WorkloadError(f"unknown fault-spec fields: {unknown}")
+        return cls(
+            events=tuple(FaultEvent.from_dict(ev) for ev in data["events"]),
+            seed=data["seed"],
+        )
+
+
+class FaultRuntime:
+    """Engine-side fault cursor: a spec expanded into a sorted list of
+    ``(t, seq, phase, event)`` actions (onset plus, for windowed kinds,
+    expiry), consumed monotonically as simulation time advances.
+
+    ``seq`` is the event's index in the spec — it keys the engine's
+    per-window bookkeeping (which bandwidth factors / offline cores are
+    active) and salts per-event RNG keys, so two events with identical
+    fields still inject independently and deterministically.
+    """
+
+    __slots__ = ("spec", "_actions", "_pos")
+
+    #: Due tolerance, mirroring the workload timeline's ``_DUE_EPS``.
+    _DUE_EPS = 1e-12
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        actions: List[Tuple[float, int, int, FaultEvent]] = []
+        for seq, event in enumerate(spec.events):
+            actions.append((event.t_s, seq, ONSET, event))
+            if event.duration_s is not None:
+                actions.append(
+                    (event.t_s + event.duration_s, seq, EXPIRY, event)
+                )
+        actions.sort(key=lambda a: (a[0], a[1], a[2]))
+        self._actions = actions
+        self._pos = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._actions)
+
+    def next_s(self) -> float:
+        """Instant of the next pending action (inf when drained)."""
+        if self._pos >= len(self._actions):
+            return math.inf
+        return self._actions[self._pos][0]
+
+    def pop_due(self, now: float) -> List[Tuple[int, int, FaultEvent]]:
+        """Pop every action due at ``now`` as ``(seq, phase, event)``."""
+        due: List[Tuple[int, int, FaultEvent]] = []
+        actions = self._actions
+        while self._pos < len(actions):
+            t, seq, phase, event = actions[self._pos]
+            if t - now > self._DUE_EPS:
+                break
+            self._pos += 1
+            due.append((seq, phase, event))
+        return due
+
+
+# ----------------------------------------------------------------------
+# Named fault-schedule registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Tuple[FaultSpec, str]] = {}
+
+
+def register_fault_schedule(name: str, spec: FaultSpec,
+                            description: str = "") -> FaultSpec:
+    """Register (or replace) a named fault schedule; returns the spec."""
+    if not name:
+        raise WorkloadError("fault-schedule name cannot be empty")
+    _REGISTRY[name] = (spec, description)
+    return spec
+
+
+def get_fault_schedule(name: str) -> FaultSpec:
+    """Look a named fault schedule up.
+
+    Raises:
+        WorkloadError: the name is not registered.
+    """
+    try:
+        return _REGISTRY[name][0]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown fault schedule {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def fault_schedule_names() -> List[str]:
+    """Registered fault-schedule names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def fault_schedule_registry() -> Dict[str, Tuple[FaultSpec, str]]:
+    """Snapshot of the registry: ``name -> (spec, description)``."""
+    return dict(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    """Curated schedules sized for the registry's 0.4 s scenarios."""
+    register_fault_schedule(
+        "none",
+        FaultSpec(),
+        "empty schedule: exercises the fault plumbing, injects nothing",
+    )
+    register_fault_schedule(
+        "thermal-throttle",
+        FaultSpec(events=(
+            FaultEvent(kind=DRAM_DEGRADE, t_s=0.10, duration_s=0.08,
+                       bw_factor=0.5),
+            FaultEvent(kind=DRAM_DEGRADE, t_s=0.26, duration_s=0.06,
+                       bw_factor=0.7),
+        )),
+        "two DRAM thermal-throttle windows (0.5x, then 0.7x bandwidth)",
+    )
+    register_fault_schedule(
+        "core-flap",
+        FaultSpec(events=(
+            FaultEvent(kind=CORE_OFFLINE, t_s=0.08, duration_s=0.06,
+                       cores=1),
+            FaultEvent(kind=CORE_OFFLINE, t_s=0.20, duration_s=0.08,
+                       cores=2),
+        )),
+        "NPU cores flapping offline (1 core, later 2 more)",
+    )
+    register_fault_schedule(
+        "ecc-storm",
+        FaultSpec(events=(
+            FaultEvent(kind=PAGE_RETIRE, t_s=0.06, pages=8),
+            FaultEvent(kind=PAGE_RETIRE, t_s=0.14, pages=16),
+            FaultEvent(kind=PAGE_RETIRE, t_s=0.22, pages=32),
+        )),
+        "escalating ECC page-retirement storm (8, 16, then 32 pages)",
+    )
+    register_fault_schedule(
+        "tenant-blackout",
+        FaultSpec(events=(
+            FaultEvent(kind=TENANT_STALL, t_s=0.12, duration_s=0.10,
+                       stream_index=0),
+            FaultEvent(kind=TENANT_STALL, t_s=0.18, duration_s=0.08,
+                       stream_index=1),
+        )),
+        "two tenants stop offering arrivals mid-run, then recover",
+    )
+    register_fault_schedule(
+        "degraded-soc",
+        FaultSpec(events=(
+            FaultEvent(kind=DRAM_DEGRADE, t_s=0.09, duration_s=0.12,
+                       bw_factor=0.6),
+            FaultEvent(kind=CORE_OFFLINE, t_s=0.13, duration_s=0.08,
+                       cores=1),
+            FaultEvent(kind=PAGE_RETIRE, t_s=0.11, pages=24),
+            FaultEvent(kind=TENANT_STALL, t_s=0.16, duration_s=0.06,
+                       stream_index=None),
+        )),
+        "everything at once: throttled DRAM, a dead core, retired "
+        "pages, and a full tenant stall window",
+    )
+
+
+_register_builtins()

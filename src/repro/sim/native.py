@@ -122,7 +122,17 @@ def fused_step() -> Optional[Callable]:
         so_path = cache_dir / f"_batchstep-{tag}.so"
         if not so_path.exists():
             _build(so_path)
-        module = _load_from(so_path)
+            module = _load_from(so_path)
+        else:
+            try:
+                module = _load_from(so_path)
+            except Exception:
+                # A cached binary that fails to import (truncated write,
+                # corruption) is invalidated and rebuilt once before
+                # degrading to the Python path.
+                so_path.unlink(missing_ok=True)
+                _build(so_path)
+                module = _load_from(so_path)
         _fused_step = module.fused_step
         _status = f"loaded ({so_path.name})"
     except Exception as exc:  # noqa: BLE001 - any failure means fallback

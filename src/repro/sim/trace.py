@@ -148,7 +148,8 @@ class TraceRecorder:
 # ----------------------------------------------------------------------
 
 #: Serialization schema of event traces; bump on field changes.
-TRACE_SCHEMA_VERSION = 1
+#: v2: added the ``fault`` event kind (fault-injection boundaries).
+TRACE_SCHEMA_VERSION = 2
 
 #: Event kinds, in the order they occur at one timestamp.
 JOIN = "join"              # tenant admitted (scenario timeline)
@@ -158,8 +159,10 @@ COMPLETION = "completion"  # instance finished all layers
 DROP = "drop"              # backlogged arrival discarded by a departure
 LEAVE = "leave"            # tenant departed (scenario timeline)
 CANCEL = "cancel"          # in-flight/queued instance aborted by departure
+FAULT = "fault"            # injected fault boundary (onset or expiry)
 
-_EVENT_KINDS = (JOIN, ARRIVAL, DISPATCH, COMPLETION, DROP, LEAVE, CANCEL)
+_EVENT_KINDS = (JOIN, ARRIVAL, DISPATCH, COMPLETION, DROP, LEAVE, CANCEL,
+                FAULT)
 
 
 @dataclass(frozen=True)
@@ -335,6 +338,10 @@ class EventTrace:
         source run, not offered load).  Under the same policy and SoC
         the replay reproduces the source ``metric_summary()``
         byte-identically.
+
+        ``fault`` events are observational only and are *not* replayed:
+        a capture taken under fault injection must be re-run with the
+        same :class:`~repro.sim.faults.FaultSpec` to reproduce.
         """
         arrivals: Dict[str, List[float]] = {}
         for event in self.events:

@@ -162,7 +162,8 @@ class _StreamState:
 
     __slots__ = (
         "spec", "stream_id", "index", "graph", "dispatched", "generated",
-        "busy", "joined", "left", "finished", "backlog", "arrivals",
+        "busy", "joined", "left", "finished", "stalled", "backlog",
+        "arrivals",
     )
 
     def __init__(self, spec: StreamSpec, stream_id: str, index: int,
@@ -177,6 +178,7 @@ class _StreamState:
         self.joined = False
         self.left = False
         self.finished = False
+        self.stalled = False     # tenant-stall fault: not offering
         self.backlog: Deque[float] = deque()
         self.arrivals = None     # open-loop arrival-time iterator
 
@@ -333,6 +335,13 @@ class ScenarioWorkload:
                 else:
                     instances.append(self._spawn(rt, t))
             elif prio == _ARRIVAL:
+                if rt.stalled:
+                    # Stalled source: the arrival is never offered (it
+                    # does not count toward offered/quota and is not
+                    # backlogged) but the chain stays primed so the
+                    # stream resumes offering when the stall expires.
+                    self._push_next_arrival(rt)
+                    continue
                 self._offered += 1
                 rt.generated += 1
                 if self.recorder is not None:
@@ -379,6 +388,12 @@ class ScenarioWorkload:
             rt.busy = False
             if self._open_loop_drained(rt):
                 self._finish(rt)
+            return None
+        if rt.stalled:
+            # Stalled closed-loop source: the completion does not couple
+            # to a new dispatch.  The stream stays joined and idle;
+            # resume_stream re-offers when the stall expires.
+            rt.busy = False
             return None
         if spec.leave_s is not None and now >= spec.leave_s:
             rt.busy = False
@@ -431,6 +446,58 @@ class ScenarioWorkload:
             rt.stream_id for rt in self._by_index
             if rt.joined and not rt.finished
         ]
+
+    # ------------------------------------------------------------------
+    # Tenant-stall faults (see repro.sim.faults)
+    # ------------------------------------------------------------------
+
+    def stall_stream(self, stream_id: str) -> None:
+        """Tenant-stall onset: the stream stops offering arrivals.
+
+        In-flight and backlogged work is unaffected (a stalled source,
+        not a departure); a stream that already left or finished is a
+        no-op.
+        """
+        rt = self._rt[stream_id]
+        if rt.left or rt.finished:
+            return
+        rt.stalled = True
+
+    def resume_stream(self, stream_id: str,
+                      now: float) -> List[TaskInstance]:
+        """Tenant-stall expiry: the stream resumes offering arrivals.
+
+        Open-loop streams resume from their (still-primed) arrival
+        chain on their own.  An idle closed-loop stream lost its
+        completion coupling during the stall, so its next inference is
+        re-offered here — window, departure and quota checks included —
+        and returned for the engine to enqueue.
+        """
+        rt = self._rt[stream_id]
+        if not rt.stalled:
+            return []
+        rt.stalled = False
+        if rt.left or rt.finished or not rt.joined or rt.busy:
+            return []
+        spec = rt.spec
+        if spec.arrival.is_open_loop:
+            if rt.backlog:
+                t = rt.backlog.popleft()
+                return [self._spawn(rt, now, arrival_time=t)]
+            return []
+        if spec.leave_s is not None and now >= spec.leave_s:
+            self._finish(rt)
+            return []
+        duration = self.scenario.duration_s
+        if duration is not None:
+            if now >= duration:
+                self._finish(rt)
+                return []
+            return [self._spawn(rt, now)]
+        if rt.dispatched >= spec.quota:
+            self._finish(rt)
+            return []
+        return [self._spawn(rt, now)]
 
     # ------------------------------------------------------------------
 

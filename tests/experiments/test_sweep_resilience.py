@@ -1,0 +1,163 @@
+"""Sweep fault tolerance and corrupt-cache recovery.
+
+A sweep must survive its workers: a cell whose simulation raises — or
+whose pool worker dies outright — is retried once serially in the
+parent, and a deterministic failure is *reported* (``None`` placeholder
+plus :func:`last_sweep_failures`) instead of aborting the grid.  The
+persistent result cache must survive its disk: garbage bytes in an
+entry are detected, logged, invalidated and rebuilt transparently.
+"""
+
+import json
+import logging
+import os
+
+import pytest
+
+from repro.experiments import sweep
+from repro.experiments.sweep import (
+    SweepCell,
+    last_sweep_failures,
+    last_sweep_stats,
+    run_sweep,
+)
+
+pytestmark = pytest.mark.experiment
+
+_KEYS = ("MB.", "EF.")
+
+
+def _cell(policy="baseline"):
+    return SweepCell(policy=policy, model_keys=_KEYS, scale=0.1)
+
+
+#: Original cell runner, captured at import so the fault-injecting
+#: wrappers below can delegate to it (they are module-level classes so
+#: they pickle into pool workers).
+_REAL_RUN_CELL = sweep._run_cell
+
+
+class _FailOnce:
+    """Raise on the first call (sentinel file absent), then delegate."""
+
+    def __init__(self, sentinel: str) -> None:
+        self.sentinel = sentinel
+
+    def __call__(self, item):
+        if not os.path.exists(self.sentinel):
+            with open(self.sentinel, "w"):
+                pass
+            raise RuntimeError("injected transient fault")
+        return _REAL_RUN_CELL(item)
+
+
+class _DieOnceInWorker:
+    """Kill the process on the first call, then delegate.
+
+    ``os._exit`` models a worker death (OOM kill, segfault): the pool
+    breaks with ``BrokenProcessPool`` rather than a clean exception.
+    """
+
+    def __init__(self, sentinel: str) -> None:
+        self.sentinel = sentinel
+
+    def __call__(self, item):
+        if not os.path.exists(self.sentinel):
+            with open(self.sentinel, "w"):
+                pass
+            os._exit(1)
+        return _REAL_RUN_CELL(item)
+
+
+class TestSweepFaultTolerance:
+    def test_transient_failure_recovers_via_serial_retry(
+        self, tmp_path, monkeypatch
+    ):
+        sentinel = tmp_path / "raised-once"
+        monkeypatch.setattr(sweep, "_run_cell",
+                            _FailOnce(str(sentinel)))
+        (result,) = run_sweep([_cell()], max_workers=1, use_cache=False)
+        assert result is not None
+        assert result.metrics.num_inferences > 0
+        assert last_sweep_failures() == []
+        assert last_sweep_stats()["failed_cells"] == 0.0
+        assert sentinel.exists()
+
+    def test_deterministic_failure_reported_not_raised(self):
+        cells = [_cell(), _cell("no-such-policy"), _cell("camdn-full")]
+        results = run_sweep(cells, max_workers=1, use_cache=False)
+        assert results[0] is not None
+        assert results[1] is None
+        assert results[2] is not None
+        (failure,) = last_sweep_failures()
+        assert failure["index"] == 1
+        assert failure["policy"] == "no-such-policy"
+        assert "no-such-policy" in str(failure["error"])
+        stats = last_sweep_stats()
+        assert stats["failed_cells"] == 1.0
+        assert stats["cells"] == 2.0
+
+    def test_dead_pool_worker_recovers_via_serial_retry(
+        self, tmp_path, monkeypatch
+    ):
+        """A worker death breaks the pool mid-sweep; every affected cell
+        recovers through the parent's serial retry."""
+        sentinel = tmp_path / "died-once"
+        monkeypatch.setattr(sweep, "_run_cell",
+                            _DieOnceInWorker(str(sentinel)))
+        cells = [_cell(), _cell("moca")]
+        results = run_sweep(cells, max_workers=2, use_cache=False)
+        assert all(r is not None for r in results)
+        assert last_sweep_failures() == []
+        assert last_sweep_stats()["failed_cells"] == 0.0
+
+    def test_successful_sweep_has_no_none_entries(self):
+        results = run_sweep([_cell(), _cell("moca")], max_workers=1,
+                            use_cache=False)
+        assert all(r is not None for r in results)
+        assert last_sweep_failures() == []
+
+
+class TestCorruptSweepCache:
+    @pytest.fixture
+    def sweepcache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path))
+        return tmp_path
+
+    def test_corrupt_entry_resimulates_and_rebuilds(self, sweepcache,
+                                                    caplog):
+        (first,) = run_sweep([_cell()], max_workers=1)
+        (entry,) = sweepcache.glob("*.json")
+        entry.write_text('{"truncated": ')
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.experiments.sweep"):
+            (again,) = run_sweep([_cell()], max_workers=1)
+        assert any("corrupt" in rec.message for rec in caplog.records)
+        assert json.dumps(again.metric_summary(), sort_keys=True) == \
+            json.dumps(first.metric_summary(), sort_keys=True)
+        # The entry was rebuilt into valid JSON and serves again.
+        json.loads(entry.read_text())
+        (served,) = run_sweep([_cell()], max_workers=1)
+        assert last_sweep_stats()["cached_cells"] == 1.0
+        assert json.dumps(served.metric_summary(), sort_keys=True) == \
+            json.dumps(first.metric_summary(), sort_keys=True)
+
+    def test_garbage_bytes_entry_recovers(self, sweepcache):
+        (first,) = run_sweep([_cell()], max_workers=1)
+        (entry,) = sweepcache.glob("*.json")
+        entry.write_bytes(b"\x00\xff garbage not json \x00")
+        (again,) = run_sweep([_cell()], max_workers=1)
+        assert last_sweep_stats()["cached_cells"] == 0.0
+        assert json.dumps(again.metric_summary(), sort_keys=True) == \
+            json.dumps(first.metric_summary(), sort_keys=True)
+
+    def test_valid_json_wrong_shape_recovers(self, sweepcache):
+        """An entry that parses as JSON but is not a serialized result
+        (schema drift, a stray file) is treated as corrupt too."""
+        (first,) = run_sweep([_cell()], max_workers=1)
+        (entry,) = sweepcache.glob("*.json")
+        entry.write_text('{"not": "a result"}')
+        (again,) = run_sweep([_cell()], max_workers=1)
+        assert again is not None
+        assert json.dumps(again.metric_summary(), sort_keys=True) == \
+            json.dumps(first.metric_summary(), sort_keys=True)

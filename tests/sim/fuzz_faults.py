@@ -1,0 +1,104 @@
+"""Hypothesis strategies generating arbitrary valid fault schedules.
+
+The chaos fuzzer's search space: every fault kind (DRAM-bandwidth
+degradation, NPU core outages, ECC page retirement, tenant stalls) at
+arbitrary instants inside a fuzzed scenario's window, including
+overlapping windows of the same kind and outages larger than the SoC
+(the engine clamps).  Bounds keep one generated schedule cheap while
+still reaching the interesting regimes: near-total core outages,
+bandwidth floors, page-retirement bursts.
+
+Shared by ``test_chaos_fuzz.py``; falsifying (scenario, fault) pairs
+are dumped as JSON via :func:`dump_falsifying_fault_case` when
+``REPRO_FUZZ_ARTIFACT_DIR`` is set (the nightly CI uploads them).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from hypothesis import strategies as st
+
+from repro.sim.faults import (
+    CORE_OFFLINE,
+    DRAM_DEGRADE,
+    PAGE_RETIRE,
+    TENANT_STALL,
+    FaultEvent,
+    FaultSpec,
+)
+
+#: Fault instants land inside the fuzzed scenarios' 0.02–0.06 s windows
+#: (plus a tail that may outlive the run — expiry-after-end is valid).
+MAX_FAULT_T_S = 0.08
+
+_instants = st.floats(0.0, MAX_FAULT_T_S)
+_durations = st.floats(0.002, 0.05)
+
+
+def fault_events() -> st.SearchStrategy:
+    """Any valid fault event of any kind."""
+    return st.one_of(
+        st.builds(
+            FaultEvent,
+            kind=st.just(DRAM_DEGRADE),
+            t_s=_instants,
+            duration_s=_durations,
+            bw_factor=st.floats(0.05, 1.0),
+        ),
+        st.builds(
+            FaultEvent,
+            kind=st.just(CORE_OFFLINE),
+            t_s=_instants,
+            duration_s=_durations,
+            cores=st.integers(1, 16),
+        ),
+        st.builds(
+            FaultEvent,
+            kind=st.just(PAGE_RETIRE),
+            t_s=_instants,
+            pages=st.integers(1, 96),
+        ),
+        st.builds(
+            FaultEvent,
+            kind=st.just(TENANT_STALL),
+            t_s=_instants,
+            duration_s=_durations,
+            stream_index=st.one_of(st.none(), st.integers(0, 3)),
+        ),
+    )
+
+
+@st.composite
+def fault_specs(draw) -> FaultSpec:
+    """Any valid fault schedule: 1–6 events, any kind mix, any seed."""
+    num_events = draw(st.integers(1, 6))
+    events = tuple(draw(fault_events()) for _ in range(num_events))
+    return FaultSpec(events=events, seed=draw(st.integers(0, 2**16)))
+
+
+def dump_falsifying_fault_case(scenario, faults: FaultSpec, policy: str,
+                               label: str) -> str:
+    """Dump a falsifying (scenario, fault schedule) pair as JSON.
+
+    Writes ``<label>-<policy>.json`` under ``REPRO_FUZZ_ARTIFACT_DIR``
+    (no-op when unset); returns a short description for the assertion
+    message either way.
+    """
+    payload = {
+        "policy": policy,
+        "scenario": scenario.to_dict(),
+        "faults": faults.to_dict(),
+    }
+    note = (
+        f"policy={policy} faults={json.dumps(faults.to_dict())[:300]} "
+        f"spec={json.dumps(scenario.to_dict())[:300]}"
+    )
+    artifact_dir = os.environ.get("REPRO_FUZZ_ARTIFACT_DIR")
+    if not artifact_dir:
+        return note
+    path = Path(artifact_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    out = path / f"{label}-{policy}.json"
+    out.write_text(json.dumps(payload, indent=1) + "\n")
+    return f"{note} (dumped to {out})"

@@ -95,6 +95,45 @@ class TestLoader:
         result = _run("camdn-full", use_native=False)
         assert result.metrics.num_inferences == 8
 
+    @needs_native
+    def test_corrupt_cached_binary_rebuilds(self, tmp_path):
+        """A truncated/garbage cached .so is invalidated and rebuilt
+        once instead of degrading to the Python path.
+
+        Runs in subprocesses: the recovery path is a *fresh* process
+        finding corrupt bytes on disk — overwriting a shared object
+        that is already dlopen'ed into this process would be undefined
+        behaviour, not the scenario under test.
+        """
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = Path(native.__file__).parents[2]
+        env = dict(os.environ)
+        env["REPRO_NATIVE_CACHE"] = str(tmp_path)
+        env["PYTHONPATH"] = str(src) + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        code = (
+            "from repro.sim import native; "
+            "native.fused_step(); print(native.native_status())"
+        )
+
+        def status():
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                env=env, capture_output=True, text=True, timeout=300,
+            )
+            assert proc.returncode == 0, proc.stderr
+            return proc.stdout.strip()
+
+        assert status().startswith("loaded")
+        (so_path,) = tmp_path.glob("*.so")
+        so_path.write_bytes(b"this is not a shared object")
+        assert status().startswith("loaded")
+        # The cache entry was rebuilt into a loadable binary.
+        assert so_path.read_bytes()[:4] != b"this"
+
 
 @needs_native
 class TestFusedStepBitIdentity:
