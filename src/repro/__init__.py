@@ -53,6 +53,7 @@ from .schedulers import make_scheduler
 from .sim import (
     ArrivalProcess,
     ClosedLoopWorkload,
+    EngineSnapshot,
     EventTrace,
     EventTraceRecorder,
     FaultEvent,
@@ -71,7 +72,7 @@ from .sim import (
     scenario_names,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "KiB",
@@ -106,6 +107,7 @@ __all__ = [
     "simulate_scenario",
     "MultiTenantEngine",
     "SimulationResult",
+    "EngineSnapshot",
     "PreparedModel",
     "PreparedWorkload",
     "prepare_model",

@@ -82,6 +82,15 @@ class CaMDNSystem:
         #: current by admit/retire instead of being re-divided per layer.
         self._share = self.allocator.total_pages
 
+    def __getstate__(self) -> dict:
+        """Pickle support for engine checkpoints: the grant memos are
+        keyed by ``id()``, which is meaningless in another process, so
+        they ship empty and rebuild lazily (grants are pure values)."""
+        state = self.__dict__.copy()
+        state["_granted_memo"] = {}
+        state["_denied_memo"] = {}
+        return state
+
     # ------------------------------------------------------------------
     # Task lifecycle
     # ------------------------------------------------------------------

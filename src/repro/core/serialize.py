@@ -149,11 +149,21 @@ def mapping_file_from_dict(data: dict) -> ModelMappingFile:
 
 def save_mapping_file(mapping_file: ModelMappingFile,
                       path: Union[str, Path]) -> Path:
-    """Write a mapping file as JSON; returns the path written."""
+    """Write a mapping file as JSON; returns the path written.
+
+    The write is atomic and durable (temp file + fsync + rename): a
+    writer killed at any instant leaves either the previous content or
+    the complete new content, never a torn file.
+    """
     path = Path(path)
-    path.write_text(
-        json.dumps(mapping_file_to_dict(mapping_file), indent=1)
-    )
+    text = json.dumps(mapping_file_to_dict(mapping_file), indent=1)
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    try:
+        _write_text_durable(tmp, text)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     return path
 
 
@@ -275,16 +285,28 @@ def resolve_cache_dir(env_var: str, subdir: str) -> Optional[Path]:
     return root / "camdn-repro" / subdir
 
 
+def _write_text_durable(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` and fsync it (data on disk before the
+    caller publishes the file with a rename)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
 def atomic_write_text(path: Path, text: str) -> None:
-    """Best-effort atomic file write (tmp + rename); never raises OSError.
+    """Best-effort atomic durable write (tmp + fsync + rename); never
+    raises OSError.
 
     Persistent caches are optimizations — a failed write must not fail
-    the computation that produced the value.
+    the computation that produced the value.  The fsync-before-rename
+    ordering means a crash at any instant leaves either the old entry or
+    the complete new one, never a torn file.
     """
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(text)
+        _write_text_durable(tmp, text)
         os.replace(tmp, path)
     except OSError:
         pass

@@ -39,3 +39,7 @@ class WorkloadError(ReproError):
 
 class ModelGraphError(ReproError):
     """A DNN model graph is malformed (dangling tensor, bad shape, ...)."""
+
+
+class SnapshotError(ReproError):
+    """An engine snapshot is unreadable, corrupt, or version-mismatched."""

@@ -78,6 +78,11 @@ def run_scenario(
     kernel_backend: Optional[str] = None,
     capture_trace: bool = False,
     faults: Union[FaultSpec, str, None] = None,
+    max_events: Optional[int] = None,
+    max_wall_s: Optional[float] = None,
+    checkpoint_every_s: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
+    snapshot_at_events: Optional[int] = None,
     **policy_kwargs,
 ) -> SimulationResult:
     """Simulate one scenario under one policy (the single entry point).
@@ -104,6 +109,16 @@ def run_scenario(
             name of a registered fault schedule) injecting hardware and
             tenant faults into the run.  ``None`` or an empty spec is
             byte-identical to a fault-free run.
+        max_events: engine watchdog event budget (see
+            :meth:`~repro.sim.engine.MultiTenantEngine.run`).
+        max_wall_s: engine watchdog wall-clock budget in seconds; the
+            campaign runner's per-cell ``deadline_s`` rides this.
+        checkpoint_every_s: write a rolling on-disk engine checkpoint at
+            this wall-clock cadence (requires ``checkpoint_dir``).
+        checkpoint_dir: directory for the rolling checkpoint.
+        snapshot_at_events: capture one in-memory engine snapshot at the
+            first batch boundary past this event count; it is attached
+            to ``result.last_snapshot`` (test hook).
         **policy_kwargs: forwarded to the scheduler constructor when
             ``policy`` is a name.
 
@@ -139,7 +154,13 @@ def run_scenario(
                                kernel_backend=kernel_backend,
                                event_recorder=recorder,
                                faults=faults)
-    result = engine.run()
+    result = engine.run(
+        max_events=max_events,
+        max_wall_s=max_wall_s,
+        checkpoint_every_s=checkpoint_every_s,
+        checkpoint_dir=checkpoint_dir,
+        snapshot_at_events=snapshot_at_events,
+    )
     if recorder is not None:
         result.event_trace = recorder.finish(spec, policy_name)
     return result

@@ -9,6 +9,23 @@ Usage::
     python -m repro.experiments.runner --scenario steady-quad \\
         --faults degraded-soc --capture-trace faulted.trace.json
     python -m repro.experiments.runner --replay-trace run.trace.json
+    python -m repro.experiments.runner --campaign run.journal \\
+        --campaign-scenarios poisson-eight,churn-eight --deadline-s 120
+    python -m repro.experiments.runner --resume run.journal
+
+``--campaign FILE`` runs a scenario × policy cell grid under a
+crash-safe write-ahead journal (see
+:class:`~repro.experiments.sweep.CampaignJournal`): every cell start and
+completion is fsync'd to the journal and each result commits atomically,
+so a campaign killed at any instant — SIGKILL included — restarts with
+``--resume FILE``, skipping completed cells and re-running in-flight
+ones, and produces a result grid byte-identical to an uninterrupted run.
+``--deadline-s`` arms a per-cell wall-clock watchdog (a hung cell is
+killed and retried with jittered backoff).
+
+The runner exits nonzero when any sweep or campaign cell fails after
+retries; ``--keep-going`` restores the old always-zero behaviour for
+pipelines that prefer to inspect the printed failure report instead.
 
 ``--jobs`` fans the experiment's independent simulation cells out over a
 process pool (see :mod:`repro.experiments.sweep`); the default picks one
@@ -194,6 +211,71 @@ def _run_replay(trace_path: str, policy: Optional[str]) -> int:
     return 0
 
 
+#: All scheduler policies a default campaign grid covers.
+CAMPAIGN_POLICIES = ("baseline", "moca", "aurora", "camdn-hw",
+                     "camdn-full")
+
+
+def _run_campaign_cli(journal_path: str, resume: bool,
+                      scenarios: Optional[str], policies: Optional[str],
+                      faults: Optional[str], scale: float,
+                      jobs: Optional[int], use_cache: bool,
+                      deadline_s: Optional[float]) -> int:
+    """Run (or resume) a journaled scenario × policy campaign.
+
+    Prints one JSON line per cell — ``{"cell", "policy", "summary"}``
+    in cell order — so two campaign invocations compare byte-for-byte,
+    then the engine stats footer.  Returns 1 when any cell failed after
+    retries (``--keep-going`` downgrades that in :func:`main`).
+    """
+    import json
+
+    from ..sim.faults import get_fault_schedule
+    from ..sim.scenario import get_scenario, scenario_names
+    from .sweep import SweepCell, resume_campaign, run_campaign
+
+    reset_sweep_stats()
+    if resume:
+        results = resume_campaign(journal_path, max_workers=jobs,
+                                  use_cache=use_cache,
+                                  deadline_s=deadline_s)
+        from .sweep import CampaignJournal
+
+        cells, _soc, _done, _failed, _started = \
+            CampaignJournal(journal_path).read()
+    else:
+        scenario_list = (
+            scenarios.split(",") if scenarios else scenario_names()
+        )
+        policy_list = (
+            policies.split(",") if policies else list(CAMPAIGN_POLICIES)
+        )
+        fault_spec = (
+            get_fault_schedule(faults) if faults is not None else None
+        )
+        cells = [
+            SweepCell.from_scenario(policy, get_scenario(name),
+                                    scale=scale, faults=fault_spec)
+            for name in scenario_list
+            for policy in policy_list
+        ]
+        results = run_campaign(cells, journal_path, max_workers=jobs,
+                               use_cache=use_cache,
+                               deadline_s=deadline_s)
+    for i, result in enumerate(results):
+        print(json.dumps({
+            "cell": i,
+            "policy": cells[i].policy,
+            "summary": (
+                result.metric_summary() if result is not None else None
+            ),
+        }, sort_keys=True))
+    stats_line = _engine_stats_line()
+    if stats_line:
+        print(stats_line)
+    return 1 if last_sweep_failures() else 0
+
+
 def _engine_stats_line() -> str:
     """Observability footer from the last sweep (empty if no sweep ran)."""
     stats = last_sweep_stats()
@@ -271,6 +353,47 @@ def main(argv=None) -> int:
         help="re-run a captured event trace as a replay scenario",
     )
     parser.add_argument(
+        "--campaign",
+        metavar="FILE",
+        default=None,
+        help="run a scenario x policy grid under a crash-safe "
+             "write-ahead journal at FILE",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help="resume a crashed campaign from its journal, skipping "
+             "completed cells",
+    )
+    parser.add_argument(
+        "--campaign-scenarios",
+        metavar="LIST",
+        default=None,
+        help="comma-separated scenario names for --campaign "
+             "(default: every registered scenario)",
+    )
+    parser.add_argument(
+        "--campaign-policies",
+        metavar="LIST",
+        default=None,
+        help="comma-separated policy names for --campaign "
+             "(default: all five)",
+    )
+    parser.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="per-cell wall-clock watchdog for --campaign/--resume; "
+             "a cell exceeding it is killed and retried",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="exit 0 even when cells failed after retries "
+             "(default: nonzero exit on any failed cell)",
+    )
+    parser.add_argument(
         "--scale",
         type=float,
         default=1.0,
@@ -304,6 +427,22 @@ def main(argv=None) -> int:
         return 0
     if args.replay_trace is not None:
         return _run_replay(args.replay_trace, args.policy)
+    if args.campaign is not None or args.resume is not None:
+        if args.campaign is not None and args.resume is not None:
+            parser.error("--campaign and --resume are mutually "
+                         "exclusive")
+        code = _run_campaign_cli(
+            args.campaign or args.resume,
+            resume=args.resume is not None,
+            scenarios=args.campaign_scenarios,
+            policies=args.campaign_policies,
+            faults=args.faults,
+            scale=args.scale,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            deadline_s=args.deadline_s,
+        )
+        return 0 if args.keep_going else code
     if args.scenario is not None:
         if args.capture_trace is None:
             parser.error("--scenario requires --capture-trace FILE")
@@ -314,10 +453,11 @@ def main(argv=None) -> int:
     if args.capture_trace is not None:
         parser.error("--capture-trace requires --scenario NAME")
     if args.faults is not None:
-        parser.error("--faults requires --scenario NAME")
+        parser.error("--faults requires --scenario NAME or --campaign")
     if args.experiment is None:
         parser.error("an experiment name (or --list-scenarios, "
-                     "--scenario, --replay-trace) is required")
+                     "--scenario, --replay-trace, --campaign) is "
+                     "required")
 
     profiler = None
     jobs = args.jobs
@@ -331,6 +471,7 @@ def main(argv=None) -> int:
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
+    any_failed = False
     for name in names:
         start = time.time()
         reset_sweep_stats()
@@ -343,6 +484,8 @@ def main(argv=None) -> int:
         stats_line = _engine_stats_line()
         if stats_line:
             print(stats_line)
+        if last_sweep_failures():
+            any_failed = True
         print(f"  [{name} regenerated in {time.time() - start:.1f}s]")
         print()
     if profiler is not None:
@@ -354,6 +497,10 @@ def main(argv=None) -> int:
         print(f"profile written to {args.profile} "
               f"(load with `python -m pstats {args.profile}`); top 10:")
         top.print_stats(10)
+    # A cell that failed after retries is a failed run: exit nonzero so
+    # CI pipelines notice (--keep-going opts back into exit 0).
+    if any_failed and not args.keep_going:
+        return 1
     return 0
 
 

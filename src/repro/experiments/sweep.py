@@ -43,8 +43,9 @@ import json
 import logging
 import math
 import os
+import random
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -53,12 +54,16 @@ from .. import __version__
 from ..config import SoCConfig
 from ..core.mapper.solver import SubspaceSolver
 from ..core.serialize import (
+    _write_text_durable,
     atomic_write_text,
+    fault_spec_from_dict,
     fault_spec_to_dict,
     resolve_cache_dir,
+    scenario_spec_from_dict,
     scenario_spec_to_dict,
     simulation_result_from_dict,
     simulation_result_to_dict,
+    soc_config_from_dict,
     soc_config_to_dict,
     source_content_salt,
     stable_content_hash,
@@ -328,14 +333,18 @@ def _run_cell(args: tuple) -> SimulationResult:
 
     The cell's scenario is resolved from the spec alone (seeded arrival
     randomness included), so a cell simulates identically in-process or
-    on any pool worker.
+    on any pool worker.  ``deadline_s`` arms the engine's wall-clock
+    watchdog: a cell that hangs is killed by a diagnostic
+    :class:`~repro.errors.SimulationError` instead of stalling the
+    sweep (the campaign runner retries it with backoff).
     """
-    cell, soc = args
+    cell, soc, deadline_s = args
     if cell.cache_bytes is not None:
         soc = soc.with_cache_bytes(cell.cache_bytes)
     return run_scenario(
         cell.resolve_scenario(), soc, cell.policy,
         qos_mode=cell.qos_mode, faults=cell.resolve_faults(),
+        max_wall_s=deadline_s,
     )
 
 
@@ -401,7 +410,7 @@ def run_sweep(
     misses = [i for i, r in enumerate(results) if r is None]
     _LAST_FAILURES.clear()
     if misses:
-        work = [(cells[i], soc) for i in misses]
+        work = [(cells[i], soc, None) for i in misses]
         if max_workers is None:
             max_workers = min(len(work), os.cpu_count() or 1)
         fresh: List[Optional[SimulationResult]]
@@ -467,6 +476,378 @@ def run_sweep(
     _LAST_STATS.update({
         "cells": len(final),
         "cached_cells": len(cells) - len(misses),
+        "events": sum(r.events_processed for r in final),
+        "sim_wall_s": fresh_wall,
+        "events_per_s":
+            fresh_events / fresh_wall if fresh_wall > 0 else 0.0,
+        "failed_cells": float(len(_LAST_FAILURES)),
+    })
+    return results
+
+
+# ----------------------------------------------------------------------
+# Crash-safe campaign runner (write-ahead journal + resume)
+# ----------------------------------------------------------------------
+
+#: Journal format version; bump on any record-shape change.
+CAMPAIGN_SCHEMA_VERSION = 1
+
+#: Cap on serial retry attempts per cell after its first failure.
+DEFAULT_CELL_RETRIES = 1
+
+
+def _retry_backoff_s(index: int, attempt: int) -> float:
+    """Jittered, deterministic backoff before retrying one cell.
+
+    Seeded by (cell, attempt) so concurrent campaigns de-synchronize
+    their retries without making any run irreproducible.
+    """
+    rng = random.Random(f"retry:{index}:{attempt}")
+    return RETRY_BACKOFF_S * attempt * rng.uniform(0.5, 1.5)
+
+
+def _cell_to_journal(cell: SweepCell) -> dict:
+    data = cell.to_dict()
+    data["scenario"] = (
+        scenario_spec_to_dict(cell.scenario)
+        if cell.scenario is not None else None
+    )
+    return data
+
+
+def _cell_from_journal(data: dict) -> SweepCell:
+    scenario = data.get("scenario")
+    faults = data.get("faults")
+    return SweepCell(
+        policy=data["policy"],
+        model_keys=tuple(data["model_keys"]),
+        qos_scale=data["qos_scale"],
+        qos_mode=data["qos_mode"],
+        scale=data["scale"],
+        cache_bytes=data["cache_bytes"],
+        seed=data["seed"],
+        scenario=(
+            scenario_spec_from_dict(scenario)
+            if scenario is not None else None
+        ),
+        faults=(
+            fault_spec_from_dict(faults) if faults is not None else None
+        ),
+    )
+
+
+class CampaignJournal:
+    """Append-only, fsync'd write-ahead journal of one sweep campaign.
+
+    The journal is a JSONL file.  The first record is the header — the
+    full cell grid and SoC, so a resume needs nothing but the journal.
+    Every later record is one of:
+
+    * ``start`` — appended (and fsync'd) *before* a cell attempt runs;
+    * ``done`` — appended *after* the cell's result file is durably
+      committed to the ``<stem>.cells/`` sidecar directory (write
+      temp + fsync + atomic rename), so a ``done`` record always points
+      at a complete result;
+    * ``failed`` — the cell exhausted its retries.
+
+    Crash consistency: records are append-only and individually fsync'd,
+    so a SIGKILL at any instant leaves a valid record prefix plus at
+    most one torn final line, which :meth:`read` tolerates.  A cell with
+    a ``start`` but no ``done`` was in flight at the crash and is simply
+    re-run on resume — cells are deterministic, so the merged grid is
+    byte-identical to an uninterrupted campaign.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    @property
+    def result_dir(self) -> Path:
+        """Sidecar directory holding per-cell committed results."""
+        return self.path.with_name(self.path.stem + ".cells")
+
+    def _append(self, record: dict) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    @classmethod
+    def create(cls, path, cells: Sequence[SweepCell],
+               soc: SoCConfig) -> "CampaignJournal":
+        """Start a new journal (refusing to clobber an existing one)."""
+        journal = cls(path)
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        if journal.path.exists():
+            raise WorkloadError(
+                f"campaign journal {journal.path} already exists; "
+                f"resume it (--resume) or remove it first"
+            )
+        journal._append({
+            "kind": "header",
+            "campaign_schema_version": CAMPAIGN_SCHEMA_VERSION,
+            "repro_version": __version__,
+            "soc": soc_config_to_dict(soc),
+            "cells": [_cell_to_journal(cell) for cell in cells],
+        })
+        return journal
+
+    def record_start(self, index: int, attempt: int) -> None:
+        self._append({"kind": "start", "index": index,
+                      "attempt": attempt})
+
+    def record_done(self, index: int, result: SimulationResult) -> None:
+        # Write-ahead ordering: the result is durable on disk before the
+        # journal record that marks the cell complete.
+        self.result_dir.mkdir(parents=True, exist_ok=True)
+        path = self.result_dir / f"{index}.json"
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            _write_text_durable(
+                tmp,
+                json.dumps(simulation_result_to_dict(result),
+                           sort_keys=True),
+            )
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        self._append({"kind": "done", "index": index})
+
+    def record_failed(self, index: int, error: str) -> None:
+        self._append({"kind": "failed", "index": index, "error": error})
+
+    def load_result(self, index: int) -> Optional[SimulationResult]:
+        """The committed result of one cell, or ``None``."""
+        return _load_cached(self.result_dir / f"{index}.json")
+
+    def read(self) -> tuple:
+        """Parse the journal: ``(cells, soc, done, failed, started)``.
+
+        ``done`` maps cell index to its reloaded result; ``failed`` maps
+        index to the last error string; ``started`` is every index with
+        at least one attempt on record.  A torn final line (crash
+        mid-append) ends the readable prefix and is ignored.
+
+        Raises:
+            WorkloadError: the file is unreadable, not a campaign
+                journal, or an unsupported schema version.
+        """
+        try:
+            raw = self.path.read_text(encoding="utf-8",
+                                      errors="replace")
+        except OSError as exc:
+            raise WorkloadError(
+                f"cannot read campaign journal {self.path}: {exc}"
+            ) from exc
+        records = []
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                # Append-only file: everything before the torn tail is
+                # intact; the interrupted attempt simply re-runs.
+                break
+        if not records or not isinstance(records[0], dict) \
+                or records[0].get("kind") != "header":
+            raise WorkloadError(
+                f"{self.path} is not a campaign journal"
+            )
+        header = records[0]
+        version = header.get("campaign_schema_version")
+        if version != CAMPAIGN_SCHEMA_VERSION:
+            raise WorkloadError(
+                f"unsupported campaign journal schema {version!r} "
+                f"(expected {CAMPAIGN_SCHEMA_VERSION})"
+            )
+        cells = [_cell_from_journal(d) for d in header["cells"]]
+        soc = soc_config_from_dict(header["soc"])
+        done: Dict[int, SimulationResult] = {}
+        failed: Dict[int, str] = {}
+        started = set()
+        for rec in records[1:]:
+            kind = rec.get("kind")
+            index = rec.get("index")
+            if not isinstance(index, int) or not 0 <= index < len(cells):
+                continue
+            if kind == "start":
+                started.add(index)
+                failed.pop(index, None)
+            elif kind == "done":
+                result = self.load_result(index)
+                if result is not None:
+                    done[index] = result
+            elif kind == "failed":
+                failed[index] = str(rec.get("error", ""))
+        return cells, soc, done, failed, started
+
+
+def run_campaign(
+    cells: Sequence[SweepCell],
+    journal_path,
+    soc: Optional[SoCConfig] = None,
+    max_workers: Optional[int] = None,
+    use_cache: bool = True,
+    deadline_s: Optional[float] = None,
+    retries: int = DEFAULT_CELL_RETRIES,
+) -> List[Optional[SimulationResult]]:
+    """Run a cell grid under a crash-safe write-ahead journal.
+
+    Semantically :func:`run_sweep` plus durability: every cell start and
+    completion is journaled (see :class:`CampaignJournal`), each result
+    is committed atomically as it lands, and a campaign killed at any
+    instant resumes from the journal with :func:`resume_campaign`,
+    skipping completed cells and re-running in-flight ones — producing a
+    result grid byte-identical to an uninterrupted campaign.
+
+    Args:
+        cells: the grid points to simulate.
+        journal_path: where to write the journal (must not exist yet);
+            results commit to the ``<stem>.cells/`` sidecar directory.
+        soc: base hardware configuration (defaults to paper Table II).
+        max_workers: process count (as :func:`run_sweep`).
+        use_cache: consult/populate the persistent cell cache; hits are
+            journaled like computed results.
+        deadline_s: per-cell wall-clock watchdog — a cell exceeding it
+            is killed (diagnostic engine error) and retried with
+            jittered backoff like any other failure.
+        retries: serial retry attempts per failed cell.
+    """
+    soc = soc or SoCConfig()
+    cells = list(cells)
+    journal = CampaignJournal.create(journal_path, cells, soc)
+    return _drive_campaign(journal, cells, soc, {}, max_workers,
+                           use_cache, deadline_s, retries)
+
+
+def resume_campaign(
+    journal_path,
+    max_workers: Optional[int] = None,
+    use_cache: bool = True,
+    deadline_s: Optional[float] = None,
+    retries: int = DEFAULT_CELL_RETRIES,
+) -> List[Optional[SimulationResult]]:
+    """Resume a crashed (or previously failed) campaign from its journal.
+
+    Completed cells are served from their committed result files;
+    in-flight and failed cells re-run.  Cells are deterministic, so the
+    merged grid is byte-identical to an uninterrupted campaign.
+
+    Raises:
+        WorkloadError: ``journal_path`` is not a readable campaign
+            journal.
+    """
+    journal = CampaignJournal(journal_path)
+    cells, soc, done, _failed, _started = journal.read()
+    return _drive_campaign(journal, cells, soc, done, max_workers,
+                           use_cache, deadline_s, retries)
+
+
+def _drive_campaign(
+    journal: CampaignJournal,
+    cells: List[SweepCell],
+    soc: SoCConfig,
+    done: Dict[int, SimulationResult],
+    max_workers: Optional[int],
+    use_cache: bool,
+    deadline_s: Optional[float],
+    retries: int,
+) -> List[Optional[SimulationResult]]:
+    results: List[Optional[SimulationResult]] = [
+        done.get(i) for i in range(len(cells))
+    ]
+    recovered = sum(1 for r in results if r is not None)
+
+    cache_path = default_cache_dir() if use_cache else None
+    keys: List[Optional[str]] = [None] * len(cells)
+    if cache_path is not None:
+        for i, cell in enumerate(cells):
+            if results[i] is not None:
+                continue
+            keys[i] = cell_cache_key(cell, soc)
+            cached = _load_cached(cache_path / f"{keys[i]}.json")
+            if cached is not None:
+                journal.record_start(i, 0)
+                journal.record_done(i, cached)
+                results[i] = cached
+
+    pending = [i for i, r in enumerate(results) if r is None]
+    _LAST_FAILURES.clear()
+    if pending:
+        work = {i: (cells[i], soc, deadline_s) for i in pending}
+
+        def settle(i: int, result, error) -> None:
+            # Commit (or retry) one cell the moment its attempt ends —
+            # a crash loses at most the cells literally in flight.
+            for attempt in range(1, retries + 1):
+                if result is not None:
+                    break
+                _LOG.warning(
+                    "campaign cell %d (%s) failed: %s; retry %d/%d",
+                    i, cells[i].policy, error, attempt, retries,
+                )
+                time.sleep(_retry_backoff_s(i, attempt))
+                journal.record_start(i, attempt)
+                result, error = _attempt_cell(work[i])
+            if result is not None:
+                journal.record_done(i, result)
+                results[i] = result
+                if cache_path is not None and keys[i] is not None:
+                    _store_cached(cache_path / f"{keys[i]}.json",
+                                  result)
+            else:
+                journal.record_failed(i, error)
+                _LAST_FAILURES.append({
+                    "index": i,
+                    "policy": cells[i].policy,
+                    "error": error,
+                })
+
+        workers = max_workers
+        if workers is None:
+            workers = min(len(pending), os.cpu_count() or 1)
+        if workers <= 1 or len(pending) <= 1:
+            for i in pending:
+                journal.record_start(i, 0)
+                result, error = _attempt_cell(work[i])
+                settle(i, result, error)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_warm_worker,
+                initargs=(SubspaceSolver.export_solve_memo(),),
+            ) as pool:
+                futures = {}
+                for i in pending:
+                    # The start record hits the disk before the attempt
+                    # is submitted: a crash during the cell leaves it
+                    # visibly in flight, so resume re-runs it.
+                    journal.record_start(i, 0)
+                    futures[pool.submit(_run_cell, work[i])] = i
+                for future in as_completed(futures):
+                    i = futures[future]
+                    try:
+                        result, error = future.result(), None
+                    except Exception as exc:
+                        result, error = (
+                            None, f"{type(exc).__name__}: {exc}"
+                        )
+                    settle(i, result, error)
+        # Completion order is nondeterministic under a pool; report
+        # failures in cell order.
+        _LAST_FAILURES.sort(key=lambda f: f["index"])
+
+    final = [r for r in results if r is not None]
+    fresh = [results[i] for i in pending if results[i] is not None]
+    fresh_wall = sum(r.wall_time_s for r in fresh)
+    fresh_events = sum(r.events_processed for r in fresh)
+    _LAST_STATS.clear()
+    _LAST_STATS.update({
+        "cells": len(final),
+        "cached_cells": len(cells) - len(pending) - recovered,
+        "recovered_cells": float(recovered),
         "events": sum(r.events_processed for r in final),
         "sim_wall_s": fresh_wall,
         "events_per_s":

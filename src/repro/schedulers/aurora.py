@@ -45,6 +45,21 @@ class AuRORAScheduler(MoCAScheduler):
 
     # ------------------------------------------------------------------
 
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state.update(
+            slack_bw_policy=self._bw_policy,
+            allow_multi_core=self.allow_multi_core,
+        )
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._bw_policy = state["slack_bw_policy"]
+        self.allow_multi_core = state["allow_multi_core"]
+
+    # ------------------------------------------------------------------
+
     def cores_for(self, instance: TaskInstance, free_cores: int) -> int:
         if not self.allow_multi_core or free_cores < 2:
             return 1

@@ -78,6 +78,28 @@ class SchedulerPolicy(abc.ABC):
         self.systolic = SystolicModel(soc.npu)
         self._prepared = {}
 
+    def snapshot_state(self) -> dict:
+        """Picklable mid-run state for engine checkpoints.
+
+        Subclasses extend the returned dict with every piece of state a
+        resumed run needs to continue byte-identically.  Pure memos
+        (prepared models, layer-work caches) are excluded by contract —
+        they rebuild lazily with identical values.  The blob is pickled
+        as part of one engine-wide payload, so object identities shared
+        with engine state (task instances, scheduler contexts) survive
+        the round trip.
+        """
+        return {"rate_epoch": self.rate_epoch}
+
+    def restore_state(self, state: dict) -> None:
+        """Install :meth:`snapshot_state` output after :meth:`attach`.
+
+        The call order is fixed: construct the policy, ``attach`` it to
+        the snapshot's SoC (rebuilding the pure run-scoped helpers),
+        then ``restore_state`` to overwrite the mutable run state.
+        """
+        self.rate_epoch = state["rate_epoch"]
+
     def prepared_for(self, graph: ModelGraph) -> PreparedModel:
         """The graph's prepared artifacts on the attached SoC.
 

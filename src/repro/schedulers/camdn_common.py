@@ -98,6 +98,60 @@ class CaMDNSchedulerBase(SchedulerPolicy):
         )
 
     # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """The whole :class:`CaMDNSystem` (allocator SoA arrays, regions,
+        CPT, page reverse maps, task contexts) rides the payload by
+        reference — the ``_ctx`` tuples are the very objects pinned on
+        the instances' ``sched_ctx``, and one shared pickle keeps those
+        identities.  The id-keyed work cache and the per-n share
+        constants are pure memos and stay behind."""
+        state = super().snapshot_state()
+        state.update(
+            qos_mode=self.qos_mode,
+            bw_policy=self._bw_policy,
+            demand_policy=self._demand_policy,
+            usage_levels=self.usage_levels,
+            lbm_occupancy_fraction=self.lbm_occupancy_fraction,
+            system=self.system,
+            timeouts=self._timeouts,
+            lbm_layers=self._lbm_layers,
+            tenant_admits=self._tenant_admits,
+            tenant_retires=self._tenant_retires,
+            pages_retired=self._pages_retired,
+        )
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.qos_mode = state["qos_mode"]
+        self._bw_policy = state["bw_policy"]
+        self._demand_policy = state["demand_policy"]
+        self.usage_levels = state["usage_levels"]
+        self.lbm_occupancy_fraction = state["lbm_occupancy_fraction"]
+        self.system = state["system"]
+        self._timeouts = state["timeouts"]
+        self._lbm_layers = state["lbm_layers"]
+        self._tenant_admits = state["tenant_admits"]
+        self._tenant_retires = state["tenant_retires"]
+        self._pages_retired = state["pages_retired"]
+        # id()-keyed memos never survive a process change; rebuilt
+        # lazily with identical pure values.
+        self._work_cache = {}
+        self._share_consts = {}
+        # Re-bind the hot-path methods to the restored system (attach()
+        # bound them to the fresh one it built, now discarded).
+        self._alloc_end = self.system.allocator.end_layer_prepared
+        self._alloc_select = self.system.allocator.select_prepared
+        self._sys_try = self.system._try_grant
+        self._sys_hw = (
+            self.system._hw_only_decision
+            if self.system._hw_only else None
+        )
+
+    # ------------------------------------------------------------------
     # Core allocation (AuRORA-compatible in QoS mode)
     # ------------------------------------------------------------------
 

@@ -71,6 +71,23 @@ class MoCAScheduler(SharedCacheBaseline):
         stats["deadline_tenants"] = float(self._deadline_tenants)
         return stats
 
+    def snapshot_state(self) -> dict:
+        # _policy carries constructor config (the floor), which a
+        # default-constructed scheduler would not know — ship it too.
+        state = super().snapshot_state()
+        state.update(
+            bw_floor_policy=self._policy,
+            finite_qos_active=self._finite_qos_active,
+            deadline_tenants=self._deadline_tenants,
+        )
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._policy = state["bw_floor_policy"]
+        self._finite_qos_active = state["finite_qos_active"]
+        self._deadline_tenants = state["deadline_tenants"]
+
     def on_task_start(self, instance: TaskInstance, now: float) -> None:
         super().on_task_start(instance, now)
         if not math.isinf(instance.qos_target_s):

@@ -88,6 +88,26 @@ class SharedCacheBaseline(SchedulerPolicy):
             "tenant_retires": float(self._tenant_retires),
         }
 
+    def snapshot_state(self) -> dict:
+        # _cache_model and _work_memo are pure (capacity constant /
+        # value memo) and rebuilt by attach(); only the tenant and
+        # running-set bookkeeping is genuine run state.
+        state = super().snapshot_state()
+        state.update(
+            active_ids=self._active_ids,
+            tenants=self._tenants,
+            tenant_admits=self._tenant_admits,
+            tenant_retires=self._tenant_retires,
+        )
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._active_ids = state["active_ids"]
+        self._tenants = state["tenants"]
+        self._tenant_admits = state["tenant_admits"]
+        self._tenant_retires = state["tenant_retires"]
+
     # ------------------------------------------------------------------
 
     def _model_segments(self, graph: ModelGraph

@@ -32,6 +32,7 @@ from .workload import (
     WorkloadSpec,
     random_model_mix,
 )
+from .snapshot import SNAPSHOT_SCHEMA_VERSION, EngineSnapshot
 from .metrics import InstanceRecord, MetricsCollector, ModelSummary
 from .qos import QoSReport, fairness, sla_rate, system_throughput
 
@@ -63,6 +64,8 @@ __all__ = [
     "ScenarioWorkload",
     "WorkloadSpec",
     "random_model_mix",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "EngineSnapshot",
     "InstanceRecord",
     "MetricsCollector",
     "ModelSummary",

@@ -129,6 +129,11 @@ class SimulationResult:
     event_trace: Optional["EventTrace"] = field(
         default=None, repr=False, compare=False
     )
+    #: Snapshot captured by ``run(snapshot_at_events=...)`` (None
+    #: otherwise); excluded from serialization like ``event_trace``.
+    last_snapshot: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def events_per_s(self) -> float:
@@ -276,6 +281,20 @@ class MultiTenantEngine:
             os.environ.get("REPRO_MAX_EVENTS", _MAX_EVENTS)
         )
         self._deadline: Optional[float] = None
+        # Checkpoint wiring (see run(checkpoint_every_s=...) and
+        # sim/snapshot.py).  A run without checkpoints keeps the hook at
+        # None, which costs the outer event loop one identity test per
+        # iteration — checkpoint-free runs stay byte-identical.
+        self._checkpoint_hook = None
+        self._checkpoint_every_s: Optional[float] = None
+        self._checkpoint_dir: Optional[str] = None
+        self._checkpoint_next = 0.0
+        self._snapshot_at_events: Optional[int] = None
+        #: In-memory snapshot captured by the ``snapshot_at_events``
+        #: test hook (None until the threshold is crossed).
+        self.last_snapshot = None
+        #: Number of on-disk checkpoints written by this run.
+        self.checkpoints_written = 0
         # WAITING_PAGES instances, insertion-ordered (grant-retry order is
         # observable policy state, so iteration order must be stable).
         self._waiting_set: Dict[str, TaskInstance] = {}
@@ -288,7 +307,11 @@ class MultiTenantEngine:
     # ------------------------------------------------------------------
 
     def run(self, max_events: Optional[int] = None,
-            max_wall_s: Optional[float] = None) -> SimulationResult:
+            max_wall_s: Optional[float] = None,
+            checkpoint_every_s: Optional[float] = None,
+            checkpoint_dir: Optional[str] = None,
+            snapshot_at_events: Optional[int] = None,
+            ) -> SimulationResult:
         """Execute the scenario to completion.
 
         Args:
@@ -296,6 +319,19 @@ class MultiTenantEngine:
                 ``REPRO_MAX_EVENTS`` or the module runaway cap).
             max_wall_s: watchdog wall-clock budget in seconds (no limit
                 when ``None``).
+            checkpoint_every_s: write a rolling on-disk checkpoint
+                (``checkpoint.json`` under ``checkpoint_dir``) whenever
+                this much wall-clock time has passed since the last one.
+                Checkpoints land only at batch boundaries, so each one
+                resumes byte-identically.
+            checkpoint_dir: directory for the rolling checkpoint
+                (required with ``checkpoint_every_s``; created if
+                missing).
+            snapshot_at_events: capture one in-memory
+                :class:`~repro.sim.snapshot.EngineSnapshot` into
+                :attr:`last_snapshot` at the first batch boundary with
+                at least this many events processed (test hook for the
+                round-trip grid and the fuzzers).
 
         Exceeding either budget raises a diagnostic
         :class:`~repro.errors.SimulationError` whose ``snapshot``
@@ -303,14 +339,50 @@ class MultiTenantEngine:
         fails fast with enough context to reproduce it.
         """
         start = time.perf_counter()
-        if max_events is not None:
-            self._max_events = int(max_events)
-        if max_wall_s is not None:
-            self._deadline = start + float(max_wall_s)
+        self._apply_budgets(max_events, max_wall_s, start)
+        self._setup_checkpoints(checkpoint_every_s, checkpoint_dir,
+                                snapshot_at_events, start)
         self.scheduler.attach(self.soc)
         self._dynamic_rates = self.scheduler.dynamic_rates
         self._resolve_rate_mode()
         self._process_timeline(initial=True)
+        return self._finish_run(start)
+
+    def resume_run(self, max_events: Optional[int] = None,
+                   max_wall_s: Optional[float] = None,
+                   checkpoint_every_s: Optional[float] = None,
+                   checkpoint_dir: Optional[str] = None,
+                   snapshot_at_events: Optional[int] = None,
+                   ) -> SimulationResult:
+        """Drive a snapshot-restored engine to completion.
+
+        Same arguments and result as :meth:`run`, but without the
+        scheduler re-attach and initial timeline processing — those
+        already happened in the original run and their effects live in
+        the restored state.  Only valid on an engine produced by
+        :meth:`EngineSnapshot.resume`/:meth:`resume`.
+
+        The returned result counts events and wall time from the resume
+        point onward for the wall-clock keys, while every simulated
+        metric (``metric_summary()``) is byte-identical to the
+        uninterrupted run.
+        """
+        start = time.perf_counter()
+        self._apply_budgets(max_events, max_wall_s, start)
+        self._setup_checkpoints(checkpoint_every_s, checkpoint_dir,
+                                snapshot_at_events, start)
+        self._resolve_rate_mode()
+        return self._finish_run(start)
+
+    def _apply_budgets(self, max_events: Optional[int],
+                       max_wall_s: Optional[float],
+                       start: float) -> None:
+        if max_events is not None:
+            self._max_events = int(max_events)
+        if max_wall_s is not None:
+            self._deadline = start + float(max_wall_s)
+
+    def _finish_run(self, start: float) -> SimulationResult:
         self._kernel_run_loop()
         # Balanced tenancy hooks: retire anything still admitted (e.g. a
         # stream whose leave time lies beyond the last completion).
@@ -328,12 +400,160 @@ class MultiTenantEngine:
             completed_inferences=self._completed,
             dropped_inferences=self.workload.dropped_inferences,
             offered_load_ratio=self._offered_load_ratio(),
+            last_snapshot=self.last_snapshot,
         )
         # Cheap always-on accounting check (a handful of integer adds);
         # REPRO_CHECK_CONSERVATION=0 opts out.
         if os.environ.get("REPRO_CHECK_CONSERVATION", "1") != "0":
             result.check_conservation()
         return result
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        """Capture the engine's complete state (batch boundary only —
+        i.e. from the checkpoint hook, or on an engine that is not
+        mid-``run``)."""
+        from .snapshot import EngineSnapshot
+
+        return EngineSnapshot.capture(self)
+
+    @classmethod
+    def resume(cls, snapshot, use_native: Optional[bool] = None,
+               kernel_backend: Optional[str] = None,
+               ) -> "MultiTenantEngine":
+        """Reconstruct a runnable engine from an
+        :class:`~repro.sim.snapshot.EngineSnapshot`; continue it with
+        :meth:`resume_run`."""
+        return snapshot.resume(use_native=use_native,
+                               kernel_backend=kernel_backend)
+
+    def _setup_checkpoints(self, every_s: Optional[float],
+                           directory: Optional[str],
+                           at_events: Optional[int],
+                           start: float) -> None:
+        self._checkpoint_hook = None
+        self._checkpoint_every_s = None
+        self._snapshot_at_events = None
+        if at_events is not None:
+            self._snapshot_at_events = int(at_events)
+            self.last_snapshot = None
+            self._checkpoint_hook = self._maybe_checkpoint
+        if every_s is not None:
+            if directory is None:
+                raise ValueError(
+                    "checkpoint_every_s requires checkpoint_dir"
+                )
+            self._checkpoint_every_s = float(every_s)
+            self._checkpoint_dir = directory
+            self._checkpoint_next = start + self._checkpoint_every_s
+            self._checkpoint_hook = self._maybe_checkpoint
+
+    def _maybe_checkpoint(self) -> None:
+        """Checkpoint hook, called at every batch boundary (top of the
+        outer event loop) when checkpointing is enabled."""
+        at = self._snapshot_at_events
+        if at is not None and self.last_snapshot is None \
+                and self.events_processed >= at:
+            self.last_snapshot = self.snapshot()
+        if self._checkpoint_every_s is not None \
+                and time.perf_counter() >= self._checkpoint_next:
+            from pathlib import Path
+
+            self.snapshot().save(
+                Path(self._checkpoint_dir) / "checkpoint.json"
+            )
+            self.checkpoints_written += 1
+            # Schedule from after the write: serialization time doesn't
+            # eat into the next interval.
+            self._checkpoint_next = \
+                time.perf_counter() + self._checkpoint_every_s
+
+    def _capture_state(self) -> dict:
+        """All mutable run state, as one picklable dict (the payload of
+        an :class:`~repro.sim.snapshot.EngineSnapshot`).
+
+        Shared identities are preserved by pickling everything in one
+        payload: instances reachable through the kernel, the active map,
+        the wait heap and the queue are the same objects; the workload's
+        event recorder is the engine's; the scheduler state's SoC is the
+        engine's.  Pure memos (uniform efficiencies, prepared models,
+        share constants) are excluded and rebuild lazily with identical
+        values.
+        """
+        scheduler = self.scheduler
+        return {
+            "soc": self.soc,
+            "workload": self.workload,
+            "metrics": self.metrics,
+            "trace": self.trace,
+            "event_recorder": self.event_recorder,
+            "scheduler": {
+                "name": scheduler.name,
+                "state": scheduler.snapshot_state(),
+            },
+            "engine": {
+                "now": self.now,
+                "events_processed": self.events_processed,
+                "cancelled": self.cancelled,
+                "completed": self._completed,
+                "queued": list(self._queued),
+                "active": dict(self._active),
+                "stream_active": dict(self._stream_active),
+                "free_cores": self._free_cores,
+                "core_grant": dict(self._core_grant),
+                "total_bw": self._total_bw,
+                "base_bw": self._base_bw,
+                "bw_factors": dict(self._bw_factors),
+                "cores_offline": dict(self._cores_offline),
+                "offline_total": self._offline_total,
+                "timeline_done": self._timeline_done,
+                "faults_done": self._faults_done,
+                "fault_runtime": self._fault_runtime,
+                "waiting_set": dict(self._waiting_set),
+                "wait_heap": list(self._wait_heap),
+                "wait_seq": dict(self._wait_seq),
+                "next_seq": self._next_seq,
+                "rates_valid": self._rates_valid,
+                "kernel": self._kernel.export_state(),
+            },
+        }
+
+    def _restore_state(self, payload: dict) -> None:
+        """Install a :meth:`_capture_state` payload into a freshly
+        constructed engine (the scheduler must already be attached and
+        restored — :meth:`EngineSnapshot.resume` owns that order)."""
+        eng = payload["engine"]
+        self.metrics = payload["metrics"]
+        self.now = eng["now"]
+        self.events_processed = eng["events_processed"]
+        self.cancelled = eng["cancelled"]
+        self._completed = eng["completed"]
+        self._queued = list(eng["queued"])
+        self._active = dict(eng["active"])
+        self._stream_active = dict(eng["stream_active"])
+        self._free_cores = eng["free_cores"]
+        self._core_grant = dict(eng["core_grant"])
+        self._total_bw = eng["total_bw"]
+        self._base_bw = eng["base_bw"]
+        self._bw_factors = dict(eng["bw_factors"])
+        self._cores_offline = dict(eng["cores_offline"])
+        self._offline_total = eng["offline_total"]
+        self._timeline_done = eng["timeline_done"]
+        self._faults_done = eng["faults_done"]
+        self._fault_runtime = eng["fault_runtime"]
+        self._waiting_set = dict(eng["waiting_set"])
+        self._wait_heap = list(eng["wait_heap"])
+        self._wait_seq = dict(eng["wait_seq"])
+        self._next_seq = eng["next_seq"]
+        # Rates restore exactly (arrays + validity flag), reproducing
+        # the uninterrupted run's arithmetic without a recompute.
+        self._rates_valid = eng["rates_valid"]
+        self._kernel.restore_state(eng["kernel"])
+        # Pure memo: rebuilt on demand with identical values.
+        self._uniform_eff = {}
 
     def _offered_load_ratio(self) -> float:
         """Offered rate over the offer window vs completion rate over the
@@ -367,8 +587,15 @@ class MultiTenantEngine:
         self._dispatch_queued()
         max_events = self._max_events
         deadline = self._deadline
+        # The top of this loop is the engine's batch boundary: no batch
+        # in flight, every due wakeup/timeline/fault/dispatch phase
+        # drained for the current instant — the only place snapshots
+        # capture (and therefore resume) exactly.
+        checkpoint = self._checkpoint_hook
         while self._active or self._queued or not self._timeline_done \
                 or not self._faults_done:
+            if checkpoint is not None:
+                checkpoint()
             if self.events_processed >= max_events:
                 raise self._watchdog_error(
                     f"event cap exceeded ({max_events} events); "

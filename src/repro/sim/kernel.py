@@ -357,6 +357,62 @@ class RunningKernel:
         return finished
 
     # ------------------------------------------------------------------
+    # Checkpoint support (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Picklable logical state, read-only (the live kernel is not
+        touched — safe to call mid-run at a batch boundary).
+
+        Lists are exported as the authoritative fluid state even when
+        the numpy backend is active, so the payload never contains
+        ndarray objects and loads in numpy-free processes.
+        """
+        if self._use_np:
+            rem_c = self._arr_c.tolist()
+            rem_d = self._arr_d.tolist()
+        else:
+            rem_c = list(self.rem_c)
+            rem_d = list(self.rem_d)
+        return {
+            "insts": list(self.insts),
+            "pos": dict(self.pos),
+            "rem_c": rem_c,
+            "rem_d": rem_d,
+            "rate_c": list(self.rate_c),
+            "rate_d": list(self.rate_d),
+            "use_np": self._use_np,
+            # Pinned backend, if any, so a resume reconstructs the same
+            # step implementation (restore_state itself ignores this —
+            # the receiving kernel's own pin wins).
+            "force_backend": self._force_backend,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Install :meth:`export_state` output.
+
+        The numpy backend is re-snapshotted from the restored lists when
+        the capture was using it and numpy is available here; otherwise
+        the list backend runs — bit-identical either way (the module
+        invariant), so a snapshot taken with numpy resumes exactly on a
+        numpy-free host.
+        """
+        self.insts = list(state["insts"])
+        self.pos = dict(state["pos"])
+        self.rem_c = list(state["rem_c"])
+        self.rem_d = list(state["rem_d"])
+        self.rate_c = list(state["rate_c"])
+        self.rate_d = list(state["rate_d"])
+        self._use_np = False
+        self._arr_c = self._arr_d = self._arr_rc = self._arr_rd = None
+        if state["use_np"] and self._np_enabled:
+            self._use_np = True
+            self._arr_c = _np.array(self.rem_c, dtype=_np.float64)
+            self._arr_d = _np.array(self.rem_d, dtype=_np.float64)
+            self._arr_rc = _np.array(self.rate_c, dtype=_np.float64)
+            self._arr_rd = _np.array(self.rate_d, dtype=_np.float64)
+
+    # ------------------------------------------------------------------
     # Backend management
     # ------------------------------------------------------------------
 

@@ -75,6 +75,15 @@ def _build(so_path: Path) -> None:
                 f"cc failed ({proc.returncode}): "
                 f"{proc.stderr.strip()[:400]}"
             )
+        # fsync before the rename publishes the binary: a crash mid-way
+        # leaves either no cache entry or a complete one, never a
+        # truncated .so (the import-failure rebuild is the backstop,
+        # not the first line of defense).
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
         os.replace(tmp, so_path)
     finally:
         tmp.unlink(missing_ok=True)

@@ -268,75 +268,31 @@ class ArrivalProcess:
         Poisson stream seeds a private RNG from ``(seed, stream_index)``
         via string seeding (SHA-512 based, stable across processes and
         ``PYTHONHASHSEED`` values).
+
+        Returns a plain iterator *object* (never a generator): the
+        engine's checkpoint/restore machinery pickles in-flight arrival
+        chains mid-draw, and generators cannot be pickled.  Each class
+        below transcribes its former generator's draw sequence exactly —
+        the committed reference summaries pin the equivalence.
         """
         if self.kind == CLOSED_LOOP:
-            return
+            return iter(())
         if self.kind == REPLAY:
             if self.times is None:
-                return
-            for t in self.times:
-                if start_s <= t < end_s:
-                    yield t
-            return
+                return iter(())
+            return _ReplayTimes(self.times, start_s, end_s)
         if self.kind == PERIODIC:
-            t = start_s + self.phase_s
-            while t < end_s:
-                yield t
-                t += self.period_s
-            return
+            return _PeriodicTimes(self.period_s, start_s + self.phase_s,
+                                  end_s)
         if self.kind == POISSON:
-            rng = random.Random(f"poisson:{self.seed}:{stream_index}")
-            t = start_s
-            while True:
-                t += rng.expovariate(self.rate_hz)
-                if t >= end_s:
-                    return
-                yield t
+            return _PoissonTimes(self.rate_hz, self.seed, stream_index,
+                                 start_s, end_s)
         if self.kind == MMPP:
-            yield from self._mmpp_times(stream_index, start_s, end_s)
-            return
+            return _MmppTimes(self, stream_index, start_s, end_s)
         if self.kind == DIURNAL:
-            yield from self._diurnal_times(stream_index, start_s, end_s)
-            return
+            return _DiurnalTimes(self, stream_index, start_s, end_s)
         # BURSTY: periodic arrivals inside [k*(on+off), k*(on+off)+on).
-        cycle = self.on_s + self.off_s
-        t = start_s + self.phase_s
-        while t < end_s:
-            offset = (t - start_s) % cycle if cycle > 0 else 0.0
-            if offset < self.on_s:
-                yield t
-                t += self.period_s
-            else:
-                # Skip to the start of the next on-window.  When the
-                # offset lands within an ulp of the cycle boundary the
-                # increment rounds to zero and the loop would spin
-                # forever (fuzzer-found) — nudge one ulp instead.
-                nxt = t + (cycle - offset)
-                t = nxt if nxt > t else math.nextafter(t, math.inf)
-
-    def _mmpp_times(self, stream_index: int, start_s: float,
-                    end_s: float) -> Iterator[float]:
-        """Markov-modulated Poisson arrivals (exact via memorylessness:
-        an arrival candidate overshooting the state boundary is
-        discarded and redrawn at the new state's rate)."""
-        rng = random.Random(f"mmpp:{self.seed}:{stream_index}")
-        state = 0
-        t = start_s
-        state_end = start_s + rng.expovariate(1.0 / self.sojourn_s[0])
-        while t < end_s:
-            rate = self.rates_hz[state]
-            nxt = t + rng.expovariate(rate) if rate > 0 else math.inf
-            if nxt >= state_end:
-                t = state_end
-                state = (state + 1) % len(self.rates_hz)
-                state_end = t + rng.expovariate(
-                    1.0 / self.sojourn_s[state]
-                )
-                continue
-            if nxt >= end_s:
-                return
-            yield nxt
-            t = nxt
+        return _BurstyTimes(self, start_s, end_s)
 
     def _diurnal_rate(self, t: float) -> float:
         """Instantaneous arrival rate of the diurnal process at ``t``."""
@@ -349,22 +305,6 @@ class ArrivalProcess:
                 (t % self.flash_every_s) < self.flash_width_s:
             rate *= self.flash_boost
         return rate
-
-    def _diurnal_times(self, stream_index: int, start_s: float,
-                       end_s: float) -> Iterator[float]:
-        """Diurnal / flash-crowd arrivals via Lewis-Shedler thinning
-        against the process's peak rate."""
-        rng = random.Random(f"diurnal:{self.seed}:{stream_index}")
-        peak = self.rate_hz * (1.0 + self.amplitude)
-        if self.flash_every_s is not None:
-            peak *= self.flash_boost
-        t = start_s
-        while True:
-            t += rng.expovariate(peak)
-            if t >= end_s:
-                return
-            if rng.random() * peak <= self._diurnal_rate(t):
-                yield t
 
     def to_dict(self) -> dict:
         """Canonical JSON-ready form (exact float round-trip)."""
@@ -417,6 +357,186 @@ class ArrivalProcess:
                 f"known: {sorted(cls._FIELDS)}"
             )
         return cls(**data)
+
+
+class _PeriodicTimes:
+    """Picklable iterator: fixed-period arrivals starting at ``phase``."""
+
+    __slots__ = ("t", "period_s", "end_s")
+
+    def __init__(self, period_s: float, first_s: float,
+                 end_s: float) -> None:
+        self.t = first_s
+        self.period_s = period_s
+        self.end_s = end_s
+
+    def __iter__(self) -> "_PeriodicTimes":
+        return self
+
+    def __next__(self) -> float:
+        t = self.t
+        if t >= self.end_s:
+            raise StopIteration
+        self.t = t + self.period_s
+        return t
+
+
+class _ReplayTimes:
+    """Picklable iterator: recorded timestamps clipped to a window."""
+
+    __slots__ = ("times", "i", "start_s", "end_s")
+
+    def __init__(self, times: Tuple[float, ...], start_s: float,
+                 end_s: float) -> None:
+        self.times = times
+        self.i = 0
+        self.start_s = start_s
+        self.end_s = end_s
+
+    def __iter__(self) -> "_ReplayTimes":
+        return self
+
+    def __next__(self) -> float:
+        times = self.times
+        while self.i < len(times):
+            t = times[self.i]
+            self.i += 1
+            if self.start_s <= t < self.end_s:
+                return t
+        raise StopIteration
+
+
+class _PoissonTimes:
+    """Picklable iterator: seeded Poisson arrivals (private RNG carries
+    the draw position, so a pickled iterator resumes the exact
+    sequence)."""
+
+    __slots__ = ("rng", "t", "rate_hz", "end_s")
+
+    def __init__(self, rate_hz: float, seed: int, stream_index: int,
+                 start_s: float, end_s: float) -> None:
+        self.rng = random.Random(f"poisson:{seed}:{stream_index}")
+        self.t = start_s
+        self.rate_hz = rate_hz
+        self.end_s = end_s
+
+    def __iter__(self) -> "_PoissonTimes":
+        return self
+
+    def __next__(self) -> float:
+        t = self.t + self.rng.expovariate(self.rate_hz)
+        if t >= self.end_s:
+            raise StopIteration
+        self.t = t
+        return t
+
+
+class _MmppTimes:
+    """Picklable iterator: Markov-modulated Poisson arrivals (exact via
+    memorylessness: an arrival candidate overshooting the state boundary
+    is discarded and redrawn at the new state's rate)."""
+
+    __slots__ = ("proc", "rng", "state", "t", "state_end", "end_s")
+
+    def __init__(self, proc: "ArrivalProcess", stream_index: int,
+                 start_s: float, end_s: float) -> None:
+        self.proc = proc
+        self.rng = random.Random(f"mmpp:{proc.seed}:{stream_index}")
+        self.state = 0
+        self.t = start_s
+        self.state_end = start_s + self.rng.expovariate(
+            1.0 / proc.sojourn_s[0]
+        )
+        self.end_s = end_s
+
+    def __iter__(self) -> "_MmppTimes":
+        return self
+
+    def __next__(self) -> float:
+        proc = self.proc
+        rng = self.rng
+        while self.t < self.end_s:
+            rate = proc.rates_hz[self.state]
+            nxt = self.t + rng.expovariate(rate) if rate > 0 else math.inf
+            if nxt >= self.state_end:
+                self.t = self.state_end
+                self.state = (self.state + 1) % len(proc.rates_hz)
+                self.state_end = self.t + rng.expovariate(
+                    1.0 / proc.sojourn_s[self.state]
+                )
+                continue
+            if nxt >= self.end_s:
+                raise StopIteration
+            self.t = nxt
+            return nxt
+        raise StopIteration
+
+
+class _DiurnalTimes:
+    """Picklable iterator: diurnal / flash-crowd arrivals via
+    Lewis-Shedler thinning against the process's peak rate."""
+
+    __slots__ = ("proc", "rng", "peak", "t", "end_s")
+
+    def __init__(self, proc: "ArrivalProcess", stream_index: int,
+                 start_s: float, end_s: float) -> None:
+        self.proc = proc
+        self.rng = random.Random(f"diurnal:{proc.seed}:{stream_index}")
+        peak = proc.rate_hz * (1.0 + proc.amplitude)
+        if proc.flash_every_s is not None:
+            peak *= proc.flash_boost
+        self.peak = peak
+        self.t = start_s
+        self.end_s = end_s
+
+    def __iter__(self) -> "_DiurnalTimes":
+        return self
+
+    def __next__(self) -> float:
+        rng = self.rng
+        peak = self.peak
+        while True:
+            t = self.t + rng.expovariate(peak)
+            if t >= self.end_s:
+                raise StopIteration
+            self.t = t
+            if rng.random() * peak <= self.proc._diurnal_rate(t):
+                return t
+
+
+class _BurstyTimes:
+    """Picklable iterator: periodic arrivals inside the on-windows
+    ``[k*(on+off), k*(on+off)+on)``."""
+
+    __slots__ = ("proc", "t", "start_s", "end_s", "cycle")
+
+    def __init__(self, proc: "ArrivalProcess", start_s: float,
+                 end_s: float) -> None:
+        self.proc = proc
+        self.t = start_s + proc.phase_s
+        self.start_s = start_s
+        self.end_s = end_s
+        self.cycle = proc.on_s + proc.off_s
+
+    def __iter__(self) -> "_BurstyTimes":
+        return self
+
+    def __next__(self) -> float:
+        proc = self.proc
+        cycle = self.cycle
+        while self.t < self.end_s:
+            t = self.t
+            offset = (t - self.start_s) % cycle if cycle > 0 else 0.0
+            if offset < proc.on_s:
+                self.t = t + proc.period_s
+                return t
+            # Skip to the start of the next on-window.  When the offset
+            # lands within an ulp of the cycle boundary the increment
+            # rounds to zero and the loop would spin forever
+            # (fuzzer-found) — nudge one ulp instead.
+            nxt = t + (cycle - offset)
+            self.t = nxt if nxt > t else math.nextafter(t, math.inf)
+        raise StopIteration
 
 
 @dataclass(frozen=True)

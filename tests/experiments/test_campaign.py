@@ -1,0 +1,411 @@
+"""Crash-safe campaign runner: journal semantics, resume, SIGKILL.
+
+The campaign bar, stated as tests: a campaign killed at any instant —
+hard SIGKILL included — resumes from its append-only fsync'd journal
+with no duplicated and no lost cells, and the merged result grid is
+byte-identical to an uninterrupted campaign.  The journal tolerates a
+torn final line (a crash mid-append), refuses foreign files and
+unknown schema versions, and a writer killed between writing a result
+and publishing it never leaves a partial entry visible (atomic
+temp + fsync + rename everywhere).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.experiments import sweep
+from repro.experiments.sweep import (
+    CAMPAIGN_SCHEMA_VERSION,
+    CampaignJournal,
+    SweepCell,
+    last_sweep_failures,
+    last_sweep_stats,
+    resume_campaign,
+    run_campaign,
+    run_sweep,
+)
+from repro.sim.faults import get_fault_schedule
+from repro.sim.scenario import get_scenario
+
+pytestmark = pytest.mark.experiment
+
+_REPO = Path(__file__).resolve().parents[2]
+
+_KEYS = ("MB.", "EF.")
+
+
+def _cells(policies=("baseline", "moca")):
+    return [SweepCell(policy=p, model_keys=_KEYS, scale=0.1)
+            for p in policies]
+
+
+def _grid(results):
+    """Byte-comparable form of a result grid (None for failed cells)."""
+    return [
+        json.dumps(r.metric_summary(), sort_keys=True)
+        if r is not None else None
+        for r in results
+    ]
+
+
+#: Original cell runner, captured at import for the fault-injecting
+#: wrappers below.
+_REAL_RUN_CELL = sweep._run_cell
+
+
+class _FailOnce:
+    """Raise on the first call (sentinel absent), then delegate."""
+
+    def __init__(self, sentinel: str) -> None:
+        self.sentinel = sentinel
+
+    def __call__(self, item):
+        if not os.path.exists(self.sentinel):
+            with open(self.sentinel, "w"):
+                pass
+            raise RuntimeError("injected transient fault")
+        return _REAL_RUN_CELL(item)
+
+
+def _always_fail(item):
+    raise RuntimeError("cell should have been served, not simulated")
+
+
+class TestCampaignJournal:
+    def test_create_refuses_clobber(self, tmp_path):
+        path = tmp_path / "run.journal"
+        CampaignJournal.create(path, _cells(), sweep.SoCConfig())
+        with pytest.raises(WorkloadError, match="already exists"):
+            CampaignJournal.create(path, _cells(), sweep.SoCConfig())
+
+    def test_header_round_trips_cells(self, tmp_path):
+        cells = [
+            SweepCell(policy="baseline", model_keys=_KEYS, scale=0.1),
+            SweepCell.from_scenario(
+                "camdn-full", get_scenario("steady-quad"), scale=0.25,
+                faults=get_fault_schedule("core-flap"),
+            ),
+        ]
+        soc = sweep.SoCConfig()
+        journal = CampaignJournal.create(tmp_path / "j", cells, soc)
+        again, soc_again, done, failed, started = journal.read()
+        assert again == cells
+        assert soc_again == soc
+        assert done == {} and failed == {} and started == set()
+
+    def test_not_a_journal_rejected(self, tmp_path):
+        path = tmp_path / "garbage"
+        path.write_text("this is not jsonl\n")
+        with pytest.raises(WorkloadError, match="not a campaign"):
+            CampaignJournal(path).read()
+
+    def test_missing_journal_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError, match="cannot read"):
+            CampaignJournal(tmp_path / "absent").read()
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "j"
+        journal = CampaignJournal.create(path, _cells(),
+                                         sweep.SoCConfig())
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        records[0]["campaign_schema_version"] = \
+            CAMPAIGN_SCHEMA_VERSION + 1
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        with pytest.raises(WorkloadError, match="schema"):
+            journal.read()
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        """A crash mid-append leaves a torn tail; the intact prefix
+        still reads, and the interrupted cell is simply in flight."""
+        path = tmp_path / "j"
+        journal = CampaignJournal.create(path, _cells(),
+                                         sweep.SoCConfig())
+        journal.record_start(0, 0)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "done", "ind')  # torn mid-record
+        cells, _soc, done, failed, started = journal.read()
+        assert len(cells) == 2
+        assert started == {0}
+        assert done == {} and failed == {}
+
+    def test_done_without_result_file_reruns(self, tmp_path):
+        """A done record whose result file is missing or corrupt does
+        not count as completed (the cell re-runs on resume)."""
+        path = tmp_path / "j"
+        journal = CampaignJournal.create(path, _cells(),
+                                         sweep.SoCConfig())
+        journal.record_start(0, 0)
+        journal._append({"kind": "done", "index": 0})
+        _cells_, _soc, done, _failed, _started = journal.read()
+        assert done == {}
+
+
+class TestCampaignRun:
+    def test_campaign_matches_sweep_byte_identically(self, tmp_path):
+        cells = _cells(("baseline", "moca", "camdn-full"))
+        reference = run_sweep(cells, max_workers=1, use_cache=False)
+        results = run_campaign(cells, tmp_path / "run.journal",
+                               max_workers=1, use_cache=False)
+        assert _grid(results) == _grid(reference)
+        assert last_sweep_failures() == []
+        stats = last_sweep_stats()
+        assert stats["failed_cells"] == 0.0
+        assert stats["recovered_cells"] == 0.0
+        # Every cell is journaled done with a committed result file.
+        journal = CampaignJournal(tmp_path / "run.journal")
+        _c, _s, done, _f, started = journal.read()
+        assert sorted(done) == [0, 1, 2]
+        assert started == {0, 1, 2}
+        assert sorted(journal.result_dir.glob("*.json")) == [
+            journal.result_dir / f"{i}.json" for i in range(3)
+        ]
+
+    def test_resume_serves_completed_cells_without_rerunning(
+        self, tmp_path, monkeypatch
+    ):
+        cells = _cells()
+        first = run_campaign(cells, tmp_path / "j", max_workers=1,
+                             use_cache=False)
+        # Resume must not simulate anything: every cell is on record.
+        monkeypatch.setattr(sweep, "_run_cell", _always_fail)
+        again = resume_campaign(tmp_path / "j", max_workers=1,
+                                use_cache=False)
+        assert _grid(again) == _grid(first)
+        assert last_sweep_stats()["recovered_cells"] == 2.0
+        assert last_sweep_failures() == []
+
+    def test_transient_failure_retries_and_succeeds(self, tmp_path,
+                                                    monkeypatch):
+        sentinel = tmp_path / "raised-once"
+        monkeypatch.setattr(sweep, "_run_cell",
+                            _FailOnce(str(sentinel)))
+        (result,) = run_campaign(_cells(("baseline",)), tmp_path / "j",
+                                 max_workers=1, use_cache=False)
+        assert result is not None
+        assert last_sweep_failures() == []
+        assert sentinel.exists()
+
+    def test_failed_cell_recorded_then_resumed(self, tmp_path,
+                                               monkeypatch):
+        """A cell that exhausts its retries is journaled failed (and
+        exits the grid as None); a later resume re-runs just that cell
+        and completes the grid byte-identically to a clean run."""
+        cells = _cells(("baseline", "moca"))
+        reference = run_sweep(cells, max_workers=1, use_cache=False)
+        monkeypatch.setattr(sweep, "_run_cell", _always_fail)
+        results = run_campaign(cells, tmp_path / "j", max_workers=1,
+                               use_cache=False, retries=0)
+        assert results == [None, None]
+        assert last_sweep_stats()["failed_cells"] == 2.0
+        _c, _s, _done, failed, _started = \
+            CampaignJournal(tmp_path / "j").read()
+        assert sorted(failed) == [0, 1]
+        monkeypatch.setattr(sweep, "_run_cell", _REAL_RUN_CELL)
+        resumed = resume_campaign(tmp_path / "j", max_workers=1,
+                                  use_cache=False)
+        assert _grid(resumed) == _grid(reference)
+        assert last_sweep_failures() == []
+
+    def test_deadline_kills_hung_cell_then_resume_completes(
+        self, tmp_path
+    ):
+        """``deadline_s=0`` makes every attempt exceed its wall budget:
+        the watchdog kills the cell, retries are exhausted, the failure
+        is journaled — and a resume without the deadline completes the
+        grid byte-identically."""
+        cells = _cells(("baseline",))
+        reference = run_sweep(cells, max_workers=1, use_cache=False)
+        results = run_campaign(cells, tmp_path / "j", max_workers=1,
+                               use_cache=False, deadline_s=0.0)
+        assert results == [None]
+        (failure,) = last_sweep_failures()
+        assert "wall-clock budget" in str(failure["error"])
+        resumed = resume_campaign(tmp_path / "j", max_workers=1,
+                                  use_cache=False)
+        assert _grid(resumed) == _grid(reference)
+
+    def test_cache_hits_are_journaled_as_done(self, tmp_path,
+                                              monkeypatch):
+        """A cell served from the persistent sweep cache is journaled
+        start+done like a computed one, so the journal alone always
+        describes the full grid."""
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR",
+                           str(tmp_path / "cache"))
+        cells = _cells(("baseline",))
+        reference = run_sweep(cells, max_workers=1)  # populates cache
+        monkeypatch.setattr(sweep, "_run_cell", _always_fail)
+        results = run_campaign(cells, tmp_path / "j", max_workers=1)
+        assert _grid(results) == _grid(reference)
+        _c, _s, done, _f, _started = \
+            CampaignJournal(tmp_path / "j").read()
+        assert sorted(done) == [0]
+
+
+class TestAtomicWriterKill:
+    """A writer SIGKILLed mid-write never publishes a partial entry."""
+
+    def _run_child(self, target: Path, kill: bool):
+        script = textwrap.dedent("""
+            import os, signal, sys
+            from pathlib import Path
+            from repro.core.serialize import atomic_write_text
+
+            target = Path(sys.argv[1])
+            if sys.argv[2] == "kill":
+                def kill_before_publish(src, dst):
+                    os.kill(os.getpid(), signal.SIGKILL)
+                os.replace = kill_before_publish
+            atomic_write_text(target, '{"fresh": true}' + " " * 65536)
+        """)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(_REPO / "src")
+        return subprocess.run(
+            [sys.executable, "-c", script, str(target),
+             "kill" if kill else "ok"],
+            env=env, capture_output=True, timeout=120,
+        )
+
+    def test_killed_writer_leaves_old_entry_intact(self, tmp_path):
+        target = tmp_path / "entry.json"
+        target.write_text('{"old": true}')
+        proc = self._run_child(target, kill=True)
+        assert proc.returncode == -signal.SIGKILL
+        # The published entry is exactly the old bytes; the torn write
+        # is confined to a temp file no reader globs (*.json).
+        assert target.read_text() == '{"old": true}'
+        assert list(tmp_path.glob("*.json")) == [target]
+
+    def test_killed_writer_leaves_no_entry_when_none_existed(
+        self, tmp_path
+    ):
+        target = tmp_path / "entry.json"
+        proc = self._run_child(target, kill=True)
+        assert proc.returncode == -signal.SIGKILL
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_unkilled_writer_publishes(self, tmp_path):
+        target = tmp_path / "entry.json"
+        proc = self._run_child(target, kill=False)
+        assert proc.returncode == 0
+        assert json.loads(target.read_text()) == {"fresh": True}
+
+
+@pytest.mark.slow
+class TestCampaignSigkillResume:
+    """End to end: SIGKILL a live campaign subprocess mid-grid, resume
+    from the journal, and get the uninterrupted campaign's grid back
+    byte-for-byte with no duplicated or lost cells."""
+
+    CELL_ARGS = [
+        "--campaign-scenarios", "steady-quad,poisson-eight",
+        "--campaign-policies", "baseline,moca,camdn-full",
+        "--scale", "0.5", "--jobs", "1", "--no-cache",
+    ]
+    NUM_CELLS = 6
+
+    def _env(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(_REPO / "src")
+        env["REPRO_SWEEP_CACHE_DIR"] = ""  # cells must really simulate
+        return env
+
+    def _runner(self, *args):
+        return [sys.executable, "-m", "repro.experiments.runner",
+                *args]
+
+    def _cell_lines(self, stdout: str):
+        return [line for line in stdout.splitlines()
+                if line.startswith('{"cell"')]
+
+    def _done_count(self, journal: Path) -> int:
+        if not journal.exists():
+            return 0
+        return sum(
+            1 for line in journal.read_text(errors="replace")
+            .splitlines() if '"kind": "done"' in line
+        )
+
+    def test_sigkilled_campaign_resumes_byte_identically(
+        self, tmp_path
+    ):
+        env = self._env()
+        # Uninterrupted reference campaign.
+        ref = subprocess.run(
+            self._runner("--campaign", str(tmp_path / "ref.journal"),
+                         *self.CELL_ARGS),
+            env=env, capture_output=True, text=True, timeout=600,
+        )
+        assert ref.returncode == 0, ref.stderr
+        ref_lines = self._cell_lines(ref.stdout)
+        assert len(ref_lines) == self.NUM_CELLS
+
+        # Live campaign, SIGKILLed once at least one cell committed.
+        journal = tmp_path / "crash.journal"
+        proc = subprocess.Popen(
+            self._runner("--campaign", str(journal), *self.CELL_ARGS),
+            env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 300
+            while self._done_count(journal) < 1 \
+                    and proc.poll() is None:
+                assert time.monotonic() < deadline, \
+                    "campaign never committed a cell"
+                time.sleep(0.02)
+            proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.wait(timeout=60)
+
+        interrupted = self._done_count(journal)
+        assert interrupted >= 1
+
+        # Resume from the journal: exit 0, full grid, byte-identical.
+        res = subprocess.run(
+            self._runner("--resume", str(journal), "--jobs", "1",
+                         "--no-cache"),
+            env=env, capture_output=True, text=True, timeout=600,
+        )
+        assert res.returncode == 0, res.stderr
+        assert self._cell_lines(res.stdout) == ref_lines
+
+        # No lost or duplicated cells: every index committed exactly
+        # once in the merged journal state.
+        _c, _s, done, failed, _started = CampaignJournal(journal).read()
+        assert sorted(done) == list(range(self.NUM_CELLS))
+        assert failed == {}
+
+
+class TestRunnerExitCodes:
+    def _run(self, tmp_path, *extra):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(_REPO / "src")
+        env["REPRO_SWEEP_CACHE_DIR"] = ""
+        return subprocess.run(
+            [sys.executable, "-m", "repro.experiments.runner",
+             "--campaign", str(tmp_path / "run.journal"),
+             "--campaign-scenarios", "steady-quad",
+             "--campaign-policies", "baseline,no-such-policy",
+             "--scale", "0.1", "--jobs", "1", "--no-cache", *extra],
+            env=env, capture_output=True, text=True, timeout=600,
+        )
+
+    def test_failed_cell_exits_nonzero(self, tmp_path):
+        proc = self._run(tmp_path)
+        assert proc.returncode == 1
+        assert "no-such-policy" in proc.stdout
+
+    def test_keep_going_exits_zero(self, tmp_path):
+        proc = self._run(tmp_path, "--keep-going")
+        assert proc.returncode == 0
+        assert "no-such-policy" in proc.stdout

@@ -78,18 +78,22 @@ def fault_specs(draw) -> FaultSpec:
 
 
 def dump_falsifying_fault_case(scenario, faults: FaultSpec, policy: str,
-                               label: str) -> str:
+                               label: str, extra: dict = None) -> str:
     """Dump a falsifying (scenario, fault schedule) pair as JSON.
 
     Writes ``<label>-<policy>.json`` under ``REPRO_FUZZ_ARTIFACT_DIR``
     (no-op when unset); returns a short description for the assertion
-    message either way.
+    message either way.  ``extra`` merges additional reproduction keys
+    into the payload (e.g. the snapshot event count of a failing
+    snapshot-resume triple).
     """
     payload = {
         "policy": policy,
         "scenario": scenario.to_dict(),
         "faults": faults.to_dict(),
     }
+    if extra:
+        payload.update(extra)
     note = (
         f"policy={policy} faults={json.dumps(faults.to_dict())[:300]} "
         f"spec={json.dumps(scenario.to_dict())[:300]}"

@@ -142,14 +142,18 @@ def count_mode_scenario_specs(draw) -> ScenarioSpec:
 
 
 def dump_falsifying_spec(spec: ScenarioSpec, policy: str,
-                         label: str) -> str:
+                         label: str, extra: dict = None) -> str:
     """Dump a falsifying scenario as JSON for CI artifact upload.
 
     Writes ``<label>-<policy>.json`` under ``REPRO_FUZZ_ARTIFACT_DIR``
     (no-op when the variable is unset); returns a short description for
-    the assertion message either way.
+    the assertion message either way.  ``extra`` merges additional
+    reproduction keys into the payload (e.g. the snapshot event count
+    of a failing snapshot-resume case).
     """
     payload = {"policy": policy, "scenario": spec.to_dict()}
+    if extra:
+        payload.update(extra)
     artifact_dir = os.environ.get("REPRO_FUZZ_ARTIFACT_DIR")
     note = f"policy={policy} spec={json.dumps(spec.to_dict())[:400]}"
     if not artifact_dir:

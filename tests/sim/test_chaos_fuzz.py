@@ -29,6 +29,7 @@ import os
 
 import pytest
 from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from fuzz_faults import dump_falsifying_fault_case, fault_specs
 from fuzz_scenarios import scenario_specs
@@ -166,6 +167,52 @@ class TestChaosNativeIdentity:
             raise AssertionError(
                 f"{exc}\nfalsifying "
                 f"{dump_falsifying_fault_case(spec, faults, policy, 'chaos-native-identity')}"
+            ) from exc
+
+
+class TestChaosSnapshotResume:
+    """Snapshot-at-random-boundary under fuzzed faults: a snapshot can
+    land mid-throttle, mid-outage or mid-stall, and resuming it must
+    still reproduce the uninterrupted faulted run byte-identically.
+    Falsifying (scenario, faults, snapshot-event) triples are dumped
+    for CI artifact upload."""
+
+    @_settings
+    @given(spec=scenario_specs(), faults=fault_specs(),
+           cut=st.floats(0.0, 1.0))
+    @pytest.mark.parametrize("policy", ("camdn-full", "baseline"))
+    def test_faulted_snapshot_resume_byte_identity(self, spec, faults,
+                                                   cut, policy):
+        from repro.sim.snapshot import EngineSnapshot
+
+        clean = run_scenario(spec, SoCConfig(), policy, faults=faults,
+                             max_events=MAX_FUZZ_EVENTS)
+        at = int(clean.events_processed * cut)
+        snapped = run_scenario(spec, SoCConfig(), policy, faults=faults,
+                               max_events=MAX_FUZZ_EVENTS,
+                               snapshot_at_events=at)
+        snap = snapped.last_snapshot
+        if snap is None:
+            # Threshold fell past the last batch boundary — no moment
+            # to capture.  Vacuous.
+            return
+        try:
+            resumed = EngineSnapshot.from_json(snap.to_json()) \
+                .resume().resume_run(max_events=MAX_FUZZ_EVENTS)
+            assert resumed.events_processed == clean.events_processed
+            assert resumed.offered_inferences == \
+                clean.offered_inferences
+            if clean.metrics.records:
+                a = json.dumps(resumed.metric_summary(), sort_keys=True)
+                b = json.dumps(clean.metric_summary(), sort_keys=True)
+                assert a == b, \
+                    "faulted snapshot resume diverged from clean run"
+            else:
+                assert not resumed.metrics.records
+        except AssertionError as exc:
+            raise AssertionError(
+                f"{exc}\nfalsifying "
+                f"{dump_falsifying_fault_case(spec, faults, policy, 'chaos-snapshot-resume', extra={'snapshot_at_events': at})}"
             ) from exc
 
 

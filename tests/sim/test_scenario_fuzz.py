@@ -25,6 +25,7 @@ import os
 
 import pytest
 from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from fuzz_scenarios import (
     count_mode_scenario_specs,
@@ -152,6 +153,49 @@ class TestFuzzedNativeIdentity:
             raise AssertionError(
                 f"{exc}\nfalsifying "
                 f"{dump_falsifying_spec(spec, policy, 'native-identity')}"
+            ) from exc
+
+
+class TestFuzzedSnapshotResume:
+    """A snapshot taken at a random batch boundary of a fuzzed run
+    resumes to a byte-identical ``metric_summary()``."""
+
+    @_settings
+    @given(spec=scenario_specs(), cut=st.floats(0.0, 1.0))
+    @pytest.mark.parametrize("policy", ("camdn-full", "baseline"))
+    def test_snapshot_resume_byte_identity(self, spec, cut, policy):
+        from repro.sim.snapshot import EngineSnapshot
+
+        clean = run_scenario(spec, SoCConfig(), policy)
+        at = int(clean.events_processed * cut)
+        snapped = run_scenario(spec, SoCConfig(), policy,
+                               snapshot_at_events=at)
+        snap = snapped.last_snapshot
+        if snap is None:
+            # The threshold fell inside the final batch, past the last
+            # boundary — there was no moment to capture.  Vacuous.
+            return
+        try:
+            resumed = EngineSnapshot.from_json(snap.to_json()) \
+                .resume().resume_run()
+            assert resumed.events_processed == clean.events_processed
+            assert resumed.offered_inferences == \
+                clean.offered_inferences
+            if clean.metrics.records:
+                a = json.dumps(resumed.metric_summary(), sort_keys=True)
+                b = json.dumps(clean.metric_summary(), sort_keys=True)
+                assert a == b, \
+                    "resumed run diverged from uninterrupted run"
+                assert json.dumps(snapped.metric_summary(),
+                                  sort_keys=True) == b, \
+                    "snapshot capture perturbed the observed run"
+            else:
+                assert not resumed.metrics.records
+                assert not snapped.metrics.records
+        except AssertionError as exc:
+            raise AssertionError(
+                f"{exc}\nfalsifying "
+                f"{dump_falsifying_spec(spec, policy, 'snapshot-resume', extra={'snapshot_at_events': at})}"
             ) from exc
 
 
