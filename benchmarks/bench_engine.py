@@ -3,10 +3,13 @@
 A scheduler-light measurement of the event loop itself: a synthetic
 8-stream workload of fixed-cost layers is driven through the engine under
 two synthetic policies (a static-rate equal split and a dynamic-rate
-demand split) plus the five paper policies.  Every configuration is run
-twice and the summary metrics are asserted byte-identical before any
-number is reported (the committed reference suite pins absolute values;
-this guards in-run determinism).
+demand split) plus the five paper policies, then two QoS rows
+(``moca-qos``, ``camdn-qos``) that rerun MoCA and CaMDN(Full) with
+finite deadlines so the slack-weighted/throttled fused kernels are on
+the measured path.  Every configuration is run twice and the summary
+metrics are asserted byte-identical before any number is reported (the
+committed reference suite pins absolute values; this guards in-run
+determinism).
 
 Emits ``BENCH_engine.json``::
 
@@ -61,6 +64,14 @@ REAL_DURATION_S = 0.08
 REAL_KEYS = ("RS.", "MB.", "EF.", "VT.") * 2
 
 REAL_POLICIES = ("baseline", "moca", "aurora", "camdn-hw", "camdn-full")
+
+#: QoS rows: same workload with finite deadlines (``QOS_SCALE`` ×
+#: per-model targets), mapped to the scheduler that exercises each fused
+#: slack kernel — MoCA's throttle (``slack_throttled``) only activates
+#: with finite deadlines, and ``camdn-qos`` is the Figure 9 integration
+#: (``slack_weighted``).
+QOS_POLICIES = {"moca-qos": "moca", "camdn-qos": "camdn-qos"}
+QOS_SCALE = 1.0
 
 
 def synthetic_graph(layers: int = SYNTH_LAYERS) -> ModelGraph:
@@ -130,10 +141,12 @@ class DynamicSynthetic(StaticSynthetic):
         return {iid: d / total for iid, d in demands.items()}
 
 
-def _build_workload(graph: Optional[ModelGraph]) -> ClosedLoopWorkload:
+def _build_workload(graph: Optional[ModelGraph],
+                    qos_scale: float = float("inf")) -> ClosedLoopWorkload:
     if graph is None:
         spec = WorkloadSpec(model_keys=list(REAL_KEYS),
-                            duration_s=REAL_DURATION_S, warmup_s=0.0)
+                            duration_s=REAL_DURATION_S, warmup_s=0.0,
+                            qos_scale=qos_scale)
         return ClosedLoopWorkload(spec)
     # Build over a zoo placeholder key, then swap in the synthetic graph
     # (the spec validates keys against the zoo at construction).
@@ -152,15 +165,21 @@ def _build_workload(graph: Optional[ModelGraph]) -> ClosedLoopWorkload:
 def _run_once(policy_name: str, graph: Optional[ModelGraph],
               use_native: Optional[bool] = None):
     soc = SoCConfig()
+    qos_scale = float("inf")
     if policy_name == "synthetic-static":
         scheduler = StaticSynthetic()
     elif policy_name == "synthetic-dynamic":
         scheduler = DynamicSynthetic()
     else:
-        prepare_workload(policy_name, REAL_KEYS, soc)
-        scheduler = make_scheduler(policy_name)
-    engine = MultiTenantEngine(soc, scheduler, _build_workload(graph),
-                               use_native=use_native)
+        sched_name = QOS_POLICIES.get(policy_name, policy_name)
+        if policy_name in QOS_POLICIES:
+            qos_scale = QOS_SCALE
+        prepare_workload(sched_name, REAL_KEYS, soc)
+        scheduler = make_scheduler(sched_name)
+    engine = MultiTenantEngine(
+        soc, scheduler, _build_workload(graph, qos_scale=qos_scale),
+        use_native=use_native,
+    )
     return engine.run()
 
 
@@ -211,7 +230,8 @@ def main(argv=None) -> int:
     else:
         native.fused_step()          # trigger the load outside timing
         native_note = native.native_status()
-    policies = ("synthetic-static", "synthetic-dynamic") + REAL_POLICIES
+    policies = ("synthetic-static", "synthetic-dynamic") \
+        + REAL_POLICIES + tuple(QOS_POLICIES)
     report = {
         "meta": {
             "streams": NUM_STREAMS,

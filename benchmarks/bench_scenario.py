@@ -3,7 +3,10 @@
 Measures the engine's throughput on the scenario axes the closed-loop
 microbenchmark (``bench_engine.py``) cannot exercise: churn-heavy
 tenant join/leave waves and open-loop seeded-Poisson arrivals, each
-under the unmanaged baseline and CaMDN(Full).  The timeline machinery
+under the unmanaged baseline, CaMDN(Full), AuRORA and the CaMDN-QoS
+integration (the last two ride the fused slack-weighted kernel, so
+churn also exercises the engine's slack SoA add/remove path).  The
+timeline machinery
 (admission queue, preemptive departures, backlog dispatch) rides the
 per-event hot path, so a regression here means dynamic scenarios got
 slower even if the closed-loop bench stayed flat.
@@ -44,7 +47,7 @@ from repro.sim.scenario import get_scenario
 #: (policy, registry scenario) grid; the 0.5 scale keeps one measured
 #: run under a second per cell while preserving every churn event.
 SCENARIOS = ("churn-heavy", "poisson-eight")
-POLICIES = ("baseline", "camdn-full")
+POLICIES = ("baseline", "camdn-full", "aurora", "camdn-qos")
 SCALE = 0.5
 
 

@@ -5,12 +5,20 @@ and uploads a single ``BENCH_trajectory.json`` so the perf table in
 ROADMAP.md has a longitudinal data source: each artifact is one dated
 point with the commit it measured.
 
+Besides the JSON artifact, the collector prints a ready-to-paste
+markdown row for the "Perf trajectory" table in ROADMAP.md
+(``--roadmap-label`` names the milestone column): refreshing the table
+from a nightly artifact is copy one line, not transcribe nine numbers.
+``--row-from FILE`` re-emits the row from an existing trajectory
+artifact without rerunning anything.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine.py
     PYTHONPATH=src python benchmarks/bench_scenario.py
     PYTHONPATH=src python benchmarks/bench_allocator.py
     python benchmarks/collect_trajectory.py --out BENCH_trajectory.json
+    python benchmarks/collect_trajectory.py --row-from BENCH_trajectory.json
 """
 
 from __future__ import annotations
@@ -37,6 +45,33 @@ def _git_head() -> str:
         return "unknown"
 
 
+def roadmap_row(doc: dict, label: str = "next") -> str:
+    """One ROADMAP "Perf trajectory" markdown row from a trajectory doc.
+
+    Columns match the committed table: milestone (label, capture date,
+    short commit), tier-1 wall time (left to fill in — the bench
+    campaign doesn't run the test suite), and per-row engine/scenario
+    throughput notes.
+    """
+    meta = doc.get("meta", {})
+    date = str(meta.get("captured_utc", ""))[:10]
+    commit = str(meta.get("commit", "unknown"))[:9]
+    parts = []
+    for bench in ("engine", "scenario"):
+        policies = doc.get("benches", {}).get(bench, {}) \
+            .get("policies", {})
+        rows = ", ".join(
+            f"{name} {policies[name]['kernel']['events_per_s'] / 1e3:.0f}k"
+            for name in sorted(policies)
+        )
+        if rows:
+            parts.append(f"{bench}: {rows} ev/s")
+    notes = "; ".join(parts) if parts else "no bench outputs in doc"
+    milestone = f"{label} ({date}, {commit})" if date else \
+        f"{label} ({commit})"
+    return f"| {milestone} | (tier-1 wall: fill in) | {notes} |"
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_trajectory.json")
@@ -44,7 +79,21 @@ def main(argv=None) -> int:
         "--current-dir", default=".",
         help="directory holding the fresh BENCH_*.json outputs",
     )
+    parser.add_argument(
+        "--roadmap-label", default="next",
+        help="milestone label for the printed ROADMAP table row",
+    )
+    parser.add_argument(
+        "--row-from", metavar="FILE", default=None,
+        help="print the ROADMAP row for an existing trajectory "
+             "artifact and exit (no fresh outputs needed)",
+    )
     args = parser.parse_args(argv)
+
+    if args.row_from is not None:
+        doc = json.loads(Path(args.row_from).read_text())
+        print(roadmap_row(doc, label=args.roadmap_label))
+        return 0
 
     current_dir = Path(args.current_dir)
     doc = {
@@ -72,6 +121,8 @@ def main(argv=None) -> int:
         return 1
     Path(args.out).write_text(json.dumps(doc, indent=1, sort_keys=True))
     print(f"wrote {args.out} ({len(doc['benches'])} benches)")
+    print("ROADMAP perf-table row:")
+    print(roadmap_row(doc, label=args.roadmap_label))
     return 0
 
 

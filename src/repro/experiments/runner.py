@@ -44,13 +44,16 @@ that run;
 under the same policy and SoC the replay reproduces the captured run's
 ``metric_summary()`` byte-identically.
 
-``--profile FILE`` wraps each experiment in :mod:`cProfile` and dumps
-the stats to ``FILE`` (pstats format; load with
-``python -m pstats FILE`` or ``snakeviz``), so the next hot-path hunt
-starts from data instead of guesses.  Profiling forces ``--jobs 1`` and
-``--no-cache`` — a process pool would scatter the samples across
-workers, and cache hits would profile JSON loading instead of the
-engine.
+``--profile FILE`` wraps the run in :mod:`cProfile` and dumps the
+stats to ``FILE`` (pstats format; load with ``python -m pstats FILE``
+or ``snakeviz``), so the next hot-path hunt starts from data instead
+of guesses.  It applies to every run mode — experiments,
+``--scenario`` captures, ``--replay-trace`` and ``--campaign`` — and
+always profiles *through* ``run_scenario`` in-process: profiling
+forces ``--jobs 1`` (the serial sweep path, so engine and allocator
+frames land in this process instead of scattering across pool
+workers) and ``--no-cache`` (cache hits would profile JSON loading
+instead of the engine).
 
 After each experiment the runner prints an engine-observability line:
 cells simulated vs. served from cache, events processed, and the
@@ -60,6 +63,7 @@ events/sec throughput of the fresh simulations.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from typing import Callable, Dict, Optional
@@ -300,6 +304,33 @@ def _engine_stats_line() -> str:
     return line
 
 
+@contextlib.contextmanager
+def _profiled(profiler):
+    """Collect samples while the body runs (no-op without a profiler)."""
+    if profiler is None:
+        yield
+        return
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+
+
+def _dump_profile(profiler, path: str) -> None:
+    """Write collected samples as pstats and print the top of the dump."""
+    if profiler is None:
+        return
+    import pstats
+
+    profiler.dump_stats(path)
+    top = pstats.Stats(profiler)
+    top.sort_stats("cumulative")
+    print(f"profile written to {path} "
+          f"(load with `python -m pstats {path}`); top 10:")
+    top.print_stats(10)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate CaMDN paper tables and figures."
@@ -425,39 +456,6 @@ def main(argv=None) -> int:
     if args.list_faults:
         print(format_fault_list())
         return 0
-    if args.replay_trace is not None:
-        return _run_replay(args.replay_trace, args.policy)
-    if args.campaign is not None or args.resume is not None:
-        if args.campaign is not None and args.resume is not None:
-            parser.error("--campaign and --resume are mutually "
-                         "exclusive")
-        code = _run_campaign_cli(
-            args.campaign or args.resume,
-            resume=args.resume is not None,
-            scenarios=args.campaign_scenarios,
-            policies=args.campaign_policies,
-            faults=args.faults,
-            scale=args.scale,
-            jobs=args.jobs,
-            use_cache=not args.no_cache,
-            deadline_s=args.deadline_s,
-        )
-        return 0 if args.keep_going else code
-    if args.scenario is not None:
-        if args.capture_trace is None:
-            parser.error("--scenario requires --capture-trace FILE")
-        return _run_capture(
-            args.scenario, args.policy or "camdn-full", args.scale,
-            args.capture_trace, faults=args.faults,
-        )
-    if args.capture_trace is not None:
-        parser.error("--capture-trace requires --scenario NAME")
-    if args.faults is not None:
-        parser.error("--faults requires --scenario NAME or --campaign")
-    if args.experiment is None:
-        parser.error("an experiment name (or --list-scenarios, "
-                     "--scenario, --replay-trace, --campaign) is "
-                     "required")
 
     profiler = None
     jobs = args.jobs
@@ -469,17 +467,56 @@ def main(argv=None) -> int:
         jobs = 1
         use_cache = False
 
+    if args.replay_trace is not None:
+        with _profiled(profiler):
+            code = _run_replay(args.replay_trace, args.policy)
+        _dump_profile(profiler, args.profile)
+        return code
+    if args.campaign is not None or args.resume is not None:
+        if args.campaign is not None and args.resume is not None:
+            parser.error("--campaign and --resume are mutually "
+                         "exclusive")
+        with _profiled(profiler):
+            code = _run_campaign_cli(
+                args.campaign or args.resume,
+                resume=args.resume is not None,
+                scenarios=args.campaign_scenarios,
+                policies=args.campaign_policies,
+                faults=args.faults,
+                scale=args.scale,
+                jobs=jobs,
+                use_cache=use_cache,
+                deadline_s=args.deadline_s,
+            )
+        _dump_profile(profiler, args.profile)
+        return 0 if args.keep_going else code
+    if args.scenario is not None:
+        if args.capture_trace is None:
+            parser.error("--scenario requires --capture-trace FILE")
+        with _profiled(profiler):
+            code = _run_capture(
+                args.scenario, args.policy or "camdn-full", args.scale,
+                args.capture_trace, faults=args.faults,
+            )
+        _dump_profile(profiler, args.profile)
+        return code
+    if args.capture_trace is not None:
+        parser.error("--capture-trace requires --scenario NAME")
+    if args.faults is not None:
+        parser.error("--faults requires --scenario NAME or --campaign")
+    if args.experiment is None:
+        parser.error("an experiment name (or --list-scenarios, "
+                     "--scenario, --replay-trace, --campaign) is "
+                     "required")
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     any_failed = False
     for name in names:
         start = time.time()
         reset_sweep_stats()
-        if profiler is not None:
-            profiler.enable()
-        output = EXPERIMENTS[name](args.scale, jobs, use_cache)
-        if profiler is not None:
-            profiler.disable()
+        with _profiled(profiler):
+            output = EXPERIMENTS[name](args.scale, jobs, use_cache)
         print(output)
         stats_line = _engine_stats_line()
         if stats_line:
@@ -488,15 +525,7 @@ def main(argv=None) -> int:
             any_failed = True
         print(f"  [{name} regenerated in {time.time() - start:.1f}s]")
         print()
-    if profiler is not None:
-        import pstats
-
-        profiler.dump_stats(args.profile)
-        top = pstats.Stats(profiler)
-        top.sort_stats("cumulative")
-        print(f"profile written to {args.profile} "
-              f"(load with `python -m pstats {args.profile}`); top 10:")
-        top.print_stats(10)
+    _dump_profile(profiler, args.profile)
     # A cell that failed after retries is a failed run: exit nonzero so
     # CI pipelines notice (--keep-going opts back into exit 0).
     if any_failed and not args.keep_going:

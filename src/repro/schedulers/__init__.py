@@ -21,8 +21,12 @@ def make_scheduler(name: str, **kwargs) -> SchedulerPolicy:
     """Build a scheduler by its paper name.
 
     Accepted names: ``"baseline"``, ``"moca"``, ``"aurora"``,
-    ``"camdn-hw"``, ``"camdn-full"``.
+    ``"camdn-hw"``, ``"camdn-full"``, ``"camdn-qos"`` (the Figure 9
+    integration: CaMDN(Full) with AuRORA's slack-weighted bandwidth and
+    core co-allocation).
     """
+    if name == "camdn-qos":
+        return CaMDNFullScheduler(qos_mode=True, **kwargs)
     registry = {
         "baseline": SharedCacheBaseline,
         "moca": MoCAScheduler,
@@ -34,6 +38,7 @@ def make_scheduler(name: str, **kwargs) -> SchedulerPolicy:
         cls = registry[name]
     except KeyError:
         raise ValueError(
-            f"unknown scheduler {name!r}; known: {sorted(registry)}"
+            f"unknown scheduler {name!r}; known: "
+            f"{sorted(registry) + ['camdn-qos']}"
         ) from None
     return cls(**kwargs)

@@ -71,11 +71,15 @@ class AuRORAScheduler(MoCAScheduler):
         return 1
 
     def rate_kernel(self):
-        """Never fusable: slack weighting applies even when every slack
-        is the no-deadline 1.0 (the exponential weight scales demands
-        before normalization, which is not float-identical to the plain
-        demand-proportional split MoCA degenerates to)."""
-        return None
+        """Always the slack-weighted spec: the exponential weight
+        applies even when every slack is the no-deadline 1.0 (which is
+        not float-identical to the plain demand-proportional split MoCA
+        degenerates to, so AuRORA never returns ``demand_prop``)."""
+        return (
+            "slack_weighted",
+            self._bw_policy.urgency,
+            self._bw_policy.floor,
+        )
 
     def bandwidth_shares(self, running: Dict[str, TaskInstance],
                          now: float) -> Dict[str, float]:

@@ -242,14 +242,26 @@ class SchedulerPolicy(abc.ABC):
         A policy whose :meth:`bandwidth_shares_list` currently reduces
         to a closed form the engine can fuse with the kernel step may
         return a spec tuple; ``None`` (the default) keeps the split
-        recompute/step path.  Supported specs:
+        recompute/step path.  Every spec implies ``demand =
+        max(rem_dram, 1) / max(rem_compute / freq, 1e-9)`` and a
+        uniform DRAM efficiency (:meth:`uniform_dram_efficiency` must
+        not return ``None``).  Supported specs:
 
-        * ``("demand_prop", floor)`` — demand-proportional shares with a
-          starvation floor: ``demand = max(rem_dram, 1) /
-          max(rem_compute / freq, 1e-9)``, shares floored per
-          :class:`~repro.memory.bwalloc.DemandProportionalPolicy`, and a
-          uniform DRAM efficiency (:meth:`uniform_dram_efficiency` must
-          not return ``None``).
+        * ``("demand_prop", floor)`` — demand-proportional shares with
+          a starvation floor, per
+          :class:`~repro.memory.bwalloc.DemandProportionalPolicy`.
+        * ``("slack_weighted", urgency, floor)`` — AuRORA's rule:
+          ``weight = max(demand, 1) * exp(-urgency *
+          clamp(slack, ±20))`` with ``slack`` from :meth:`slack_of`
+          (1.0 for no-deadline instances), normalized per
+          :class:`~repro.memory.bwalloc.SlackWeightedPolicy`.
+        * ``("slack_throttled", floor)`` — MoCA's finite-deadline rule:
+          demands halved when ``slack > 0.5``, then demand-proportional.
+
+        The slack specs make the engine maintain per-instance slack
+        inputs (arrival, deadline, est-isolated-latency, layer
+        progress) in kernel SoA arrays; :meth:`slack_of` must therefore
+        stay a pure function of those inputs and ``now``.
 
         The returned spec must hold until the policy bumps
         :attr:`rate_epoch`; the fused implementations are bit-identical

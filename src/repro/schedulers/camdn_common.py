@@ -13,9 +13,11 @@ import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import SoCConfig
+from ..core.allocator import LOOKAHEAD_FRACTION, AllocationDecision
 from ..core.camdn import CaMDNSystem, LayerGrant
 from ..errors import SimulationError
 from ..memory.bwalloc import DemandProportionalPolicy, SlackWeightedPolicy
+from ..sim import native as _native
 from ..sim.task import LayerWork, TaskInstance
 from .base import SchedulerPolicy
 
@@ -61,6 +63,11 @@ class CaMDNSchedulerBase(SchedulerPolicy):
         self._tenant_admits = 0
         self._tenant_retires = 0
         self._pages_retired = 0
+        #: id(mapping_file) -> (mapping_file, rows, pairs) tables for
+        #: the native completion handler (see _build_fast_file).
+        self._fast_files: Dict[int, tuple] = {}
+        self._advance_native = None
+        self._alloc = None
 
     def attach(self, soc: SoCConfig) -> None:
         super().attach(soc)
@@ -96,6 +103,9 @@ class CaMDNSchedulerBase(SchedulerPolicy):
             self.system._hw_only_decision
             if self.system._hw_only else None
         )
+        self._alloc = self.system.allocator
+        self._fast_files = {}
+        self._advance_native = _native.camdn_advance()
 
     # ------------------------------------------------------------------
     # Checkpoint support
@@ -150,6 +160,9 @@ class CaMDNSchedulerBase(SchedulerPolicy):
             self.system._hw_only_decision
             if self.system._hw_only else None
         )
+        self._alloc = self.system.allocator
+        self._fast_files = {}
+        self._advance_native = _native.camdn_advance()
 
     # ------------------------------------------------------------------
     # Core allocation (AuRORA-compatible in QoS mode)
@@ -253,6 +266,55 @@ class CaMDNSchedulerBase(SchedulerPolicy):
             return self.begin_layer(instance, now)
         state, region = ctx
         layer_index = instance.layer_index
+        fast = self._advance_native
+        if fast is not None:
+            # Native per-completion fast path: end-of-layer predictor
+            # update, next-layer selection and the no-resize grant in
+            # one C call.  None means the C side bailed without mutating
+            # anything; the Python chain below then owns the event.
+            mf = state.mapping_file
+            ft = self._fast_files.get(id(mf))
+            if ft is None or ft[0] is not mf:
+                ft = self._build_fast_file(mf)
+            nxt = layer_index + 1
+            rows = ft[1]
+            if nxt < len(rows):
+                alloc = self._alloc
+                block = state.lbm_block
+                if block is not None:
+                    ls, le = block
+                else:
+                    ls = le = -1
+                res = fast(
+                    alloc._tnext, alloc._pnext, alloc._palloc,
+                    state._slot, now, alloc.total_pages,
+                    alloc._palloc_sum, ls, le, layer_index,
+                    len(region.pcpns), rows[nxt],
+                    1 if self._sys_hw is not None else 0,
+                    self.system._share,
+                )
+                if res is not None:
+                    code, nls, nle = res
+                    if nls != ls or nle != le:
+                        # block_of returns the mapping file's canonical
+                        # block tuple — the very object the Python chain
+                        # would install, keeping pickled object graphs
+                        # (snapshot bytes) identical across paths.
+                        state.lbm_block = (
+                            None if nls < 0 else mf.block_of(nxt)
+                        )
+                    instance.layer_index = nxt
+                    # cores is capped at 2 (cores_for), so packing the
+                    # selection code above it can never collide.
+                    entry = ft[2][nxt].get(code * 64 + instance.cores)
+                    if entry is None:
+                        entry = self._build_fast_pair(
+                            instance, state, region, nxt, code, ft
+                        )
+                    instance.sched_scratch = entry[0]
+                    if entry[2]:
+                        self._lbm_layers += 1
+                    return entry[1]
         self._alloc_end(state, layer_index, now)
         layer_index += 1
         instance.layer_index = layer_index
@@ -302,6 +364,146 @@ class CaMDNSchedulerBase(SchedulerPolicy):
         self.system.retire_task(instance.instance_id, now)
         instance.sched_scratch = None
         instance.sched_ctx = None
+
+    # ------------------------------------------------------------------
+    # Native completion-handler support tables
+    # ------------------------------------------------------------------
+
+    def _build_fast_file(self, mf) -> tuple:
+        """Precompute the per-layer geometry rows the C completion
+        handler reads, plus one ``(grant, (work, 0.0), is_lbm)`` memo
+        dict per layer keyed by ``code * 64 + cores``.
+
+        One table per mapping file (shared by every task of the model):
+        every field is a frozen per-layer constant — candidate page
+        counts, block bounds, profiled latencies and their timeout
+        scalings — so the C side never touches a Python object graph
+        beyond one tuple row and the predictor lists.
+        """
+        alloc = self._alloc
+        geoms = mf.layer_geometries(alloc.page_bytes)
+        heads = mf.block_head_flags()
+        block_est = mf.block_latencies()
+        ests = mf.scaled_latencies(1.0)
+        touts = mf.scaled_latencies(LOOKAHEAD_FRACTION)
+        blocks = mf._layer_block_table()
+        rows = []
+        pairs: List[dict] = []
+        for i, geom in enumerate(geoms):
+            blk = blocks[i]
+            rows.append((
+                -1 if geom.lbm_pages is None else geom.lbm_pages,
+                1 if heads[i] else 0,
+                -1 if blk is None else blk[0],
+                -1 if blk is None else blk[1],
+                block_est[i] * LOOKAHEAD_FRACTION,
+                ests[i],
+                touts[i],
+                1 if geom.single_level else 0,
+                1 if geom.is_sorted else 0,
+                1 if geom.trivial else 0,
+                tuple(geom.unique_pages),
+                tuple(geom.first_of_unique),
+                tuple(geom.last_of_unique),
+                tuple(geom.lwm_pages),
+            ))
+            pairs.append({})
+        ft = (mf, rows, pairs)
+        self._fast_files[id(mf)] = ft
+        return ft
+
+    def _build_fast_pair(self, instance: TaskInstance, state, region,
+                         layer_index: int, code: int, ft: tuple
+                         ) -> tuple:
+        """Cold miss of the native completion handler: rebuild the
+        decision the C selection ``code`` denotes — through the same
+        geometry decision cache the Python chain uses, so both paths
+        create identical cache entries at the first occurrence — then
+        run the exact grant/work machinery once and memoize the
+        ``(grant, (work, 0.0), is_lbm)`` triple.
+
+        Re-running ``_try_grant`` after the C commit is idempotent: the
+        footprint equals the region (no resize), palloc is unchanged
+        (the skipped write), and an enabling decision re-installs the
+        same block bounds the C call already reported."""
+        geom = state.geoms[layer_index]
+        cache = geom.decision_cache
+        mct = state.mcts[layer_index]
+        if self._sys_hw is not None:
+            if code < 2:
+                enables = code == 0
+                key = "hw_lbm_on" if enables else "hw_lbm_keep"
+                decision = cache.get(key)
+                if decision is None:
+                    decision = AllocationDecision(
+                        candidate=mct.lbm,
+                        pages_needed=geom.lbm_pages,
+                        timeout_s=0.0,
+                        enables_lbm=enables,
+                    )
+                    cache[key] = decision
+            else:
+                i = code - 2
+                decision = cache.get(i)
+                if decision is None:
+                    decision = AllocationDecision(
+                        candidate=mct.lwm[i],
+                        pages_needed=geom.lwm_pages[i],
+                        timeout_s=0.0,
+                    )
+                    cache[i] = decision
+        elif code == 0:
+            decision = cache.get("lbm_sticky")
+            if decision is None:
+                decision = AllocationDecision(
+                    candidate=mct.lbm,
+                    pages_needed=geom.lbm_pages,
+                    timeout_s=math.inf,
+                )
+                cache["lbm_sticky"] = decision
+        elif code == 1:
+            timeout = state.block_est[layer_index] * LOOKAHEAD_FRACTION
+            key = ("lbm_head", timeout)
+            decision = cache.get(key)
+            if decision is None:
+                decision = AllocationDecision(
+                    candidate=mct.lbm,
+                    pages_needed=geom.lbm_pages,
+                    timeout_s=timeout,
+                    enables_lbm=True,
+                )
+                cache[key] = decision
+        elif code == 2:
+            timeout = state.timeouts[layer_index]
+            decision = cache.get("lwm0")
+            if decision is None or decision.timeout_s != timeout:
+                decision = AllocationDecision(
+                    candidate=mct.lwm[0],
+                    pages_needed=geom.lwm_pages[0],
+                    timeout_s=timeout,
+                )
+                cache["lwm0"] = decision
+        else:
+            i = code - 3
+            timeout = state.timeouts[layer_index]
+            key = ("lwm", i, timeout)
+            decision = cache.get(key)
+            if decision is None:
+                decision = AllocationDecision(
+                    candidate=mct.lwm[i],
+                    pages_needed=geom.lwm_pages[i],
+                    timeout_s=timeout,
+                )
+                cache[key] = decision
+        grant = self._sys_try(state, region, layer_index, decision)
+        candidate = decision.candidate
+        wentry = self._work_entry(candidate)
+        pair = wentry[1].get(instance.cores)
+        if pair is None:
+            pair = self._build_work(instance, candidate, wentry)
+        entry = (grant, pair, wentry[2])
+        ft[2][layer_index][code * 64 + instance.cores] = entry
+        return entry
 
     # ------------------------------------------------------------------
 
@@ -369,10 +571,14 @@ class CaMDNSchedulerBase(SchedulerPolicy):
 
     def rate_kernel(self) -> Optional[tuple]:
         """Non-QoS mode is plain demand-proportional over the remaining
-        work, which the engine can fuse with the kernel step; QoS mode
-        (slack-weighted, time-dependent) is not expressible."""
+        work; QoS mode is AuRORA's slack-weighted rule.  Both are
+        expressible as fused specs."""
         if self.qos_mode:
-            return None
+            return (
+                "slack_weighted",
+                self._bw_policy.urgency,
+                self._bw_policy.floor,
+            )
         return ("demand_prop", self._demand_policy.floor)
 
     def bandwidth_shares(self, running: Dict[str, TaskInstance],

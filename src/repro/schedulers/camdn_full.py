@@ -16,3 +16,12 @@ class CaMDNFullScheduler(CaMDNSchedulerBase):
 
     name = "camdn-full"
     mode = "full"
+
+    def __init__(self, qos_mode: bool = False, **kwargs) -> None:
+        super().__init__(qos_mode=qos_mode, **kwargs)
+        if qos_mode:
+            # The Figure 9 integration is its own row everywhere it
+            # appears (results, snapshots, ``make_scheduler``); carrying
+            # the faithful name lets a snapshot of a QoS run resume
+            # through ``make_scheduler(snapshot.policy)`` unchanged.
+            self.name = "camdn-qos"

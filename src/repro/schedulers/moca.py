@@ -122,10 +122,12 @@ class MoCAScheduler(SharedCacheBaseline):
         """With no finite-deadline task active, the slack throttle
         cancels out of the proportional allocation (see
         :meth:`bandwidth_shares_list`) and the rule is plain
-        demand-proportional, which the engine can fuse.  The epoch bumps
-        in the task hooks re-trigger resolution at each transition."""
+        demand-proportional; with the throttle awake the rule is the
+        slack-throttled spec (demands halved when slack > 0.5, then
+        demand-proportional).  Both are fusable.  The epoch bumps in
+        the task hooks re-trigger resolution at each transition."""
         if self._finite_qos_active:
-            return None
+            return ("slack_throttled", self._policy.floor)
         return ("demand_prop", self._policy.floor)
 
     def _demand(self, instance: TaskInstance) -> float:

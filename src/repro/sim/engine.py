@@ -252,9 +252,11 @@ class MultiTenantEngine:
         if use_native is not False and kernel_backend is None:
             self._native = native.fused_step()
         # Fused rate mode, resolved from the policy's rate_kernel() per
-        # rate epoch (see _resolve_rate_mode).
-        self._mode_demand = False
+        # rate epoch (see _resolve_rate_mode): 0 = split path,
+        # 1 = demand_prop, 2 = slack_weighted, 3 = slack_throttled.
+        self._fused_mode = 0
         self._mode_floor = 0.0
+        self._mode_urgency = 0.0
         self._rate_epoch_seen = 0
         self._rates_valid = False
         # Scenario timeline: once the workload's scheduled events drain,
@@ -640,25 +642,53 @@ class MultiTenantEngine:
     def _resolve_rate_mode(self) -> None:
         """Cache the policy's fusable rate rule for the current epoch.
 
-        A policy advertising ``("demand_prop", floor)`` gets the fused
+        A policy advertising a fusable spec gets the fused
         recompute+step path (native when compiled, pure Python
         otherwise); anything else keeps the split
-        ``_recompute_rates`` + ``kernel.step`` pair.  Re-resolved
-        whenever the policy bumps
+        ``_recompute_rates`` + ``kernel.step`` pair.  Supported specs
+        (see :meth:`SchedulerPolicy.rate_kernel`):
+
+        * ``("demand_prop", floor)``     -> mode 1
+        * ``("slack_weighted", urgency, floor)`` -> mode 2
+        * ``("slack_throttled", floor)`` -> mode 3
+
+        The slack modes additionally switch the kernel's slack-input
+        SoA tracking on (``configure_slack``), so per-instance deadline
+        /est/progress inputs ride alongside the fluid arrays.
+        Re-resolved whenever the policy bumps
         :attr:`~repro.schedulers.base.SchedulerPolicy.rate_epoch`.
         """
         scheduler = self.scheduler
+        kernel = self._kernel
         self._rate_epoch_seen = scheduler.rate_epoch
-        self._mode_demand = False
+        self._fused_mode = 0
         self._mode_floor = 0.0
-        if self._kernel._force_backend is not None:
+        self._mode_urgency = 0.0
+        if kernel._force_backend is not None:
             # A pinned kernel backend means the test wants that exact
             # step implementation: keep the split path.
+            kernel.configure_slack(False)
             return
         spec = scheduler.rate_kernel()
-        if spec is not None and spec[0] == "demand_prop":
-            self._mode_demand = True
+        if spec is None:
+            kernel.configure_slack(False)
+            return
+        kind = spec[0]
+        if kind == "demand_prop":
+            self._fused_mode = 1
             self._mode_floor = float(spec[1])
+            kernel.configure_slack(False)
+        elif kind == "slack_weighted":
+            self._fused_mode = 2
+            self._mode_urgency = float(spec[1])
+            self._mode_floor = float(spec[2])
+            kernel.configure_slack(True, scheduler.est_isolated_latency_s)
+        elif kind == "slack_throttled":
+            self._fused_mode = 3
+            self._mode_floor = float(spec[1])
+            kernel.configure_slack(True, scheduler.est_isolated_latency_s)
+        else:
+            kernel.configure_slack(False)
 
     def _batch_run(self) -> None:
         """Process a run of events without leaving this frame.
@@ -683,14 +713,16 @@ class MultiTenantEngine:
         step = kernel.step
         native_step = self._native
         fused_py = kernel.fused_step_demand
+        fused_slack_py = kernel.fused_step_slack
         uniform_eff = self._uniform_eff
         freq = self._freq
         total_bw = self._total_bw
         dynamic = self._dynamic_rates
         wait_heap = self._wait_heap
         epoch = self._rate_epoch_seen
-        mode_demand = self._mode_demand
+        fused_mode = self._fused_mode
         floor = self._mode_floor
+        urgency = self._mode_urgency
         max_events = self._max_events
         # The next fault instant is constant inside a batch: actions are
         # only consumed by _process_faults, which runs between batches.
@@ -722,7 +754,7 @@ class MultiTenantEngine:
                 if wait_dt < 0.0:
                     wait_dt = 0.0
             res = None
-            if mode_demand:
+            if fused_mode:
                 n = len(insts)
                 if n != n_eff:
                     try:
@@ -733,20 +765,35 @@ class MultiTenantEngine:
                     if eff is None:
                         # Per-instance efficiencies: not fusable after
                         # all; drop to the split path for this run.
-                        self._mode_demand = mode_demand = False
+                        self._fused_mode = fused_mode = 0
                     n_eff = n
-                if mode_demand and n:
+                if fused_mode and n:
                     if kernel._use_np:
                         kernel._materialize()
-                    if native_step is not None:
+                    if fused_mode == 1:
+                        if native_step is not None:
+                            res = native_step(
+                                kernel.rem_c, kernel.rem_d,
+                                kernel.rate_c, kernel.rate_d,
+                                wait_dt, 1, freq, total_bw, eff, floor,
+                            )
+                        else:
+                            res = fused_py(wait_dt, freq, total_bw, eff,
+                                           floor)
+                    elif native_step is not None:
                         res = native_step(
                             kernel.rem_c, kernel.rem_d,
                             kernel.rate_c, kernel.rate_d,
-                            wait_dt, 1, freq, total_bw, eff, floor,
+                            wait_dt, fused_mode, freq, total_bw, eff,
+                            floor, kernel.sl_arrival, kernel.sl_qos,
+                            kernel.sl_est, kernel.sl_progress,
+                            self.now, urgency,
                         )
                     else:
-                        res = fused_py(wait_dt, freq, total_bw, eff,
-                                       floor)
+                        res = fused_slack_py(
+                            wait_dt, freq, total_bw, eff, floor,
+                            urgency, self.now, fused_mode == 3,
+                        )
             elif native_step is not None and self._rates_valid \
                     and not kernel._use_np:
                 res = native_step(

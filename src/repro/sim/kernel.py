@@ -35,7 +35,8 @@ compacted (never reused out of order) on every membership change.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+import math
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..errors import SimulationError
 
@@ -62,6 +63,8 @@ class RunningKernel:
         "insts", "pos", "rem_c", "rem_d", "rate_c", "rate_d",
         "_force_backend", "_np_always", "_np_enabled", "_use_np",
         "_arr_c", "_arr_d", "_arr_rc", "_arr_rd",
+        "sl_arrival", "sl_qos", "sl_est", "sl_progress",
+        "_slack_on", "_est_fn",
     )
 
     def __init__(self, force_backend: Optional[str] = None) -> None:
@@ -83,6 +86,17 @@ class RunningKernel:
         self._np_enabled = _np is not None and force_backend != "list"
         self._use_np = False
         self._arr_c = self._arr_d = self._arr_rc = self._arr_rd = None
+        # Slack-input SoA arrays for the fused slack-weighted rate
+        # kernels (see configure_slack).  Maintained alongside the fluid
+        # arrays only while a slack-aware fused mode is active, so
+        # demand-prop/static runs pay one boolean test per membership
+        # change and nothing else.
+        self.sl_arrival: List[float] = []
+        self.sl_qos: List[float] = []
+        self.sl_est: List[float] = []
+        self.sl_progress: List[float] = []
+        self._slack_on = False
+        self._est_fn: Optional[Callable] = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -100,6 +114,8 @@ class RunningKernel:
         self.rem_d.append(inst.rem_dram_bytes)
         self.rate_c.append(0.0)
         self.rate_d.append(0.0)
+        if self._slack_on:
+            self._slack_append(inst)
 
     def remove(self, inst: "TaskInstance") -> None:
         """Drop an instance, writing its fluid state back to it."""
@@ -112,6 +128,11 @@ class RunningKernel:
         del self.rem_d[i]
         del self.rate_c[i]
         del self.rate_d[i]
+        if self._slack_on:
+            del self.sl_arrival[i]
+            del self.sl_qos[i]
+            del self.sl_est[i]
+            del self.sl_progress[i]
         for j in range(i, len(self.insts)):
             self.pos[self.insts[j].instance_id] = j
 
@@ -124,6 +145,10 @@ class RunningKernel:
         i = self.pos[inst.instance_id] if pos is None else pos
         self.rem_c[i] = inst.rem_compute_cycles
         self.rem_d[i] = inst.rem_dram_bytes
+        if self._slack_on:
+            self.sl_progress[i] = (
+                inst.layer_index / max(inst.num_layers, 1)
+            )
         if self._use_np:
             self._arr_c[i] = self.rem_c[i]
             self._arr_d[i] = self.rem_d[i]
@@ -138,6 +163,54 @@ class RunningKernel:
             self._select_backend()
         else:
             self._use_np = False
+
+    # ------------------------------------------------------------------
+    # Slack-input maintenance (fused slack-weighted rate kernels)
+    # ------------------------------------------------------------------
+
+    def _slack_append(self, inst: "TaskInstance") -> None:
+        self.sl_arrival.append(inst.arrival_time)
+        self.sl_qos.append(inst.qos_target_s)
+        self.sl_est.append(self._est_fn(inst))
+        self.sl_progress.append(
+            inst.layer_index / max(inst.num_layers, 1)
+        )
+
+    def configure_slack(self, enabled: bool, est_fn=None) -> None:
+        """Enable/disable slack-input tracking for the fused slack modes.
+
+        ``est_fn(inst)`` must return the estimated isolated latency used
+        by :meth:`SchedulerPolicy.slack_of` — a pure function of the
+        instance's graph, so the stored value never goes stale.  The
+        per-instance inputs (``arrival_time``, ``qos_target_s``, est,
+        and layer progress) are maintained in SoA arrays mirroring
+        :attr:`insts`; progress refreshes on every :meth:`set_work`.
+
+        Enabling when already enabled is a cheap no-op (the arrays stay
+        — every element is a pure function of its instance, so they
+        cannot be stale).  Enabling from scratch rebuilds from the
+        current running set.
+        """
+        if not enabled:
+            if self._slack_on:
+                self._slack_on = False
+                self._est_fn = None
+                self.sl_arrival = []
+                self.sl_qos = []
+                self.sl_est = []
+                self.sl_progress = []
+            return
+        if self._slack_on:
+            self._est_fn = est_fn
+            return
+        self._slack_on = True
+        self._est_fn = est_fn
+        self.sl_arrival = []
+        self.sl_qos = []
+        self.sl_est = []
+        self.sl_progress = []
+        for inst in self.insts:
+            self._slack_append(inst)
 
     def take_finished(self, positions: List[int]) -> List["TaskInstance"]:
         """Write the given positions' fluid state back and return their
@@ -325,6 +398,113 @@ class RunningKernel:
                     finished.append(i)
         return dt, finished
 
+    def fused_step_slack(self, wait_dt: float, freq: float,
+                         total_bw: float, eff: float, floor: float,
+                         urgency: float, now: float, throttled: bool):
+        """Fused slack-aware event step (pure-Python twin of the native
+        ``_batchstep.fused_step`` in modes ``SLACK_WEIGHTED`` /
+        ``SLACK_THROTTLED``).
+
+        ``throttled=False`` transcribes the slack-weighted share rule
+        (``AuRORAScheduler.bandwidth_shares_list`` →
+        ``SlackWeightedPolicy.allocate_list``, also the CaMDN QoS
+        branch): ``weight = max(demand, 1.0) * exp(-urgency *
+        clamp(slack, ±20))`` normalized as ``base + remaining * w /
+        total``.
+
+        ``throttled=True`` transcribes MoCA's finite-deadline branch
+        (``MoCAScheduler.bandwidth_shares_list`` →
+        ``DemandProportionalPolicy.allocate_list`` non-negative fast
+        path): demands halved when ``slack > 0.5``, normalized as
+        ``base + remaining * (d / total)``.
+
+        Slack inputs come from the SoA arrays maintained under
+        :meth:`configure_slack`; every expression keeps the exact
+        IEEE-754 shape of ``SchedulerPolicy.slack_of`` and the policy
+        list paths, so results are bit-identical to the split path.
+        Return protocol matches :meth:`fused_step_demand`.
+        """
+        if self._use_np:
+            self._materialize()
+        rem_c, rem_d = self.rem_c, self.rem_d
+        arrival, qos = self.sl_arrival, self.sl_qos
+        est, progress = self.sl_est, self.sl_progress
+        n = len(rem_c)
+        isinf = math.isinf
+        exp = math.exp
+        weights: List[float] = []
+        append_w = weights.append
+        for i in range(n):
+            d = rem_d[i]
+            t = rem_c[i] / freq
+            # max(rem_d, 1.0) / max(rem_c / freq, 1e-9)
+            demand = (d if d > 1.0 else 1.0) / (t if t > 1e-9 else 1e-9)
+            q = qos[i]
+            if isinf(q):
+                slack = 1.0
+            else:
+                a = arrival[i]
+                expected_finish = a + (
+                    est[i] * (1.0 - progress[i])
+                ) + (now - a)
+                slack = (a + q - expected_finish) / q
+            if throttled:
+                # MoCA: halve the demand of comfortably-ahead tenants.
+                if slack > 0.5:
+                    demand *= 0.5
+                append_w(demand)
+            else:
+                # clamp = min(max(slack, -20.0), 20.0) — equal-value
+                # branches return the same float either way.
+                s = slack if slack > -20.0 else -20.0
+                s = s if s < 20.0 else 20.0
+                append_w(
+                    (demand if demand > 1.0 else 1.0) * exp(-urgency * s)
+                )
+        total = sum(weights)
+        if n and not total > 0.0:
+            return None
+        floor_total = floor * n if floor * n < 1 else 0.0
+        base = floor if floor_total else 0.0
+        remaining = 1.0 - floor_total
+        dt = float("inf")
+        rate_d: List[float] = []
+        append_rate = rate_d.append
+        for c, d, w in zip(rem_c, rem_d, weights):
+            if throttled:
+                s = base + remaining * (w / total)
+            else:
+                s = base + remaining * w / total
+            r = total_bw * s * eff
+            if not r > 1e-6:
+                r = 1e-6
+            append_rate(r)
+            t_c = c / freq
+            t_d = d / r
+            t = t_c if t_c >= t_d else t_d
+            if t < dt:
+                dt = t
+        if wait_dt < dt:
+            dt = wait_dt
+        if dt == float("inf") or dt < 0:
+            return dt, None
+        finished: Optional[List[int]] = None
+        for i in range(n):
+            c = rem_c[i] - dt * freq
+            if c < 0.0:
+                c = 0.0
+            rem_c[i] = c
+            d = rem_d[i] - dt * rate_d[i]
+            if d < 0.0:
+                d = 0.0
+            rem_d[i] = d
+            if c <= _FINISH_EPS and d <= _FINISH_EPS:
+                if finished is None:
+                    finished = [i]
+                else:
+                    finished.append(i)
+        return dt, finished
+
     def advance(self, dt: float) -> List[int]:
         """Drain ``dt`` seconds of fluid work; return finished positions.
 
@@ -386,6 +566,14 @@ class RunningKernel:
             # step implementation (restore_state itself ignores this —
             # the receiving kernel's own pin wins).
             "force_backend": self._force_backend,
+            # Slack-input SoA state for the fused slack modes; the
+            # est_fn binding is not picklable and is re-installed by the
+            # engine's rate-mode resolution on resume.
+            "slack_on": self._slack_on,
+            "sl_arrival": list(self.sl_arrival),
+            "sl_qos": list(self.sl_qos),
+            "sl_est": list(self.sl_est),
+            "sl_progress": list(self.sl_progress),
         }
 
     def restore_state(self, state: dict) -> None:
@@ -405,6 +593,21 @@ class RunningKernel:
         self.rate_d = list(state["rate_d"])
         self._use_np = False
         self._arr_c = self._arr_d = self._arr_rc = self._arr_rd = None
+        # Pre-slack snapshots (no "slack_on" key) restore with tracking
+        # off; the engine's rate-mode resolution rebuilds the arrays
+        # from the running set if the policy needs them.
+        self._slack_on = bool(state.get("slack_on", False))
+        self._est_fn = None
+        if self._slack_on:
+            self.sl_arrival = list(state["sl_arrival"])
+            self.sl_qos = list(state["sl_qos"])
+            self.sl_est = list(state["sl_est"])
+            self.sl_progress = list(state["sl_progress"])
+        else:
+            self.sl_arrival = []
+            self.sl_qos = []
+            self.sl_est = []
+            self.sl_progress = []
         if state["use_np"] and self._np_enabled:
             self._use_np = True
             self._arr_c = _np.array(self.rem_c, dtype=_np.float64)

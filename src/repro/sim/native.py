@@ -34,10 +34,11 @@ _SOURCE = Path(__file__).with_name("_batchstep.c")
 #: Bump to invalidate cached binaries when the calling convention
 #: changes without a source change (defensive; the digest covers the
 #: normal case).
-_ABI_TAG = 1
+_ABI_TAG = 2
 
 _loaded = False
 _fused_step: Optional[Callable] = None
+_camdn_advance: Optional[Callable] = None
 _status = "not loaded"
 
 
@@ -109,7 +110,7 @@ def fused_step() -> Optional[Callable]:
     First call per process compiles (or reuses) the cached extension;
     later calls return the memoized result.
     """
-    global _loaded, _fused_step, _status
+    global _loaded, _fused_step, _camdn_advance, _status
     if _loaded:
         return _fused_step
     _loaded = True
@@ -143,11 +144,24 @@ def fused_step() -> Optional[Callable]:
                 _build(so_path)
                 module = _load_from(so_path)
         _fused_step = module.fused_step
+        _camdn_advance = module.camdn_advance
         _status = f"loaded ({so_path.name})"
     except Exception as exc:  # noqa: BLE001 - any failure means fallback
         _fused_step = None
+        _camdn_advance = None
         _status = f"unavailable: {type(exc).__name__}: {exc}"
     return _fused_step
+
+
+def camdn_advance() -> Optional[Callable]:
+    """The native CaMDN per-completion handler, or ``None``.
+
+    Shares the load attempt with :func:`fused_step` (one extension
+    module carries both entry points).
+    """
+    if not _loaded:
+        fused_step()
+    return _camdn_advance
 
 
 def native_status() -> str:
@@ -157,7 +171,8 @@ def native_status() -> str:
 
 def reset_for_tests() -> None:
     """Forget the memoized load so tests can exercise both paths."""
-    global _loaded, _fused_step, _status
+    global _loaded, _fused_step, _camdn_advance, _status
     _loaded = False
     _fused_step = None
+    _camdn_advance = None
     _status = "not loaded"

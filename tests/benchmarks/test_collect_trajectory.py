@@ -1,0 +1,74 @@
+"""Unit tests for the trajectory collector's ROADMAP row emitter."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+_MODULE_PATH = (
+    Path(__file__).parent.parent.parent
+    / "benchmarks" / "collect_trajectory.py"
+)
+# The collector imports its sibling check_regression the way the CLI
+# does (benchmarks/ on sys.path); mirror that for the standalone load.
+sys.path.insert(0, str(_MODULE_PATH.parent))
+try:
+    _spec = importlib.util.spec_from_file_location(
+        "collect_trajectory", _MODULE_PATH
+    )
+    collect_trajectory = importlib.util.module_from_spec(_spec)
+    _spec.loader.exec_module(collect_trajectory)
+finally:
+    sys.path.remove(str(_MODULE_PATH.parent))
+
+
+def _doc():
+    return {
+        "meta": {
+            "captured_utc": "2026-08-07T02:00:00+00:00",
+            "commit": "0123456789abcdef",
+        },
+        "benches": {
+            "engine": {
+                "policies": {
+                    "camdn-full": {"kernel": {"events_per_s": 132_611.0}},
+                    "aurora": {"kernel": {"events_per_s": 228_957.0}},
+                },
+            },
+            "scenario": {
+                "policies": {
+                    "camdn-qos/churn-heavy": {
+                        "kernel": {"events_per_s": 172_818.0}
+                    },
+                },
+            },
+        },
+    }
+
+
+class TestRoadmapRow:
+    def test_row_shape_and_content(self):
+        row = collect_trajectory.roadmap_row(_doc(), label="PR 9")
+        # One table row: milestone | wall-time placeholder | notes.
+        assert row.startswith("| PR 9 (2026-08-07, 012345678) |")
+        assert row.count("|") == 4
+        assert "(tier-1 wall: fill in)" in row
+        assert "engine: aurora 229k, camdn-full 133k ev/s" in row
+        assert "scenario: camdn-qos/churn-heavy 173k ev/s" in row
+
+    def test_policies_sorted_for_stable_diffs(self):
+        row = collect_trajectory.roadmap_row(_doc())
+        assert row.index("aurora") < row.index("camdn-full")
+
+    def test_empty_doc_degrades(self):
+        row = collect_trajectory.roadmap_row({"meta": {}, "benches": {}})
+        assert "no bench outputs in doc" in row
+
+    def test_row_from_cli_round_trips(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_trajectory.json"
+        path.write_text(json.dumps(_doc()))
+        assert collect_trajectory.main(
+            ["--row-from", str(path), "--roadmap-label", "PR 9"]
+        ) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == collect_trajectory.roadmap_row(_doc(), label="PR 9")

@@ -1,11 +1,13 @@
 """Native fused-step equivalence and loader behaviour.
 
 The batch loop's three step implementations — native C fused step,
-pure-Python fused step (:meth:`RunningKernel.fused_step_demand`) and the
-classic split ``_recompute_rates`` + ``kernel.step`` pair — must be
-bit-identical; the committed reference suite pins the default path and
-these tests pin the cross-path agreement, including MoCA's mid-run rate
-epoch transitions.
+pure-Python fused step (:meth:`RunningKernel.fused_step_demand` /
+:meth:`RunningKernel.fused_step_slack`) and the classic split
+``_recompute_rates`` + ``kernel.step`` pair — must be bit-identical
+across every rate-kernel mode (demand-proportional, slack-weighted,
+slack-throttled); the committed reference suite pins the default path
+and these tests pin the cross-path agreement, including MoCA's mid-run
+rate epoch transitions, QoS tenant churn and fuzzed fault schedules.
 """
 
 import json
@@ -16,6 +18,7 @@ import random
 import pytest
 from hypothesis import HealthCheck, given, settings
 
+from fuzz_faults import dump_falsifying_fault_case, fault_specs
 from fuzz_scenarios import (
     count_mode_scenario_specs,
     dump_falsifying_spec,
@@ -33,7 +36,8 @@ from repro.sim.workload import (
     WorkloadSpec,
 )
 
-POLICIES = ("baseline", "moca", "aurora", "camdn-hw", "camdn-full")
+POLICIES = ("baseline", "moca", "aurora", "camdn-hw", "camdn-full",
+            "camdn-qos")
 
 _fuzz_settings = settings(
     max_examples=int(os.environ.get("REPRO_FUZZ_EXAMPLES", "10")),
@@ -213,6 +217,96 @@ class TestFusedStepBitIdentity:
                       1e9, 1e9, 0.9, 0.02) is None
 
 
+@needs_native
+class TestFusedSlackBitIdentity:
+    """The C slack modes against :meth:`RunningKernel.fused_step_slack`.
+
+    Modes 2 (slack-weighted, AuRORA/CaMDN-QoS) and 3 (slack-throttled,
+    MoCA with finite deadlines) over randomized fluid state and slack
+    inputs — mixed finite/infinite deadlines, arbitrary progress, the
+    ±20 clamp edges — asserting bit-identical dt, finished sets and
+    in-place remaining-work updates.
+    """
+
+    MODES = ((2, False), (3, True))
+
+    def _kernel_with(self, rem_c, rem_d, arrival, qos, est, progress):
+        kernel = RunningKernel(force_backend="list")
+        kernel.rem_c = list(rem_c)
+        kernel.rem_d = list(rem_d)
+        kernel.sl_arrival = list(arrival)
+        kernel.sl_qos = list(qos)
+        kernel.sl_est = list(est)
+        kernel.sl_progress = list(progress)
+        kernel.insts = [None] * len(rem_c)
+        return kernel
+
+    @pytest.mark.parametrize("mode,throttled", MODES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomized_state_agrees(self, mode, throttled, seed):
+        rng = random.Random(1000 * mode + seed)
+        for _ in range(200):
+            n = rng.choice((0, 1, 2, 3, 8, 24, 100))
+            rem_c = [rng.uniform(0.0, 5e4) for _ in range(n)]
+            rem_d = [rng.uniform(0.0, 1e5) for _ in range(n)]
+            now = rng.uniform(0.0, 0.1)
+            arrival = [rng.uniform(0.0, now) for _ in range(n)]
+            qos = [rng.choice((math.inf,
+                               rng.uniform(1e-5, 2e-2),
+                               # Tiny targets push slack past the ±20
+                               # clamp the weighted mode applies.
+                               rng.uniform(1e-9, 1e-6)))
+                   for _ in range(n)]
+            est = [rng.uniform(1e-6, 5e-2) for _ in range(n)]
+            progress = [rng.uniform(0.0, 1.0) for _ in range(n)]
+            wait_dt = rng.choice(
+                (math.inf, rng.uniform(0.0, 1e-4), 0.0)
+            )
+            freq, bw = 1e9, 102.4e9
+            eff = rng.choice((0.92, 0.775))
+            floor = rng.choice((0.02, 0.0))
+            urgency = 3.0 if mode == 2 else 0.0
+            c_rem_c, c_rem_d = list(rem_c), list(rem_d)
+            res_c = NATIVE(c_rem_c, c_rem_d, [], [], wait_dt, mode,
+                           freq, bw, eff, floor, list(arrival),
+                           list(qos), list(est), list(progress), now,
+                           urgency)
+            kernel = self._kernel_with(rem_c, rem_d, arrival, qos, est,
+                                       progress)
+            res_py = kernel.fused_step_slack(wait_dt, freq, bw, eff,
+                                             floor, urgency, now,
+                                             throttled)
+            if res_c is None:
+                assert res_py is None
+                continue
+            dt_c, fin_c = res_c
+            dt_py, fin_py = res_py
+            assert repr(dt_c) == repr(dt_py)
+            assert (fin_c or None) == (fin_py or None)
+            assert [x.hex() for x in c_rem_c] == \
+                [x.hex() for x in kernel.rem_c]
+            assert [x.hex() for x in c_rem_d] == \
+                [x.hex() for x in kernel.rem_d]
+
+    def test_non_float_slack_items_fall_back(self):
+        args = ([2.0], [3.0], [], [], math.inf, 2, 1e9, 1e9, 0.9, 0.02)
+        good = ([0.0], [1.0], [0.01], [0.5], 0.0, 3.0)
+        assert NATIVE(*args, *good) is not None
+        for pos in range(4):
+            bad = list(good)
+            bad[pos] = [1]  # int, not float
+            assert NATIVE(*args, *bad) is None
+
+    def test_mismatched_slack_lengths_fall_back(self):
+        assert NATIVE([2.0], [3.0], [], [], math.inf, 2,
+                      1e9, 1e9, 0.9, 0.02,
+                      [0.0, 0.0], [1.0], [0.01], [0.5], 0.0, 3.0) is None
+
+    def test_slack_mode_requires_16_args(self):
+        assert NATIVE([2.0], [3.0], [], [], math.inf, 2,
+                      1e9, 1e9, 0.9, 0.02) is None
+
+
 class TestEngineCrossPathIdentity:
     """Engine runs must agree across native / python-fused / split."""
 
@@ -233,13 +327,59 @@ class TestEngineCrossPathIdentity:
         assert _metrics_json(fused) == _metrics_json(split)
         assert fused.events_processed == split.events_processed
 
-    @pytest.mark.parametrize("policy", ("moca", "camdn-full", "aurora"))
+    @pytest.mark.parametrize(
+        "policy", ("moca", "camdn-full", "aurora", "camdn-qos"))
     def test_qos_workload_agrees(self, policy):
-        # Finite deadlines: MoCA's slack throttle wakes up (rate_kernel
-        # None for the whole run), aurora multi-core grants engage.
+        # Finite deadlines: MoCA's slack throttle wakes up
+        # (rate_kernel flips to ("slack_throttled", floor)), aurora /
+        # camdn-qos run the slack-weighted fused kernel, and aurora
+        # multi-core grants engage.
         with_native = _run(policy, use_native=None, qos_scale=1.0)
         without = _run(policy, use_native=False, qos_scale=1.0)
         assert _metrics_json(with_native) == _metrics_json(without)
+
+    @pytest.mark.parametrize("policy", ("moca", "aurora", "camdn-qos"))
+    def test_qos_python_fused_vs_split(self, policy):
+        # The pure-Python slack twin (fused_step_slack) against the
+        # classic split pair under finite deadlines: pins the twin's
+        # IEEE-754 transcription independently of the C path.
+        fused = _run(policy, use_native=False, qos_scale=1.0)
+        split = _run(policy, backend="list", qos_scale=1.0)
+        assert _metrics_json(fused) == _metrics_json(split)
+        assert fused.events_processed == split.events_processed
+
+    @pytest.mark.parametrize("policy", ("aurora", "camdn-qos"))
+    def test_slack_tenant_join_leave(self, policy):
+        # QoS tenants joining and leaving mid-run resize the kernel's
+        # slack SoA arrays inside active fused batches; all three step
+        # implementations must stay in lockstep across the churn.
+        spec = ScenarioSpec(
+            streams=(
+                StreamSpec(model="RS.", qos_scale=1.0, inferences=3,
+                           arrival=ArrivalProcess.closed_loop()),
+                StreamSpec(model="MB.", qos_scale=1.2, inferences=2,
+                           arrival=ArrivalProcess.closed_loop(),
+                           join_s=0.004),
+                StreamSpec(model="EF.", qos_scale=1.0, inferences=6,
+                           arrival=ArrivalProcess.closed_loop(),
+                           join_s=0.002, leave_s=0.012),
+            ),
+        )
+
+        def run(use_native=None, backend=None):
+            engine = MultiTenantEngine(
+                SoCConfig(), make_scheduler(policy),
+                ScenarioWorkload(spec),
+                kernel_backend=backend, use_native=use_native,
+            )
+            return engine.run()
+
+        with_native = run()
+        without = run(use_native=False)
+        split = run(backend="list")
+        assert _metrics_json(with_native) == _metrics_json(without)
+        assert _metrics_json(without) == _metrics_json(split)
+        assert with_native.events_processed == split.events_processed
 
     def test_moca_mid_run_epoch_transition(self):
         # One deadline-carrying stream finishes early, flipping MoCA's
@@ -295,7 +435,8 @@ class TestFuzzedCrossPathIdentity:
 
     @_fuzz_settings
     @given(spec=scenario_specs())
-    @pytest.mark.parametrize("policy", ("camdn-full", "moca"))
+    @pytest.mark.parametrize("policy", ("camdn-full", "moca",
+                                        "camdn-qos"))
     def test_fuzzed_python_fused_vs_split(self, spec, policy):
         fused = self._run_spec(spec, policy, use_native=False)
         split = self._run_spec(spec, policy, backend="list")
@@ -317,3 +458,37 @@ class TestFuzzedCrossPathIdentity:
         assert with_native.offered_inferences == split.offered_inferences
         assert _metrics_json(with_native) == _metrics_json(split), \
             dump_falsifying_spec(spec, policy, "backlog-native-vs-split")
+
+
+class TestFaultedSlackCrossPath:
+    """Slack-kernel policies under fuzzed fault schedules.
+
+    Fault actions (DRAM throttles, core outages, tenant stalls) cut
+    fused batches at arbitrary instants and change the efficiency /
+    capacity inputs between them; the slack-weighted native path must
+    resume each batch exactly where the pure-Python twin would.
+    Fuzzed specs mix finite and infinite deadlines, so the same run
+    crosses trivial (slack == 1.0) and active slack regimes.
+    """
+
+    @_fuzz_settings
+    @given(spec=scenario_specs(), faults=fault_specs())
+    @pytest.mark.parametrize("policy", ("aurora", "camdn-qos"))
+    def test_faulted_native_vs_python_fused(self, spec, faults, policy):
+        def run(use_native):
+            engine = MultiTenantEngine(
+                SoCConfig(), make_scheduler(policy),
+                ScenarioWorkload(spec), faults=faults,
+                use_native=use_native,
+            )
+            return engine.run(max_events=2_000_000)
+
+        with_native = run(None)
+        without = run(False)
+        assert with_native.events_processed == without.events_processed
+        if with_native.metrics.records:
+            assert _metrics_json(with_native) == _metrics_json(without), \
+                dump_falsifying_fault_case(spec, faults, policy,
+                                           "slack-native-vs-python")
+        else:
+            assert not without.metrics.records

@@ -26,7 +26,13 @@ from repro.errors import SnapshotError
 from repro.experiments.common import run_scenario
 from repro.sim.engine import MultiTenantEngine
 from repro.sim.faults import get_fault_schedule
-from repro.sim.scenario import get_scenario, scenario_names
+from repro.sim.scenario import (
+    ArrivalProcess,
+    ScenarioSpec,
+    StreamSpec,
+    get_scenario,
+    scenario_names,
+)
 from repro.sim.snapshot import (
     SNAPSHOT_SCHEMA_VERSION,
     EngineSnapshot,
@@ -96,6 +102,60 @@ class TestSnapshotUnderFaults:
             get_scenario(scenario).scaled(GRID_SCALE), policy,
             faults=get_fault_schedule(fault).scaled(GRID_SCALE),
         )
+
+
+def _qos_spec(churn: bool = False) -> ScenarioSpec:
+    """Finite-deadline tenants so the slack-kernel policies run the
+    fused slack path (mode 2/3) when the snapshot hook fires."""
+    streams = [
+        StreamSpec(model="RS.", qos_scale=1.0, inferences=3,
+                   arrival=ArrivalProcess.closed_loop()),
+        StreamSpec(model="MB.", qos_scale=1.2, inferences=3,
+                   arrival=ArrivalProcess.closed_loop()),
+        StreamSpec(model="EF.", qos_scale=1.0, inferences=4,
+                   arrival=ArrivalProcess.closed_loop()),
+    ]
+    if churn:
+        streams.append(
+            StreamSpec(model="VT.", qos_scale=1.0, inferences=4,
+                       arrival=ArrivalProcess.closed_loop(),
+                       join_s=0.003, leave_s=0.02)
+        )
+    return ScenarioSpec(streams=tuple(streams))
+
+
+class TestSnapshotSlackKernels:
+    """Snapshots taken mid-fused-slack-batch resume byte-identically.
+
+    AuRORA and CaMDN-QoS always run the slack-weighted fused kernel;
+    MoCA with finite deadlines runs the slack-throttled one.  The
+    midpoint snapshot lands while the kernel's slack SoA arrays
+    (arrival / qos target / est-isolated-latency / progress) are live,
+    so this pins their capture + restore — including across tenant
+    churn, which resizes the arrays on both sides of the snapshot.
+    """
+
+    @pytest.mark.parametrize("policy", ("aurora", "camdn-qos", "moca"))
+    def test_qos_run_resumes_identically(self, policy):
+        _round_trip(_qos_spec(), policy)
+
+    @pytest.mark.parametrize("policy", ("aurora", "camdn-qos", "moca"))
+    def test_qos_churn_run_resumes_identically(self, policy):
+        _round_trip(_qos_spec(churn=True), policy)
+
+    @pytest.mark.parametrize("policy", ("aurora", "camdn-qos"))
+    def test_resume_without_native_stays_identical(self, policy):
+        """A slack-mode snapshot resumed onto the pure-Python twin
+        (native disabled) completes byte-identically to the clean
+        native run."""
+        spec = _qos_spec()
+        clean = run_scenario(spec, policy=policy)
+        snapped = run_scenario(
+            spec, policy=policy,
+            snapshot_at_events=clean.events_processed // 2,
+        )
+        engine = snapped.last_snapshot.resume(use_native=False)
+        assert _summary(engine.resume_run()) == _summary(clean)
 
 
 class TestEngineSnapshotAPI:

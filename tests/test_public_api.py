@@ -54,7 +54,9 @@ class TestSimulateHelper:
     def test_policy_kwargs_forwarded(self):
         result = simulate("camdn-full", ["MB."], inferences_per_stream=1,
                           qos_mode=True)
-        assert result.scheduler_name == "camdn-full"
+        # The QoS integration reports its own row name — proof the
+        # kwarg reached the scheduler.
+        assert result.scheduler_name == "camdn-qos"
 
     def test_unknown_policy(self):
         with pytest.raises(ValueError):
@@ -80,3 +82,27 @@ class TestRunnerCLI:
 
         assert main(["fig3"]) == 0
         assert "reuse" in capsys.readouterr().out
+
+    def test_profile_reaches_allocator_frames(self, tmp_path, capsys):
+        """``--profile`` on a ``--scenario`` run profiles through
+        ``run_scenario`` in-process: the pstats dump must contain the
+        engine event loop and the CaMDN completion-chain / allocator
+        frames — not just the sweep parent."""
+        import pstats
+
+        from repro.experiments.runner import main
+
+        prof = tmp_path / "prof.pstats"
+        trace = tmp_path / "run.trace.json"
+        assert main(["--scenario", "steady-quad", "--scale", "0.25",
+                     "--policy", "camdn-full",
+                     "--capture-trace", str(trace),
+                     "--profile", str(prof)]) == 0
+        assert prof.exists()
+        files = {
+            frame[0] for frame in pstats.Stats(str(prof)).stats
+        }
+        assert any(f.endswith("allocator.py") for f in files), \
+            "allocator frames missing from the profile"
+        assert any(f.endswith("engine.py") for f in files)
+        assert "profile written to" in capsys.readouterr().out
