@@ -1,0 +1,138 @@
+"""Fleet benchmark: device-cells/sec through the sharded fleet path.
+
+Measures the end-to-end fleet pipeline — :meth:`FleetSpec.expand`,
+the sharded in-process sweep, and the streaming population-digest
+aggregation — on a small heterogeneous fleet (two device classes, a
+steady/Poisson scenario mix).  The cell cache is disabled so the
+number reflects real simulation throughput, not cache lookups; the
+engine hot path is already covered by ``bench_engine.py``, so a
+regression *here* that does not show *there* means the fleet layers
+(expansion, shard batching, digest folds) got slower.
+
+Every fleet is run twice and the population ``fleet_summary()`` is
+asserted byte-identical before any number is reported.
+
+Emits ``BENCH_fleet.json`` in the manifest shape::
+
+    {
+      "meta": {...},
+      "fleets": {
+        "<policy>/<devices>dev": {
+          "kernel": {"events": N, "wall_s": t, "events_per_s": r}
+        }, ...
+      }
+    }
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py [--out BENCH_fleet.json]
+    python benchmarks/check_regression.py fleet  # CI guard (>30% drop)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict
+
+from repro import MiB
+from repro.fleet import DeviceClass, FleetSpec, ScenarioDraw
+from repro.fleet.runner import run_fleet
+
+#: Policies under test; the fleet mix itself is fixed.
+POLICIES = ("baseline", "camdn-full")
+DEVICES = 16
+SCALE = 0.25
+
+
+def fleet_spec(policy: str) -> FleetSpec:
+    """The benchmark fleet: heterogeneous hardware and workloads."""
+    return FleetSpec(
+        devices=DEVICES,
+        policy=policy,
+        device_classes=(
+            DeviceClass(name="table2", weight=3.0),
+            DeviceClass(name="budget", weight=1.0,
+                        cache_bytes=2 * MiB),
+        ),
+        scenario_draws=(
+            ScenarioDraw(scenario="steady-quad", weight=2.0),
+            ScenarioDraw(scenario="poisson-eight", weight=1.0,
+                         arrival_scale=0.5),
+        ),
+        mc_runs=1,
+        scale=SCALE,
+        seed=2025,
+    )
+
+
+def bench_fleet(policy: str, repeats: int = 3) -> Dict:
+    """Best-of-N fleet runs; asserts run-to-run byte-identity."""
+    spec = fleet_spec(policy)
+    best = None
+    result = None
+    summaries = set()
+    for _ in range(max(repeats, 2)):
+        start = time.perf_counter()
+        result = run_fleet(spec, max_workers=1, use_cache=False)
+        wall = time.perf_counter() - start
+        summaries.add(
+            json.dumps(result.fleet_summary(), sort_keys=True)
+        )
+        if best is None or wall < best:
+            best = wall
+    if len(summaries) != 1:
+        raise AssertionError(
+            f"{policy}: repeated fleet runs diverge"
+        )
+    if result.failures:
+        raise AssertionError(
+            f"{policy}: {len(result.failures)} device cells failed"
+        )
+    events = sum(r.events_processed for r in result.results)
+    return {
+        "kernel": {
+            "events": events,
+            "wall_s": best,
+            "events_per_s": events / best,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_fleet.json",
+                        help="output JSON path")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per fleet (best is kept)")
+    args = parser.parse_args(argv)
+
+    report = {
+        "meta": {
+            "devices": DEVICES,
+            "scale": SCALE,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "fleets": {},
+    }
+    for policy in POLICIES:
+        name = f"{policy}/{DEVICES}dev"
+        entry = bench_fleet(policy, repeats=args.repeats)
+        report["fleets"][name] = entry
+        print(
+            f"{name:<22} "
+            f"{entry['kernel']['events_per_s']:>12,.0f} ev/s  "
+            f"({entry['kernel']['events']:,} events)"
+        )
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,6 +73,13 @@ MANIFEST: Dict[str, BenchSpec] = {
         rate_path=("ops_per_s",),
         unit="ops/s",
     ),
+    "fleet": BenchSpec(
+        current="BENCH_fleet.json",
+        baseline="BENCH_fleet.baseline.json",
+        section="fleets",
+        rate_path=("kernel", "events_per_s"),
+        unit="ev/s",
+    ),
 }
 
 

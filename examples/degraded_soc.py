@@ -16,8 +16,13 @@ Usage::
 
 from __future__ import annotations
 
-from repro import FaultEvent, FaultSpec, get_fault_schedule
-from repro.experiments.common import run_scenario
+from repro import (
+    FaultEvent,
+    FaultSpec,
+    RunConfig,
+    get_fault_schedule,
+    run,
+)
 from repro.sim.faults import CORE_OFFLINE
 
 POLICIES = ("baseline", "moca", "aurora", "camdn-hw", "camdn-full")
@@ -53,9 +58,9 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for policy in POLICIES:
-        clean = run_scenario(SCENARIO, policy=policy)
-        faulted = run_scenario(SCENARIO, policy=policy,
-                               faults="degraded-soc")
+        clean = run(SCENARIO, policy=policy)
+        faulted = run(SCENARIO, policy=policy,
+                      config=RunConfig(faults="degraded-soc"))
         summary = faulted.summary()
         print(
             f"{policy:<12}"
@@ -78,7 +83,8 @@ def main() -> None:
             FaultEvent(kind=CORE_OFFLINE, t_s=0.10, duration_s=0.15,
                        cores=cores),
         ))
-        result = run_scenario(SCENARIO, policy="camdn-full", faults=spec)
+        result = run(SCENARIO, policy="camdn-full",
+                     config=RunConfig(faults=spec))
         assert conservation_ok(result)
         print(
             f"{cores:>14}{result.completed_inferences:>11}"

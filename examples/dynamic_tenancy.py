@@ -15,8 +15,13 @@ Usage::
 
 from __future__ import annotations
 
-from repro import ArrivalProcess, ScenarioSpec, StreamSpec, simulate_scenario
-from repro.experiments.common import run_scenario
+from repro import (
+    ArrivalProcess,
+    ScenarioSpec,
+    StreamSpec,
+    run,
+    simulate_scenario,
+)
 from repro.schedulers.camdn_full import CaMDNFullScheduler
 
 POLICIES = ("baseline", "moca", "aurora", "camdn-hw", "camdn-full")
@@ -82,7 +87,7 @@ def main() -> None:
 
     print("\nTenancy timeline under CaMDN(Full):")
     probe = PageProbe()
-    probed = run_scenario(SCENARIO, policy=probe)
+    probed = run(SCENARIO, policy=probe)
     for line in probe.log:
         print(line)
 

@@ -25,8 +25,7 @@ import json
 import tempfile
 from pathlib import Path
 
-from repro.experiments.common import run_scenario
-from repro.sim.scenario import get_scenario
+from repro import RunConfig, get_scenario, run
 from repro.sim.snapshot import EngineSnapshot
 
 SCENARIO = "diurnal-flash"
@@ -43,7 +42,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 1. The uninterrupted reference run.
     # ------------------------------------------------------------------
-    clean = run_scenario(spec, policy=POLICY)
+    clean = run(spec, policy=POLICY)
     print(
         f"reference run: {clean.events_processed:,} events, "
         f"{clean.completed_inferences} completed inferences over "
@@ -54,7 +53,8 @@ def main() -> None:
     # 2. Snapshot halfway, serialize, "crash", reload, resume.
     # ------------------------------------------------------------------
     half = clean.events_processed // 2
-    snapped = run_scenario(spec, policy=POLICY, snapshot_at_events=half)
+    snapped = run(spec, policy=POLICY,
+                  config=RunConfig(snapshot_at_events=half))
     snap = snapped.last_snapshot
     envelope = snap.to_json()
     print(
@@ -79,10 +79,12 @@ def main() -> None:
     # 3. Rolling on-disk checkpoints, as a crashing campaign sees them.
     # ------------------------------------------------------------------
     with tempfile.TemporaryDirectory() as tmp:
-        checked = run_scenario(
+        checked = run(
             spec, policy=POLICY,
-            checkpoint_every_s=0.05,  # wall-clock cadence
-            checkpoint_dir=tmp,
+            config=RunConfig(
+                checkpoint_every_s=0.05,  # wall-clock cadence
+                checkpoint_dir=tmp,
+            ),
         )
         assert summary_bytes(checked) == summary_bytes(clean)
         path = Path(tmp) / "checkpoint.json"

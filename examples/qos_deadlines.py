@@ -16,8 +16,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro import SoCConfig, simulate
-from repro.experiments.common import isolated_latencies
+from repro import SoCConfig, isolated_latencies, simulate
 from repro.models.zoo import BENCHMARK_MODELS
 from repro.sim.qos import fairness, sla_rate, system_throughput
 

@@ -48,7 +48,15 @@ from .core.prepared import (
     prepared_cache_info,
 )
 from .errors import ReproError
+from .fleet import (
+    DeviceClass,
+    FleetAccumulator,
+    FleetSpec,
+    QuantileDigest,
+    ScenarioDraw,
+)
 from .models import build_model, load_benchmark_suite
+from .runconfig import RunConfig
 from .schedulers import make_scheduler
 from .sim import (
     ArrivalProcess,
@@ -115,6 +123,19 @@ __all__ = [
     "prepared_cache_info",
     "clear_prepared_caches",
     "simulate",
+    # Stable public facade (PR 10): one import surface for running
+    # scenarios and fleets without reaching into experiment internals.
+    "run",
+    "run_fleet",
+    "resume_fleet",
+    "RunConfig",
+    "FleetSpec",
+    "FleetResult",
+    "DeviceClass",
+    "ScenarioDraw",
+    "FleetAccumulator",
+    "QuantileDigest",
+    "isolated_latencies",
 ]
 
 
@@ -187,3 +208,77 @@ def simulate_scenario(
     from .experiments.common import run_scenario
 
     return run_scenario(scenario, soc, policy, **policy_kwargs)
+
+
+def run(
+    scenario: "ScenarioSpec | str",
+    soc: Optional[SoCConfig] = None,
+    policy: str = "baseline",
+    config: Optional[RunConfig] = None,
+    scale: float = 1.0,
+    **policy_kwargs,
+) -> SimulationResult:
+    """Run one scenario — the stable facade over the experiment layer.
+
+    Args:
+        scenario: a :class:`ScenarioSpec` or a registered scenario name
+            (see :func:`scenario_names`).
+        soc: hardware configuration (defaults to paper Table II).
+        policy: scheduler name (``"baseline"``, ``"moca"``, ``"aurora"``,
+            ``"camdn-hw"``, ``"camdn-full"``, ``"camdn-qos"``).
+        config: run-control configuration (see :class:`RunConfig`).
+        scale: duration/arrival scale applied to the scenario
+            (``spec.scaled(scale)``), mirroring the runner's
+            ``--scale``.
+        **policy_kwargs: forwarded to the scheduler constructor.
+
+    Returns:
+        The :class:`SimulationResult` with metrics.
+    """
+    from .experiments.common import run_scenario
+
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if scale != 1.0:
+        scenario = scenario.scaled(scale)
+    return run_scenario(scenario, soc, policy, config=config,
+                        **policy_kwargs)
+
+
+def run_fleet(spec: FleetSpec, **kwargs):
+    """Simulate a device population — the stable facade over
+    :func:`repro.fleet.runner.run_fleet` (same signature past ``spec``:
+    ``soc``, ``journal_path``, ``max_workers``, ``use_cache``,
+    ``deadline_s``, ``shard_size``, ``max_bins``).
+
+    Returns:
+        The :class:`repro.fleet.runner.FleetResult` with population
+        percentiles via ``fleet_summary()``.
+    """
+    from .fleet.runner import run_fleet as _run_fleet
+
+    return _run_fleet(spec, **kwargs)
+
+
+def resume_fleet(journal_path, **kwargs):
+    """Resume a crashed journaled fleet — facade over
+    :func:`repro.fleet.runner.resume_fleet`."""
+    from .fleet.runner import resume_fleet as _resume_fleet
+
+    return _resume_fleet(journal_path, **kwargs)
+
+
+def __getattr__(name: str):
+    # These live in lazily-loaded modules (the fleet runner and the
+    # experiments layer both import this module for __version__).
+    if name == "FleetResult":
+        from .fleet.runner import FleetResult
+
+        return FleetResult
+    if name == "isolated_latencies":
+        from .experiments.common import isolated_latencies
+
+        return isolated_latencies
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -203,6 +203,40 @@ def fault_spec_from_dict(data: dict):
     return FaultSpec.from_dict(data)
 
 
+def fleet_spec_to_dict(spec) -> dict:
+    """Canonical JSON-ready form of a
+    :class:`~repro.fleet.spec.FleetSpec` (versioned, exact float
+    round-trip; keys the fleet journal sidecar)."""
+    return spec.to_dict()
+
+
+def fleet_spec_from_dict(data: dict):
+    """Inverse of :func:`fleet_spec_to_dict`.
+
+    Raises:
+        WorkloadError: the payload is not a supported fleet schema.
+    """
+    from ..fleet.spec import FleetSpec
+
+    return FleetSpec.from_dict(data)
+
+
+def fleet_spec_content_hash(spec) -> str:
+    """Stable content hash of a fleet population.
+
+    Salted with the package version and source digest like the sweep
+    cell keys, so a fleet hash can key caches without ever serving
+    results across code changes.
+    """
+    from .. import __version__  # deferred: package root mid-import
+
+    return stable_content_hash({
+        "repro_version": __version__,
+        "source_salt": source_content_salt(),
+        "fleet": fleet_spec_to_dict(spec),
+    })
+
+
 def event_trace_to_dict(trace) -> dict:
     """Canonical JSON-ready form of a
     :class:`~repro.sim.trace.EventTrace` (versioned, content-hashed;

@@ -11,16 +11,18 @@ bundle, builds the scheduler and drives the engine over a declarative
 from __future__ import annotations
 
 import functools
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Union
 
 from ..config import SoCConfig
 from ..core.prepared import prepare_workload
 from ..errors import WorkloadError
+from ..runconfig import RUN_CONFIG_KEYS, RunConfig
 from ..schedulers import make_scheduler
 from ..schedulers.base import SchedulerPolicy
 from ..sim.engine import MultiTenantEngine, SimulationResult
-from ..sim.faults import FaultSpec, get_fault_schedule
+from ..sim.faults import get_fault_schedule
 from ..sim.scenario import ScenarioSpec, get_scenario
 from ..sim.trace import EventTraceRecorder
 from ..sim.workload import ScenarioWorkload, WorkloadSpec
@@ -68,21 +70,32 @@ class ExperimentScale:
         return self.base_warmup_s * self.scale
 
 
+def _lower_legacy_kwargs(kwargs: dict) -> Optional[RunConfig]:
+    """The deprecation shim: pop the old ``run_scenario`` run-control
+    keywords out of ``kwargs`` (leaving only policy kwargs) and lower
+    them into a :class:`~repro.runconfig.RunConfig`.
+
+    Returns ``None`` when no legacy keyword was passed.
+    """
+    legacy = {k: kwargs.pop(k) for k in RUN_CONFIG_KEYS & kwargs.keys()}
+    if not legacy:
+        return None
+    warnings.warn(
+        f"passing {sorted(legacy)} to run_scenario() as keyword "
+        f"arguments is deprecated; pass "
+        f"config=RunConfig({', '.join(sorted(legacy))}) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return RunConfig(**legacy)
+
+
 def run_scenario(
     spec: Union[ScenarioSpec, str],
     soc: Optional[SoCConfig] = None,
     policy: Union[str, SchedulerPolicy] = "baseline",
     *,
-    qos_mode: bool = False,
-    trace=None,
-    kernel_backend: Optional[str] = None,
-    capture_trace: bool = False,
-    faults: Union[FaultSpec, str, None] = None,
-    max_events: Optional[int] = None,
-    max_wall_s: Optional[float] = None,
-    checkpoint_every_s: Optional[float] = None,
-    checkpoint_dir: Optional[str] = None,
-    snapshot_at_events: Optional[int] = None,
+    config: Optional[RunConfig] = None,
     **policy_kwargs,
 ) -> SimulationResult:
     """Simulate one scenario under one policy (the single entry point).
@@ -94,44 +107,39 @@ def run_scenario(
         policy: scheduler name (``"baseline"``, ``"moca"``, ``"aurora"``,
             ``"camdn-hw"``, ``"camdn-full"``) or a ready-built policy
             instance.
-        qos_mode: enable the AuRORA-style QoS integration on CaMDN
-            policies (ignored on other policy names, matching the
-            Figure 9 setup; rejected when ``policy`` is an instance —
-            configure the instance directly).
-        trace: optional :class:`~repro.sim.trace.TraceRecorder`.
-        kernel_backend: force the engine kernel backend
-            (``"numpy"`` / ``"list"``).
-        capture_trace: record every scenario/engine event and attach the
-            finished :class:`~repro.sim.trace.EventTrace` to the result
-            (``result.event_trace``); the capture is pure observation,
-            so metrics are unchanged.
-        faults: optional :class:`~repro.sim.faults.FaultSpec` (or the
-            name of a registered fault schedule) injecting hardware and
-            tenant faults into the run.  ``None`` or an empty spec is
-            byte-identical to a fault-free run.
-        max_events: engine watchdog event budget (see
-            :meth:`~repro.sim.engine.MultiTenantEngine.run`).
-        max_wall_s: engine watchdog wall-clock budget in seconds; the
-            campaign runner's per-cell ``deadline_s`` rides this.
-        checkpoint_every_s: write a rolling on-disk engine checkpoint at
-            this wall-clock cadence (requires ``checkpoint_dir``).
-        checkpoint_dir: directory for the rolling checkpoint.
-        snapshot_at_events: capture one in-memory engine snapshot at the
-            first batch boundary past this event count; it is attached
-            to ``result.last_snapshot`` (test hook).
+        config: run-control configuration (QoS integration, fault
+            injection, trace capture, watchdog budgets, checkpointing,
+            kernel backend); see :class:`~repro.runconfig.RunConfig`.
+            Defaults to ``RunConfig()``.
         **policy_kwargs: forwarded to the scheduler constructor when
             ``policy`` is a name.
+
+    The pre-``RunConfig`` keyword signature (``qos_mode=``, ``faults=``,
+    ``capture_trace=``, ``max_wall_s=``, ...) keeps working through a
+    shim that lowers the keywords into a :class:`RunConfig` and emits a
+    :class:`DeprecationWarning`; both forms are byte-identical.
 
     Returns:
         The :class:`~repro.sim.engine.SimulationResult` with metrics.
     """
+    legacy = _lower_legacy_kwargs(policy_kwargs)
+    if legacy is not None:
+        if config is not None:
+            raise ValueError(
+                "pass config=RunConfig(...) or the deprecated "
+                "run-control keywords, not both"
+            )
+        config = legacy
+    if config is None:
+        config = RunConfig()
     if isinstance(spec, str):
         spec = get_scenario(spec)
+    faults = config.faults
     if isinstance(faults, str):
         faults = get_fault_schedule(faults)
     soc = soc or SoCConfig()
     if isinstance(policy, SchedulerPolicy):
-        if qos_mode or policy_kwargs:
+        if config.qos_mode or policy_kwargs:
             raise ValueError(
                 "qos_mode / policy kwargs only apply when the policy is "
                 "given by name; configure the instance directly instead"
@@ -140,7 +148,10 @@ def run_scenario(
         policy_name = policy.name
     else:
         policy_name = policy
-        if qos_mode and policy_name.startswith("camdn"):
+        if config.qos_mode and policy_name.startswith("camdn") \
+                and policy_name != "camdn-qos":
+            # "camdn-qos" already pins qos_mode=True in the factory;
+            # forwarding it again would be a duplicate keyword.
             policy_kwargs["qos_mode"] = True
         scheduler = make_scheduler(policy_name, **policy_kwargs)
     # Warm (or hit) the process-wide prepared-workload cache: repeated
@@ -148,18 +159,19 @@ def run_scenario(
     # layer cycles and access segments instead of re-deriving them
     # inside the engine run.
     prepare_workload(policy_name, spec.model_keys, soc)
-    recorder = EventTraceRecorder() if capture_trace else None
+    recorder = EventTraceRecorder() if config.capture_trace else None
     workload = ScenarioWorkload(spec, recorder=recorder)
-    engine = MultiTenantEngine(soc, scheduler, workload, trace=trace,
-                               kernel_backend=kernel_backend,
+    engine = MultiTenantEngine(soc, scheduler, workload,
+                               trace=config.trace,
+                               kernel_backend=config.kernel_backend,
                                event_recorder=recorder,
                                faults=faults)
     result = engine.run(
-        max_events=max_events,
-        max_wall_s=max_wall_s,
-        checkpoint_every_s=checkpoint_every_s,
-        checkpoint_dir=checkpoint_dir,
-        snapshot_at_events=snapshot_at_events,
+        max_events=config.max_events,
+        max_wall_s=config.max_wall_s,
+        checkpoint_every_s=config.checkpoint_every_s,
+        checkpoint_dir=config.checkpoint_dir,
+        snapshot_at_events=config.snapshot_at_events,
     )
     if recorder is not None:
         result.event_trace = recorder.finish(spec, policy_name)
@@ -186,7 +198,8 @@ def run_policy(
         warmup_s=scale.warmup_s,
         qos_scale=qos_scale,
     ).to_scenario()
-    return run_scenario(spec, soc, policy_name, qos_mode=qos_mode)
+    return run_scenario(spec, soc, policy_name,
+                        config=RunConfig(qos_mode=qos_mode))
 
 
 @functools.lru_cache(maxsize=None)

@@ -1,0 +1,188 @@
+"""Fleet capacity planning: at what offered load does QoS collapse?
+
+The ROADMAP north star is population scale — CaMDN's value shows up in
+the *tail* of a device fleet, not in one SoC's average.  This harness
+walks a (fleet size x arrival-rate) grid of seeded Poisson fleets under
+QoS-M deadlines and reports population percentiles per point, then
+locates the knee: the lowest arrival scale whose fleet-wide
+QoS-violation rate crosses the collapse threshold.  That is the
+capacity-planning question an operator actually asks ("how much load
+can this SoC class absorb before p99 users start missing deadlines"),
+answered with the same journaled, cached, deterministic machinery as
+every other experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..fleet.aggregate import FleetAccumulator
+from ..fleet.spec import FleetSpec, ScenarioDraw
+from .sweep import run_sweep
+
+#: Registered scenario whose open-loop load the grid scales.
+FLEET_SCENARIO_NAME = "poisson-eight"
+
+#: Policy under test (fleet studies run one fleet per policy).
+FLEET_POLICY = "camdn-full"
+
+#: Device counts of the grid (population axis).
+DEVICE_GRID: Tuple[int, ...] = (8, 16)
+
+#: Offered-load multipliers of the grid (arrival-rate axis).
+ARRIVAL_GRID: Tuple[float, ...] = (0.25, 0.5, 1.0, 1.5)
+
+#: Fleet-wide QoS-violation rate past which the load point counts as
+#: collapsed (one in five measured inferences missing its deadline).
+COLLAPSE_THRESHOLD = 0.2
+
+#: Per-stream latency-target multiplier applied fleet-wide (QoS-M).
+FLEET_QOS_SCALE = 1.0
+
+
+@dataclass(frozen=True)
+class FleetCapacityRow:
+    """One (devices, arrival scale) point of the capacity grid."""
+
+    devices: int
+    arrival_scale: float
+    inferences: int
+    qos_violation_rate: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    queue_delay_p99_ms: float
+    collapsed: bool
+
+
+def capacity_fleet(devices: int, arrival_scale: float,
+                   scale: float = 1.0,
+                   policy: str = FLEET_POLICY) -> FleetSpec:
+    """The fleet at one grid point (QoS-M deadlines on every device)."""
+    return FleetSpec(
+        devices=devices,
+        policy=policy,
+        scenario_draws=(
+            ScenarioDraw(
+                scenario=FLEET_SCENARIO_NAME,
+                arrival_scale=arrival_scale,
+            ),
+        ),
+        scale=scale,
+        qos_mode=policy.startswith("camdn"),
+        seed=2025,
+    )
+
+
+def _with_qos(spec, qos_scale: float):
+    """The scenario spec with QoS deadlines on every stream."""
+    return replace(
+        spec,
+        streams=tuple(
+            replace(s, qos_scale=qos_scale) for s in spec.streams
+        ),
+    )
+
+
+def run_fleet_capacity(
+    scale: float = 1.0,
+    devices_grid: Sequence[int] = DEVICE_GRID,
+    arrival_grid: Sequence[float] = ARRIVAL_GRID,
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+    policy: str = FLEET_POLICY,
+) -> List[FleetCapacityRow]:
+    """Run the capacity grid; rows in (devices, arrival scale) order.
+
+    Every grid point expands its fleet to cells up front and the whole
+    grid runs as **one** sweep, so the process pool is shared across
+    points and cache hits skip straight to aggregation.  Aggregation
+    folds per-device summaries in canonical cell order — the grid is
+    deterministic under any ``jobs``.
+    """
+    grid = [
+        (devices, arrival_scale)
+        for devices in devices_grid
+        for arrival_scale in arrival_grid
+    ]
+    point_cells = []
+    for devices, arrival_scale in grid:
+        spec = capacity_fleet(devices, arrival_scale, scale=scale,
+                              policy=policy)
+        cells = spec.expand()
+        cells = [
+            replace(c, scenario=_with_qos(c.scenario, FLEET_QOS_SCALE))
+            for c in cells
+        ]
+        point_cells.append(cells)
+    flat = [cell for cells in point_cells for cell in cells]
+    results = run_sweep(flat, max_workers=jobs, use_cache=use_cache,
+                        shard_size=8)
+
+    rows: List[FleetCapacityRow] = []
+    offset = 0
+    for (devices, arrival_scale), cells in zip(grid, point_cells):
+        accumulator = FleetAccumulator()
+        accumulator.fold_results(results[offset:offset + len(cells)])
+        offset += len(cells)
+        summary = accumulator.fleet_summary()
+        latency = summary["latency_ms"] or {}
+        queue = summary["queue_delay_ms"] or {}
+        rate = summary["qos_violation_rate"]
+        rows.append(FleetCapacityRow(
+            devices=devices,
+            arrival_scale=arrival_scale,
+            inferences=summary["inferences"],
+            qos_violation_rate=rate,
+            latency_p50_ms=latency.get("p50", 0.0),
+            latency_p95_ms=latency.get("p95", 0.0),
+            latency_p99_ms=latency.get("p99", 0.0),
+            queue_delay_p99_ms=queue.get("p99", 0.0),
+            collapsed=rate > COLLAPSE_THRESHOLD,
+        ))
+    return rows
+
+
+def collapse_point(rows: Sequence[FleetCapacityRow],
+                   devices: int) -> Optional[float]:
+    """The lowest collapsed arrival scale for one fleet size."""
+    scales = sorted(
+        row.arrival_scale for row in rows
+        if row.devices == devices and row.collapsed
+    )
+    return scales[0] if scales else None
+
+
+def format_fleet_capacity(rows: Sequence[FleetCapacityRow]) -> str:
+    lines = [
+        f"Fleet capacity — population percentiles vs offered load "
+        f"({FLEET_POLICY} on {FLEET_SCENARIO_NAME}, QoS-M)",
+        f"  {'devices':<9}{'load':>6}{'inf':>7}{'p50 ms':>8}"
+        f"{'p95 ms':>8}{'p99 ms':>8}{'q99 ms':>8}{'QoS viol':>10}",
+    ]
+    last_devices = None
+    for row in rows:
+        label = (
+            f"{row.devices}" if row.devices != last_devices else ""
+        )
+        last_devices = row.devices
+        flag = "  <-- collapse" if row.collapsed else ""
+        lines.append(
+            f"  {label:<9}{row.arrival_scale:>6.2f}"
+            f"{row.inferences:>7}{row.latency_p50_ms:>8.2f}"
+            f"{row.latency_p95_ms:>8.2f}{row.latency_p99_ms:>8.2f}"
+            f"{row.queue_delay_p99_ms:>8.2f}"
+            f"{row.qos_violation_rate:>10.1%}{flag}"
+        )
+    for devices in dict.fromkeys(row.devices for row in rows):
+        knee = collapse_point(rows, devices)
+        lines.append(
+            f"  {devices}-device fleet: "
+            + (
+                f"QoS collapses at {knee:.2f}x offered load"
+                if knee is not None
+                else "no collapse inside the grid"
+            )
+        )
+    return "\n".join(lines)

@@ -12,6 +12,20 @@ Usage::
     python -m repro.experiments.runner --campaign run.journal \\
         --campaign-scenarios poisson-eight,churn-eight --deadline-s 120
     python -m repro.experiments.runner --resume run.journal
+    python -m repro.experiments.runner --fleet fleet.json \\
+        --campaign fleet.journal --jobs 8
+    python -m repro.experiments.runner --resume fleet.journal
+    python -m repro.experiments.runner fleet-capacity --scale 0.25
+
+``--fleet FILE`` simulates a device population (see
+:mod:`repro.fleet`): FILE is a JSON :class:`~repro.fleet.spec.FleetSpec`
+that expands deterministically into per-device cells, runs them through
+the sweep/campaign machinery, and prints one ``{"fleet": ...}`` JSON
+line of population percentiles (p50/p95/p99 latency, QoS-violation
+rate) — byte-identical under any ``--jobs`` and across resume cycles.
+With ``--campaign JOURNAL`` the fleet is journaled and crash-safe;
+``--resume JOURNAL`` detects the fleet sidecar automatically and picks
+the population back up.
 
 ``--campaign FILE`` runs a scenario × policy cell grid under a
 crash-safe write-ahead journal (see
@@ -76,6 +90,7 @@ from .fig7_speedup import format_fig7, run_fig7
 from .fig8_scaling import format_fig8, run_fig8
 from .fig9_qos import format_fig9, run_fig9
 from .fig_churn import format_churn, run_churn
+from .fig_fleet import format_fleet_capacity, run_fleet_capacity
 from .fig_resilience import format_resilience, run_resilience
 from .sweep import (
     last_sweep_failures,
@@ -124,6 +139,13 @@ def _resilience(scale: float, jobs: Optional[int],
                                             use_cache=use_cache))
 
 
+def _fleet_capacity(scale: float, jobs: Optional[int],
+                    use_cache: bool) -> str:
+    return format_fleet_capacity(
+        run_fleet_capacity(scale=scale, jobs=jobs, use_cache=use_cache)
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[float, Optional[int], bool], str]] = {
     "fig2": _fig2,
     "fig3": _fig3,
@@ -133,6 +155,7 @@ EXPERIMENTS: Dict[str, Callable[[float, Optional[int], bool], str]] = {
     "table3": _table3,
     "churn": _churn,
     "resilience": _resilience,
+    "fleet-capacity": _fleet_capacity,
 }
 
 
@@ -174,6 +197,7 @@ def _run_capture(scenario_name: str, policy: str, scale: float,
     """Run one registered scenario and write its event trace."""
     import json
 
+    from ..runconfig import RunConfig
     from ..sim.faults import get_fault_schedule
     from ..sim.scenario import get_scenario
     from .common import run_scenario
@@ -183,8 +207,10 @@ def _run_capture(scenario_name: str, policy: str, scale: float,
         get_fault_schedule(faults).scaled(scale)
         if faults is not None else None
     )
-    result = run_scenario(spec, policy=policy, capture_trace=True,
-                          faults=fault_spec)
+    result = run_scenario(
+        spec, policy=policy,
+        config=RunConfig(capture_trace=True, faults=fault_spec),
+    )
     trace = result.event_trace
     path = trace.save(trace_path)
     print(json.dumps(result.metric_summary(), sort_keys=True))
@@ -278,6 +304,56 @@ def _run_campaign_cli(journal_path: str, resume: bool,
     if stats_line:
         print(stats_line)
     return 1 if last_sweep_failures() else 0
+
+
+def _run_fleet_cli(spec_path: str, journal_path: Optional[str],
+                   jobs: Optional[int], use_cache: bool,
+                   deadline_s: Optional[float]) -> int:
+    """Run a fleet described by a JSON spec file.
+
+    With ``journal_path`` the fleet runs under the crash-safe campaign
+    journal (plus the ``.fleet.json`` sidecar) so ``--resume`` can pick
+    it up; without, it runs as an ephemeral sharded sweep.  Prints one
+    ``{"fleet": <population summary>}`` JSON line — byte-identical
+    across worker counts and resume cycles — then the stats footer.
+    Returns 1 when any device cell failed after retries.
+    """
+    import json
+
+    from ..core.serialize import fleet_spec_from_dict
+    from ..fleet.runner import run_fleet
+
+    reset_sweep_stats()
+    with open(spec_path, encoding="utf-8") as fh:
+        spec = fleet_spec_from_dict(json.load(fh))
+    result = run_fleet(spec, journal_path=journal_path,
+                       max_workers=jobs, use_cache=use_cache,
+                       deadline_s=deadline_s)
+    print(json.dumps({"fleet": result.fleet_summary()},
+                     sort_keys=True))
+    stats_line = _engine_stats_line()
+    if stats_line:
+        print(stats_line)
+    return 1 if result.failures else 0
+
+
+def _resume_fleet_cli(journal_path: str, jobs: Optional[int],
+                      use_cache: bool,
+                      deadline_s: Optional[float]) -> int:
+    """Resume a journaled fleet from its journal + sidecar."""
+    import json
+
+    from ..fleet.runner import resume_fleet
+
+    reset_sweep_stats()
+    result = resume_fleet(journal_path, max_workers=jobs,
+                          use_cache=use_cache, deadline_s=deadline_s)
+    print(json.dumps({"fleet": result.fleet_summary()},
+                     sort_keys=True))
+    stats_line = _engine_stats_line()
+    if stats_line:
+        print(stats_line)
+    return 1 if result.failures else 0
 
 
 def _engine_stats_line() -> str:
@@ -388,14 +464,23 @@ def main(argv=None) -> int:
         metavar="FILE",
         default=None,
         help="run a scenario x policy grid under a crash-safe "
-             "write-ahead journal at FILE",
+             "write-ahead journal at FILE (with --fleet: the fleet's "
+             "journal)",
     )
     parser.add_argument(
         "--resume",
         metavar="FILE",
         default=None,
-        help="resume a crashed campaign from its journal, skipping "
-             "completed cells",
+        help="resume a crashed campaign (or fleet — auto-detected "
+             "from the .fleet.json sidecar) from its journal, "
+             "skipping completed cells",
+    )
+    parser.add_argument(
+        "--fleet",
+        metavar="FILE",
+        default=None,
+        help="simulate a device population described by a JSON fleet "
+             "spec; add --campaign JOURNAL to make it resumable",
     )
     parser.add_argument(
         "--campaign-scenarios",
@@ -472,10 +557,35 @@ def main(argv=None) -> int:
             code = _run_replay(args.replay_trace, args.policy)
         _dump_profile(profiler, args.profile)
         return code
-    if args.campaign is not None or args.resume is not None:
-        if args.campaign is not None and args.resume is not None:
+    if args.fleet is not None:
+        if args.resume is not None:
+            parser.error("--fleet starts a new fleet; use --resume "
+                         "FILE alone to pick one back up")
+        with _profiled(profiler):
+            code = _run_fleet_cli(
+                args.fleet,
+                journal_path=args.campaign,
+                jobs=jobs,
+                use_cache=use_cache,
+                deadline_s=args.deadline_s,
+            )
+        _dump_profile(profiler, args.profile)
+        return 0 if args.keep_going else code
+    if args.resume is not None:
+        from ..fleet.runner import fleet_sidecar_path
+
+        if args.campaign is not None:
             parser.error("--campaign and --resume are mutually "
                          "exclusive")
+        if fleet_sidecar_path(args.resume).exists():
+            with _profiled(profiler):
+                code = _resume_fleet_cli(
+                    args.resume, jobs=jobs, use_cache=use_cache,
+                    deadline_s=args.deadline_s,
+                )
+            _dump_profile(profiler, args.profile)
+            return 0 if args.keep_going else code
+    if args.campaign is not None or args.resume is not None:
         with _profiled(profiler):
             code = _run_campaign_cli(
                 args.campaign or args.resume,

@@ -69,6 +69,7 @@ from ..core.serialize import (
     stable_content_hash,
 )
 from ..errors import WorkloadError
+from ..runconfig import RunConfig
 from ..sim.engine import SimulationResult
 from ..sim.faults import FaultSpec
 from ..sim.scenario import ScenarioSpec
@@ -343,9 +344,24 @@ def _run_cell(args: tuple) -> SimulationResult:
         soc = soc.with_cache_bytes(cell.cache_bytes)
     return run_scenario(
         cell.resolve_scenario(), soc, cell.policy,
-        qos_mode=cell.qos_mode, faults=cell.resolve_faults(),
-        max_wall_s=deadline_s,
+        config=RunConfig(
+            qos_mode=cell.qos_mode, faults=cell.resolve_faults(),
+            max_wall_s=deadline_s,
+        ),
     )
+
+
+def _run_cell_shard(args: tuple) -> List[SimulationResult]:
+    """Execute a batch of cells in one worker dispatch.
+
+    Fleet grids run thousands of small cells; shipping them one future
+    at a time drowns the simulation in pickling and IPC overhead.  A
+    shard amortizes the round trip while every cell still simulates
+    through :func:`_run_cell`, so results are byte-identical to
+    unsharded execution.
+    """
+    shard, soc, deadline_s = args
+    return [_run_cell((cell, soc, deadline_s)) for cell in shard]
 
 
 def _warm_worker(solve_memo) -> None:
@@ -368,6 +384,7 @@ def run_sweep(
     max_workers: Optional[int] = None,
     use_cache: bool = True,
     cache_dir: Optional[Path] = None,
+    shard_size: Optional[int] = None,
 ) -> List[Optional[SimulationResult]]:
     """Run every cell and return results in cell order.
 
@@ -381,6 +398,12 @@ def run_sweep(
         use_cache: consult/populate the persistent cell cache.
         cache_dir: cache location override (default: see
             :func:`default_cache_dir` / ``REPRO_SWEEP_CACHE_DIR``).
+        shard_size: batch this many cells per worker dispatch (fleet
+            grids of thousands of tiny cells amortize pickling/IPC this
+            way).  ``None`` or 1 keeps per-cell dispatch.  Results are
+            byte-identical either way; a failing shard falls back to
+            per-cell execution so one bad cell cannot take down its
+            shard-mates.
 
     Each cell is simulated by a deterministic closed-loop engine run, so
     the results are identical whichever worker executes them — or whether
@@ -427,18 +450,47 @@ def run_sweep(
                 initializer=_warm_worker,
                 initargs=(SubspaceSolver.export_solve_memo(),),
             ) as pool:
-                # Per-cell futures (not pool.map) so one raising cell —
-                # or a worker death breaking the pool — surfaces as that
-                # cell's failure instead of aborting the whole sweep.
-                futures = [pool.submit(_run_cell, item) for item in work]
-                fresh, errors = [], []
-                for future in futures:
-                    try:
-                        fresh.append(future.result())
-                        errors.append(None)
-                    except Exception as exc:
-                        fresh.append(None)
-                        errors.append(f"{type(exc).__name__}: {exc}")
+                if shard_size is not None and shard_size > 1:
+                    # Batched dispatch: one future per shard.  A shard
+                    # that raises (one bad cell, a dying worker) marks
+                    # all its cells failed here; the per-cell serial
+                    # retry below then isolates the real culprit.
+                    shards = [work[k:k + shard_size]
+                              for k in range(0, len(work), shard_size)]
+                    futures = [
+                        pool.submit(
+                            _run_cell_shard,
+                            ([c for c, _, _ in shard], soc, None),
+                        )
+                        for shard in shards
+                    ]
+                    fresh, errors = [], []
+                    for shard, future in zip(shards, futures):
+                        try:
+                            batch = future.result()
+                            fresh.extend(batch)
+                            errors.extend([None] * len(batch))
+                        except Exception as exc:
+                            fresh.extend([None] * len(shard))
+                            errors.extend(
+                                [f"{type(exc).__name__}: {exc}"]
+                                * len(shard)
+                            )
+                else:
+                    # Per-cell futures (not pool.map) so one raising
+                    # cell — or a worker death breaking the pool —
+                    # surfaces as that cell's failure instead of
+                    # aborting the whole sweep.
+                    futures = [pool.submit(_run_cell, item)
+                               for item in work]
+                    fresh, errors = [], []
+                    for future in futures:
+                        try:
+                            fresh.append(future.result())
+                            errors.append(None)
+                        except Exception as exc:
+                            fresh.append(None)
+                            errors.append(f"{type(exc).__name__}: {exc}")
         # One serial retry in the parent: transient failures (a worker
         # OOM-killed, a flaky filesystem) recover; deterministic ones
         # fail again and are reported instead of raised.
@@ -676,9 +728,14 @@ class CampaignJournal:
                 started.add(index)
                 failed.pop(index, None)
             elif kind == "done":
-                result = self.load_result(index)
-                if result is not None:
-                    done[index] = result
+                # Dedupe: repeated resume cycles append a fresh ``done``
+                # per cell each time (cache hits re-journal).  Loading
+                # the result file once per *cell*, not once per record,
+                # keeps replay O(cells) however long the journal grows.
+                if index not in done:
+                    result = self.load_result(index)
+                    if result is not None:
+                        done[index] = result
             elif kind == "failed":
                 failed[index] = str(rec.get("error", ""))
         return cells, soc, done, failed, started

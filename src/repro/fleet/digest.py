@@ -1,0 +1,167 @@
+"""Mergeable, deterministic quantile digest for fleet aggregation.
+
+Fleet runs fold thousands of per-device summaries into population
+percentiles (p50/p95/p99 latency, hit-rate and queue-delay
+distributions).  Keeping every sample would make the aggregator O(fleet
+size); :class:`QuantileDigest` keeps a bounded number of weighted bins
+instead, so memory stays O(bins) however many shards merge in.
+
+Unlike a t-digest, whose merged state depends on merge order, this
+digest is **deterministic**: bins are an exact ``value -> count`` map
+until the distinct-value budget is exceeded, and compression greedily
+merges the closest adjacent pair (ties broken toward the smaller value)
+into its weighted mean.  Folding shard summaries in canonical cell
+order therefore yields byte-identical fleet percentiles under any
+``--jobs`` setting — and *exact* nearest-rank percentiles whenever the
+population has no more distinct values than the budget (the regression
+tests lean on that).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import WorkloadError
+
+#: Serialization schema of digest state; bump on shape changes.
+DIGEST_SCHEMA_VERSION = 1
+
+#: Default distinct-value budget.  256 bins keep worst-case quantile
+#: error well under 1% while an entire fleet accumulator (a handful of
+#: digests) stays a few KiB.
+DEFAULT_MAX_BINS = 256
+
+
+class QuantileDigest:
+    """Bounded-memory distribution sketch with deterministic merges.
+
+    The state is a sorted list of ``(value, count)`` bins.  While the
+    number of distinct values stays within ``max_bins`` the digest is a
+    lossless histogram and every quantile is exact; past the budget,
+    adjacent bins closest in value collapse into their weighted mean
+    (deterministic greedy rule), trading bounded accuracy for bounded
+    memory.
+    """
+
+    __slots__ = ("max_bins", "_bins")
+
+    def __init__(self, max_bins: int = DEFAULT_MAX_BINS) -> None:
+        if max_bins < 2:
+            raise WorkloadError("digest needs max_bins >= 2")
+        self.max_bins = max_bins
+        self._bins: Dict[float, int] = {}
+
+    # -- construction --------------------------------------------------
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Fold ``count`` observations of ``value`` into the sketch."""
+        if count <= 0:
+            raise WorkloadError("digest counts must be positive")
+        value = float(value)
+        if math.isnan(value):
+            raise WorkloadError("digest values cannot be NaN")
+        self._bins[value] = self._bins.get(value, 0) + count
+        if len(self._bins) > self.max_bins:
+            self._compress()
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "QuantileDigest") -> None:
+        """Fold another digest in (deterministic given fold order)."""
+        for value, count in sorted(other._bins.items()):
+            self._bins[value] = self._bins.get(value, 0) + count
+        if len(self._bins) > self.max_bins:
+            self._compress()
+
+    def _compress(self) -> None:
+        """Collapse closest adjacent bins until within budget.
+
+        The pair with the smallest value gap merges first (ties: the
+        smaller value wins), replaced by its count-weighted mean.  The
+        rule depends only on the bin multiset, so any two digests with
+        identical contents compress identically.
+        """
+        bins: List[Tuple[float, int]] = sorted(self._bins.items())
+        while len(bins) > self.max_bins:
+            best = min(
+                range(len(bins) - 1),
+                key=lambda i: (bins[i + 1][0] - bins[i][0], bins[i][0]),
+            )
+            (va, ca), (vb, cb) = bins[best], bins[best + 1]
+            merged = ((va * ca) + (vb * cb)) / (ca + cb)
+            bins[best:best + 2] = [(merged, ca + cb)]
+        self._bins = dict(bins)
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Total observations folded in."""
+        return sum(self._bins.values())
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._bins
+
+    def mean(self) -> float:
+        """Count-weighted mean (exact: compression preserves mass)."""
+        total = self.count
+        if total == 0:
+            raise WorkloadError("mean of an empty digest")
+        return sum(v * c for v, c in sorted(self._bins.items())) / total
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile ``q`` in [0, 1].
+
+        Exact while the digest has never compressed; otherwise the bin
+        representative nearest the requested rank.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise WorkloadError("quantile q must be in [0, 1]")
+        if not self._bins:
+            raise WorkloadError("quantile of an empty digest")
+        ordered = sorted(self._bins.items())
+        total = sum(c for _, c in ordered)
+        rank = max(1, math.ceil(q * total))
+        cumulative = 0
+        for value, count in ordered:
+            cumulative += count
+            if cumulative >= rank:
+                return value
+        return ordered[-1][0]
+
+    def quantiles(self, qs: Sequence[float] = (0.5, 0.95, 0.99)
+                  ) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ...}`` for the requested ranks."""
+        out: Dict[str, float] = {}
+        for q in qs:
+            pct = q * 100.0
+            label = f"p{int(pct)}" if pct.is_integer() else f"p{pct:g}"
+            out[label] = self.quantile(q)
+        return out
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready state (exact float round-trip)."""
+        return {
+            "digest_schema_version": DIGEST_SCHEMA_VERSION,
+            "max_bins": self.max_bins,
+            "bins": [[v, c] for v, c in sorted(self._bins.items())],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuantileDigest":
+        version = data.get("digest_schema_version")
+        if version != DIGEST_SCHEMA_VERSION:
+            raise WorkloadError(
+                f"unsupported digest schema {version!r} "
+                f"(expected {DIGEST_SCHEMA_VERSION})"
+            )
+        digest = cls(max_bins=data["max_bins"])
+        for value, count in data["bins"]:
+            digest.add(float(value), int(count))
+        return digest

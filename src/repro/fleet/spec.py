@@ -1,0 +1,370 @@
+"""Declarative fleet populations: who the devices are and what they run.
+
+A :class:`FleetSpec` describes a *population* of simulated devices — a
+weighted mix of hardware classes (:class:`DeviceClass`), a weighted
+distribution of workload draws (:class:`ScenarioDraw`: registered
+scenario x arrival intensity x fault schedule), and a Monte Carlo
+replication axis — and expands it **deterministically** into the
+campaign cells the sweep/campaign machinery already knows how to run,
+journal and resume.
+
+Determinism contract: expansion is a pure function of the spec.  Every
+per-device draw comes from ``random.Random(f"fleet-device:{seed}:{d}")``
+(string seeding — stable across processes and ``PYTHONHASHSEED``), and
+per-device/replica arrival randomness is reseeded through SHA-256-derived
+integers, so the same spec expands to the same cells on any host under
+any ``--jobs`` setting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..sim.scenario import (
+    DIURNAL,
+    MMPP,
+    POISSON,
+    ScenarioSpec,
+    get_scenario,
+)
+
+#: Serialization schema of fleet specs; bump on field changes.
+FLEET_SCHEMA_VERSION = 1
+
+#: Arrival kinds whose randomness is reseeded per device/replica (the
+#: deterministic kinds — periodic, bursty, closed-loop, replay — carry
+#: no seed to vary).
+_SEEDED_KINDS = frozenset((POISSON, MMPP, DIURNAL))
+
+
+def _derive_seed(*parts) -> int:
+    """A stable 63-bit seed from a tag tuple (SHA-256 based, so it is
+    identical across processes, platforms and ``PYTHONHASHSEED``)."""
+    tag = ":".join(str(p) for p in parts)
+    digest = hashlib.sha256(tag.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class DeviceClass:
+    """One hardware class in the fleet mix.
+
+    Attributes:
+        name: human-readable class label (``"table2"``, ``"budget"``).
+        weight: relative share of the population (> 0).
+        cache_bytes: shared-cache capacity override for this class
+            (``None`` keeps the fleet's base SoC — paper Table II by
+            default).
+    """
+
+    name: str
+    weight: float = 1.0
+    cache_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("device class needs a name")
+        if not self.weight > 0 or not math.isfinite(self.weight):
+            raise WorkloadError(
+                f"device class {self.name!r}: weight must be a positive "
+                f"finite number"
+            )
+        if self.cache_bytes is not None and self.cache_bytes <= 0:
+            raise WorkloadError(
+                f"device class {self.name!r}: cache_bytes must be "
+                f"positive when set"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "cache_bytes": self.cache_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeviceClass":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScenarioDraw:
+    """One workload shape in the fleet's scenario distribution.
+
+    Attributes:
+        scenario: registered scenario name (see
+            :func:`~repro.sim.scenario.scenario_names`); kept as a name
+            so fleet specs serialize small and stay readable.
+        weight: relative share of devices drawing this shape (> 0).
+        arrival_scale: offered-load multiplier applied to the scenario's
+            open-loop arrival processes (rates multiply, periods
+            divide); 1.0 leaves the scenario untouched.  The
+            capacity-planning sweep walks this axis.
+        faults: optional registered fault-schedule name injected into
+            devices drawing this shape.
+    """
+
+    scenario: str
+    weight: float = 1.0
+    arrival_scale: float = 1.0
+    faults: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.scenario:
+            raise WorkloadError("scenario draw needs a scenario name")
+        if not self.weight > 0 or not math.isfinite(self.weight):
+            raise WorkloadError(
+                f"scenario draw {self.scenario!r}: weight must be a "
+                f"positive finite number"
+            )
+        if not self.arrival_scale > 0 or \
+                not math.isfinite(self.arrival_scale):
+            raise WorkloadError(
+                f"scenario draw {self.scenario!r}: arrival_scale must "
+                f"be a positive finite number"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "weight": self.weight,
+            "arrival_scale": self.arrival_scale,
+            "faults": self.faults,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioDraw":
+        return cls(**data)
+
+
+def scale_arrivals(spec: ScenarioSpec, factor: float) -> ScenarioSpec:
+    """The scenario at ``factor`` times its offered load.
+
+    Open-loop rates multiply by ``factor`` and periods divide by it;
+    closed-loop and replay streams are completion-coupled (their load is
+    an output, not an input) and pass through unchanged, as do tenancy
+    windows and quotas.
+    """
+    if not factor > 0 or not math.isfinite(factor):
+        raise WorkloadError("arrival_scale must be a positive finite "
+                            "number")
+    if factor == 1.0:
+        return spec
+    streams = []
+    for stream in spec.streams:
+        arrival = stream.arrival
+        changes = {}
+        if arrival.rate_hz is not None:
+            changes["rate_hz"] = arrival.rate_hz * factor
+        if arrival.rates_hz is not None:
+            changes["rates_hz"] = tuple(
+                r * factor for r in arrival.rates_hz
+            )
+        if arrival.period_s is not None:
+            changes["period_s"] = arrival.period_s / factor
+        if changes:
+            stream = replace(stream, arrival=replace(arrival, **changes))
+        streams.append(stream)
+    return replace(spec, streams=tuple(streams))
+
+
+def reseed_arrivals(spec: ScenarioSpec, fleet_seed: int, device: int,
+                    mc_run: int) -> ScenarioSpec:
+    """The scenario with per-device/replica arrival randomness.
+
+    Seeded arrival kinds (poisson / mmpp / diurnal) get a fresh
+    SHA-256-derived seed per ``(fleet seed, device, replica, stream)``,
+    so every device — and every Monte Carlo replica of it — sees its own
+    reproducible traffic realization.  Deterministic kinds pass through
+    unchanged, keeping the transform a no-op on closed-loop scenarios.
+    """
+    streams = []
+    changed = False
+    for i, stream in enumerate(spec.streams):
+        if stream.arrival.kind in _SEEDED_KINDS:
+            seed = _derive_seed(
+                "fleet-arrival", fleet_seed, device, mc_run, i
+            )
+            stream = replace(
+                stream, arrival=replace(stream.arrival, seed=seed)
+            )
+            changed = True
+        streams.append(stream)
+    if not changed:
+        return spec
+    return replace(spec, streams=tuple(streams))
+
+
+def _weighted_choice(rng: random.Random, items: Sequence,
+                     weights: Sequence[float]):
+    """Deterministic weighted draw (cumulative walk over one uniform)."""
+    total = sum(weights)
+    point = rng.random() * total
+    cumulative = 0.0
+    for item, weight in zip(items, weights):
+        cumulative += weight
+        if point < cumulative:
+            return item
+    return items[-1]
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A seeded device population, expandable into campaign cells.
+
+    Attributes:
+        devices: population size (one simulated SoC each).
+        policy: scheduler every device runs (fleet studies compare
+            policies by running one fleet per policy).
+        device_classes: weighted hardware mix (defaults to one paper
+            Table II class).
+        scenario_draws: weighted workload distribution (defaults to the
+            steady closed-loop quad).
+        mc_runs: Monte Carlo replicas per device; each replica reseeds
+            the device's stochastic arrivals, widening the population
+            sample without adding devices.
+        seed: root seed of every per-device draw.
+        scale: measurement-window scale forwarded to each cell (see
+            :class:`~repro.experiments.common.ExperimentScale`).
+        qos_mode: enable the AuRORA-style QoS integration on CaMDN
+            policies, fleet-wide.
+    """
+
+    devices: int
+    policy: str = "camdn-full"
+    device_classes: Tuple[DeviceClass, ...] = (
+        DeviceClass(name="table2"),
+    )
+    scenario_draws: Tuple[ScenarioDraw, ...] = (
+        ScenarioDraw(scenario="steady-quad"),
+    )
+    mc_runs: int = 1
+    seed: int = 2025
+    scale: float = 1.0
+    qos_mode: bool = False
+
+    def __post_init__(self) -> None:
+        if self.devices <= 0:
+            raise WorkloadError("fleet needs at least one device")
+        if self.mc_runs <= 0:
+            raise WorkloadError("mc_runs must be positive")
+        if not 0 < self.scale <= 4.0:
+            raise WorkloadError("fleet scale must be in (0, 4]")
+        object.__setattr__(
+            self, "device_classes", tuple(self.device_classes)
+        )
+        object.__setattr__(
+            self, "scenario_draws", tuple(self.scenario_draws)
+        )
+        if not self.device_classes:
+            raise WorkloadError("fleet needs at least one device class")
+        if not self.scenario_draws:
+            raise WorkloadError("fleet needs at least one scenario draw")
+
+    @property
+    def num_cells(self) -> int:
+        """Cells the spec expands to (``devices * mc_runs``)."""
+        return self.devices * self.mc_runs
+
+    def expand(self) -> List:
+        """The fleet as campaign cells, in canonical device order.
+
+        Device ``d`` draws its hardware class and workload shape from
+        ``random.Random(f"fleet-device:{seed}:{d}")``; each Monte Carlo
+        replica ``r`` then reseeds the drawn scenario's stochastic
+        arrivals.  Cells come back ordered ``(device, replica)``, which
+        is the canonical fold order every aggregation uses — percentiles
+        are identical under any worker count because the *order* never
+        depends on who computed what.
+
+        Returns:
+            One :class:`~repro.experiments.sweep.SweepCell` per
+            ``(device, replica)`` pair.
+
+        Raises:
+            WorkloadError: a draw references an unregistered scenario
+                or fault schedule.
+        """
+        # Deferred import: experiments.sweep pulls the package root for
+        # __version__, and the root exposes fleet types eagerly.
+        from ..experiments.sweep import SweepCell
+        from ..sim.faults import get_fault_schedule
+
+        class_weights = [c.weight for c in self.device_classes]
+        draw_weights = [d.weight for d in self.scenario_draws]
+        cells = []
+        for device in range(self.devices):
+            rng = random.Random(f"fleet-device:{self.seed}:{device}")
+            device_class = _weighted_choice(
+                rng, self.device_classes, class_weights
+            )
+            draw = _weighted_choice(
+                rng, self.scenario_draws, draw_weights
+            )
+            scenario = scale_arrivals(
+                get_scenario(draw.scenario), draw.arrival_scale
+            )
+            faults = (
+                get_fault_schedule(draw.faults)
+                if draw.faults is not None else None
+            )
+            for mc_run in range(self.mc_runs):
+                cells.append(SweepCell.from_scenario(
+                    self.policy,
+                    reseed_arrivals(scenario, self.seed, device,
+                                    mc_run),
+                    qos_mode=self.qos_mode,
+                    scale=self.scale,
+                    cache_bytes=device_class.cache_bytes,
+                    seed=_derive_seed("fleet-cell", self.seed, device,
+                                      mc_run),
+                    faults=faults,
+                ))
+        return cells
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form (exact round-trip, keys the
+        fleet sidecar and content hash)."""
+        return {
+            "fleet_schema_version": FLEET_SCHEMA_VERSION,
+            "devices": self.devices,
+            "policy": self.policy,
+            "device_classes": [c.to_dict() for c in self.device_classes],
+            "scenario_draws": [d.to_dict() for d in self.scenario_draws],
+            "mc_runs": self.mc_runs,
+            "seed": self.seed,
+            "scale": self.scale,
+            "qos_mode": self.qos_mode,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetSpec":
+        version = data.get("fleet_schema_version")
+        if version != FLEET_SCHEMA_VERSION:
+            raise WorkloadError(
+                f"unsupported fleet schema {version!r} "
+                f"(expected {FLEET_SCHEMA_VERSION})"
+            )
+        return cls(
+            devices=data["devices"],
+            policy=data["policy"],
+            device_classes=tuple(
+                DeviceClass.from_dict(c)
+                for c in data["device_classes"]
+            ),
+            scenario_draws=tuple(
+                ScenarioDraw.from_dict(d)
+                for d in data["scenario_draws"]
+            ),
+            mc_runs=data["mc_runs"],
+            seed=data["seed"],
+            scale=data["scale"],
+            qos_mode=data["qos_mode"],
+        )

@@ -200,9 +200,9 @@ class TestBadInputs:
 
 
 class TestMain:
-    def test_manifest_covers_all_three_benches(self):
+    def test_manifest_covers_all_benches(self):
         assert set(check_regression.MANIFEST) == \
-            {"engine", "scenario", "allocator"}
+            {"engine", "scenario", "allocator", "fleet"}
         for spec in check_regression.MANIFEST.values():
             baseline = (
                 Path(check_regression.BASELINE_DIR) / spec.baseline

@@ -1,0 +1,259 @@
+"""Fleet crash safety: sidecar integrity, SIGKILL resume, compaction.
+
+A journaled fleet must survive anything a campaign survives — a hard
+SIGKILL mid-population included — and resume to the byte-identical
+population summary.  The sidecar carrying the fleet spec is content-
+hashed, so a tampered or foreign journal is refused instead of
+silently aggregated wrong.  Resume must also stay O(cells) however
+bloated the journal gets (a long crash-resume-crash history appends
+hundreds of redundant records).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.config import SoCConfig
+from repro.errors import WorkloadError
+from repro.experiments.sweep import CampaignJournal
+from repro.fleet import FleetSpec, ScenarioDraw
+from repro.fleet.runner import (
+    fleet_sidecar_path,
+    read_fleet_sidecar,
+    resume_fleet,
+    run_fleet,
+    write_fleet_sidecar,
+)
+
+pytestmark = pytest.mark.experiment
+
+_REPO = Path(__file__).resolve().parents[2]
+
+
+def tiny_fleet(devices=4) -> FleetSpec:
+    return FleetSpec(
+        devices=devices,
+        policy="baseline",
+        scenario_draws=(ScenarioDraw(scenario="steady-quad"),),
+        scale=0.1,
+        seed=3,
+    )
+
+
+def summary_bytes(result) -> str:
+    return json.dumps(result.fleet_summary(), sort_keys=True)
+
+
+class TestSidecar:
+    def test_round_trip(self, tmp_path):
+        journal = tmp_path / "f.journal"
+        spec = tiny_fleet()
+        write_fleet_sidecar(journal, spec)
+        assert read_fleet_sidecar(journal) == spec
+
+    def test_missing_sidecar_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError, match="sidecar"):
+            read_fleet_sidecar(tmp_path / "f.journal")
+
+    def test_tampered_sidecar_rejected(self, tmp_path):
+        journal = tmp_path / "f.journal"
+        sidecar = write_fleet_sidecar(journal, tiny_fleet())
+        payload = json.loads(sidecar.read_text())
+        payload["fleet"]["seed"] += 1  # edit without re-hashing
+        sidecar.write_text(json.dumps(payload))
+        with pytest.raises(WorkloadError, match="hash"):
+            read_fleet_sidecar(journal)
+
+    def test_corrupt_sidecar_rejected(self, tmp_path):
+        journal = tmp_path / "f.journal"
+        fleet_sidecar_path(journal).write_text("not json")
+        with pytest.raises(WorkloadError, match="sidecar"):
+            read_fleet_sidecar(journal)
+
+
+class TestResume:
+    def test_journaled_fleet_resumes_byte_identically(self, tmp_path):
+        spec = tiny_fleet()
+        journal = tmp_path / "f.journal"
+        first = run_fleet(spec, journal_path=journal, max_workers=1,
+                          use_cache=False)
+        resumed = resume_fleet(journal, max_workers=1, use_cache=False)
+        assert summary_bytes(resumed) == summary_bytes(first)
+
+    def test_journaled_matches_ephemeral(self, tmp_path):
+        spec = tiny_fleet()
+        ephemeral = run_fleet(spec, max_workers=1, use_cache=False)
+        journaled = run_fleet(spec, journal_path=tmp_path / "f.journal",
+                              max_workers=1, use_cache=False)
+        assert summary_bytes(journaled) == summary_bytes(ephemeral)
+
+
+class TestJournalCompaction:
+    """Resume cost is bounded by the *grid*, not the journal history."""
+
+    def test_redundant_done_records_load_each_result_once(
+        self, tmp_path, monkeypatch
+    ):
+        """A journal bloated by hundreds of redundant done records (a
+        long crash/resume history) still deserializes every committed
+        result exactly once — replay is O(cells), not O(journal)."""
+        spec = tiny_fleet(devices=2)
+        journal_path = tmp_path / "f.journal"
+        run_fleet(spec, journal_path=journal_path, max_workers=1,
+                  use_cache=False)
+        journal = CampaignJournal(journal_path)
+        with open(journal_path, "a", encoding="utf-8") as fh:
+            for _ in range(400):
+                for index in range(spec.num_cells):
+                    fh.write(json.dumps(
+                        {"kind": "done", "index": index}
+                    ) + "\n")
+
+        loads = []
+        real_load = CampaignJournal.load_result
+        monkeypatch.setattr(
+            CampaignJournal, "load_result",
+            lambda self, index: loads.append(index)
+            or real_load(self, index),
+        )
+        _cells, _soc, done, _failed, _started = journal.read()
+        assert sorted(done) == list(range(spec.num_cells))
+        assert sorted(loads) == list(range(spec.num_cells))
+
+    def test_bloated_journal_resumes_quickly(self, tmp_path):
+        """Wall-clock regression guard: resuming through ~800 redundant
+        records costs no more than the underlying 2-cell fleet."""
+        spec = tiny_fleet(devices=2)
+        journal_path = tmp_path / "f.journal"
+        run_fleet(spec, journal_path=journal_path, max_workers=1,
+                  use_cache=False)
+        with open(journal_path, "a", encoding="utf-8") as fh:
+            for _ in range(400):
+                for index in range(spec.num_cells):
+                    fh.write(json.dumps(
+                        {"kind": "done", "index": index}
+                    ) + "\n")
+        start = time.perf_counter()
+        resumed = resume_fleet(journal_path, max_workers=1,
+                               use_cache=False)
+        elapsed = time.perf_counter() - start
+        assert resumed.completed_devices == spec.num_cells
+        assert elapsed < 10.0  # generous: replay, not re-simulation
+
+
+@pytest.mark.slow
+class TestFleetSigkillResume:
+    """End to end through the CLI: SIGKILL a live journaled fleet once
+    at least one device committed, ``--resume`` it, and get the
+    uninterrupted fleet's population line back byte-for-byte."""
+
+    DEVICES = 6
+
+    def _env(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(_REPO / "src")
+        env["REPRO_SWEEP_CACHE_DIR"] = ""  # cells must really simulate
+        return env
+
+    def _runner(self, *args):
+        return [sys.executable, "-m", "repro.experiments.runner", *args]
+
+    def _fleet_line(self, stdout: str) -> str:
+        (line,) = [ln for ln in stdout.splitlines()
+                   if ln.startswith('{"fleet"')]
+        return line
+
+    def _done_count(self, journal: Path) -> int:
+        if not journal.exists():
+            return 0
+        return sum(
+            1 for line in journal.read_text(errors="replace")
+            .splitlines() if '"kind": "done"' in line
+        )
+
+    def _spec_file(self, tmp_path: Path) -> Path:
+        from repro.core.serialize import fleet_spec_to_dict
+
+        spec_file = tmp_path / "fleet.json"
+        spec_file.write_text(json.dumps(fleet_spec_to_dict(
+            tiny_fleet(devices=self.DEVICES)
+        )))
+        return spec_file
+
+    def test_sigkilled_fleet_resumes_byte_identically(self, tmp_path):
+        env = self._env()
+        spec_file = self._spec_file(tmp_path)
+
+        # Uninterrupted reference fleet.
+        ref = subprocess.run(
+            self._runner("--fleet", str(spec_file),
+                         "--campaign", str(tmp_path / "ref.journal"),
+                         "--jobs", "1", "--no-cache"),
+            env=env, capture_output=True, text=True, timeout=600,
+        )
+        assert ref.returncode == 0, ref.stderr
+        ref_line = self._fleet_line(ref.stdout)
+
+        # Live fleet, SIGKILLed once at least one device committed.
+        journal = tmp_path / "crash.journal"
+        proc = subprocess.Popen(
+            self._runner("--fleet", str(spec_file),
+                         "--campaign", str(journal),
+                         "--jobs", "1", "--no-cache"),
+            env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 300
+            while self._done_count(journal) < 1 \
+                    and proc.poll() is None:
+                assert time.monotonic() < deadline, \
+                    "fleet never committed a device cell"
+                time.sleep(0.02)
+            proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.wait(timeout=60)
+
+        # Resume: sidecar auto-detected, population byte-identical.
+        res = subprocess.run(
+            self._runner("--resume", str(journal), "--jobs", "1",
+                         "--no-cache"),
+            env=env, capture_output=True, text=True, timeout=600,
+        )
+        assert res.returncode == 0, res.stderr
+        assert self._fleet_line(res.stdout) == ref_line
+
+        # Every device committed exactly once in the merged journal.
+        _c, _s, done, failed, _started = CampaignJournal(journal).read()
+        assert sorted(done) == list(range(self.DEVICES))
+        assert failed == {}
+
+
+class TestResumeValidation:
+    def test_resume_refuses_mismatched_sidecar(self, tmp_path):
+        """A sidecar whose spec expands to a different grid than the
+        journal records is a hard error, not a silent misaggregation."""
+        spec = tiny_fleet(devices=2)
+        journal = tmp_path / "f.journal"
+        run_fleet(spec, journal_path=journal, max_workers=1,
+                  use_cache=False)
+        write_fleet_sidecar(journal, tiny_fleet(devices=3))
+        with pytest.raises(WorkloadError, match="disagree"):
+            resume_fleet(journal, max_workers=1, use_cache=False)
+
+    def test_soc_passthrough(self, tmp_path):
+        """A non-default base SoC flows into journaled cells and back
+        out of resume."""
+        spec = tiny_fleet(devices=2)
+        soc = SoCConfig().with_cache_bytes(4 * (1 << 20))
+        journal = tmp_path / "f.journal"
+        first = run_fleet(spec, soc=soc, journal_path=journal,
+                          max_workers=1, use_cache=False)
+        resumed = resume_fleet(journal, max_workers=1, use_cache=False)
+        assert summary_bytes(resumed) == summary_bytes(first)

@@ -300,10 +300,17 @@ class TestPersistentIdValidation:
 
 class TestRollingCheckpoints:
     def test_checkpoint_every_s_requires_dir(self):
+        """PR 10 moved this guard to RunConfig construction: a cadence
+        with nowhere to write is a WorkloadError before any simulation
+        (the legacy-keyword path goes through the same validation; see
+        tests/experiments/test_run_config.py)."""
+        from repro.errors import WorkloadError
+        from repro.runconfig import RunConfig
+
         spec = get_scenario("steady-quad").scaled(GRID_SCALE)
-        with pytest.raises(ValueError, match="checkpoint_dir"):
+        with pytest.raises(WorkloadError, match="checkpoint_dir"):
             run_scenario(spec, policy="baseline",
-                         checkpoint_every_s=1.0)
+                         config=RunConfig(checkpoint_every_s=1.0))
 
     def test_rolling_checkpoint_written_and_resumable(self, tmp_path):
         """``checkpoint_every_s=0`` forces a checkpoint at every batch

@@ -33,6 +33,66 @@ class TestPackageSurface:
             assert issubclass(exc, ReproError)
 
 
+class TestStableFacade:
+    """PR 10: ``repro.run`` / ``repro.run_fleet`` / ``RunConfig`` — the
+    one import surface examples and downstream users rely on."""
+
+    def test_run_by_scenario_name(self):
+        from repro import RunConfig, run
+
+        result = run("steady-quad", policy="baseline",
+                     config=RunConfig(max_wall_s=600.0))
+        assert result.metrics.num_inferences > 0
+
+    def test_run_defaults(self):
+        from repro import run
+
+        result = run("steady-quad")
+        assert result.metrics.num_inferences > 0
+
+    def test_run_scale_shortens_the_scenario(self):
+        """``scale=`` mirrors the runner's ``--scale`` and matches
+        scaling the spec by hand, byte for byte."""
+        from repro import get_scenario, run
+        from repro.experiments.common import run_scenario
+
+        scaled = run("steady-quad", scale=0.1, policy="camdn-qos")
+        by_hand = run_scenario(get_scenario("steady-quad").scaled(0.1),
+                               policy="camdn-qos")
+        assert scaled.metric_summary() == by_hand.metric_summary()
+
+    def test_fleet_types_importable_from_root(self):
+        from repro import (
+            DeviceClass,
+            FleetAccumulator,
+            FleetResult,
+            FleetSpec,
+            QuantileDigest,
+            ScenarioDraw,
+        )
+
+        spec = FleetSpec(devices=2, scale=0.25)
+        assert spec.num_cells == 2
+        assert FleetResult is not None
+        assert DeviceClass and ScenarioDraw
+        assert FleetAccumulator and QuantileDigest
+
+    def test_run_fleet_facade(self):
+        from repro import FleetSpec, ScenarioDraw, run_fleet
+
+        spec = FleetSpec(
+            devices=2, policy="baseline",
+            scenario_draws=(ScenarioDraw(scenario="steady-quad"),),
+            scale=0.1,
+        )
+        result = run_fleet(spec, max_workers=1, use_cache=False)
+        assert result.fleet_summary()["devices"] == 2
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.no_such_name
+
+
 class TestSimulateHelper:
     def test_count_mode(self):
         result = simulate("camdn-full", ["MB."], inferences_per_stream=2)
